@@ -1,0 +1,114 @@
+//! Criterion bench: runtime cost of OLIVE's individual mechanisms
+//! (borrowing, preemption, greedy fallback) on a saturated substrate,
+//! plus the PLAN-VNE quantile count (P) ablation for plan-solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vne_model::cost::RejectionPenalty;
+use vne_model::policy::PlacementPolicy;
+use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
+use vne_olive::algorithm::OnlineAlgorithm;
+use vne_olive::colgen::{solve_plan, PlanVneConfig};
+use vne_olive::olive::{Olive, OliveConfig};
+use vne_sim::runner::default_apps;
+use vne_sim::scenario::{Scenario, ScenarioConfig};
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olive_mechanisms");
+    group.sample_size(10);
+    let substrate = vne_topology::zoo::iris().unwrap();
+    let apps = default_apps(1);
+    let mut config = ScenarioConfig::small(1.4);
+    config.history_slots = 400;
+    let scenario = Scenario::new(substrate.clone(), apps.clone(), config);
+    let (plan, _) = scenario.build_plan();
+
+    // An overloaded burst that exercises every path.
+    let mut rng = SeededRng::new(5);
+    let mut tc = TraceConfig::default().at_utilization(1.4, &substrate, &apps);
+    tc.slots = 3;
+    let burst = tracegen::generate(&substrate, &apps, &tc, &mut rng);
+
+    let variants: Vec<(&str, OliveConfig)> = vec![
+        ("full", OliveConfig::default()),
+        (
+            "no-borrowing",
+            OliveConfig {
+                borrowing: false,
+                ..OliveConfig::default()
+            },
+        ),
+        (
+            "no-preemption",
+            OliveConfig {
+                preemption: false,
+                ..OliveConfig::default()
+            },
+        ),
+        (
+            "no-greedy",
+            OliveConfig {
+                greedy_fallback: false,
+                ..OliveConfig::default()
+            },
+        ),
+    ];
+    for (label, olive_config) in variants {
+        let template = Olive::new(
+            substrate.clone(),
+            apps.clone(),
+            PlacementPolicy::default(),
+            plan.clone(),
+            olive_config,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &burst, |b, burst| {
+            b.iter_batched(
+                || template.clone(),
+                |mut alg| alg.process_slot(0, &[], burst),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_quantiles");
+    group.sample_size(10);
+    let substrate = vne_topology::zoo::iris().unwrap();
+    let apps = default_apps(1);
+    let mut rng = SeededRng::new(2);
+    let mut tc = TraceConfig::default().at_utilization(1.4, &substrate, &apps);
+    tc.slots = 400;
+    let history = tracegen::generate(&substrate, &apps, &tc, &mut rng);
+    let aggregate = AggregateDemand::from_history(
+        &history,
+        400,
+        &AggregationConfig {
+            alpha: 80.0,
+            bootstrap_replicates: 30,
+        },
+        &mut rng,
+    );
+    let psi = RejectionPenalty::conservative(&apps, &substrate).max_psi();
+    let policy = PlacementPolicy::default();
+    for p in [1usize, 2, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let (plan, _) = solve_plan(
+                    &substrate,
+                    &apps,
+                    &policy,
+                    &aggregate,
+                    &PlanVneConfig::new(psi).with_quantiles(p),
+                );
+                plan.total_columns()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_quantiles);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the LP substrate — simplex solve times on PLAN-VNE
+//! master problems of increasing size (the operation CPLEX performs in
+//! the paper's pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vne_lp::problem::{Problem, Relation};
+use vne_lp::simplex::Simplex;
+
+/// A synthetic master-like LP: `rows` capacity rows, `cols` columns with
+/// ~4 nonzeros each, plus one convexity row per 10 columns.
+fn master_like(rows: usize, cols: usize) -> Problem {
+    let mut p = Problem::new();
+    let caps: Vec<_> = (0..rows)
+        .map(|i| p.add_row(format!("cap{i}"), Relation::Le, 1000.0))
+        .collect();
+    let convs: Vec<_> = (0..cols / 10 + 1)
+        .map(|i| p.add_row(format!("conv{i}"), Relation::Eq, 1.0))
+        .collect();
+    let mut state = 0x243f6a8885a308d3u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for j in 0..cols {
+        let v = p.add_var(format!("x{j}"), 1.0 + rng() * 10.0, 0.0, f64::INFINITY);
+        for k in 0..4 {
+            let row = caps[(j * 7 + k * 13) % rows];
+            p.set_coeff(row, v, 10.0 + rng() * 100.0);
+        }
+        p.set_coeff(convs[j / 10], v, 1.0);
+    }
+    // Rejection-like bounded variables keeping every convexity feasible.
+    for (i, &c) in convs.iter().enumerate() {
+        let v = p.add_var(format!("rej{i}"), 1e5, 0.0, 1.0);
+        p.set_coeff(c, v, 1.0);
+    }
+    p
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_master");
+    group.sample_size(10);
+    for (rows, cols) in [(60, 200), (120, 600), (240, 1500)] {
+        let p = master_like(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}r_{cols}c")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let sol = Simplex::from_problem(p).solve();
+                    assert!(sol.status.is_optimal());
+                    sol.objective
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: PLAN-VNE plan construction (column generation) per
+//! topology — the paper's claim that "even very large plans can be
+//! computed very quickly".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vne_model::cost::RejectionPenalty;
+use vne_model::policy::PlacementPolicy;
+use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
+use vne_olive::colgen::{solve_plan, PlanVneConfig};
+use vne_sim::runner::default_apps;
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_build");
+    group.sample_size(10);
+    // Citta Studi and Iris keep single iterations in the tens-to-hundreds
+    // of milliseconds; the 100-node instance takes seconds per solve and
+    // is covered by the fig06/fig16 binaries instead of Criterion.
+    let topologies = vec![
+        vne_topology::zoo::citta_studi().unwrap(),
+        vne_topology::zoo::iris().unwrap(),
+    ];
+    for substrate in topologies {
+        let apps = default_apps(1);
+        let mut rng = SeededRng::new(2);
+        let mut tc = TraceConfig::default().at_utilization(1.0, &substrate, &apps);
+        tc.slots = 600;
+        let history = tracegen::generate(&substrate, &apps, &tc, &mut rng);
+        let aggregate = AggregateDemand::from_history(
+            &history,
+            600,
+            &AggregationConfig {
+                alpha: 80.0,
+                bootstrap_replicates: 30,
+            },
+            &mut rng,
+        );
+        let psi = RejectionPenalty::conservative(&apps, &substrate).max_psi();
+        let policy = PlacementPolicy::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(substrate.name().to_string()),
+            &substrate,
+            |b, s| {
+                b.iter(|| {
+                    let (plan, stats) =
+                        solve_plan(s, &apps, &policy, &aggregate, &PlanVneConfig::new(psi));
+                    assert!(stats.columns > 0);
+                    plan.total_columns()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

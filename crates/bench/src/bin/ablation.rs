@@ -1,0 +1,99 @@
+//! Ablation study (beyond the paper): which of OLIVE's mechanisms —
+//! borrowing, preemption, the greedy fallback — contribute how much to
+//! the rejection rate, on Iris at 100% and 140% utilization.
+//!
+//! The full OLIVE row and the "no plan" row bracket the design space:
+//! "no plan" with the greedy fallback only *is* QUICKG.
+
+use vne_olive::olive::OliveConfig;
+use vne_sim::metrics::aggregate;
+use vne_sim::runner::{default_apps, run_seeds};
+use vne_sim::scenario::Algorithm;
+
+use vne_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let substrate = vne_topology::zoo::iris().expect("iris");
+
+    let variants: Vec<(&str, OliveConfig)> = vec![
+        ("full", OliveConfig::default()),
+        (
+            "no-borrowing",
+            OliveConfig {
+                borrowing: false,
+                ..OliveConfig::default()
+            },
+        ),
+        (
+            "no-preemption",
+            OliveConfig {
+                preemption: false,
+                ..OliveConfig::default()
+            },
+        ),
+        (
+            "no-greedy",
+            OliveConfig {
+                greedy_fallback: false,
+                ..OliveConfig::default()
+            },
+        ),
+        (
+            "plan-only",
+            OliveConfig {
+                borrowing: false,
+                preemption: false,
+                greedy_fallback: false,
+                quickg_fast_reject: false,
+            },
+        ),
+    ];
+
+    println!("# Ablation — Iris: OLIVE mechanism contributions");
+    println!(
+        "{:>5} {:>14} {:>12} {:>10} {:>14}",
+        "util", "variant", "rejection", "±95ci", "total-cost"
+    );
+    for util in [1.0, 1.4] {
+        for (label, config) in &variants {
+            let (summaries, _) = run_seeds(
+                &substrate,
+                Algorithm::Olive,
+                &opts.seed_list(),
+                default_apps,
+                |seed| {
+                    let mut c = opts.config(util).with_seed(seed);
+                    c.olive = *config;
+                    c
+                },
+            );
+            let agg = aggregate(&summaries);
+            println!(
+                "{:>4.0}% {:>14} {:>12.4} {:>10.4} {:>14.4e}",
+                util * 100.0,
+                label,
+                agg.rejection_rate.0,
+                agg.rejection_rate.1,
+                agg.total_cost.0
+            );
+        }
+        // QUICKG reference.
+        let (summaries, _) = run_seeds(
+            &substrate,
+            Algorithm::Quickg,
+            &opts.seed_list(),
+            default_apps,
+            |seed| opts.config(util).with_seed(seed),
+        );
+        let agg = aggregate(&summaries);
+        println!(
+            "{:>4.0}% {:>14} {:>12.4} {:>10.4} {:>14.4e}",
+            util * 100.0,
+            "QUICKG",
+            agg.rejection_rate.0,
+            agg.rejection_rate.1,
+            agg.total_cost.0
+        );
+    }
+}

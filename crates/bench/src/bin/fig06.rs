@@ -1,0 +1,24 @@
+//! Fig. 6 (a–d): request rejection rate vs edge utilization on the four
+//! topologies, for OLIVE, QUICKG and SLOTOFF.
+//!
+//! Expected shape (paper): rejection grows with utilization everywhere;
+//! OLIVE tracks SLOTOFF within a few points and stays far below QUICKG.
+
+use vne_bench::experiments::{print_rows, sweep};
+use vne_bench::BenchOpts;
+use vne_sim::scenario::Algorithm;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let algorithms = [Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff];
+    for substrate in opts.topologies() {
+        let rows = sweep(&substrate, &algorithms, &opts, |_| {});
+        print_rows(
+            &format!("Fig. 6 — rejection rate — {}", substrate.name()),
+            &rows,
+            "rejection",
+            |s| s.rejection_rate,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 11: rejection balance index (Eq. 20) by rejection quantile count
+//! in Iris at 140% utilization: QUICKG (no quantiles) vs OLIVE with
+//! P ∈ {1, 2, 10, 50}.
+//!
+//! Expected shape (paper): QUICKG ≈ 0.53; OLIVE rises from ≈ 0.65 (P=1)
+//! to ≈ 0.84 (P=2) and ≈ 0.89 (P=10); P=50 adds nothing over P=10.
+
+use vne_sim::metrics::aggregate;
+use vne_sim::runner::{default_apps, run_seeds};
+use vne_sim::scenario::Algorithm;
+
+use vne_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let substrate = vne_topology::zoo::iris().expect("iris");
+
+    println!("# Fig. 11 — Iris @140%, rejection balance index by quantiles");
+    println!("{:>12} {:>10} {:>10}", "variant", "balance", "±95ci");
+
+    let (summaries, _) = run_seeds(
+        &substrate,
+        Algorithm::Quickg,
+        &opts.seed_list(),
+        default_apps,
+        |seed| opts.config(1.4).with_seed(seed),
+    );
+    let agg = aggregate(&summaries);
+    println!(
+        "{:>12} {:>10.4} {:>10.4}",
+        "QUICKG", agg.balance_index.0, agg.balance_index.1
+    );
+
+    for p in [1usize, 2, 10, 50] {
+        let (summaries, _) = run_seeds(
+            &substrate,
+            Algorithm::Olive,
+            &opts.seed_list(),
+            default_apps,
+            |seed| {
+                let mut c = opts.config(1.4).with_seed(seed);
+                c.quantiles = p;
+                c
+            },
+        );
+        let agg = aggregate(&summaries);
+        println!(
+            "{:>12} {:>10.4} {:>10.4}",
+            format!("OLIVE P={p}"),
+            agg.balance_index.0,
+            agg.balance_index.1
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 13: effect of deviation from the plan — online demand at 140%
+//! utilization with plans built for 60%, 100% and 140% expected
+//! utilization, against QUICKG and SLOTOFF.
+//!
+//! Expected shape (paper): OLIVE(60%) and OLIVE(100%) lose only a few
+//! points versus OLIVE(140%) and stay below QUICKG.
+
+use vne_sim::metrics::aggregate;
+use vne_sim::runner::{default_apps, run_seeds};
+use vne_sim::scenario::Algorithm;
+
+use vne_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let substrate = vne_topology::zoo::iris().expect("iris");
+
+    println!("# Fig. 13 — Iris @140% online demand, plan built for lower utilization");
+    println!("{:>14} {:>12} {:>10}", "variant", "rejection", "±95ci");
+
+    for (label, plan_util) in [
+        ("OLIVE(60%)", Some(0.6)),
+        ("OLIVE(100%)", Some(1.0)),
+        ("OLIVE(140%)", None),
+    ] {
+        let (summaries, _) = run_seeds(
+            &substrate,
+            Algorithm::Olive,
+            &opts.seed_list(),
+            default_apps,
+            |seed| {
+                let mut c = opts.config(1.4).with_seed(seed);
+                c.plan_utilization = plan_util;
+                c
+            },
+        );
+        let agg = aggregate(&summaries);
+        println!(
+            "{:>14} {:>12.4} {:>10.4}",
+            label, agg.rejection_rate.0, agg.rejection_rate.1
+        );
+    }
+    for alg in [Algorithm::Quickg, Algorithm::SlotOff] {
+        let (summaries, _) = run_seeds(
+            &substrate,
+            alg,
+            &opts.seed_list(),
+            default_apps,
+            |seed| opts.config(1.4).with_seed(seed),
+        );
+        let agg = aggregate(&summaries);
+        println!(
+            "{:>14} {:>12.4} {:>10.4}",
+            alg.label(),
+            agg.rejection_rate.0,
+            agg.rejection_rate.1
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 14: spatial distribution change — the plan's history has every
+//! request's ingress remapped to a random datacenter, in Iris.
+//!
+//! Expected shape (paper): even with a spatially wrong plan OLIVE's
+//! rejection rate stays at or below QUICKG's, at similar cost.
+
+use vne_bench::experiments::{print_rows, sweep};
+use vne_bench::BenchOpts;
+use vne_sim::scenario::Algorithm;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let substrate = vne_topology::zoo::iris().expect("iris");
+
+    // OLIVE with shifted plan input.
+    let shifted = sweep(&substrate, &[Algorithm::Olive], &opts, |c| {
+        c.shift_plan_ingress = true;
+    });
+    // References: unshifted OLIVE and QUICKG.
+    let reference = sweep(
+        &substrate,
+        &[Algorithm::Olive, Algorithm::Quickg],
+        &opts,
+        |_| {},
+    );
+
+    println!("# Fig. 14a — Iris, shifted plan requests: rejection rate");
+    print_rows("OLIVE (shifted plan)", &shifted, "rejection", |s| {
+        s.rejection_rate
+    });
+    print_rows("references", &reference, "rejection", |s| s.rejection_rate);
+    println!();
+    println!("# Fig. 14b — Iris, shifted plan requests: total cost");
+    print_rows("OLIVE (shifted plan)", &shifted, "total-cost", |s| {
+        s.total_cost
+    });
+    print_rows("references", &reference, "total-cost", |s| s.total_cost);
+}

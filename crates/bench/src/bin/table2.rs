@@ -1,0 +1,63 @@
+//! Table II: details of the four topologies and the tier parameter
+//! table; `--dot` additionally emits Graphviz sources (Fig. 5).
+
+use vne_topology::params::TierParams;
+use vne_topology::stats::TopologyStats;
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    println!("# Table II — topologies");
+    println!(
+        "{:<12} {:>5} {:>5}   {:>14}   {:>14}  {:>12} {:>12}",
+        "topology", "nodes", "links", "edge/tr/core", "degree", "node-cap[CU]", "edge-cap[CU]"
+    );
+    for s in vne_topology::paper_topologies().expect("topologies build") {
+        let st = TopologyStats::of(&s);
+        println!(
+            "{:<12} {:>5} {:>5}   {:>4}/{:>4}/{:>4}   {:>2}..{:<5.2}..{:<2}  {:>12.0} {:>12.0}",
+            st.name,
+            st.nodes,
+            st.links,
+            st.tier_counts[0],
+            st.tier_counts[1],
+            st.tier_counts[2],
+            st.min_degree,
+            st.mean_degree,
+            st.max_degree,
+            st.total_node_capacity,
+            st.edge_capacity,
+        );
+        if dot {
+            let path = format!("{}.dot", st.name.to_lowercase());
+            std::fs::write(&path, s.to_dot()).expect("write dot file");
+            println!("#   wrote {path}");
+        }
+    }
+
+    println!();
+    println!("# Table II — tier parameters");
+    let p = TierParams::paper();
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "parameter", "edge", "transport", "core"
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "node cap [CU]", p.edge.node_capacity, p.transport.node_capacity, p.core.node_capacity
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "mean node cost (/CU)",
+        p.edge.mean_node_cost,
+        p.transport.mean_node_cost,
+        p.core.mean_node_cost
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "link cap [CU]", p.edge.link_capacity, p.transport.link_capacity, p.core.link_capacity
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "link cost (/CU)", p.edge.link_cost, p.transport.link_cost, p.core.link_cost
+    );
+}

@@ -1,0 +1,64 @@
+//! Table III: the experimental settings as actually configured in this
+//! reproduction (defaults of the workload and scenario layers).
+
+use vne_sim::scenario::ScenarioConfig;
+use vne_workload::appgen::AppGenConfig;
+use vne_workload::tracegen::TraceConfig;
+
+fn main() {
+    let t = TraceConfig::default();
+    let a = AppGenConfig::default();
+    let paper = ScenarioConfig::paper(1.0);
+
+    println!("# Table III — experimental settings");
+    println!("{:<34} {}", "node popularity", format_args!("Zipf (α = {})", t.zipf_alpha));
+    println!("{:<34} {}", "plan period [slots]", paper.history_slots);
+    println!("{:<34} {}", "test period [slots]", paper.test_slots);
+    println!(
+        "{:<34} {}",
+        "measurement window [slots]",
+        format_args!("{}–{}", paper.measure_window.0, paper.measure_window.1)
+    );
+    println!(
+        "{:<34} {}",
+        "request size",
+        format_args!("N({}, {}²)", t.demand_mean, t.demand_std)
+    );
+    println!(
+        "{:<34} {}",
+        "request duration",
+        format_args!("Exponential, mean {}", t.duration_mean)
+    );
+    println!(
+        "{:<34} {}",
+        "requests per node (λ)",
+        format_args!("{} per slot (MMPP-modulated)", t.mean_rate_per_node)
+    );
+    println!("{:<34} 2 chain, 1 tree, 1 accelerator", "applications");
+    println!(
+        "{:<34} U({}, {})",
+        "VNFs per application", a.min_vnfs, a.max_vnfs
+    );
+    println!(
+        "{:<34} N({}, {}²)",
+        "application function size", a.size_mean, a.size_std
+    );
+    println!(
+        "{:<34} N({}, {}²)",
+        "application link size", a.size_mean, a.size_std
+    );
+    println!(
+        "{:<34} {}",
+        "accelerator link discount",
+        format_args!("×{} downstream", a.accelerator_factor)
+    );
+    println!(
+        "{:<34} {}",
+        "expected-demand percentile",
+        format_args!(
+            "P̂{} ({} bootstrap replicates)",
+            paper.aggregation.alpha, paper.aggregation.bootstrap_replicates
+        )
+    );
+    println!("{:<34} {}", "rejection quantiles (P)", paper.quantiles);
+}

@@ -1,0 +1,134 @@
+//! Minimal argument parsing shared by the figure binaries.
+
+use vne_model::substrate::SubstrateNetwork;
+use vne_sim::scenario::ScenarioConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Number of seeds (executions) per configuration.
+    pub seeds: usize,
+    /// Full paper scale (5400+600 slots) instead of the medium default.
+    pub paper_scale: bool,
+    /// Utilization sweep as fractions (1.0 = 100%).
+    pub utils: Vec<f64>,
+    /// Topology restriction (`None` = all four).
+    pub topo: Option<String>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            seeds: 3,
+            paper_scale: false,
+            utils: vec![0.6, 0.8, 1.0, 1.2, 1.4],
+            topo: None,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seeds" => {
+                    i += 1;
+                    opts.seeds = args[i].parse().expect("--seeds takes an integer");
+                }
+                "--paper" | "--full" => opts.paper_scale = true,
+                "--utils" => {
+                    i += 1;
+                    opts.utils = args[i]
+                        .split(',')
+                        .map(|p| {
+                            p.parse::<f64>().expect("--utils takes percents") / 100.0
+                        })
+                        .collect();
+                }
+                "--topo" => {
+                    i += 1;
+                    opts.topo = Some(args[i].to_lowercase());
+                }
+                other => panic!(
+                    "unknown argument {other}; supported: --seeds N --paper --utils 60,100 --topo iris"
+                ),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The seed list `1..=seeds`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds as u64).collect()
+    }
+
+    /// The scenario config at a utilization, honoring `--paper`.
+    pub fn config(&self, utilization: f64) -> ScenarioConfig {
+        if self.paper_scale {
+            ScenarioConfig::paper(utilization)
+        } else {
+            medium_config(utilization)
+        }
+    }
+
+    /// The topologies to run on, honoring `--topo`.
+    pub fn topologies(&self) -> Vec<SubstrateNetwork> {
+        let all = [
+            ("iris", vne_topology::zoo::iris().expect("iris")),
+            ("citta", vne_topology::zoo::citta_studi().expect("citta")),
+            ("5gen", vne_topology::gen5g::five_gen().expect("5gen")),
+            (
+                "100n150e",
+                vne_topology::random::hundred_n_150e().expect("random"),
+            ),
+        ];
+        match &self.topo {
+            None => all.into_iter().map(|(_, s)| s).collect(),
+            Some(pick) => all
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(pick.as_str()))
+                .map(|(_, s)| s)
+                .collect(),
+        }
+    }
+}
+
+/// The default medium scale: one third of the paper's horizon with the
+/// same structure (enough for stationary behavior at far lower cost).
+pub fn medium_config(utilization: f64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper(utilization);
+    c.history_slots = 1800;
+    c.test_slots = 300;
+    c.measure_window = (50, 250);
+    c.aggregation.bootstrap_replicates = 50;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_paper_sweep() {
+        let opts = BenchOpts::default();
+        assert_eq!(opts.utils.len(), 5);
+        assert_eq!(opts.seed_list(), vec![1, 2, 3]);
+        assert_eq!(opts.topologies().len(), 4);
+    }
+
+    #[test]
+    fn medium_config_is_reduced_paper() {
+        let c = medium_config(1.2);
+        assert_eq!(c.test_slots, 300);
+        assert!((c.utilization - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared experiment drivers for the figure binaries.
+
+use vne_model::substrate::SubstrateNetwork;
+use vne_sim::metrics::AggregatedSummary;
+use vne_sim::runner::{default_apps, run_seeds};
+use vne_sim::scenario::{Algorithm, ScenarioConfig};
+
+use crate::cli::BenchOpts;
+
+/// One row of a sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Topology name.
+    pub topology: String,
+    /// Utilization fraction.
+    pub utilization: f64,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Aggregated metrics across seeds.
+    pub summary: AggregatedSummary,
+}
+
+/// Runs `algorithms × opts.utils` on one topology and returns rows.
+///
+/// `tweak` customizes the scenario config after the scale defaults are
+/// applied (e.g. Fig. 13's `plan_utilization`).
+pub fn sweep<F>(
+    substrate: &SubstrateNetwork,
+    algorithms: &[Algorithm],
+    opts: &BenchOpts,
+    tweak: F,
+) -> Vec<SweepRow>
+where
+    F: Fn(&mut ScenarioConfig) + Sync,
+{
+    let mut rows = Vec::new();
+    for &u in &opts.utils {
+        for &alg in algorithms {
+            let (_, agg) = run_seeds(
+                substrate,
+                alg,
+                &opts.seed_list(),
+                default_apps,
+                |seed| {
+                    let mut c = opts.config(u).with_seed(seed);
+                    tweak(&mut c);
+                    c
+                },
+            );
+            rows.push(SweepRow {
+                topology: substrate.name().to_string(),
+                utilization: u,
+                algorithm: alg.label(),
+                summary: agg,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints sweep rows with a metric selector as an aligned table.
+pub fn print_rows<F>(title: &str, rows: &[SweepRow], metric_name: &str, select: F)
+where
+    F: Fn(&AggregatedSummary) -> (f64, f64),
+{
+    println!("# {title}");
+    println!(
+        "{:<12} {:>6} {:>9} {:>14} {:>12}",
+        "topology", "util", "alg", metric_name, "±95ci"
+    );
+    for row in rows {
+        let (mean, ci) = select(&row.summary);
+        println!(
+            "{:<12} {:>5.0}% {:>9} {:>14.6} {:>12.6}",
+            row.topology,
+            row.utilization * 100.0,
+            row.algorithm,
+            mean,
+            ci
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_rows() {
+        let substrate = vne_topology::zoo::citta_studi().unwrap();
+        let opts = BenchOpts {
+            seeds: 1,
+            utils: vec![1.0],
+            ..BenchOpts::default()
+        };
+        let rows = sweep(
+            &substrate,
+            &[Algorithm::Quickg],
+            &opts,
+            |c| {
+                // Shrink for the unit test.
+                c.history_slots = 100;
+                c.test_slots = 60;
+                c.measure_window = (10, 50);
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].algorithm, "QUICKG");
+        assert!(rows[0].summary.rejection_rate.0 >= 0.0);
+        print_rows("test", &rows, "rate", |s| s.rejection_rate);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # vne-bench — the benchmark harness regenerating every table & figure
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see `DESIGN.md` §7 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured results). All binaries accept:
+//!
+//! * `--seeds N` — number of executions (paper: 30; default: 3);
+//! * `--paper` — full paper scale (5400 history + 600 test slots;
+//!   default is a 1800 + 300 slot medium scale with the same shape);
+//! * `--utils 60,100,140` — utilization sweep override;
+//! * `--topo iris|citta|5gen|100n150e` — restrict to one topology.
+//!
+//! Criterion benches (`benches/`) cover the runtime claims: LP solve
+//! times, plan construction, online throughput and mechanism ablations.
+
+pub mod cli;
+pub mod experiments;
+
+pub use cli::BenchOpts;

@@ -1,0 +1,72 @@
+//! The interface between online embedding algorithms and the simulator.
+//!
+//! All four algorithms of the paper's evaluation (OLIVE, QUICKG, FULLG,
+//! SLOTOFF) process the simulation slot by slot: the driver hands each
+//! algorithm the departures and the arrivals of the slot (arrivals in
+//! order, as required by ON-VNE), and receives the acceptance decisions
+//! plus any preemptions of previously accepted requests.
+
+use vne_model::ids::RequestId;
+use vne_model::load::LoadLedger;
+use vne_model::request::{Request, Slot};
+
+/// Decisions made by an algorithm during one slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotOutcome {
+    /// Newly arrived requests that were accepted (allocated).
+    pub accepted: Vec<RequestId>,
+    /// Newly arrived requests that were rejected.
+    pub rejected: Vec<RequestId>,
+    /// Previously accepted requests evicted this slot (they incur the
+    /// rejection cost, like rejected requests).
+    pub preempted: Vec<RequestId>,
+}
+
+impl SlotOutcome {
+    /// Merges another outcome into this one.
+    pub fn extend(&mut self, other: SlotOutcome) {
+        self.accepted.extend(other.accepted);
+        self.rejected.extend(other.rejected);
+        self.preempted.extend(other.preempted);
+    }
+}
+
+/// An online VNE algorithm driven slot by slot.
+pub trait OnlineAlgorithm {
+    /// A short display name (e.g. `"OLIVE"`).
+    fn name(&self) -> &str;
+
+    /// Processes one time slot: `departures` leave first (their resources
+    /// are released), then `arrivals` are processed sequentially in the
+    /// given order (the ON-VNE arrival order).
+    ///
+    /// Implementations must keep their internal [`LoadLedger`] feasible
+    /// at all times.
+    fn process_slot(&mut self, t: Slot, departures: &[Request], arrivals: &[Request])
+        -> SlotOutcome;
+
+    /// The current substrate load ledger (used for cost accounting).
+    fn loads(&self) -> &LoadLedger;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_extend_concatenates() {
+        let mut a = SlotOutcome {
+            accepted: vec![RequestId(1)],
+            rejected: vec![],
+            preempted: vec![RequestId(2)],
+        };
+        a.extend(SlotOutcome {
+            accepted: vec![RequestId(3)],
+            rejected: vec![RequestId(4)],
+            preempted: vec![],
+        });
+        assert_eq!(a.accepted, vec![RequestId(1), RequestId(3)]);
+        assert_eq!(a.rejected, vec![RequestId(4)]);
+        assert_eq!(a.preempted, vec![RequestId(2)]);
+    }
+}

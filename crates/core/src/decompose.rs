@@ -1,0 +1,347 @@
+//! Flow decomposition of arc-form plans into integral embedding columns.
+//!
+//! The column-generation solver produces plans directly as weighted
+//! integral embeddings, but the faithful arc LP (Fig. 4) yields per-arc
+//! fractions. Because every `Ga` is a rooted tree, a feasible arc
+//! solution decomposes into a convex combination of integral tree
+//! embeddings: walking the tree top-down, each partial embedding splits
+//! across the flow paths of the next virtual link. This module performs
+//! that decomposition so either solver can feed OLIVE.
+
+use std::collections::HashMap;
+
+use vne_model::app::AppSet;
+use vne_model::embedding::Embedding;
+use vne_model::ids::{LinkId, NodeId};
+use vne_model::policy::PlacementPolicy;
+use vne_model::substrate::SubstrateNetwork;
+use vne_model::vnet::VirtualNetwork;
+
+use crate::plan::{ClassPlan, Plan, PlannedColumn};
+use crate::planvne::{ArcClassSolution, ArcPlanSolution};
+
+const EPS: f64 = 1e-9;
+
+/// One path atom of a single-commodity decomposition.
+#[derive(Debug, Clone)]
+struct PathAtom {
+    source: NodeId,
+    target: NodeId,
+    links: Vec<LinkId>,
+    amount: f64,
+}
+
+/// Decomposes one virtual link's flow into path atoms.
+///
+/// Sources are `y^i_v` (parent placement fractions), sinks are `y^j_v`
+/// (child placements), arcs are the directed flows. LP-optimal flows
+/// under positive costs are acyclic; a step limit guards degenerate
+/// zero-cost cycles.
+fn strip_paths(
+    substrate: &SubstrateNetwork,
+    mut supply: Vec<f64>,
+    mut sink: Vec<f64>,
+    flows: &HashMap<(NodeId, NodeId), f64>,
+) -> Vec<PathAtom> {
+    let mut residual: HashMap<(NodeId, NodeId), f64> = flows.clone();
+    let mut atoms = Vec::new();
+    loop {
+        // Pick the largest remaining supply.
+        let Some(src_idx) = (0..supply.len())
+            .filter(|&i| supply[i] > EPS)
+            .max_by(|&a, &b| supply[a].partial_cmp(&supply[b]).unwrap())
+        else {
+            break;
+        };
+        let source = NodeId::from_index(src_idx);
+        // Walk positive residual arcs until a node with sink capacity.
+        let mut links = Vec::new();
+        let mut nodes = vec![source];
+        let mut cur = source;
+        let mut amount = supply[src_idx];
+        let max_steps = substrate.node_count() * 2 + 2;
+        let mut ok = true;
+        for _step in 0.. {
+            if sink[cur.index()] > EPS {
+                amount = amount.min(sink[cur.index()]);
+                break;
+            }
+            if _step >= max_steps {
+                ok = false;
+                break;
+            }
+            // Outgoing residual arc with the largest flow.
+            let mut best: Option<(NodeId, LinkId, f64)> = None;
+            for &(nb, l) in substrate.neighbors(cur) {
+                let f = residual.get(&(cur, nb)).copied().unwrap_or(0.0);
+                if f > EPS && best.map(|(_, _, bf)| f > bf).unwrap_or(true) {
+                    best = Some((nb, l, f));
+                }
+            }
+            let Some((nb, l, f)) = best else {
+                ok = false;
+                break;
+            };
+            amount = amount.min(f);
+            links.push(l);
+            nodes.push(nb);
+            cur = nb;
+        }
+        if !ok || amount <= EPS {
+            // Numerical crumbs: drop this supply.
+            supply[src_idx] = 0.0;
+            continue;
+        }
+        supply[src_idx] -= amount;
+        sink[cur.index()] -= amount;
+        for w in nodes.windows(2) {
+            if let Some(f) = residual.get_mut(&(w[0], w[1])) {
+                *f -= amount;
+            }
+        }
+        atoms.push(PathAtom {
+            source,
+            target: cur,
+            links,
+            amount,
+        });
+    }
+    atoms
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    weight: f64,
+    node_map: Vec<NodeId>,
+    link_paths: Vec<Vec<LinkId>>,
+}
+
+/// Decomposes one class's arc solution into weighted integral embeddings.
+///
+/// Returns `(embedding, weight)` pairs whose weights sum to the allocated
+/// fraction (up to LP tolerance). Identical embeddings are merged.
+pub fn decompose_class(
+    substrate: &SubstrateNetwork,
+    vnet: &VirtualNetwork,
+    solution: &ArcClassSolution,
+) -> Vec<(Embedding, f64)> {
+    let allocated = solution.allocated();
+    if allocated <= EPS {
+        return Vec::new();
+    }
+    let mut partials = vec![Partial {
+        weight: allocated,
+        node_map: {
+            let mut m = vec![NodeId(0); vnet.node_count()];
+            m[VirtualNetwork::ROOT.index()] = solution.class.ingress;
+            m
+        },
+        link_paths: vec![Vec::new(); vnet.link_count()],
+    }];
+
+    for v in vnet.bfs_order() {
+        for &c in vnet.children(v) {
+            let (_, e) = vnet.parent(c).expect("child has a parent");
+            // Single-commodity decomposition for virtual link e.
+            let supply = solution.node_fracs[v.index()].clone();
+            let sink = solution.node_fracs[c.index()].clone();
+            let atoms = strip_paths(substrate, supply, sink, &solution.arc_flows[e.index()]);
+            // Bucket atoms by source node.
+            let mut buckets: HashMap<NodeId, Vec<PathAtom>> = HashMap::new();
+            for a in atoms {
+                buckets.entry(a.source).or_default().push(a);
+            }
+            // Split each partial across the atoms at its parent host.
+            let mut next: Vec<Partial> = Vec::new();
+            for partial in partials {
+                let host = partial.node_map[v.index()];
+                let mut remaining = partial.weight;
+                let bucket = buckets.entry(host).or_default();
+                while remaining > EPS {
+                    let Some(atom) = bucket.iter_mut().find(|a| a.amount > EPS) else {
+                        break;
+                    };
+                    let take = remaining.min(atom.amount);
+                    let mut piece = partial.clone();
+                    piece.weight = take;
+                    piece.node_map[c.index()] = atom.target;
+                    piece.link_paths[e.index()] = atom.links.clone();
+                    next.push(piece);
+                    atom.amount -= take;
+                    remaining -= take;
+                }
+                // Numerical residue is dropped (≤ LP tolerance).
+            }
+            partials = next;
+        }
+    }
+
+    // Merge identical embeddings.
+    let mut merged: HashMap<Embedding, f64> = HashMap::new();
+    for p in partials {
+        let emb = Embedding::new(p.node_map, p.link_paths);
+        *merged.entry(emb).or_insert(0.0) += p.weight;
+    }
+    let mut out: Vec<(Embedding, f64)> = merged.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Converts a full arc-form solution into a [`Plan`] usable by OLIVE.
+pub fn arc_to_plan(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    policy: &PlacementPolicy,
+    solution: &ArcPlanSolution,
+) -> Plan {
+    let mut plan = Plan::empty();
+    plan.objective = solution.objective;
+    for class_sol in &solution.classes {
+        let vnet = apps.vnet(class_sol.class.app);
+        let mut columns = Vec::new();
+        for (embedding, weight) in decompose_class(substrate, vnet, class_sol) {
+            debug_assert!(embedding.validate(vnet, substrate, policy).is_ok());
+            let footprint = embedding.footprint(vnet, substrate, policy);
+            let unit_cost = footprint.cost(substrate);
+            columns.push(PlannedColumn {
+                embedding,
+                footprint,
+                share: weight,
+                budget: weight * class_sol.demand,
+                unit_cost,
+            });
+        }
+        columns.sort_by(|a, b| {
+            a.unit_cost
+                .partial_cmp(&b.unit_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        plan.insert(ClassPlan {
+            class: class_sol.class,
+            expected_demand: class_sol.demand,
+            rejected_fraction: class_sol.rejected.clamp(0.0, 1.0),
+            columns,
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateDemand;
+    use crate::colgen::PlanVneConfig;
+    use crate::planvne::solve_arc_lp;
+    use std::collections::BTreeMap;
+    use vne_model::app::{shapes, AppSet, AppShape};
+    use vne_model::ids::{AppId, ClassId};
+    use vne_model::substrate::Tier;
+
+    fn world() -> (SubstrateNetwork, AppSet) {
+        let mut s = SubstrateNetwork::new("line");
+        let e = s.add_node("e0", Tier::Edge, 100.0, 50.0).unwrap();
+        let t = s.add_node("t1", Tier::Transport, 300.0, 10.0).unwrap();
+        let c = s.add_node("c2", Tier::Core, 900.0, 1.0).unwrap();
+        s.add_link(e, t, 200.0, 1.0).unwrap();
+        s.add_link(t, c, 600.0, 1.0).unwrap();
+        let mut apps = AppSet::new();
+        apps.push(
+            "chain",
+            AppShape::Chain,
+            shapes::uniform_chain(2, 10.0, 2.0).unwrap(),
+        )
+        .unwrap();
+        (s, apps)
+    }
+
+    fn agg(demand: f64) -> AggregateDemand {
+        let mut m = BTreeMap::new();
+        m.insert(ClassId::new(AppId(0), NodeId(0)), demand);
+        AggregateDemand::from_demands(&m)
+    }
+
+    #[test]
+    fn decomposition_weights_sum_to_allocation() {
+        let (s, apps) = world();
+        let policy = PlacementPolicy::default();
+        for demand in [5.0, 40.0, 100.0] {
+            let sol = solve_arc_lp(&s, &apps, &policy, &agg(demand), &PlanVneConfig::new(1e4));
+            let class_sol = &sol.classes[0];
+            let parts = decompose_class(&s, apps.vnet(AppId(0)), class_sol);
+            let total: f64 = parts.iter().map(|(_, w)| w).sum();
+            assert!(
+                (total - class_sol.allocated()).abs() < 1e-5,
+                "demand {demand}: decomposed {total} vs allocated {}",
+                class_sol.allocated()
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_embeddings_are_valid() {
+        let (s, apps) = world();
+        let policy = PlacementPolicy::default();
+        let sol = solve_arc_lp(&s, &apps, &policy, &agg(40.0), &PlanVneConfig::new(1e4));
+        let parts = decompose_class(&s, apps.vnet(AppId(0)), &sol.classes[0]);
+        assert!(!parts.is_empty());
+        for (emb, w) in &parts {
+            assert!(*w > 0.0);
+            assert!(emb.validate(apps.vnet(AppId(0)), &s, &policy).is_ok());
+            assert_eq!(emb.ingress(), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn decomposed_plan_load_matches_arc_load() {
+        // The per-element load implied by the columns must equal the
+        // arc-form load (the decomposition conserves flow).
+        let (s, apps) = world();
+        let policy = PlacementPolicy::default();
+        let sol = solve_arc_lp(&s, &apps, &policy, &agg(100.0), &PlanVneConfig::new(1e4));
+        let plan = arc_to_plan(&s, &apps, &policy, &sol);
+        let cp = plan.class(ClassId::new(AppId(0), NodeId(0))).unwrap();
+
+        // Node loads from columns.
+        let mut col_node_load = vec![0.0; s.node_count()];
+        for col in &cp.columns {
+            for &(n, x) in col.footprint.nodes() {
+                col_node_load[n.index()] += x * col.budget;
+            }
+        }
+        // Node loads from arc fractions.
+        let vnet = apps.vnet(AppId(0));
+        let class_sol = &sol.classes[0];
+        let mut arc_node_load = vec![0.0; s.node_count()];
+        for (i, vnf) in vnet.vnodes() {
+            for v in s.node_ids() {
+                let eta = policy.node_eta(vnf, s.node(v)).unwrap_or(0.0);
+                arc_node_load[v.index()] +=
+                    class_sol.demand * class_sol.node_fracs[i.index()][v.index()] * vnf.beta * eta;
+            }
+        }
+        for v in 0..s.node_count() {
+            assert!(
+                (col_node_load[v] - arc_node_load[v]).abs() < 1e-4,
+                "node {v}: columns {} vs arc {}",
+                col_node_load[v],
+                arc_node_load[v]
+            );
+        }
+    }
+
+    #[test]
+    fn fully_rejected_class_decomposes_to_nothing() {
+        let (s, _) = world();
+        let mut apps = AppSet::new();
+        apps.push(
+            "gpu",
+            AppShape::Gpu,
+            shapes::gpu_chain(2, 10.0, 2.0, 0).unwrap(),
+        )
+        .unwrap();
+        let policy = PlacementPolicy::default();
+        let sol = solve_arc_lp(&s, &apps, &policy, &agg(5.0), &PlanVneConfig::new(1e4));
+        let parts = decompose_class(&s, apps.vnet(AppId(0)), &sol.classes[0]);
+        assert!(parts.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! The collocated greedy embedding (`GREEDY EMBED`, Alg. 2 l. 31–34).
+//!
+//! QUICKG's heuristic restriction: all VNFs of the request are collocated
+//! on a single substrate node, so only the virtual links incident to the
+//! root `θ` consume substrate bandwidth — along one shortest path from
+//! the ingress to the hosting node. The least-cost feasible host is found
+//! with a single capacity-filtered Dijkstra, which is what makes QUICKG
+//! (and OLIVE's fallback path) fast. GPU applications cannot be
+//! collocated (a GPU datacenter rejects their non-GPU VNFs), matching
+//! the paper's note that QUICKG is not applicable to the GPU scenario.
+
+use vne_model::embedding::Embedding;
+use vne_model::ids::NodeId;
+use vne_model::load::LoadLedger;
+use vne_model::policy::PlacementPolicy;
+use vne_model::substrate::SubstrateNetwork;
+use vne_model::vnet::VirtualNetwork;
+
+/// Finds the cheapest feasible collocated embedding for a request of the
+/// given demand rooted at `ingress`, under residual capacities.
+///
+/// Returns the embedding and its real resource cost per unit demand, or
+/// `None` when no host node is feasible (including all GPU applications,
+/// whose VNFs cannot share one datacenter with each other under the
+/// exclusive GPU policy).
+pub fn collocated_embed(
+    substrate: &SubstrateNetwork,
+    vnet: &VirtualNetwork,
+    policy: &PlacementPolicy,
+    ingress: NodeId,
+    ledger: &LoadLedger,
+    demand: f64,
+) -> Option<(Embedding, f64)> {
+    // Aggregate per-host node demand: Σ_i β_i·η_i(host); root links'
+    // bandwidth: Σ_{(θ,c)} β·η hauled along the ingress→host path.
+    // Collocation requires every VNF placeable on the host.
+    let root_link_beta: f64 = vnet
+        .children(VirtualNetwork::ROOT)
+        .iter()
+        .map(|&c| {
+            let (_, e) = vnet.parent(c).expect("child has a parent");
+            vnet.link(e).beta
+        })
+        .sum();
+
+    // Dijkstra from the ingress over links that can carry the root links.
+    let paths = substrate.shortest_paths(ingress, |l| {
+        let slink = substrate.link(l);
+        // All root links share the path; η is uniform per policy.
+        let eta = vnet
+            .children(VirtualNetwork::ROOT)
+            .iter()
+            .map(|&c| {
+                let (_, e) = vnet.parent(c).expect("child has a parent");
+                policy.link_eta(vnet.link(e), slink)
+            })
+            .try_fold(0.0f64, |acc, eta| eta.map(|v| acc.max(v)))?;
+        let need = demand * root_link_beta * eta;
+        if need > 0.0 && ledger.link_residual(l) < need {
+            return None;
+        }
+        Some(root_link_beta * eta * slink.cost)
+    });
+
+    let mut best: Option<(NodeId, f64)> = None;
+    for (host, node) in substrate.nodes() {
+        if !paths.reachable(host) {
+            continue;
+        }
+        // Node feasibility: every VNF placeable, total demand fits.
+        let mut node_load = 0.0;
+        let mut ok = true;
+        for (_, vnf) in vnet.vnodes() {
+            if vnf.beta == 0.0 {
+                continue;
+            }
+            match policy.node_eta(vnf, node) {
+                Some(eta) => node_load += vnf.beta * eta,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if node_load > 0.0 && ledger.node_residual(host) < demand * node_load {
+            continue;
+        }
+        let cost = node_load * node.cost + paths.distance(host);
+        match best {
+            Some((_, best_cost)) if cost >= best_cost => {}
+            _ => best = Some((host, cost)),
+        }
+    }
+
+    let (host, cost) = best?;
+    let path = paths.path_to(host).expect("host is reachable");
+    let mut node_map = vec![host; vnet.node_count()];
+    node_map[VirtualNetwork::ROOT.index()] = ingress;
+    let mut link_paths = vec![Vec::new(); vnet.link_count()];
+    for (e, vlink) in vnet.vlinks() {
+        if vlink.from == VirtualNetwork::ROOT {
+            link_paths[e.index()] = path.clone();
+        }
+    }
+    let embedding = Embedding::new(node_map, link_paths);
+    debug_assert!(embedding.validate(vnet, substrate, policy).is_ok());
+    Some((embedding, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_model::embedding::Footprint;
+    use vne_model::ids::{LinkId, VnodeId};
+    use vne_model::substrate::Tier;
+    use vne_model::vnet::VnfKind;
+
+    fn line() -> SubstrateNetwork {
+        let mut s = SubstrateNetwork::new("line");
+        let a = s.add_node("e0", Tier::Edge, 100.0, 50.0).unwrap();
+        let b = s.add_node("t1", Tier::Transport, 300.0, 10.0).unwrap();
+        let c = s.add_node("c2", Tier::Core, 900.0, 1.0).unwrap();
+        s.add_link(a, b, 100.0, 1.0).unwrap();
+        s.add_link(b, c, 100.0, 1.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn picks_cheapest_feasible_host() {
+        let s = line();
+        let vn = VirtualNetwork::chain(&[10.0, 10.0], &[5.0, 5.0]).unwrap();
+        let ledger = LoadLedger::new(&s);
+        let (emb, cost) = collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0,
+        )
+        .unwrap();
+        // Both VNFs at c2 (cost 1): 20·1 + haul 5 over two links = 30.
+        assert!(emb.is_collocated());
+        assert_eq!(emb.node(VnodeId(1)), NodeId(2));
+        assert!((cost - 30.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn capacity_forces_closer_host() {
+        let s = line();
+        let vn = VirtualNetwork::chain(&[10.0, 10.0], &[5.0, 5.0]).unwrap();
+        let mut ledger = LoadLedger::new(&s);
+        // Fill c2 so 20 CU no longer fit.
+        ledger.apply(&Footprint::from_parts(vec![(NodeId(2), 885.0)], vec![]), 1.0);
+        let (emb, _) = collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(emb.node(VnodeId(1)), NodeId(1)); // falls back to t1
+    }
+
+    #[test]
+    fn link_saturation_blocks_remote_hosts() {
+        let s = line();
+        let vn = VirtualNetwork::chain(&[1.0, 1.0], &[5.0, 5.0]).unwrap();
+        let mut ledger = LoadLedger::new(&s);
+        // Saturate the first link: only the ingress itself remains.
+        ledger.apply(&Footprint::from_parts(vec![], vec![(LinkId(0), 97.0)]), 1.0);
+        let (emb, _) = collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(emb.node(VnodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        let s = line();
+        let vn = VirtualNetwork::chain(&[60.0], &[1.0]).unwrap();
+        let mut ledger = LoadLedger::new(&s);
+        for i in 0..3u32 {
+            let cap = s.node(NodeId(i)).capacity;
+            ledger.apply(
+                &Footprint::from_parts(vec![(NodeId(i), cap - 10.0)], vec![]),
+                1.0,
+            );
+        }
+        assert!(collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn gpu_applications_cannot_collocate() {
+        let mut s = line();
+        s.node_mut(NodeId(2)).gpu = true;
+        let mut vn = VirtualNetwork::with_root();
+        let (f0, _) = vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, 5.0, 1.0)
+            .unwrap();
+        vn.add_vnf(f0, VnfKind::Gpu, 5.0, 1.0).unwrap();
+        let ledger = LoadLedger::new(&s);
+        // No node hosts both a GPU and a standard VNF.
+        assert!(collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tree_roots_haul_all_root_links() {
+        // Root with one child chain; root link β 5 + verify cost uses it.
+        let s = line();
+        let mut vn = VirtualNetwork::with_root();
+        let (h, _) = vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, 1.0, 5.0)
+            .unwrap();
+        vn.add_vnf(h, VnfKind::Standard, 1.0, 100.0).unwrap(); // internal: free when collocated
+        let ledger = LoadLedger::new(&s);
+        let (emb, cost) = collocated_embed(
+            &s,
+            &vn,
+            &PlacementPolicy::default(),
+            NodeId(0),
+            &ledger,
+            1.0,
+        )
+        .unwrap();
+        // Cheapest host is c2: 2·1 node + 5·2 haul = 12.
+        assert_eq!(emb.node(VnodeId(1)), NodeId(2));
+        assert!((cost - 12.0).abs() < 1e-9, "cost {cost}");
+    }
+}

@@ -1,0 +1,307 @@
+//! The embedding plan `y` and its residual ledger (Eqs. 17 & 19).
+//!
+//! A plan assigns every class a set of *integral embedding columns* with
+//! fractional weights — exactly the Dantzig-Wolfe representation of the
+//! PLAN-VNE solution. The weights times the expected class demand are
+//! *budgets* in demand units; OLIVE's residual plan (`Res(y, t, x)`) is
+//! the per-column budget minus the demand of active planned allocations,
+//! tracked by [`PlanLedger`].
+
+use std::collections::BTreeMap;
+
+use vne_model::embedding::{Embedding, Footprint};
+use vne_model::ids::ClassId;
+
+/// Small tolerance for budget arithmetic.
+const BUDGET_EPS: f64 = 1e-9;
+
+/// One planned embedding column of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedColumn {
+    /// The integral embedding (unit-demand shape).
+    pub embedding: Embedding,
+    /// The embedding's per-unit-demand footprint.
+    pub footprint: Footprint,
+    /// The fraction `λ_e ∈ (0, 1]` of the class demand routed here.
+    pub share: f64,
+    /// The budget in demand units: `λ_e · d(r̃)`.
+    pub budget: f64,
+    /// Real resource cost per unit demand per slot.
+    pub unit_cost: f64,
+}
+
+/// The plan of one class `r̃`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPlan {
+    /// The class.
+    pub class: ClassId,
+    /// Expected aggregated demand `d(r̃)` the plan was built for.
+    pub expected_demand: f64,
+    /// Fraction of the demand the plan rejects (`Σ_p y_p`).
+    pub rejected_fraction: f64,
+    /// The embedding columns, sorted by ascending unit cost.
+    pub columns: Vec<PlannedColumn>,
+}
+
+impl ClassPlan {
+    /// The guaranteed (planned) demand: `(1 − rejected) · d(r̃)` — the
+    /// horizontal threshold of the paper's Fig. 12.
+    pub fn guaranteed_demand(&self) -> f64 {
+        (1.0 - self.rejected_fraction).max(0.0) * self.expected_demand
+    }
+}
+
+/// A full embedding plan `y(R̃)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Plan {
+    classes: BTreeMap<ClassId, ClassPlan>,
+    /// The PLAN-VNE objective value (resource + quantile rejection cost).
+    pub objective: f64,
+}
+
+impl Plan {
+    /// The empty plan (QUICKG runs OLIVE with this).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Adds a class plan (replacing any existing one for the class).
+    pub fn insert(&mut self, class_plan: ClassPlan) {
+        self.classes.insert(class_plan.class, class_plan);
+    }
+
+    /// The plan of a class, if any.
+    pub fn class(&self, class: ClassId) -> Option<&ClassPlan> {
+        self.classes.get(&class)
+    }
+
+    /// Iterates over all class plans in class order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassPlan> {
+        self.classes.values()
+    }
+
+    /// Number of planned classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the plan has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total number of embedding columns across classes.
+    pub fn total_columns(&self) -> usize {
+        self.classes.values().map(|c| c.columns.len()).sum()
+    }
+
+    /// Demand-weighted mean rejected fraction (plan-level rejection rate).
+    pub fn planned_rejection_fraction(&self) -> f64 {
+        let total: f64 = self.classes.values().map(|c| c.expected_demand).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.classes
+            .values()
+            .map(|c| c.rejected_fraction * c.expected_demand)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// The residual plan `Res(y, t, x)` as per-column budget ledgers.
+///
+/// Planned allocations consume budget; departures of planned requests
+/// release it (Eq. 17 counts only active `R_PLAN` requests). Non-planned
+/// ("borrowed") allocations never touch the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanLedger {
+    residual: BTreeMap<ClassId, Vec<f64>>,
+    budgets: BTreeMap<ClassId, Vec<f64>>,
+}
+
+impl PlanLedger {
+    /// Creates a fresh ledger with full budgets.
+    pub fn new(plan: &Plan) -> Self {
+        let budgets: BTreeMap<ClassId, Vec<f64>> = plan
+            .iter()
+            .map(|cp| (cp.class, cp.columns.iter().map(|c| c.budget).collect()))
+            .collect();
+        Self {
+            residual: budgets.clone(),
+            budgets,
+        }
+    }
+
+    /// The residual budget of a column.
+    pub fn residual(&self, class: ClassId, column: usize) -> f64 {
+        self.residual
+            .get(&class)
+            .and_then(|v| v.get(column))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The column fully fitting `demand` with the lowest unit cost
+    /// (columns are cost-sorted, so the first fitting index wins) —
+    /// the `PLAN EMBED` full-fit test (Eq. 19).
+    pub fn full_fit(&self, class: ClassId, demand: f64) -> Option<usize> {
+        let residuals = self.residual.get(&class)?;
+        residuals
+            .iter()
+            .position(|&r| r + BUDGET_EPS >= demand)
+    }
+
+    /// Column indices with any positive residual, sorted by descending
+    /// residual — the partial-fit ("borrowing") candidates (Alg. 2 l. 27).
+    pub fn partial_candidates(&self, class: ClassId) -> Vec<usize> {
+        let Some(residuals) = self.residual.get(&class) else {
+            return Vec::new();
+        };
+        let mut idx: Vec<usize> = (0..residuals.len())
+            .filter(|&i| residuals[i] > BUDGET_EPS)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            residuals[b]
+                .partial_cmp(&residuals[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+
+    /// Consumes budget for a planned allocation.
+    pub fn consume(&mut self, class: ClassId, column: usize, demand: f64) {
+        if let Some(v) = self.residual.get_mut(&class) {
+            if let Some(r) = v.get_mut(column) {
+                *r = (*r - demand).max(0.0);
+            }
+        }
+    }
+
+    /// Releases budget when a planned allocation departs (never exceeds
+    /// the original budget).
+    pub fn release(&mut self, class: ClassId, column: usize, demand: f64) {
+        let cap = self
+            .budgets
+            .get(&class)
+            .and_then(|v| v.get(column))
+            .copied()
+            .unwrap_or(0.0);
+        if let Some(v) = self.residual.get_mut(&class) {
+            if let Some(r) = v.get_mut(column) {
+                *r = (*r + demand).min(cap);
+            }
+        }
+    }
+
+    /// Whether all residuals are within `[0, budget]` (test invariant).
+    pub fn check_invariants(&self) -> bool {
+        self.residual.iter().all(|(c, v)| {
+            v.iter().zip(&self.budgets[c]).all(|(&r, &b)| {
+                (-BUDGET_EPS..=b + BUDGET_EPS).contains(&r)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_model::ids::{AppId, NodeId};
+
+    fn column(budget: f64, cost: f64) -> PlannedColumn {
+        PlannedColumn {
+            embedding: Embedding::new(vec![NodeId(0)], vec![]),
+            footprint: Footprint::default(),
+            share: budget / 10.0,
+            budget,
+            unit_cost: cost,
+        }
+    }
+
+    fn plan_one_class() -> (Plan, ClassId) {
+        let class = ClassId::new(AppId(0), NodeId(1));
+        let mut plan = Plan::empty();
+        plan.insert(ClassPlan {
+            class,
+            expected_demand: 10.0,
+            rejected_fraction: 0.2,
+            columns: vec![column(5.0, 1.0), column(3.0, 2.0)],
+        });
+        (plan, class)
+    }
+
+    #[test]
+    fn guaranteed_demand() {
+        let (plan, class) = plan_one_class();
+        assert!((plan.class(class).unwrap().guaranteed_demand() - 8.0).abs() < 1e-12);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.total_columns(), 2);
+        assert!((plan.planned_rejection_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = Plan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.planned_rejection_fraction(), 0.0);
+        let ledger = PlanLedger::new(&plan);
+        assert_eq!(ledger.full_fit(ClassId::new(AppId(0), NodeId(0)), 1.0), None);
+        assert!(ledger.partial_candidates(ClassId::new(AppId(0), NodeId(0))).is_empty());
+    }
+
+    #[test]
+    fn full_fit_prefers_cheapest_column() {
+        let (plan, class) = plan_one_class();
+        let ledger = PlanLedger::new(&plan);
+        // Demand 2 fits both; column 0 (cheaper) wins.
+        assert_eq!(ledger.full_fit(class, 2.0), Some(0));
+        // Demand 4 only fits column 0.
+        assert_eq!(ledger.full_fit(class, 4.0), Some(0));
+        // Demand 6 fits nothing.
+        assert_eq!(ledger.full_fit(class, 6.0), None);
+    }
+
+    #[test]
+    fn consume_release_cycle() {
+        let (plan, class) = plan_one_class();
+        let mut ledger = PlanLedger::new(&plan);
+        ledger.consume(class, 0, 4.0);
+        assert!((ledger.residual(class, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.full_fit(class, 2.0), Some(1));
+        ledger.release(class, 0, 4.0);
+        assert!((ledger.residual(class, 0) - 5.0).abs() < 1e-12);
+        assert!(ledger.check_invariants());
+    }
+
+    #[test]
+    fn release_never_exceeds_budget() {
+        let (plan, class) = plan_one_class();
+        let mut ledger = PlanLedger::new(&plan);
+        ledger.release(class, 0, 100.0);
+        assert!((ledger.residual(class, 0) - 5.0).abs() < 1e-12);
+        assert!(ledger.check_invariants());
+    }
+
+    #[test]
+    fn partial_candidates_sorted_by_residual() {
+        let (plan, class) = plan_one_class();
+        let mut ledger = PlanLedger::new(&plan);
+        assert_eq!(ledger.partial_candidates(class), vec![0, 1]);
+        ledger.consume(class, 0, 4.5); // residuals: 0.5 and 3.0
+        assert_eq!(ledger.partial_candidates(class), vec![1, 0]);
+        ledger.consume(class, 0, 0.5);
+        assert_eq!(ledger.partial_candidates(class), vec![1]);
+    }
+
+    #[test]
+    fn unknown_class_is_harmless() {
+        let (plan, _) = plan_one_class();
+        let mut ledger = PlanLedger::new(&plan);
+        let ghost = ClassId::new(AppId(9), NodeId(9));
+        assert_eq!(ledger.residual(ghost, 0), 0.0);
+        ledger.consume(ghost, 0, 1.0);
+        ledger.release(ghost, 0, 1.0);
+        assert!(ledger.check_invariants());
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests for the OLIVE core: solver agreement, plan
+//! feasibility, and online-algorithm invariants over random traces.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::ids::{AppId, ClassId, NodeId, RequestId};
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::Request;
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::aggregate::AggregateDemand;
+use vne_olive::algorithm::OnlineAlgorithm;
+use vne_olive::colgen::{solve_plan, PlanVneConfig};
+use vne_olive::olive::{Olive, OliveConfig};
+use vne_olive::planvne::solve_arc_lp;
+use vne_olive::pricing::{min_cost_embedding, ElementCosts};
+
+/// A small random tiered substrate (path backbone + extras), always
+/// connected.
+fn arb_substrate() -> impl Strategy<Value = SubstrateNetwork> {
+    (
+        4usize..9,
+        proptest::collection::vec((0usize..9, 0usize..9), 0..6),
+        1.0f64..100.0,
+    )
+        .prop_map(|(n, extras, cap_scale)| {
+            let mut s = SubstrateNetwork::new("prop");
+            for i in 0..n {
+                let tier = match i % 3 {
+                    0 => Tier::Edge,
+                    1 => Tier::Transport,
+                    _ => Tier::Core,
+                };
+                let (cap, cost) = match tier {
+                    Tier::Edge => (200.0 * cap_scale, 50.0),
+                    Tier::Transport => (600.0 * cap_scale, 10.0),
+                    Tier::Core => (1800.0 * cap_scale, 1.0),
+                };
+                s.add_node(format!("n{i}"), tier, cap, cost).unwrap();
+            }
+            for i in 1..n {
+                s.add_link(
+                    NodeId::from_index(i - 1),
+                    NodeId::from_index(i),
+                    300.0 * cap_scale,
+                    1.0,
+                )
+                .unwrap();
+            }
+            for (a, b) in extras {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    let (x, y) = (NodeId::from_index(a), NodeId::from_index(b));
+                    if s.link_between(x, y).is_none() {
+                        s.add_link(x, y, 300.0 * cap_scale, 1.0).unwrap();
+                    }
+                }
+            }
+            s
+        })
+}
+
+fn small_apps() -> AppSet {
+    let mut apps = AppSet::new();
+    apps.push(
+        "c2",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps.push(
+        "t3",
+        AppShape::Tree,
+        shapes::two_branch_tree(3, 8.0, 2.0).unwrap(),
+    )
+    .unwrap();
+    apps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two PLAN-VNE solvers must agree on the optimal objective.
+    #[test]
+    fn colgen_agrees_with_arc_lp(
+        s in arb_substrate(),
+        demands in proptest::collection::vec(1.0f64..60.0, 1..4),
+    ) {
+        let apps = small_apps();
+        let policy = PlacementPolicy::default();
+        let edge = s.edge_nodes();
+        let mut m = BTreeMap::new();
+        for (i, d) in demands.iter().enumerate() {
+            let class = ClassId::new(
+                AppId((i % 2) as u32),
+                edge[i % edge.len()],
+            );
+            *m.entry(class).or_insert(0.0) += *d;
+        }
+        let aggregate = AggregateDemand::from_demands(&m);
+        let config = PlanVneConfig::new(1e4);
+        let (_, stats) = solve_plan(&s, &apps, &policy, &aggregate, &config);
+        let arc = solve_arc_lp(&s, &apps, &policy, &aggregate, &config);
+        let denom = arc.objective.abs().max(1.0);
+        prop_assert!(
+            (stats.objective - arc.objective).abs() / denom < 1e-4,
+            "colgen {} vs arc {}", stats.objective, arc.objective
+        );
+    }
+
+    /// Plans never overload any substrate element.
+    #[test]
+    fn plans_respect_capacities(
+        s in arb_substrate(),
+        demand in 10.0f64..400.0,
+    ) {
+        let apps = small_apps();
+        let policy = PlacementPolicy::default();
+        let edge = s.edge_nodes();
+        let mut m = BTreeMap::new();
+        for (i, &e) in edge.iter().enumerate() {
+            m.insert(ClassId::new(AppId((i % 2) as u32), e), demand);
+        }
+        let aggregate = AggregateDemand::from_demands(&m);
+        let (plan, _) = solve_plan(&s, &apps, &policy, &aggregate, &PlanVneConfig::new(1e4));
+        let mut node_load = vec![0.0; s.node_count()];
+        let mut link_load = vec![0.0; s.link_count()];
+        for cp in plan.iter() {
+            // Shares are a sub-convex combination.
+            let total: f64 = cp.columns.iter().map(|c| c.share).sum();
+            prop_assert!(total <= 1.0 + 1e-6);
+            prop_assert!(cp.rejected_fraction >= -1e-9 && cp.rejected_fraction <= 1.0 + 1e-9);
+            prop_assert!((total + cp.rejected_fraction - 1.0).abs() < 1e-5);
+            for col in &cp.columns {
+                for &(n, x) in col.footprint.nodes() {
+                    node_load[n.index()] += x * col.budget;
+                }
+                for &(l, x) in col.footprint.links() {
+                    link_load[l.index()] += x * col.budget;
+                }
+            }
+        }
+        for (id, n) in s.nodes() {
+            prop_assert!(node_load[id.index()] <= n.capacity * (1.0 + 1e-6));
+        }
+        for (id, l) in s.links() {
+            prop_assert!(link_load[id.index()] <= l.capacity * (1.0 + 1e-6));
+        }
+    }
+
+    /// The pricing DP returns embeddings whose claimed cost matches the
+    /// footprint, and never returns a worse collocated solution than the
+    /// explicit collocated search.
+    #[test]
+    fn pricing_cost_is_consistent(s in arb_substrate(), ingress_pick in any::<u16>()) {
+        let apps = small_apps();
+        let policy = PlacementPolicy::default();
+        let edge = s.edge_nodes();
+        let ingress = edge[ingress_pick as usize % edge.len()];
+        let costs = ElementCosts::from_substrate(&s);
+        for app in apps.iter() {
+            let got = min_cost_embedding(&s, &app.vnet, &policy, ingress, &costs, None);
+            prop_assert!(got.is_some());
+            let (emb, cost) = got.unwrap();
+            prop_assert!(emb.validate(&app.vnet, &s, &policy).is_ok());
+            let fp_cost = emb.unit_cost(&app.vnet, &s, &policy);
+            prop_assert!((fp_cost - cost).abs() < 1e-9);
+            // DP optimum ≤ best collocated solution.
+            let ledger = vne_model::load::LoadLedger::new(&s);
+            if let Some((_, colo_cost)) = vne_olive::greedy::collocated_embed(
+                &s, &app.vnet, &policy, ingress, &ledger, 1.0,
+            ) {
+                prop_assert!(cost <= colo_cost + 1e-9, "dp {cost} > colo {colo_cost}");
+            }
+        }
+    }
+
+    /// OLIVE never violates capacities, never double-books plan budgets,
+    /// and accounts every arrival exactly once — over random traces.
+    #[test]
+    fn olive_invariants_over_random_traces(
+        s in arb_substrate(),
+        raw in proptest::collection::vec(
+            (0u8..20, 1u8..8, 0u16..1000, 0.5f64..20.0, 0u8..2),
+            1..60,
+        ),
+    ) {
+        let apps = small_apps();
+        let policy = PlacementPolicy::default();
+        let edge = s.edge_nodes();
+        // Random plan from a moderate aggregate.
+        let mut m = BTreeMap::new();
+        for &e in &edge {
+            m.insert(ClassId::new(AppId(0), e), 40.0);
+            m.insert(ClassId::new(AppId(1), e), 40.0);
+        }
+        let aggregate = AggregateDemand::from_demands(&m);
+        let (plan, _) = solve_plan(&s, &apps, &policy, &aggregate, &PlanVneConfig::new(1e4));
+        let mut olive = Olive::new(
+            s.clone(), apps, policy, plan, OliveConfig::default(),
+        );
+
+        // Random requests sorted into slots.
+        let mut requests: Vec<Request> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, dur, node_pick, demand, app))| Request {
+                id: RequestId(i as u64),
+                arrival: u32::from(t),
+                duration: u32::from(dur),
+                ingress: edge[node_pick as usize % edge.len()],
+                app: AppId(u32::from(app)),
+                demand,
+            })
+            .collect();
+        requests.sort_by_key(|r| r.arrival);
+
+        let mut accepted = 0usize;
+        let mut denied = 0usize;
+        let mut active: Vec<Request> = Vec::new();
+        for t in 0..30u32 {
+            let departures: Vec<Request> = active
+                .iter()
+                .filter(|r| r.departure() == t)
+                .cloned()
+                .collect();
+            active.retain(|r| r.departure() != t);
+            let arrivals: Vec<Request> = requests
+                .iter()
+                .filter(|r| r.arrival == t)
+                .cloned()
+                .collect();
+            let out = olive.process_slot(t, &departures, &arrivals);
+            prop_assert!(olive.loads().check_invariants());
+            prop_assert!(olive.plan_ledger().check_invariants());
+            accepted += out.accepted.len();
+            denied += out.rejected.len();
+            for r in &arrivals {
+                if out.accepted.contains(&r.id) {
+                    active.push(r.clone());
+                }
+            }
+            for p in &out.preempted {
+                active.retain(|r| r.id != *p);
+                denied += 1;
+                accepted -= 1;
+            }
+        }
+        prop_assert_eq!(accepted + denied, requests.len());
+    }
+}

@@ -1,0 +1,365 @@
+//! Branch-and-bound for mixed-integer linear programs.
+//!
+//! Used by the FULLG baseline, which solves an exact per-request
+//! embedding ILP (node-link formulation) like the paper does with CPLEX.
+//! The search is best-first on the LP relaxation bound with
+//! most-fractional branching; problems at VNE request scale (a few
+//! hundred binaries) solve in milliseconds-to-seconds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::problem::{Problem, VarId};
+use crate::simplex::{Simplex, SimplexOptions};
+use crate::solution::{MipSolution, SolveStatus};
+
+/// Tunable branch-and-bound parameters.
+#[derive(Debug, Clone)]
+pub struct BranchBoundOptions {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Tolerance for considering a value integral.
+    pub int_tol: f64,
+    /// Relative optimality gap at which the search stops.
+    pub gap_tol: f64,
+    /// Options for the LP relaxations.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for BranchBoundOptions {
+    fn default() -> Self {
+        Self {
+            max_nodes: 50_000,
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+            simplex: SimplexOptions::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bound: f64,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    depth: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound (BinaryHeap is a max-heap), deeper first on ties.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+/// Solves a mixed-integer program by LP-based branch-and-bound.
+///
+/// # Examples
+///
+/// ```
+/// use vne_lp::problem::{Problem, Relation};
+/// use vne_lp::branch_bound::solve_mip;
+///
+/// // 0/1 knapsack: max 10x + 6y + 4z, 5x + 4y + 3z ≤ 9  (min of negation)
+/// let mut p = Problem::new();
+/// let x = p.add_binary_var("x", -10.0);
+/// let y = p.add_binary_var("y", -6.0);
+/// let z = p.add_binary_var("z", -4.0);
+/// let r = p.add_row("w", Relation::Le, 9.0);
+/// p.set_coeff(r, x, 5.0);
+/// p.set_coeff(r, y, 4.0);
+/// p.set_coeff(r, z, 3.0);
+/// let sol = solve_mip(&p, Default::default());
+/// assert!(sol.status.is_optimal());
+/// assert_eq!(sol.objective, -16.0); // x + y
+/// ```
+pub fn solve_mip(problem: &Problem, opts: BranchBoundOptions) -> MipSolution {
+    let int_vars = problem.integer_vars();
+    if int_vars.is_empty() {
+        let sol = Simplex::with_options(problem, opts.simplex.clone()).solve();
+        return MipSolution {
+            status: sol.status,
+            objective: sol.objective,
+            x: sol.x,
+            nodes: 1,
+            best_bound: sol.objective,
+        };
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        lb: problem.lb.clone(),
+        ub: problem.ub.clone(),
+        depth: 0,
+    });
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes = 0usize;
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut any_lp_solved = false;
+
+    while let Some(node) = heap.pop() {
+        if nodes >= opts.max_nodes {
+            return MipSolution {
+                status: SolveStatus::Limit,
+                objective: incumbent.as_ref().map(|(o, _)| *o).unwrap_or(f64::INFINITY),
+                x: incumbent.map(|(_, x)| x).unwrap_or_default(),
+                nodes,
+                best_bound: node.bound,
+            };
+        }
+        if let Some((best, _)) = &incumbent {
+            if node.bound >= *best - opts.gap_tol {
+                continue;
+            }
+        }
+        nodes += 1;
+
+        let mut sub = problem.clone();
+        sub.lb = node.lb.clone();
+        sub.ub = node.ub.clone();
+        let lp = Simplex::with_options(&sub, opts.simplex.clone()).solve();
+        match lp.status {
+            SolveStatus::Infeasible => continue,
+            SolveStatus::Unbounded => {
+                // Unbounded relaxation of a node: the MIP itself is
+                // unbounded (or this subtree cannot be pruned soundly).
+                return MipSolution {
+                    status: SolveStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    x: Vec::new(),
+                    nodes,
+                    best_bound: f64::NEG_INFINITY,
+                };
+            }
+            SolveStatus::Limit => continue,
+            SolveStatus::Optimal => {}
+        }
+        any_lp_solved = true;
+        best_open_bound = best_open_bound.max(lp.objective);
+        if let Some((best, _)) = &incumbent {
+            if lp.objective >= *best - opts.gap_tol {
+                continue;
+            }
+        }
+
+        // Most-fractional branching variable.
+        let mut branch: Option<(VarId, f64, f64)> = None; // (var, value, fractionality)
+        for &v in &int_vars {
+            let val = lp.x[v.0];
+            let frac = (val - val.round()).abs();
+            if frac > opts.int_tol {
+                let dist_to_half = (val.fract().abs() - 0.5).abs();
+                match branch {
+                    Some((_, _, best_dist)) if dist_to_half >= best_dist => {}
+                    _ => branch = Some((v, val, dist_to_half)),
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral solution.
+                let better = incumbent
+                    .as_ref()
+                    .map(|(best, _)| lp.objective < *best - opts.gap_tol)
+                    .unwrap_or(true);
+                if better {
+                    incumbent = Some((lp.objective, lp.x.clone()));
+                }
+            }
+            Some((v, val, _)) => {
+                let floor = val.floor();
+                // Down branch: ub := floor.
+                if node.lb[v.0] <= floor {
+                    let mut child = node.clone();
+                    child.ub[v.0] = floor;
+                    child.bound = lp.objective;
+                    child.depth = node.depth + 1;
+                    heap.push(child);
+                }
+                // Up branch: lb := floor + 1.
+                if node.ub[v.0] >= floor + 1.0 {
+                    let mut child = node.clone();
+                    child.lb[v.0] = floor + 1.0;
+                    child.bound = lp.objective;
+                    child.depth = node.depth + 1;
+                    heap.push(child);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((obj, x)) => MipSolution {
+            status: SolveStatus::Optimal,
+            objective: obj,
+            x,
+            nodes,
+            best_bound: obj,
+        },
+        None => MipSolution {
+            status: if any_lp_solved {
+                // LPs solved but no integral point found and tree exhausted.
+                SolveStatus::Infeasible
+            } else {
+                SolveStatus::Infeasible
+            },
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            nodes,
+            best_bound: best_open_bound,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Relation;
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        // max Σ v_i x_i s.t. Σ w_i x_i ≤ W — minimize the negation.
+        let values = [10.0, 13.0, 7.0, 8.0, 6.0];
+        let weights = [5.0, 6.0, 3.0, 4.0, 2.0];
+        let cap = 10.0;
+        let mut p = Problem::new();
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| p.add_binary_var(format!("x{i}"), -v))
+            .collect();
+        let r = p.add_row("w", Relation::Le, cap);
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_coeff(r, v, weights[i]);
+        }
+        let sol = solve_mip(&p, Default::default());
+        assert!(sol.status.is_optimal());
+
+        // Brute force.
+        let mut best = 0.0f64;
+        for mask in 0u32..32 {
+            let (mut w, mut v) = (0.0, 0.0);
+            for i in 0..5 {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= cap {
+                best = best.max(v);
+            }
+        }
+        assert!((sol.objective + best).abs() < 1e-6, "got {}, want -{best}", sol.objective);
+    }
+
+    #[test]
+    fn assignment_problem_is_integral() {
+        // 3×3 assignment: minimize cost, one per row/column.
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut p = Problem::new();
+        let mut vars = [[VarId(0); 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = p.add_binary_var(format!("x{i}{j}"), cost[i][j]);
+            }
+        }
+        for i in 0..3 {
+            let r = p.add_row(format!("row{i}"), Relation::Eq, 1.0);
+            for j in 0..3 {
+                p.set_coeff(r, vars[i][j], 1.0);
+            }
+        }
+        for j in 0..3 {
+            let c = p.add_row(format!("col{j}"), Relation::Eq, 1.0);
+            for i in 0..3 {
+                p.set_coeff(c, vars[i][j], 1.0);
+            }
+        }
+        let sol = solve_mip(&p, Default::default());
+        assert!(sol.status.is_optimal());
+        // Optimal assignment: (0,1)=2? Enumerate: perms of columns:
+        // 012: 4+3+6=13; 021: 4+7+1=12; 102: 2+4+6=12; 120: 2+7+3=12;
+        // 201: 8+4+1=13; 210: 8+3+3=14 → best 12.
+        assert!((sol.objective - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut p = Problem::new();
+        let x = p.add_binary_var("x", 1.0);
+        let r = p.add_row("r", Relation::Ge, 2.0);
+        p.set_coeff(r, x, 1.0);
+        let sol = solve_mip(&p, Default::default());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn pure_lp_shortcut() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", -1.0, 0.0, 5.0);
+        let r = p.add_row("r", Relation::Le, 3.0);
+        p.set_coeff(r, x, 1.0);
+        let sol = solve_mip(&p, Default::default());
+        assert!(sol.status.is_optimal());
+        assert_eq!(sol.nodes, 1);
+        assert!((sol.objective + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integer_variables() {
+        // min -x - y  s.t. 2x + 3y ≤ 12, x,y ∈ {0..4} integer.
+        // Best: x=4 (8) leaves 4/3 → y=1 → obj -5. Check alternatives:
+        // y=2 → 2x ≤ 6 → x=3 → -5. Either way obj = -5.
+        let mut p = Problem::new();
+        let x = p.add_int_var("x", -1.0, 0.0, 4.0);
+        let y = p.add_int_var("y", -1.0, 0.0, 4.0);
+        let r = p.add_row("r", Relation::Le, 12.0);
+        p.set_coeff(r, x, 2.0);
+        p.set_coeff(r, y, 3.0);
+        let sol = solve_mip(&p, Default::default());
+        assert!(sol.status.is_optimal());
+        assert!((sol.objective + 5.0).abs() < 1e-6);
+        for v in [x, y] {
+            let val = sol.x[v.0];
+            assert!((val - val.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn node_limit_reports_limit_status() {
+        // A problem needing branching with max_nodes = 1.
+        let mut p = Problem::new();
+        let x = p.add_binary_var("x", -1.0);
+        let y = p.add_binary_var("y", -1.0);
+        let r = p.add_row("r", Relation::Le, 1.0);
+        p.set_coeff(r, x, 1.0);
+        p.set_coeff(r, y, 1.0);
+        let opts = BranchBoundOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
+        let sol = solve_mip(&p, opts);
+        // Either it finds the optimum in the single node (integral LP) or
+        // reports the limit. The LP here is integral at a vertex, so both
+        // outcomes are legal; just check coherence.
+        assert!(sol.nodes <= 2);
+    }
+}

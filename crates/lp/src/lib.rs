@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # vne-lp — LP/MILP solver substrate
+//!
+//! The OLIVE paper solves its PLAN-VNE linear program and the FULLG
+//! baseline's per-request ILPs with IBM CPLEX. This crate is the
+//! from-scratch replacement used by the reproduction:
+//!
+//! * [`problem`] — a column-major LP/MILP model builder;
+//! * [`simplex`] — a bounded-variable two-phase revised primal simplex
+//!   with dense basis-inverse maintenance, dual extraction, and
+//!   incremental column addition (the substrate for Dantzig-Wolfe column
+//!   generation in `vne-olive`);
+//! * [`branch_bound`] — best-first branch-and-bound over the simplex for
+//!   mixed-integer programs;
+//! * [`solution`] — shared status/solution types.
+//!
+//! ## Example
+//!
+//! ```
+//! use vne_lp::problem::{Problem, Relation};
+//! use vne_lp::simplex::solve_lp;
+//!
+//! // minimize x + y subject to x + 2y ≥ 4, 3x + y ≥ 6
+//! let mut p = Problem::new();
+//! let x = p.add_var("x", 1.0, 0.0, f64::INFINITY);
+//! let y = p.add_var("y", 1.0, 0.0, f64::INFINITY);
+//! let r1 = p.add_row("r1", Relation::Ge, 4.0);
+//! let r2 = p.add_row("r2", Relation::Ge, 6.0);
+//! p.set_coeff(r1, x, 1.0);
+//! p.set_coeff(r1, y, 2.0);
+//! p.set_coeff(r2, x, 3.0);
+//! p.set_coeff(r2, y, 1.0);
+//! let sol = solve_lp(&p);
+//! assert!(sol.status.is_optimal());
+//! assert!((sol.objective - 2.8).abs() < 1e-6); // x = 1.6, y = 1.2
+//! ```
+
+pub mod branch_bound;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::{solve_mip, BranchBoundOptions};
+pub use problem::{Problem, Relation, RowId, VarId};
+pub use simplex::{solve_lp, Simplex, SimplexOptions};
+pub use solution::{LpSolution, MipSolution, SolveStatus};

@@ -1,0 +1,988 @@
+//! Bounded-variable revised simplex method.
+//!
+//! This is the workhorse that replaces CPLEX for the reproduction: a
+//! two-phase primal simplex over variables with `[lb, ub]` bounds, with a
+//! densely maintained basis inverse (product-form eta updates plus
+//! periodic refactorization), Dantzig pricing with a Bland anti-cycling
+//! fallback, and support for appending columns to a solved instance and
+//! re-optimizing — the operation Dantzig-Wolfe column generation needs.
+//!
+//! The implementation targets the problem sizes of PLAN-VNE masters
+//! (hundreds of rows, thousands of columns), where a dense `B⁻¹` is both
+//! simple and fast.
+
+use crate::problem::{Problem, Relation};
+use crate::solution::{LpSolution, SolveStatus};
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on simplex iterations across both phases.
+    pub max_iterations: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Dual (reduced-cost) optimality tolerance.
+    pub opt_tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200_000,
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            refactor_every: 100,
+            bland_trigger: 2000,
+        }
+    }
+}
+
+/// Coefficients smaller than this are treated as zero in pivoting.
+const PIVOT_ZERO: f64 = 1e-10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable resting at value 0.
+    FreeZero,
+}
+
+/// A bounded-variable revised primal simplex solver.
+///
+/// The solver owns an expanded copy of the problem: structural columns,
+/// then one logical (slack) column per row, then one artificial column
+/// per row. It can be queried for duals after solving and accepts new
+/// columns via [`Simplex::add_column`] followed by
+/// [`Simplex::reoptimize`].
+///
+/// # Examples
+///
+/// ```
+/// use vne_lp::problem::{Problem, Relation};
+/// use vne_lp::simplex::Simplex;
+///
+/// // minimize -3x - 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 (Dantzig's example)
+/// let mut p = Problem::new();
+/// let x = p.add_var("x", -3.0, 0.0, f64::INFINITY);
+/// let y = p.add_var("y", -5.0, 0.0, f64::INFINITY);
+/// let r1 = p.add_row("r1", Relation::Le, 4.0);
+/// let r2 = p.add_row("r2", Relation::Le, 12.0);
+/// let r3 = p.add_row("r3", Relation::Le, 18.0);
+/// p.set_coeff(r1, x, 1.0);
+/// p.set_coeff(r2, y, 2.0);
+/// p.set_coeff(r3, x, 3.0);
+/// p.set_coeff(r3, y, 2.0);
+///
+/// let mut s = Simplex::from_problem(&p);
+/// let sol = s.solve();
+/// assert!(sol.status.is_optimal());
+/// assert!((sol.objective - (-36.0)).abs() < 1e-6);
+/// assert!((sol.x[0] - 2.0).abs() < 1e-6 && (sol.x[1] - 6.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    opts: SimplexOptions,
+    m: usize,
+    n_struct: usize,
+    /// Expanded columns: structural | logical | artificial.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Phase-2 objective (artificials have 0).
+    obj: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    /// Current value of every variable.
+    x: Vec<f64>,
+    /// Dense basis inverse, row-major `m × m`.
+    binv: Vec<f64>,
+    pivots_since_refactor: usize,
+    iterations: usize,
+    solved_once: bool,
+}
+
+impl Simplex {
+    /// Builds a solver instance from a problem (integrality is ignored;
+    /// use [`crate::branch_bound`] for MILPs).
+    pub fn from_problem(problem: &Problem) -> Self {
+        Self::with_options(problem, SimplexOptions::default())
+    }
+
+    /// Builds a solver with explicit options.
+    pub fn with_options(problem: &Problem, opts: SimplexOptions) -> Self {
+        let m = problem.num_rows();
+        let n = problem.num_vars();
+        let mut cols = problem.consolidated_cols();
+        let mut obj = problem.obj.clone();
+        let mut lb = problem.lb.clone();
+        let mut ub = problem.ub.clone();
+        // Logical columns: A x + s = b.
+        for (i, row) in problem.rows.iter().enumerate() {
+            cols.push(vec![(i, 1.0)]);
+            obj.push(0.0);
+            match row.relation {
+                Relation::Le => {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                }
+                Relation::Ge => {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                }
+                Relation::Eq => {
+                    lb.push(0.0);
+                    ub.push(0.0);
+                }
+            }
+        }
+        // Artificial columns (coefficient signs set at solve time).
+        for i in 0..m {
+            cols.push(vec![(i, 1.0)]);
+            obj.push(0.0);
+            lb.push(0.0);
+            ub.push(f64::INFINITY);
+        }
+        let rhs = problem.rows.iter().map(|r| r.rhs).collect();
+        let ncols = n + 2 * m;
+        Self {
+            opts,
+            m,
+            n_struct: n,
+            cols,
+            obj,
+            lb,
+            ub,
+            rhs,
+            basis: Vec::new(),
+            state: vec![VarState::AtLower; ncols],
+            x: vec![0.0; ncols],
+            binv: vec![0.0; m * m],
+            pivots_since_refactor: 0,
+            iterations: 0,
+            solved_once: false,
+        }
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn art_index(&self, row: usize) -> usize {
+        self.ncols() - self.m + row
+    }
+
+    fn is_artificial(&self, j: usize) -> bool {
+        j >= self.ncols() - self.m
+    }
+
+    /// Initial nonbasic resting value for variable `j`.
+    fn resting(&self, j: usize) -> (f64, VarState) {
+        if self.lb[j].is_finite() {
+            (self.lb[j], VarState::AtLower)
+        } else if self.ub[j].is_finite() {
+            (self.ub[j], VarState::AtUpper)
+        } else {
+            (0.0, VarState::FreeZero)
+        }
+    }
+
+    /// Solves the LP from scratch (two phases).
+    pub fn solve(&mut self) -> LpSolution {
+        self.iterations = 0;
+        // Rest every non-artificial variable at a bound.
+        for j in 0..self.ncols() - self.m {
+            let (v, s) = self.resting(j);
+            self.x[j] = v;
+            self.state[j] = s;
+        }
+        // Residual rhs given the resting point.
+        let mut btilde = self.rhs.clone();
+        for j in 0..self.ncols() - self.m {
+            if self.x[j] != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    btilde[r] -= a * self.x[j];
+                }
+            }
+        }
+        // Artificial basis: coefficient sign(b̃ᵢ) so values are |b̃ᵢ| ≥ 0.
+        self.basis = (0..self.m).map(|i| self.art_index(i)).collect();
+        for i in 0..self.m {
+            let j = self.art_index(i);
+            let sigma = if btilde[i] >= 0.0 { 1.0 } else { -1.0 };
+            self.cols[j] = vec![(i, sigma)];
+            self.lb[j] = 0.0;
+            self.ub[j] = f64::INFINITY;
+            self.state[j] = VarState::Basic;
+            self.x[j] = btilde[i].abs();
+        }
+        self.binv = vec![0.0; self.m * self.m];
+        for i in 0..self.m {
+            let sigma = self.cols[self.art_index(i)][0].1;
+            self.binv[i * self.m + i] = sigma;
+        }
+        self.pivots_since_refactor = 0;
+
+        // Phase 1: minimize the sum of artificials, unless they are all 0.
+        let needs_phase1 = (0..self.m).any(|i| self.x[self.art_index(i)] > self.opts.feas_tol);
+        if needs_phase1 {
+            let phase1_cost: Vec<f64> = (0..self.ncols())
+                .map(|j| if self.is_artificial(j) { 1.0 } else { 0.0 })
+                .collect();
+            let status = self.optimize(&phase1_cost, true);
+            if status == SolveStatus::Limit {
+                return self.make_solution(SolveStatus::Limit);
+            }
+            let infeas: f64 = (0..self.m)
+                .map(|i| self.x[self.art_index(i)])
+                .filter(|v| *v > 0.0)
+                .sum();
+            let scale = 1.0 + self.rhs.iter().map(|b| b.abs()).fold(0.0, f64::max);
+            if infeas > self.opts.feas_tol * scale * 10.0 {
+                return self.make_solution(SolveStatus::Infeasible);
+            }
+            self.evict_artificials();
+        }
+        // Lock artificials to zero for Phase 2.
+        for i in 0..self.m {
+            let j = self.art_index(i);
+            self.ub[j] = 0.0;
+            if self.state[j] != VarState::Basic {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+        let status = self.optimize(&self.obj.clone(), false);
+        self.solved_once = true;
+        self.make_solution(status)
+    }
+
+    /// Appends a structural column (entering nonbasic at its lower bound)
+    /// and returns its index among structural variables.
+    ///
+    /// Primal feasibility of the current basis is preserved as long as
+    /// `lb` is finite (column generation always uses `lb = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb` is not finite or a row index is out of range.
+    pub fn add_column(&mut self, obj: f64, lb: f64, ub: f64, coeffs: &[(usize, f64)]) -> usize {
+        assert!(lb.is_finite(), "new columns must have a finite lower bound");
+        for &(r, _) in coeffs {
+            assert!(r < self.m, "row index out of range");
+        }
+        let j = self.n_struct;
+        let mut col: Vec<(usize, f64)> = coeffs.to_vec();
+        col.sort_by_key(|&(r, _)| r);
+        self.cols.insert(j, col);
+        self.obj.insert(j, obj);
+        self.lb.insert(j, lb);
+        self.ub.insert(j, ub);
+        self.state.insert(j, VarState::AtLower);
+        self.x.insert(j, lb);
+        self.n_struct += 1;
+        // Shift basis references to logical/artificial columns.
+        for b in &mut self.basis {
+            if *b >= j {
+                *b += 1;
+            }
+        }
+        if lb != 0.0 {
+            // The new column shifts basic values; recompute them.
+            self.recompute_basic_values();
+        }
+        j
+    }
+
+    /// Re-optimizes after columns were appended (phase 2 only; the
+    /// current basis must be primal feasible, which `add_column`
+    /// guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simplex::solve`].
+    pub fn reoptimize(&mut self) -> LpSolution {
+        assert!(self.solved_once, "call solve() before reoptimize()");
+        self.iterations = 0;
+        let status = self.optimize(&self.obj.clone(), false);
+        self.make_solution(status)
+    }
+
+    /// The dual vector `y = c_B B⁻¹` of the last solve.
+    pub fn duals(&self) -> Vec<f64> {
+        self.btran(&self.obj)
+    }
+
+    /// The value of structural variable `j`.
+    pub fn value(&self, j: usize) -> f64 {
+        self.x[j]
+    }
+
+    /// Values of all structural variables.
+    pub fn values(&self) -> Vec<f64> {
+        self.x[..self.n_struct].to_vec()
+    }
+
+    /// Objective value `cᵀx` over structural variables.
+    pub fn objective_value(&self) -> f64 {
+        (0..self.n_struct).map(|j| self.obj[j] * self.x[j]).sum()
+    }
+
+    fn make_solution(&self, status: SolveStatus) -> LpSolution {
+        LpSolution {
+            status,
+            objective: self.objective_value(),
+            x: self.values(),
+            duals: self.duals(),
+            iterations: self.iterations,
+        }
+    }
+
+    /// y = c_B^T · B⁻¹ restricted to basic costs of `cost`.
+    fn btran(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (pos, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb != 0.0 {
+                let row = &self.binv[pos * m..(pos + 1) * m];
+                for i in 0..m {
+                    y[i] += cb * row[i];
+                }
+            }
+        }
+        y
+    }
+
+    /// w = B⁻¹ · A_j.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(r, a) in &self.cols[j] {
+            if a != 0.0 {
+                for i in 0..m {
+                    w[i] += self.binv[i * m + r] * a;
+                }
+            }
+        }
+        w
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64], cost: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(r, a) in &self.cols[j] {
+            d -= y[r] * a;
+        }
+        d
+    }
+
+    /// The primal simplex loop for a given cost vector.
+    fn optimize(&mut self, cost: &[f64], phase1: bool) -> SolveStatus {
+        let mut consecutive_degenerate = 0usize;
+        let mut use_bland = false;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return SolveStatus::Limit;
+            }
+            self.iterations += 1;
+            let y = self.btran(cost);
+
+            // Pricing.
+            let mut entering: Option<(usize, f64, i8)> = None;
+            for j in 0..self.ncols() {
+                match self.state[j] {
+                    VarState::Basic => continue,
+                    _ if self.lb[j] == self.ub[j] => continue, // fixed
+                    _ => {}
+                }
+                if phase1 && self.is_artificial(j) {
+                    // Never re-enter an artificial in phase 1.
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y, cost);
+                let (viol, dir) = match self.state[j] {
+                    VarState::AtLower => (-d, 1i8),
+                    VarState::AtUpper => (d, -1i8),
+                    VarState::FreeZero => (d.abs(), if d < 0.0 { 1 } else { -1 }),
+                    VarState::Basic => unreachable!(),
+                };
+                if viol > self.opts.opt_tol {
+                    if use_bland {
+                        entering = Some((j, viol, dir));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best, _)) if viol <= best => {}
+                        _ => entering = Some((j, viol, dir)),
+                    }
+                }
+            }
+            let Some((j, _, dir)) = entering else {
+                return SolveStatus::Optimal;
+            };
+            let dir = f64::from(dir);
+
+            // Ratio test.
+            let w = self.ftran(j);
+            let range = self.ub[j] - self.lb[j];
+            let mut t_star = if range.is_finite() { range } else { f64::INFINITY };
+            let mut leaving: Option<usize> = None;
+            let mut leaving_coef: f64 = 0.0;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi.abs() <= PIVOT_ZERO {
+                    continue;
+                }
+                let bj = self.basis[i];
+                let xv = self.x[bj];
+                let rate = dir * wi; // x_basic(i) decreases at `rate` per unit t
+                let t_i = if rate > 0.0 {
+                    if self.lb[bj].is_finite() {
+                        ((xv - self.lb[bj]) / rate).max(0.0)
+                    } else {
+                        continue;
+                    }
+                } else if self.ub[bj].is_finite() {
+                    ((self.ub[bj] - xv) / -rate).max(0.0)
+                } else {
+                    continue;
+                };
+                let better = match leaving {
+                    None => t_i < t_star - 1e-12,
+                    Some(_) => {
+                        t_i < t_star - 1e-12
+                            || (t_i < t_star + 1e-12 && wi.abs() > leaving_coef.abs())
+                    }
+                };
+                if better {
+                    t_star = t_i;
+                    leaving = Some(i);
+                    leaving_coef = wi;
+                }
+            }
+
+            if t_star.is_infinite() {
+                return SolveStatus::Unbounded;
+            }
+            if t_star <= 1e-10 {
+                consecutive_degenerate += 1;
+                if consecutive_degenerate > self.opts.bland_trigger {
+                    use_bland = true;
+                }
+            } else {
+                consecutive_degenerate = 0;
+                use_bland = false;
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: j travels to its opposite bound.
+                    for (i, &wi) in w.iter().enumerate() {
+                        if wi != 0.0 {
+                            let bj = self.basis[i];
+                            self.x[bj] -= dir * t_star * wi;
+                        }
+                    }
+                    self.x[j] += dir * t_star;
+                    self.state[j] = match self.state[j] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        s => s,
+                    };
+                }
+                Some(r) => {
+                    // Update basic values, move j into the basis at row r.
+                    for (i, &wi) in w.iter().enumerate() {
+                        if wi != 0.0 {
+                            let bj = self.basis[i];
+                            self.x[bj] -= dir * t_star * wi;
+                        }
+                    }
+                    let out = self.basis[r];
+                    // The leaving variable rests at the bound it hit.
+                    let out_rate = dir * w[r];
+                    if out_rate > 0.0 {
+                        self.x[out] = self.lb[out];
+                        self.state[out] = VarState::AtLower;
+                    } else {
+                        self.x[out] = self.ub[out];
+                        self.state[out] = VarState::AtUpper;
+                    }
+                    self.x[j] += dir * t_star;
+                    self.state[j] = VarState::Basic;
+                    self.basis[r] = j;
+                    self.update_binv(r, &w);
+                    self.pivots_since_refactor += 1;
+                    if self.pivots_since_refactor >= self.opts.refactor_every {
+                        self.refactor();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Product-form update of `B⁻¹` after `basis[r]` was replaced; `w` is
+    /// the FTRAN of the entering column.
+    fn update_binv(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let pivot = w[r];
+        debug_assert!(pivot.abs() > PIVOT_ZERO, "singular pivot");
+        let inv = 1.0 / pivot;
+        for k in 0..m {
+            self.binv[r * m + k] *= inv;
+        }
+        for i in 0..m {
+            if i != r {
+                let f = w[i];
+                if f != 0.0 {
+                    for k in 0..m {
+                        self.binv[i * m + k] -= f * self.binv[r * m + k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `B⁻¹` from the basis by Gauss-Jordan elimination with
+    /// partial pivoting, then recomputes basic values. If the basis is
+    /// numerically singular the offending column is replaced by the
+    /// artificial of that row.
+    fn refactor(&mut self) {
+        let m = self.m;
+        loop {
+            // Dense B from basis columns.
+            let mut bmat = vec![0.0; m * m];
+            for (pos, &j) in self.basis.iter().enumerate() {
+                for &(r, a) in &self.cols[j] {
+                    bmat[r * m + pos] = a;
+                }
+            }
+            match invert(&mut bmat, m) {
+                Some(inv) => {
+                    self.binv = inv;
+                    break;
+                }
+                None => {
+                    // Basis repair: find a row whose basic column made B
+                    // singular by testing rank incrementally is costly;
+                    // instead swap every near-dependent position for its
+                    // artificial. Rare in practice.
+                    let mut replaced = false;
+                    for i in 0..m {
+                        let j = self.art_index(i);
+                        if !self.basis.contains(&j) {
+                            let old = self.basis[i];
+                            self.basis[i] = j;
+                            self.state[old] = VarState::AtLower;
+                            self.x[old] = if self.lb[old].is_finite() {
+                                self.lb[old]
+                            } else {
+                                0.0
+                            };
+                            self.state[j] = VarState::Basic;
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    assert!(replaced, "unable to repair singular basis");
+                }
+            }
+        }
+        self.pivots_since_refactor = 0;
+        self.recompute_basic_values();
+    }
+
+    /// x_B = B⁻¹ (b − N x_N).
+    fn recompute_basic_values(&mut self) {
+        let m = self.m;
+        let mut btilde = self.rhs.clone();
+        for j in 0..self.ncols() {
+            if self.state[j] != VarState::Basic && self.x[j] != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    btilde[r] -= a * self.x[j];
+                }
+            }
+        }
+        for (pos, &j) in self.basis.iter().enumerate() {
+            let mut v = 0.0;
+            let row = &self.binv[pos * m..(pos + 1) * m];
+            for i in 0..m {
+                v += row[i] * btilde[i];
+            }
+            self.x[j] = v;
+        }
+    }
+
+    /// After phase 1, pivots remaining basic artificials out where a
+    /// non-artificial column with nonzero pivot exists.
+    fn evict_artificials(&mut self) {
+        let m = self.m;
+        for pos in 0..m {
+            let bj = self.basis[pos];
+            if !self.is_artificial(bj) {
+                continue;
+            }
+            // ρ = row `pos` of B⁻¹; candidate pivot element is ρ·A_j.
+            let rho: Vec<f64> = self.binv[pos * m..(pos + 1) * m].to_vec();
+            let mut found = None;
+            for j in 0..self.ncols() - self.m {
+                if self.state[j] == VarState::Basic || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let mut piv = 0.0;
+                for &(r, a) in &self.cols[j] {
+                    piv += rho[r] * a;
+                }
+                if piv.abs() > 1e-7 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = found {
+                // Degenerate pivot: artificial leaves at value 0.
+                let w = self.ftran(j);
+                let out = self.basis[pos];
+                self.x[j] = match self.state[j] {
+                    VarState::AtLower => self.lb[j],
+                    VarState::AtUpper => self.ub[j],
+                    _ => 0.0,
+                };
+                self.state[out] = VarState::AtLower;
+                self.x[out] = 0.0;
+                self.state[j] = VarState::Basic;
+                self.basis[pos] = j;
+                self.update_binv(pos, &w);
+                self.pivots_since_refactor += 1;
+            }
+            // Otherwise the row is linearly dependent: the artificial
+            // stays basic, fixed to zero by phase-2 bounds.
+        }
+        if self.pivots_since_refactor >= self.opts.refactor_every {
+            self.refactor();
+        }
+    }
+}
+
+/// Inverts a dense row-major `m × m` matrix by Gauss-Jordan with partial
+/// pivoting. Returns `None` if a pivot smaller than `PIVOT_ZERO` is met.
+fn invert(a: &mut [f64], m: usize) -> Option<Vec<f64>> {
+    let mut inv = vec![0.0; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        // Partial pivot.
+        let mut best = col;
+        let mut best_abs = a[col * m + col].abs();
+        for r in col + 1..m {
+            let v = a[r * m + col].abs();
+            if v > best_abs {
+                best = r;
+                best_abs = v;
+            }
+        }
+        if best_abs <= PIVOT_ZERO {
+            return None;
+        }
+        if best != col {
+            for k in 0..m {
+                a.swap(col * m + k, best * m + k);
+                inv.swap(col * m + k, best * m + k);
+            }
+        }
+        let piv = a[col * m + col];
+        let inv_piv = 1.0 / piv;
+        for k in 0..m {
+            a[col * m + k] *= inv_piv;
+            inv[col * m + k] *= inv_piv;
+        }
+        for r in 0..m {
+            if r != col {
+                let f = a[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        a[r * m + k] -= f * a[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Convenience one-shot LP solve.
+pub fn solve_lp(problem: &Problem) -> LpSolution {
+    Simplex::from_problem(problem).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn dantzig_example() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", -3.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", -5.0, 0.0, f64::INFINITY);
+        let r1 = p.add_row("r1", Relation::Le, 4.0);
+        let r2 = p.add_row("r2", Relation::Le, 12.0);
+        let r3 = p.add_row("r3", Relation::Le, 18.0);
+        p.set_coeff(r1, x, 1.0);
+        p.set_coeff(r2, y, 2.0);
+        p.set_coeff(r3, x, 3.0);
+        p.set_coeff(r3, y, 2.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+        // Duals: y1 = 0 (slack), y2 = -3/2, y3 = -1.
+        assert_close(sol.duals[0], 0.0);
+        assert_close(sol.duals[1], -1.5);
+        assert_close(sol.duals[2], -1.0);
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y  s.t. x + y = 10, x - y = 2  → x=6, y=4, obj 10.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", 1.0, 0.0, f64::INFINITY);
+        let r1 = p.add_row("sum", Relation::Eq, 10.0);
+        let r2 = p.add_row("diff", Relation::Eq, 2.0);
+        p.set_coeff(r1, x, 1.0);
+        p.set_coeff(r1, y, 1.0);
+        p.set_coeff(r2, x, 1.0);
+        p.set_coeff(r2, y, -1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.x[0], 6.0);
+        assert_close(sol.x[1], 4.0);
+        assert_close(sol.objective, 10.0);
+    }
+
+    #[test]
+    fn ge_rows_and_duals() {
+        // min 2x + 3y  s.t. x + y ≥ 4, x ≥ 1 → x=4,y=0? obj: x=4 → 8;
+        // candidates: (4,0): 8, (1,3): 11 → optimum (4,0).
+        let mut p = Problem::new();
+        let x = p.add_var("x", 2.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", 3.0, 0.0, f64::INFINITY);
+        let r1 = p.add_row("cover", Relation::Ge, 4.0);
+        let r2 = p.add_row("xmin", Relation::Ge, 1.0);
+        p.set_coeff(r1, x, 1.0);
+        p.set_coeff(r1, y, 1.0);
+        p.set_coeff(r2, x, 1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.x[0], 4.0);
+        assert_close(sol.x[1], 0.0);
+        // Binding Ge row in a min problem has dual ≥ 0: y1 = 2.
+        assert_close(sol.duals[0], 2.0);
+        assert_close(sol.duals[1], 0.0);
+    }
+
+    #[test]
+    fn upper_bounded_variables() {
+        // min -x - 2y  s.t. x + y ≤ 4, 0 ≤ x ≤ 3, 0 ≤ y ≤ 2 → y=2, x=2, obj -6.
+        let mut p = Problem::new();
+        let x = p.add_var("x", -1.0, 0.0, 3.0);
+        let y = p.add_var("y", -2.0, 0.0, 2.0);
+        let r = p.add_row("r", Relation::Le, 4.0);
+        p.set_coeff(r, x, 1.0);
+        p.set_coeff(r, y, 1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, -6.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // min -x - y with 0 ≤ x ≤ 1, 0 ≤ y ≤ 2 and a vacuous row.
+        let mut p = Problem::new();
+        let _x = p.add_var("x", -1.0, 0.0, 1.0);
+        let _y = p.add_var("y", -1.0, 0.0, 2.0);
+        let r = p.add_row("r", Relation::Le, 100.0);
+        p.set_coeff(r, VarId0(0), 1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, -3.0);
+    }
+
+    // Helper to construct VarId without importing (tests readability).
+    #[allow(non_snake_case)]
+    fn VarId0(i: usize) -> crate::problem::VarId {
+        crate::problem::VarId(i)
+    }
+
+    #[test]
+    fn infeasible_detection() {
+        // x ≤ 1 and x ≥ 3.
+        let mut p = Problem::new();
+        let x = p.add_var("x", 0.0, 0.0, f64::INFINITY);
+        let r1 = p.add_row("le", Relation::Le, 1.0);
+        let r2 = p.add_row("ge", Relation::Ge, 3.0);
+        p.set_coeff(r1, x, 1.0);
+        p.set_coeff(r2, x, 1.0);
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // min -x, x ≥ 0 free of rows except vacuous.
+        let mut p = Problem::new();
+        let x = p.add_var("x", -1.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, 0.0, 1.0);
+        let r = p.add_row("r", Relation::Le, 5.0);
+        p.set_coeff(r, y, 1.0);
+        let _ = x;
+        let sol = solve_lp(&p);
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x  s.t. x ≥ -5 expressed via row (x free).
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, f64::NEG_INFINITY, f64::INFINITY);
+        let r = p.add_row("r", Relation::Ge, -5.0);
+        p.set_coeff(r, x, 1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.x[0], -5.0);
+        assert_close(sol.objective, -5.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x + y s.t. -x - y ≤ -3 (i.e. x + y ≥ 3), x,y ∈ [0,10].
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, 0.0, 10.0);
+        let y = p.add_var("y", 1.0, 0.0, 10.0);
+        let r = p.add_row("r", Relation::Le, -3.0);
+        p.set_coeff(r, x, -1.0);
+        p.set_coeff(r, y, -1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the optimum.
+        let mut p = Problem::new();
+        let x = p.add_var("x", -1.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", -1.0, 0.0, f64::INFINITY);
+        for rhs in [2.0, 2.0, 2.0, 2.0] {
+            let r = p.add_row("r", Relation::Le, rhs);
+            p.set_coeff(r, x, 1.0);
+            p.set_coeff(r, y, 1.0);
+        }
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, -2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_keep_artificial_basic() {
+        // x + y = 2 twice (linearly dependent equality rows).
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, 0.0, f64::INFINITY);
+        let y = p.add_var("y", 2.0, 0.0, f64::INFINITY);
+        for _ in 0..2 {
+            let r = p.add_row("r", Relation::Eq, 2.0);
+            p.set_coeff(r, x, 1.0);
+            p.set_coeff(r, y, 1.0);
+        }
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.x[0], 2.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut p = Problem::new();
+        let x = p.add_var("x", 1.0, 2.0, 2.0); // fixed at 2
+        let y = p.add_var("y", 1.0, 0.0, f64::INFINITY);
+        let r = p.add_row("r", Relation::Eq, 5.0);
+        p.set_coeff(r, x, 1.0);
+        p.set_coeff(r, y, 1.0);
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 3.0);
+    }
+
+    #[test]
+    fn column_generation_workflow() {
+        // Cutting-stock-like master: cover demand 7 with pattern columns.
+        // Start with a trivial expensive column, add a better one, check
+        // the objective improves after reoptimize.
+        let mut p = Problem::new();
+        let expensive = p.add_var("slack-col", 10.0, 0.0, f64::INFINITY);
+        let r = p.add_row("demand", Relation::Ge, 7.0);
+        p.set_coeff(r, expensive, 1.0);
+        let mut s = Simplex::from_problem(&p);
+        let sol1 = s.solve();
+        assert!(sol1.status.is_optimal());
+        assert_close(sol1.objective, 70.0);
+        let duals = s.duals();
+        assert_close(duals[0], 10.0);
+        // New column with cost 3, coefficient 2: reduced cost 3 - 2·10 < 0.
+        let j = s.add_column(3.0, 0.0, f64::INFINITY, &[(0, 2.0)]);
+        let sol2 = s.reoptimize();
+        assert!(sol2.status.is_optimal());
+        assert_close(sol2.objective, 10.5);
+        assert_close(s.value(j), 3.5);
+    }
+
+    #[test]
+    fn larger_random_lp_against_feasibility() {
+        // A pseudo-random dense-ish LP; verify the solution is feasible
+        // and complementary-slackness-consistent.
+        let mut p = Problem::new();
+        let n = 12;
+        let m = 8;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(format!("x{j}"), rng() * 2.0 - 1.0, 0.0, 2.0))
+            .collect();
+        for i in 0..m {
+            let r = p.add_row(format!("r{i}"), Relation::Le, 3.0 + rng() * 3.0);
+            for &v in &vars {
+                if rng() < 0.5 {
+                    p.set_coeff(r, v, rng());
+                }
+            }
+        }
+        let sol = solve_lp(&p);
+        assert!(sol.status.is_optimal());
+        assert!(p.is_feasible(&sol.x, 1e-6));
+        // Le rows must have non-positive duals.
+        for &d in &sol.duals {
+            assert!(d <= 1e-7);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Solver outcome types shared by the simplex and branch-and-bound.
+
+/// Termination status of an LP or MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The iteration or node limit was reached before proving optimality.
+    Limit,
+}
+
+impl SolveStatus {
+    /// Whether a usable (optimal) solution is available.
+    pub fn is_optimal(self) -> bool {
+        self == SolveStatus::Optimal
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::Limit => "limit reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Optimal objective value (meaningful when `status` is optimal).
+    pub objective: f64,
+    /// Values of the structural variables, indexed like the problem.
+    pub x: Vec<f64>,
+    /// Dual values `y` per row (`y = c_B B⁻¹`): the reduced cost of a
+    /// column `j` is `c_j − y·A_j`. For a minimization problem binding
+    /// `≤` rows have `y ≤ 0`.
+    pub duals: Vec<f64>,
+    /// Number of simplex iterations performed.
+    pub iterations: usize,
+}
+
+/// Solution of a mixed-integer program.
+#[derive(Debug, Clone)]
+pub struct MipSolution {
+    /// Termination status (`Optimal` means proven optimal).
+    pub status: SolveStatus,
+    /// Objective of the best integral solution found.
+    pub objective: f64,
+    /// Best integral solution found (empty if none).
+    pub x: Vec<f64>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Best lower bound proven (equals `objective` at optimality).
+    pub best_bound: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display_and_query() {
+        assert!(SolveStatus::Optimal.is_optimal());
+        assert!(!SolveStatus::Infeasible.is_optimal());
+        assert_eq!(SolveStatus::Unbounded.to_string(), "unbounded");
+        assert_eq!(SolveStatus::Limit.to_string(), "limit reached");
+    }
+}

@@ -1,0 +1,197 @@
+//! Stress and regression tests for the simplex beyond the unit suite:
+//! larger structured LPs with known optima, repeated column generation,
+//! and numerically awkward cases.
+
+use vne_lp::problem::{Problem, Relation};
+use vne_lp::simplex::{solve_lp, Simplex, SimplexOptions};
+use vne_lp::solution::SolveStatus;
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "{a} vs {b}");
+}
+
+/// Transportation problem with known optimum: 3 supplies × 4 demands.
+#[test]
+fn transportation_problem() {
+    // Classic instance: supplies [35, 50, 40]; demands [45, 20, 30, 30];
+    // costs rows:
+    let cost = [
+        [8.0, 6.0, 10.0, 9.0],
+        [9.0, 12.0, 13.0, 7.0],
+        [14.0, 9.0, 16.0, 5.0],
+    ];
+    let supply = [35.0, 50.0, 40.0];
+    let demand = [45.0, 20.0, 30.0, 30.0];
+    let mut p = Problem::new();
+    let mut vars = [[vne_lp::problem::VarId(0); 4]; 3];
+    for i in 0..3 {
+        for j in 0..4 {
+            vars[i][j] = p.add_var(format!("x{i}{j}"), cost[i][j], 0.0, f64::INFINITY);
+        }
+    }
+    for (i, &s) in supply.iter().enumerate() {
+        let r = p.add_row(format!("s{i}"), Relation::Le, s);
+        for j in 0..4 {
+            p.set_coeff(r, vars[i][j], 1.0);
+        }
+    }
+    for (j, &d) in demand.iter().enumerate() {
+        let r = p.add_row(format!("d{j}"), Relation::Ge, d);
+        for i in 0..3 {
+            p.set_coeff(r, vars[i][j], 1.0);
+        }
+    }
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    // Optimal objective, verified independently by min-cost flow: 1020.
+    assert_close(sol.objective, 1020.0, 1e-6);
+}
+
+/// A chain of equality rows (tridiagonal system) with bounds.
+#[test]
+fn tridiagonal_equalities() {
+    let n = 40;
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(format!("x{j}"), 1.0, 0.0, 10.0))
+        .collect();
+    for i in 0..n - 1 {
+        let r = p.add_row(format!("e{i}"), Relation::Eq, 3.0);
+        p.set_coeff(r, vars[i], 1.0);
+        p.set_coeff(r, vars[i + 1], 2.0);
+    }
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!(p.is_feasible(&sol.x, 1e-6));
+}
+
+/// Repeated add_column / reoptimize cycles stay consistent (the column
+/// generation workload at larger scale).
+#[test]
+fn repeated_column_generation_cycles() {
+    // Covering LP: min Σ c_j x_j s.t. Σ a_ij x_j ≥ b_i.
+    let m = 30;
+    let mut p = Problem::new();
+    // Expensive seed columns (one per row).
+    for i in 0..m {
+        let v = p.add_var(format!("seed{i}"), 100.0, 0.0, f64::INFINITY);
+        let r = p.add_row(format!("r{i}"), Relation::Ge, 1.0 + (i % 5) as f64);
+        p.set_coeff(r, v, 1.0);
+    }
+    let mut s = Simplex::with_options(&p, SimplexOptions::default());
+    let first = s.solve();
+    assert_eq!(first.status, SolveStatus::Optimal);
+    let mut last_obj = first.objective;
+
+    let mut state = 0x853c49e6748fea9bu64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    // 200 generated columns in 20 rounds.
+    for _round in 0..20 {
+        for _ in 0..10 {
+            let nnz = 2 + (rng() * 4.0) as usize;
+            let coeffs: Vec<(usize, f64)> = (0..nnz)
+                .map(|_| ((rng() * m as f64) as usize % m, 0.5 + rng()))
+                .collect();
+            s.add_column(1.0 + rng() * 5.0, 0.0, f64::INFINITY, &coeffs);
+        }
+        let sol = s.reoptimize();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // Objective can only improve as columns are added.
+        assert!(sol.objective <= last_obj + 1e-6, "{} > {}", sol.objective, last_obj);
+        last_obj = sol.objective;
+    }
+    assert!(last_obj < first.objective, "columns should have helped");
+}
+
+/// Dual values price equality rows correctly: for `min cᵀx, Ax = b`,
+/// strong duality gives `cᵀx* = yᵀb` when all bounds are slack.
+#[test]
+fn equality_duals_satisfy_strong_duality() {
+    let mut p = Problem::new();
+    let x = p.add_var("x", 3.0, 0.0, 100.0);
+    let y = p.add_var("y", 5.0, 0.0, 100.0);
+    let z = p.add_var("z", 4.0, 0.0, 100.0);
+    let r1 = p.add_row("r1", Relation::Eq, 5.0);
+    let r2 = p.add_row("r2", Relation::Eq, 8.0);
+    p.set_coeff(r1, x, 1.0);
+    p.set_coeff(r1, y, 1.0);
+    p.set_coeff(r2, y, 1.0);
+    p.set_coeff(r2, z, 2.0);
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    let dual_obj = sol.duals[0] * 5.0 + sol.duals[1] * 8.0;
+    assert_close(sol.objective, dual_obj, 1e-6);
+}
+
+/// Badly scaled coefficients (1e-3 … 1e6) still solve.
+#[test]
+fn wide_coefficient_range() {
+    let mut p = Problem::new();
+    let x = p.add_var("x", 1e-3, 0.0, 1e9);
+    let y = p.add_var("y", 1e3, 0.0, 1e9);
+    let r1 = p.add_row("r1", Relation::Ge, 1e6);
+    p.set_coeff(r1, x, 1e-2);
+    p.set_coeff(r1, y, 1e4);
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!(p.is_feasible(&sol.x, 1.0));
+    // Cheapest way: x = 1e8 (obj 1e5) vs y = 100 (obj 1e5) — both equal;
+    // any convex mix is optimal with objective 1e5.
+    assert_close(sol.objective, 1e5, 1e-1);
+}
+
+/// Many bound flips: box-constrained LP with a single coupling row.
+#[test]
+fn box_lp_with_coupling_row() {
+    let n = 100;
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let sign = if j % 2 == 0 { -1.0 } else { 1.0 };
+            p.add_var(format!("x{j}"), sign * (1.0 + j as f64), 0.0, 1.0)
+        })
+        .collect();
+    let r = p.add_row("sum", Relation::Le, 30.0);
+    for &v in &vars {
+        p.set_coeff(r, v, 1.0);
+    }
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!(p.is_feasible(&sol.x, 1e-6));
+    // The 30 cheapest (most negative) coefficients are the even indices
+    // with largest magnitude: x_98, x_96, … The optimum picks exactly 30
+    // of the 50 negative-cost variables.
+    let picked: f64 = sol.x.iter().sum();
+    assert_close(picked, 30.0, 1e-6);
+}
+
+/// Degenerate + redundant structure at moderate scale.
+#[test]
+fn redundancy_stress() {
+    let mut p = Problem::new();
+    let n = 20;
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(format!("x{j}"), (j % 3) as f64 + 1.0, 0.0, 5.0))
+        .collect();
+    // The same equality row repeated 5 times + its doubled version.
+    for k in 0..5 {
+        let r = p.add_row(format!("dup{k}"), Relation::Eq, 10.0);
+        for &v in &vars {
+            p.set_coeff(r, v, 1.0);
+        }
+    }
+    let r2 = p.add_row("double", Relation::Eq, 20.0);
+    for &v in &vars {
+        p.set_coeff(r2, v, 2.0);
+    }
+    let sol = solve_lp(&p);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!(p.is_feasible(&sol.x, 1e-6));
+    // All mass on the cheapest cost class (cost 1): objective 10.
+    assert_close(sol.objective, 10.0, 1e-6);
+}

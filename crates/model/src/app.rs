@@ -1,0 +1,344 @@
+//! Applications: named virtual network topologies offered by the provider.
+//!
+//! An [`AppSet`] holds the catalogue `A` of applications that requests may
+//! ask for. The paper's evaluation draws four application instances per
+//! execution (two chains, one two-branch tree, one accelerator chain —
+//! Table III), with VNF counts `U(3,5)` and element sizes `N(50, 30²)`;
+//! those randomized instances are produced by `vne-workload::appgen`, on
+//! top of the deterministic shape constructors here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelResult;
+use crate::ids::AppId;
+use crate::vnet::{VirtualNetwork, VnfKind};
+
+/// The shape family of an application topology (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppShape {
+    /// A linear chain of VNFs.
+    Chain,
+    /// A tree with two branches below the first VNF.
+    Tree,
+    /// A chain with a single accelerator VNF that reduces downstream
+    /// virtual link sizes by 70%.
+    Accelerator,
+    /// A chain with a single GPU VNF restricted to GPU datacenters.
+    Gpu,
+}
+
+impl AppShape {
+    /// A short label used in experiment outputs (Fig. 9's x-axis).
+    pub fn label(self) -> &'static str {
+        match self {
+            AppShape::Chain => "chain",
+            AppShape::Tree => "tree",
+            AppShape::Accelerator => "acc",
+            AppShape::Gpu => "gpu",
+        }
+    }
+}
+
+impl std::fmt::Display for AppShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An application: a named virtual network topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Identifier within the [`AppSet`].
+    pub id: AppId,
+    /// Human-readable name (e.g. `"chain-1"`).
+    pub name: String,
+    /// Shape family, for reporting.
+    pub shape: AppShape,
+    /// The topology `Ga`.
+    pub vnet: VirtualNetwork,
+}
+
+/// The catalogue of applications `A`.
+///
+/// # Examples
+///
+/// ```
+/// use vne_model::app::{AppSet, AppShape};
+/// use vne_model::vnet::VirtualNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut apps = AppSet::new();
+/// let chain = VirtualNetwork::chain(&[50.0, 50.0, 50.0], &[50.0, 50.0, 50.0])?;
+/// let id = apps.push("chain-1", AppShape::Chain, chain)?;
+/// assert_eq!(apps.len(), 1);
+/// assert_eq!(apps.app(id).name, "chain-1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AppSet {
+    apps: Vec<Application>,
+}
+
+impl AppSet {
+    /// Creates an empty application set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an application, validating its topology, and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the virtual network violates tree invariants.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        shape: AppShape,
+        vnet: VirtualNetwork,
+    ) -> ModelResult<AppId> {
+        vnet.validate()?;
+        let id = AppId::from_index(self.apps.len());
+        self.apps.push(Application {
+            id,
+            name: name.into(),
+            shape,
+            vnet,
+        });
+        Ok(id)
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// The application with id `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn app(&self, a: AppId) -> &Application {
+        &self.apps[a.index()]
+    }
+
+    /// The topology of application `a`.
+    pub fn vnet(&self, a: AppId) -> &VirtualNetwork {
+        &self.apps[a.index()].vnet
+    }
+
+    /// Iterates over the applications.
+    pub fn iter(&self) -> impl Iterator<Item = &Application> {
+        self.apps.iter()
+    }
+
+    /// All application ids.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> {
+        (0..self.apps.len()).map(AppId::from_index)
+    }
+
+    /// The mean total VNF size over applications — `E[Σ_i β_i]`, used by
+    /// the utilization calibration (§IV-A).
+    pub fn mean_total_node_size(&self) -> f64 {
+        if self.apps.is_empty() {
+            return 0.0;
+        }
+        self.apps
+            .iter()
+            .map(|a| a.vnet.total_node_size())
+            .sum::<f64>()
+            / self.apps.len() as f64
+    }
+}
+
+/// Deterministic shape constructors used by tests and the random
+/// application generator.
+pub mod shapes {
+    use super::*;
+
+    /// A chain of `n` VNFs with uniform node size `beta` and link size
+    /// `link_beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a size is invalid.
+    pub fn uniform_chain(n: usize, beta: f64, link_beta: f64) -> ModelResult<VirtualNetwork> {
+        VirtualNetwork::chain(&vec![beta; n], &vec![link_beta; n])
+    }
+
+    /// A two-branch tree: `θ → f0`, then two branches under `f0` that
+    /// split the remaining `n - 1` VNFs as evenly as possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a size is invalid.
+    pub fn two_branch_tree(n: usize, beta: f64, link_beta: f64) -> ModelResult<VirtualNetwork> {
+        let mut vn = VirtualNetwork::with_root();
+        if n == 0 {
+            return Ok(vn);
+        }
+        let (head, _) = vn.add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, beta, link_beta)?;
+        let rest = n - 1;
+        let left_len = rest.div_ceil(2);
+        let mut left_parent = head;
+        for _ in 0..left_len {
+            let (v, _) = vn.add_vnf(left_parent, VnfKind::Standard, beta, link_beta)?;
+            left_parent = v;
+        }
+        let mut right_parent = head;
+        for _ in 0..(rest - left_len) {
+            let (v, _) = vn.add_vnf(right_parent, VnfKind::Standard, beta, link_beta)?;
+            right_parent = v;
+        }
+        Ok(vn)
+    }
+
+    /// An accelerator chain: like [`uniform_chain`] but the VNF at
+    /// `acc_pos` (0-based among the VNFs) is an accelerator, and downstream
+    /// link sizes are reduced by 70% (factor 0.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `acc_pos ≥ n` (reported as unknown vnode) or a
+    /// size is invalid.
+    pub fn accelerator_chain(
+        n: usize,
+        beta: f64,
+        link_beta: f64,
+        acc_pos: usize,
+    ) -> ModelResult<VirtualNetwork> {
+        let mut vn = uniform_chain(n, beta, link_beta)?;
+        let v = crate::ids::VnodeId::from_index(acc_pos + 1);
+        if v.index() >= vn.node_count() {
+            return Err(crate::error::ModelError::UnknownVnode(v));
+        }
+        vn.node_mut(v).kind = VnfKind::Accelerator;
+        vn.apply_accelerator_discount(0.3);
+        Ok(vn)
+    }
+
+    /// A GPU chain: like [`uniform_chain`] but the VNF at `gpu_pos` is a
+    /// GPU VNF (restricted to GPU datacenters by the placement policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `gpu_pos ≥ n` or a size is invalid.
+    pub fn gpu_chain(
+        n: usize,
+        beta: f64,
+        link_beta: f64,
+        gpu_pos: usize,
+    ) -> ModelResult<VirtualNetwork> {
+        let mut vn = uniform_chain(n, beta, link_beta)?;
+        let v = crate::ids::VnodeId::from_index(gpu_pos + 1);
+        if v.index() >= vn.node_count() {
+            return Err(crate::error::ModelError::UnknownVnode(v));
+        }
+        vn.node_mut(v).kind = VnfKind::Gpu;
+        Ok(vn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_set_push_and_lookup() {
+        let mut set = AppSet::new();
+        let id = set
+            .push(
+                "c",
+                AppShape::Chain,
+                shapes::uniform_chain(3, 50.0, 50.0).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+        assert_eq!(set.app(id).shape, AppShape::Chain);
+        assert_eq!(set.vnet(id).vnf_count(), 3);
+        assert_eq!(set.ids().count(), 1);
+    }
+
+    #[test]
+    fn push_validates_topology() {
+        let mut set = AppSet::new();
+        let mut bad = VirtualNetwork::with_root();
+        bad.node_mut(VirtualNetwork::ROOT).beta = 5.0;
+        assert!(set.push("bad", AppShape::Chain, bad).is_err());
+    }
+
+    #[test]
+    fn mean_total_node_size() {
+        let mut set = AppSet::new();
+        assert_eq!(set.mean_total_node_size(), 0.0);
+        set.push(
+            "a",
+            AppShape::Chain,
+            shapes::uniform_chain(2, 10.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        set.push(
+            "b",
+            AppShape::Chain,
+            shapes::uniform_chain(4, 10.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(set.mean_total_node_size(), 30.0);
+    }
+
+    #[test]
+    fn two_branch_tree_splits_evenly() {
+        let vn = shapes::two_branch_tree(5, 10.0, 5.0).unwrap();
+        assert_eq!(vn.vnf_count(), 5);
+        assert!(!vn.is_chain());
+        assert!(vn.validate().is_ok());
+        // Head has two children: branches of length 2 and 2.
+        let head = crate::ids::VnodeId(1);
+        assert_eq!(vn.children(head).len(), 2);
+    }
+
+    #[test]
+    fn two_branch_tree_small_counts() {
+        assert_eq!(shapes::two_branch_tree(0, 1.0, 1.0).unwrap().vnf_count(), 0);
+        assert_eq!(shapes::two_branch_tree(1, 1.0, 1.0).unwrap().vnf_count(), 1);
+        let two = shapes::two_branch_tree(2, 1.0, 1.0).unwrap();
+        assert_eq!(two.vnf_count(), 2);
+        assert!(two.is_chain());
+    }
+
+    #[test]
+    fn accelerator_chain_discounts_downstream() {
+        let vn = shapes::accelerator_chain(4, 50.0, 10.0, 1).unwrap();
+        // VNF at position 1 (vnode 2) is the accelerator.
+        assert_eq!(vn.node(crate::ids::VnodeId(2)).kind, VnfKind::Accelerator);
+        // Links: e0 (θ→f0)=10, e1 (f0→acc)=10, e2, e3 = 3.
+        assert_eq!(vn.link(crate::ids::VlinkId(0)).beta, 10.0);
+        assert_eq!(vn.link(crate::ids::VlinkId(1)).beta, 10.0);
+        assert!((vn.link(crate::ids::VlinkId(2)).beta - 3.0).abs() < 1e-12);
+        assert!((vn.link(crate::ids::VlinkId(3)).beta - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerator_chain_rejects_bad_position() {
+        assert!(shapes::accelerator_chain(3, 1.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn gpu_chain_marks_gpu_vnf() {
+        let vn = shapes::gpu_chain(3, 50.0, 10.0, 2).unwrap();
+        assert!(vn.has_gpu_vnf());
+        assert_eq!(vn.node(crate::ids::VnodeId(3)).kind, VnfKind::Gpu);
+    }
+
+    #[test]
+    fn shape_labels() {
+        assert_eq!(AppShape::Chain.to_string(), "chain");
+        assert_eq!(AppShape::Accelerator.label(), "acc");
+    }
+}

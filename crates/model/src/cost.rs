@@ -1,0 +1,109 @@
+//! Cost model: resource costs and rejection penalties.
+//!
+//! The optimization criterion is `cost_S(x) + Ψ(x)` (Eqs. 3–4): resource
+//! consumption priced per element per slot, plus `Ψ(r) = ψ·d(r)·T(r)` for
+//! every rejected request. The paper sets a "very conservative" ψ equal to
+//! the cost of allocating the application's elements on the most expensive
+//! substrate elements; [`RejectionPenalty::conservative`] reproduces that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppSet;
+use crate::ids::AppId;
+use crate::substrate::SubstrateNetwork;
+
+/// Per-application rejection penalty factors `ψ(a)`.
+///
+/// `Ψ(r) = ψ(a(r)) · d(r) · T(r)` for a rejected request `r`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectionPenalty {
+    per_app: Vec<f64>,
+}
+
+impl RejectionPenalty {
+    /// The paper's conservative penalty: the cost of placing every element
+    /// of `a` on the most expensive substrate element of its kind, per
+    /// unit demand per slot:
+    /// `ψ(a) = Σ_i β_i · max_v cost(v) + Σ_(ij) β_(ij) · max_l cost(l)`.
+    pub fn conservative(apps: &AppSet, substrate: &SubstrateNetwork) -> Self {
+        let max_node = substrate.max_node_cost();
+        let max_link = substrate.max_link_cost();
+        let per_app = apps
+            .iter()
+            .map(|a| {
+                a.vnet.total_node_size() * max_node + a.vnet.total_link_size() * max_link
+            })
+            .collect();
+        Self { per_app }
+    }
+
+    /// A uniform penalty factor for every application.
+    pub fn uniform(apps: &AppSet, psi: f64) -> Self {
+        Self {
+            per_app: vec![psi; apps.len()],
+        }
+    }
+
+    /// The penalty factor for application `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn psi(&self, a: AppId) -> f64 {
+        self.per_app[a.index()]
+    }
+
+    /// The largest penalty factor across applications (useful as a single
+    /// scalar ψ for PLAN-VNE).
+    pub fn max_psi(&self) -> f64 {
+        self.per_app.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{shapes, AppShape};
+    use crate::substrate::Tier;
+
+    fn setup() -> (AppSet, SubstrateNetwork) {
+        let mut apps = AppSet::new();
+        apps.push(
+            "c",
+            AppShape::Chain,
+            shapes::uniform_chain(2, 10.0, 4.0).unwrap(),
+        )
+        .unwrap();
+        apps.push(
+            "d",
+            AppShape::Chain,
+            shapes::uniform_chain(3, 10.0, 4.0).unwrap(),
+        )
+        .unwrap();
+        let mut s = SubstrateNetwork::new("pair");
+        let a = s.add_node("a", Tier::Edge, 100.0, 50.0).unwrap();
+        let b = s.add_node("b", Tier::Core, 200.0, 1.0).unwrap();
+        s.add_link(a, b, 50.0, 2.0).unwrap();
+        (apps, s)
+    }
+
+    #[test]
+    fn conservative_uses_most_expensive_elements() {
+        let (apps, s) = setup();
+        let pen = RejectionPenalty::conservative(&apps, &s);
+        // App 0: nodes 20·50 + links 8·2 = 1016.
+        assert_eq!(pen.psi(AppId(0)), 20.0 * 50.0 + 8.0 * 2.0);
+        // App 1: nodes 30·50 + links 12·2 = 1524.
+        assert_eq!(pen.psi(AppId(1)), 30.0 * 50.0 + 12.0 * 2.0);
+        assert_eq!(pen.max_psi(), 1524.0);
+    }
+
+    #[test]
+    fn uniform_penalty() {
+        let (apps, _s) = setup();
+        let pen = RejectionPenalty::uniform(&apps, 7.0);
+        assert_eq!(pen.psi(AppId(0)), 7.0);
+        assert_eq!(pen.psi(AppId(1)), 7.0);
+        assert_eq!(pen.max_psi(), 7.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{LinkId, NodeId, VlinkId, VnodeId};
+
+/// Errors produced while constructing or validating model entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A link refers to a node id that does not exist in the substrate.
+    UnknownNode(NodeId),
+    /// A reference to a link id that does not exist in the substrate.
+    UnknownLink(LinkId),
+    /// A self-loop link was requested (`a == b`).
+    SelfLoop(NodeId),
+    /// A duplicate link between the same node pair was requested.
+    DuplicateLink(NodeId, NodeId),
+    /// A capacity or size value is negative or non-finite.
+    InvalidQuantity {
+        /// What the quantity describes (e.g. `"node capacity"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The virtual network is not a tree rooted at its root node.
+    NotATree,
+    /// A virtual network has no nodes.
+    EmptyVirtualNetwork,
+    /// The root of a virtual network must have size zero (`β_θ = 0`).
+    NonZeroRootSize(f64),
+    /// A virtual link endpoint does not exist.
+    UnknownVnode(VnodeId),
+    /// A reference to a virtual link that does not exist.
+    UnknownVlink(VlinkId),
+    /// An embedding maps a virtual element onto a forbidden substrate element
+    /// (infinite inefficiency coefficient).
+    ForbiddenPlacement {
+        /// The virtual node that cannot be placed.
+        vnode: VnodeId,
+        /// The substrate node it was mapped to.
+        node: NodeId,
+    },
+    /// An embedding's path for a virtual link is not a contiguous substrate
+    /// path between the mapped endpoints.
+    BrokenPath(VlinkId),
+    /// An embedding is missing a mapping for a virtual element.
+    IncompleteEmbedding,
+    /// The substrate graph is not connected.
+    DisconnectedSubstrate,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(n) => write!(f, "unknown substrate node {n}"),
+            ModelError::UnknownLink(l) => write!(f, "unknown substrate link {l}"),
+            ModelError::SelfLoop(n) => write!(f, "self-loop link at node {n}"),
+            ModelError::DuplicateLink(a, b) => {
+                write!(f, "duplicate link between {a} and {b}")
+            }
+            ModelError::InvalidQuantity { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            ModelError::NotATree => write!(f, "virtual network is not a tree rooted at its root"),
+            ModelError::EmptyVirtualNetwork => write!(f, "virtual network has no nodes"),
+            ModelError::NonZeroRootSize(b) => {
+                write!(f, "virtual network root must have size 0, got {b}")
+            }
+            ModelError::UnknownVnode(v) => write!(f, "unknown virtual node {v}"),
+            ModelError::UnknownVlink(e) => write!(f, "unknown virtual link {e}"),
+            ModelError::ForbiddenPlacement { vnode, node } => {
+                write!(f, "virtual node {vnode} may not be placed on substrate node {node}")
+            }
+            ModelError::BrokenPath(e) => {
+                write!(f, "embedding path for virtual link {e} is not contiguous")
+            }
+            ModelError::IncompleteEmbedding => write!(f, "embedding does not map every element"),
+            ModelError::DisconnectedSubstrate => write!(f, "substrate graph is not connected"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Convenience result alias for model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+/// Validates that a scalar quantity is finite and non-negative.
+pub(crate) fn check_quantity(what: &'static str, value: f64) -> ModelResult<f64> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidQuantity { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = ModelError::SelfLoop(NodeId(1));
+        let msg = e.to_string();
+        assert!(msg.starts_with("self-loop"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn check_quantity_accepts_zero_and_positive() {
+        assert_eq!(check_quantity("x", 0.0), Ok(0.0));
+        assert_eq!(check_quantity("x", 1.5), Ok(1.5));
+    }
+
+    #[test]
+    fn check_quantity_rejects_negative_nan_inf() {
+        assert!(check_quantity("x", -1.0).is_err());
+        assert!(check_quantity("x", f64::NAN).is_err());
+        assert!(check_quantity("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_are_error_trait_objects() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

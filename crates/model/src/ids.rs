@@ -1,0 +1,189 @@
+//! Strongly-typed identifiers for substrate and virtual network elements.
+//!
+//! Every entity in the model is referred to by a small copyable id newtype
+//! ([`NodeId`], [`LinkId`], [`VnodeId`], [`VlinkId`], [`AppId`],
+//! [`RequestId`]) rather than by raw integers, so that e.g. a virtual node
+//! index can never be confused with a substrate node index at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index wrapped by this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in the underlying representation.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(<$repr>::try_from(index).expect("id index out of range"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a substrate (physical) node — a datacenter.
+    NodeId,
+    u32,
+    "n"
+);
+id_type!(
+    /// Identifier of a substrate (physical) link between two datacenters.
+    LinkId,
+    u32,
+    "l"
+);
+id_type!(
+    /// Identifier of a virtual node (VNF) within one virtual network.
+    VnodeId,
+    u16,
+    "v"
+);
+id_type!(
+    /// Identifier of a virtual link within one virtual network.
+    VlinkId,
+    u16,
+    "e"
+);
+id_type!(
+    /// Identifier of an application (virtual network topology) in an [`crate::app::AppSet`].
+    AppId,
+    u32,
+    "a"
+);
+id_type!(
+    /// Identifier of an online embedding request.
+    RequestId,
+    u64,
+    "r"
+);
+
+/// A substrate element: either a node or a link.
+///
+/// Capacities, costs and loads are defined uniformly over elements
+/// (`s ∈ S` in the paper), so APIs that apply to both use this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ElementId {
+    /// A substrate node (datacenter).
+    Node(NodeId),
+    /// A substrate link.
+    Link(LinkId),
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElementId::Node(n) => write!(f, "{n}"),
+            ElementId::Link(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A request class: all requests sharing an application and ingress location.
+///
+/// Classes are the aggregation unit of the offline plan (`r̃_{a,v}` in the
+/// paper, Eq. 5): requests of the same class share placement constraints,
+/// element sizes and inefficiency coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId {
+    /// The application requested.
+    pub app: AppId,
+    /// The ingress substrate node (`v(r)`).
+    pub ingress: NodeId,
+}
+
+impl ClassId {
+    /// Creates the class of requests for application `app` arriving at `ingress`.
+    pub fn new(app: AppId, ingress: NodeId) -> Self {
+        Self { app, ingress }
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.app, self.ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_usize() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(usize::from(n), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(VnodeId(1).to_string(), "v1");
+        assert_eq!(VlinkId(0).to_string(), "e0");
+        assert_eq!(AppId(2).to_string(), "a2");
+        assert_eq!(RequestId(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn element_display_delegates() {
+        assert_eq!(ElementId::Node(NodeId(1)).to_string(), "n1");
+        assert_eq!(ElementId::Link(LinkId(2)).to_string(), "l2");
+    }
+
+    #[test]
+    fn class_id_orders_by_app_then_ingress() {
+        let a = ClassId::new(AppId(0), NodeId(5));
+        let b = ClassId::new(AppId(1), NodeId(0));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "a0@n5");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index out of range")]
+    fn vnode_id_rejects_oversized_index() {
+        let _ = VnodeId::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ids_are_hash_and_ord_usable() {
+        use std::collections::{BTreeSet, HashSet};
+        let mut h = HashSet::new();
+        h.insert(ClassId::new(AppId(1), NodeId(2)));
+        assert!(h.contains(&ClassId::new(AppId(1), NodeId(2))));
+        let mut b = BTreeSet::new();
+        b.insert(ElementId::Link(LinkId(1)));
+        b.insert(ElementId::Node(NodeId(1)));
+        assert_eq!(b.len(), 2);
+    }
+}

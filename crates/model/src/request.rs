@@ -1,0 +1,93 @@
+//! Online embedding requests.
+//!
+//! A request `r` arrives at slot `t(r)` at ingress `v(r)` for application
+//! `a(r)` with demand `d(r)`, and stays active for `T(r)` slots
+//! (`t(r) ≤ t < t(r)+T(r)`). Durations are known to the system only upon
+//! departure; the simulator carries them for bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, ClassId, NodeId, RequestId};
+
+/// A discrete time slot index (`t ∈ T`).
+pub type Slot = u32;
+
+/// An online request to embed an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id, also encoding arrival order (ids are assigned in
+    /// non-decreasing arrival time by trace generators).
+    pub id: RequestId,
+    /// Arrival slot `t(r)`.
+    pub arrival: Slot,
+    /// Duration in slots `T(r) ≥ 1`; the request is active for
+    /// `arrival ≤ t < arrival + duration`.
+    pub duration: Slot,
+    /// Ingress substrate node `v(r)` (the user's location).
+    pub ingress: NodeId,
+    /// Requested application `a(r)`.
+    pub app: AppId,
+    /// Demand size `d(r) > 0`.
+    pub demand: f64,
+}
+
+impl Request {
+    /// The slot at which the request departs (first slot it is inactive).
+    pub fn departure(&self) -> Slot {
+        self.arrival + self.duration
+    }
+
+    /// Whether the request is active at slot `t`.
+    pub fn active_at(&self, t: Slot) -> bool {
+        self.arrival <= t && t < self.departure()
+    }
+
+    /// The request's class `(a(r), v(r))` (Eq. 5).
+    pub fn class(&self) -> ClassId {
+        ClassId::new(self.app, self.ingress)
+    }
+
+    /// The rejection cost `Ψ(r) = ψ · d(r) · T(r)` for a penalty factor ψ.
+    pub fn rejection_cost(&self, psi: f64) -> f64 {
+        psi * self.demand * f64::from(self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request {
+            id: RequestId(1),
+            arrival: 10,
+            duration: 4,
+            ingress: NodeId(2),
+            app: AppId(0),
+            demand: 3.5,
+        }
+    }
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let r = req();
+        assert!(!r.active_at(9));
+        assert!(r.active_at(10));
+        assert!(r.active_at(13));
+        assert!(!r.active_at(14));
+        assert_eq!(r.departure(), 14);
+    }
+
+    #[test]
+    fn class_combines_app_and_ingress() {
+        let r = req();
+        assert_eq!(r.class(), ClassId::new(AppId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn rejection_cost_scales_with_demand_and_duration() {
+        let r = req();
+        assert_eq!(r.rejection_cost(2.0), 2.0 * 3.5 * 4.0);
+        assert_eq!(r.rejection_cost(0.0), 0.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Virtual networks: rooted trees of VNFs connected by virtual links.
+//!
+//! Each application's topology `Ga` is a tree (chains are a special case)
+//! rooted at the user node `θa`. The root only represents the ingress
+//! point, so its size is fixed to zero (`β_θ = 0`). Every other virtual
+//! node is a VNF with a size `β`, and every virtual link carries a traffic
+//! size `β`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_quantity, ModelError, ModelResult};
+use crate::ids::{VlinkId, VnodeId};
+
+/// The kind of a VNF, used by placement policies (`η` coefficients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum VnfKind {
+    /// An ordinary VNF placeable on any non-specialized datacenter.
+    #[default]
+    Standard,
+    /// A VNF requiring GPU acceleration; may only be placed on GPU
+    /// datacenters (Fig. 10 scenario).
+    Gpu,
+    /// A hardware-acceleratable packet-processing function; reduces the
+    /// size of downstream virtual links by the application's acceleration
+    /// factor (the paper's "accelerator" application, after [33]).
+    Accelerator,
+}
+
+/// A virtual node (VNF or the root user node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vnf {
+    /// Resource requirement `β_q` (zero for the root).
+    pub beta: f64,
+    /// VNF kind for placement policies.
+    pub kind: VnfKind,
+}
+
+/// A virtual link, directed from parent to child in the rooted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualLink {
+    /// Parent endpoint (closer to the root).
+    pub from: VnodeId,
+    /// Child endpoint.
+    pub to: VnodeId,
+    /// Traffic requirement `β_q`.
+    pub beta: f64,
+}
+
+/// A rooted tree virtual network (`Ga` in the paper).
+///
+/// Node `0` is always the root `θ`. Virtual link `e` connects
+/// `parent(to(e)) → to(e)`; link ids are assigned in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use vne_model::vnet::VirtualNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // θ → f0 → f1 (a 2-VNF chain).
+/// let chain = VirtualNetwork::chain(&[40.0, 60.0], &[30.0, 20.0])?;
+/// assert_eq!(chain.vnf_count(), 2);
+/// assert!(chain.is_chain());
+/// assert_eq!(chain.total_node_size(), 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualNetwork {
+    nodes: Vec<Vnf>,
+    links: Vec<VirtualLink>,
+    /// parent[i] = Some((parent node, connecting link)) for non-root nodes.
+    parents: Vec<Option<(VnodeId, VlinkId)>>,
+    children: Vec<Vec<VnodeId>>,
+}
+
+impl VirtualNetwork {
+    /// The id of the root node `θ`.
+    pub const ROOT: VnodeId = VnodeId(0);
+
+    /// Creates a virtual network containing only the root `θ` (size 0).
+    pub fn with_root() -> Self {
+        Self {
+            nodes: vec![Vnf {
+                beta: 0.0,
+                kind: VnfKind::Standard,
+            }],
+            links: Vec::new(),
+            parents: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Adds a VNF as a child of `parent`, connected by a virtual link of
+    /// size `link_beta`. Returns the new node id and the link id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parent` does not exist or a size is invalid.
+    pub fn add_vnf(
+        &mut self,
+        parent: VnodeId,
+        kind: VnfKind,
+        beta: f64,
+        link_beta: f64,
+    ) -> ModelResult<(VnodeId, VlinkId)> {
+        if parent.index() >= self.nodes.len() {
+            return Err(ModelError::UnknownVnode(parent));
+        }
+        check_quantity("vnf size", beta)?;
+        check_quantity("virtual link size", link_beta)?;
+        let node = VnodeId::from_index(self.nodes.len());
+        let link = VlinkId::from_index(self.links.len());
+        self.nodes.push(Vnf { beta, kind });
+        self.links.push(VirtualLink {
+            from: parent,
+            to: node,
+            beta: link_beta,
+        });
+        self.parents.push(Some((parent, link)));
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(node);
+        Ok((node, link))
+    }
+
+    /// Builds a chain `θ → f0 → f1 → …` with the given VNF sizes and link
+    /// sizes (`link_betas[i]` connects node `i`'s parent to node `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slices have different lengths (reported as
+    /// [`ModelError::NotATree`]) or any size is invalid.
+    pub fn chain(vnf_betas: &[f64], link_betas: &[f64]) -> ModelResult<Self> {
+        if vnf_betas.len() != link_betas.len() {
+            return Err(ModelError::NotATree);
+        }
+        let mut vn = Self::with_root();
+        let mut parent = Self::ROOT;
+        for (&b, &lb) in vnf_betas.iter().zip(link_betas) {
+            let (n, _) = vn.add_vnf(parent, VnfKind::Standard, b, lb)?;
+            parent = n;
+        }
+        Ok(vn)
+    }
+
+    /// Number of virtual nodes including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of VNFs (excluding the root).
+    pub fn vnf_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of virtual links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The virtual node with id `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn node(&self, v: VnodeId) -> &Vnf {
+        &self.nodes[v.index()]
+    }
+
+    /// Mutable access to a virtual node (used by application generators).
+    pub fn node_mut(&mut self, v: VnodeId) -> &mut Vnf {
+        &mut self.nodes[v.index()]
+    }
+
+    /// The virtual link with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn link(&self, e: VlinkId) -> &VirtualLink {
+        &self.links[e.index()]
+    }
+
+    /// Mutable access to a virtual link (used by the accelerator discount).
+    pub fn link_mut(&mut self, e: VlinkId) -> &mut VirtualLink {
+        &mut self.links[e.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs, including the root.
+    pub fn vnodes(&self) -> impl Iterator<Item = (VnodeId, &Vnf)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VnodeId::from_index(i), n))
+    }
+
+    /// Iterates over `(id, link)` pairs.
+    pub fn vlinks(&self) -> impl Iterator<Item = (VlinkId, &VirtualLink)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (VlinkId::from_index(i), l))
+    }
+
+    /// The parent of `v` and the link that connects them (`None` for the root).
+    pub fn parent(&self, v: VnodeId) -> Option<(VnodeId, VlinkId)> {
+        self.parents[v.index()]
+    }
+
+    /// The children of `v`.
+    pub fn children(&self, v: VnodeId) -> &[VnodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Nodes in breadth-first order starting at the root.
+    pub fn bfs_order(&self) -> Vec<VnodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(Self::ROOT);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in self.children(v) {
+                queue.push_back(c);
+            }
+        }
+        order
+    }
+
+    /// Whether the topology is a chain (every node has at most one child).
+    pub fn is_chain(&self) -> bool {
+        self.children.iter().all(|c| c.len() <= 1)
+    }
+
+    /// Whether any VNF requires a GPU.
+    pub fn has_gpu_vnf(&self) -> bool {
+        self.nodes.iter().any(|n| n.kind == VnfKind::Gpu)
+    }
+
+    /// Total VNF size `Σ_i β_i` (excluding the root, whose β is 0 anyway).
+    pub fn total_node_size(&self) -> f64 {
+        self.nodes.iter().map(|n| n.beta).sum()
+    }
+
+    /// Total virtual link size `Σ_(ij) β_(ij)`.
+    pub fn total_link_size(&self) -> f64 {
+        self.links.iter().map(|l| l.beta).sum()
+    }
+
+    /// Applies the accelerator discount: every virtual link strictly
+    /// downstream of an [`VnfKind::Accelerator`] node has its size
+    /// multiplied by `factor` (the paper uses 0.3, i.e. a 70% reduction).
+    pub fn apply_accelerator_discount(&mut self, factor: f64) {
+        let order = self.bfs_order();
+        let mut accelerated = vec![false; self.nodes.len()];
+        for v in order {
+            let inherited = self
+                .parent(v)
+                .map(|(p, _)| accelerated[p.index()])
+                .unwrap_or(false);
+            let here = inherited || self.nodes[v.index()].kind == VnfKind::Accelerator;
+            accelerated[v.index()] = here;
+            if inherited {
+                // The link from the parent is downstream of the accelerator.
+                if let Some((_, e)) = self.parent(v) {
+                    self.links[e.index()].beta *= factor;
+                }
+            }
+        }
+    }
+
+    /// Validates tree invariants: non-empty, root size zero, all nodes
+    /// reachable from the root, `|links| == |nodes| - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> ModelResult<()> {
+        if self.nodes.is_empty() {
+            return Err(ModelError::EmptyVirtualNetwork);
+        }
+        let root_beta = self.nodes[0].beta;
+        if root_beta != 0.0 {
+            return Err(ModelError::NonZeroRootSize(root_beta));
+        }
+        if self.links.len() != self.nodes.len() - 1 {
+            return Err(ModelError::NotATree);
+        }
+        if self.bfs_order().len() != self.nodes.len() {
+            return Err(ModelError::NotATree);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_only_network_is_valid() {
+        let vn = VirtualNetwork::with_root();
+        assert_eq!(vn.node_count(), 1);
+        assert_eq!(vn.vnf_count(), 0);
+        assert!(vn.validate().is_ok());
+        assert!(vn.is_chain());
+    }
+
+    #[test]
+    fn chain_construction() {
+        let vn = VirtualNetwork::chain(&[10.0, 20.0, 30.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(vn.vnf_count(), 3);
+        assert_eq!(vn.link_count(), 3);
+        assert!(vn.is_chain());
+        assert!(vn.validate().is_ok());
+        assert_eq!(vn.total_node_size(), 60.0);
+        assert_eq!(vn.total_link_size(), 6.0);
+        // Parent chain: 0 <- 1 <- 2 <- 3.
+        assert_eq!(vn.parent(VnodeId(1)), Some((VnodeId(0), VlinkId(0))));
+        assert_eq!(vn.parent(VnodeId(3)), Some((VnodeId(2), VlinkId(2))));
+        assert_eq!(vn.parent(VnodeId(0)), None);
+    }
+
+    #[test]
+    fn chain_rejects_mismatched_sizes() {
+        assert!(VirtualNetwork::chain(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn tree_with_branches() {
+        let mut vn = VirtualNetwork::with_root();
+        let (a, _) = vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, 10.0, 1.0)
+            .unwrap();
+        let (_b, _) = vn.add_vnf(a, VnfKind::Standard, 20.0, 2.0).unwrap();
+        let (_c, _) = vn.add_vnf(a, VnfKind::Standard, 30.0, 3.0).unwrap();
+        assert!(!vn.is_chain());
+        assert!(vn.validate().is_ok());
+        assert_eq!(vn.children(a).len(), 2);
+        assert_eq!(vn.bfs_order().len(), 4);
+    }
+
+    #[test]
+    fn add_vnf_rejects_unknown_parent() {
+        let mut vn = VirtualNetwork::with_root();
+        assert_eq!(
+            vn.add_vnf(VnodeId(5), VnfKind::Standard, 1.0, 1.0),
+            Err(ModelError::UnknownVnode(VnodeId(5)))
+        );
+    }
+
+    #[test]
+    fn add_vnf_rejects_negative_sizes() {
+        let mut vn = VirtualNetwork::with_root();
+        assert!(vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, -1.0, 1.0)
+            .is_err());
+        assert!(vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, 1.0, -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn accelerator_discount_applies_downstream_only() {
+        // θ → f0 → acc → f2 → f3 ; links sized 10 each.
+        let mut vn = VirtualNetwork::with_root();
+        let (f0, _) = vn
+            .add_vnf(VirtualNetwork::ROOT, VnfKind::Standard, 5.0, 10.0)
+            .unwrap();
+        let (acc, _) = vn.add_vnf(f0, VnfKind::Accelerator, 5.0, 10.0).unwrap();
+        let (f2, e2) = vn.add_vnf(acc, VnfKind::Standard, 5.0, 10.0).unwrap();
+        let (_f3, e3) = vn.add_vnf(f2, VnfKind::Standard, 5.0, 10.0).unwrap();
+        vn.apply_accelerator_discount(0.3);
+        // Links up to and including the accelerator keep their size.
+        assert_eq!(vn.link(VlinkId(0)).beta, 10.0);
+        assert_eq!(vn.link(VlinkId(1)).beta, 10.0);
+        // Links strictly after the accelerator are reduced by 70%.
+        assert!((vn.link(e2).beta - 3.0).abs() < 1e-12);
+        assert!((vn.link(e3).beta - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_detection() {
+        let mut vn = VirtualNetwork::with_root();
+        assert!(!vn.has_gpu_vnf());
+        vn.add_vnf(VirtualNetwork::ROOT, VnfKind::Gpu, 1.0, 1.0)
+            .unwrap();
+        assert!(vn.has_gpu_vnf());
+    }
+
+    #[test]
+    fn validate_catches_nonzero_root() {
+        let mut vn = VirtualNetwork::with_root();
+        vn.node_mut(VirtualNetwork::ROOT).beta = 1.0;
+        assert_eq!(vn.validate(), Err(ModelError::NonZeroRootSize(1.0)));
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root() {
+        let vn = VirtualNetwork::chain(&[1.0, 1.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(vn.bfs_order()[0], VirtualNetwork::ROOT);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the model crate's core invariants.
+
+use proptest::prelude::*;
+use vne_model::embedding::{Embedding, Footprint};
+use vne_model::ids::{LinkId, NodeId};
+use vne_model::load::LoadLedger;
+use vne_model::policy::PlacementPolicy;
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_model::vnet::{VirtualNetwork, VnfKind};
+
+/// A random connected substrate: a path backbone plus random extra links.
+fn arb_substrate() -> impl Strategy<Value = SubstrateNetwork> {
+    (3usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..10)).prop_map(
+        |(n, extra)| {
+            let mut s = SubstrateNetwork::new("prop");
+            let tiers = [Tier::Edge, Tier::Transport, Tier::Core];
+            for i in 0..n {
+                s.add_node(
+                    format!("n{i}"),
+                    tiers[i % 3],
+                    100.0 + i as f64,
+                    1.0 + i as f64,
+                )
+                .unwrap();
+            }
+            for i in 1..n {
+                s.add_link(
+                    NodeId::from_index(i - 1),
+                    NodeId::from_index(i),
+                    50.0,
+                    1.0,
+                )
+                .unwrap();
+            }
+            for (a, b) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    let (a, b) = (NodeId::from_index(a), NodeId::from_index(b));
+                    if s.link_between(a, b).is_none() {
+                        s.add_link(a, b, 50.0, 1.0).unwrap();
+                    }
+                }
+            }
+            s
+        },
+    )
+}
+
+/// A random tree virtual network with parent indices < child index.
+fn arb_vnet() -> impl Strategy<Value = VirtualNetwork> {
+    proptest::collection::vec((any::<u16>(), 1.0f64..100.0, 1.0f64..100.0), 1..8).prop_map(
+        |specs| {
+            let mut vn = VirtualNetwork::with_root();
+            for (pick, beta, link_beta) in specs {
+                let parent =
+                    vne_model::ids::VnodeId::from_index(pick as usize % vn.node_count());
+                vn.add_vnf(parent, VnfKind::Standard, beta, link_beta).unwrap();
+            }
+            vn
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn random_trees_always_validate(vn in arb_vnet()) {
+        prop_assert!(vn.validate().is_ok());
+        prop_assert_eq!(vn.bfs_order().len(), vn.node_count());
+        prop_assert_eq!(vn.link_count(), vn.node_count() - 1);
+    }
+
+    #[test]
+    fn substrates_are_connected_with_valid_adjacency(s in arb_substrate()) {
+        prop_assert!(s.is_connected());
+        // Handshake lemma: sum of degrees = 2 · |links|.
+        let total_degree: usize = s.node_ids().map(|n| s.degree(n)).sum();
+        prop_assert_eq!(total_degree, 2 * s.link_count());
+    }
+
+    #[test]
+    fn shortest_paths_are_consistent(s in arb_substrate()) {
+        let sp = s.shortest_paths(NodeId(0), |l| Some(s.link(l).cost));
+        for target in s.node_ids() {
+            prop_assert!(sp.reachable(target));
+            let path = sp.path_to(target).unwrap();
+            // Walking the path must reach the target with the claimed cost.
+            let mut cur = NodeId(0);
+            let mut cost = 0.0;
+            for l in &path {
+                cost += s.link(*l).cost;
+                cur = s.link(*l).other(cur);
+            }
+            prop_assert_eq!(cur, target);
+            prop_assert!((cost - sp.distance(target)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn footprint_consolidation_preserves_totals(
+        raw in proptest::collection::vec((0u32..6, 0.0f64..10.0), 0..20)
+    ) {
+        let nodes: Vec<(NodeId, f64)> = raw.iter().map(|&(k, x)| (NodeId(k), x)).collect();
+        let total: f64 = nodes.iter().map(|&(_, x)| x).sum();
+        let fp = Footprint::from_parts(nodes, vec![]);
+        let consolidated: f64 = fp.nodes().iter().map(|&(_, x)| x).sum();
+        prop_assert!((total - consolidated).abs() < 1e-9);
+        // Sorted and unique keys.
+        prop_assert!(fp.nodes().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn ledger_apply_remove_is_identity(
+        loads in proptest::collection::vec((0u32..4, 0.1f64..5.0), 1..10),
+        demand in 0.1f64..3.0,
+    ) {
+        let mut s = SubstrateNetwork::new("l");
+        for i in 0..4 {
+            s.add_node(format!("n{i}"), Tier::Edge, 1e6, 1.0).unwrap();
+        }
+        let fp = Footprint::from_parts(
+            loads.iter().map(|&(k, x)| (NodeId(k), x)).collect(),
+            vec![],
+        );
+        let mut ledger = LoadLedger::new(&s);
+        let before = ledger.clone();
+        ledger.apply(&fp, demand);
+        prop_assert!(ledger.check_invariants());
+        ledger.remove(&fp, demand);
+        for n in s.node_ids() {
+            prop_assert!((ledger.node_load(n) - before.node_load(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collocated_embedding_on_path_substrate_validates(
+        vn in arb_vnet(),
+        host_pick in any::<u16>(),
+    ) {
+        // Path substrate with enough nodes; embed everything on one host,
+        // root at node 0, with the path from root to host.
+        let mut s = SubstrateNetwork::new("path");
+        for i in 0..6 {
+            s.add_node(format!("n{i}"), Tier::Edge, 1e6, 1.0).unwrap();
+        }
+        for i in 1..6 {
+            s.add_link(NodeId::from_index(i - 1), NodeId::from_index(i), 1e6, 1.0).unwrap();
+        }
+        let host = NodeId::from_index(host_pick as usize % 6);
+        let sp = s.shortest_paths(NodeId(0), |_| Some(1.0));
+        let root_path = sp.path_to(host).unwrap();
+
+        let mut node_map = vec![host; vn.node_count()];
+        node_map[0] = NodeId(0);
+        let mut link_paths = vec![Vec::<LinkId>::new(); vn.link_count()];
+        for (e, vl) in vn.vlinks() {
+            if vl.from == VirtualNetwork::ROOT {
+                link_paths[e.index()] = root_path.clone();
+            }
+        }
+        let emb = Embedding::new(node_map, link_paths);
+        prop_assert!(emb.validate(&vn, &s, &PlacementPolicy::default()).is_ok());
+        prop_assert!(emb.is_collocated());
+    }
+}

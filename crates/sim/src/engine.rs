@@ -1,0 +1,295 @@
+//! The discrete-time simulation engine.
+//!
+//! Drives an [`OnlineAlgorithm`] slot by slot over a request trace:
+//! departures are released first, then the slot's arrivals are processed
+//! in order (ON-VNE semantics). The engine records a per-request outcome
+//! log and per-slot load/demand series from which all the paper's
+//! metrics are computed.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use vne_model::ids::{ClassId, RequestId};
+use vne_model::request::{Request, Slot};
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::algorithm::OnlineAlgorithm;
+
+/// Final status of a request after the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Accepted and never evicted.
+    Accepted,
+    /// Rejected on arrival.
+    Rejected,
+    /// Accepted, then preempted at the given slot.
+    Preempted(Slot),
+}
+
+impl RequestStatus {
+    /// Whether the request counts against the rejection rate (rejected on
+    /// arrival or preempted later — both incur the rejection cost).
+    pub fn is_denied(self) -> bool {
+        !matches!(self, RequestStatus::Accepted)
+    }
+}
+
+/// Outcome of a single request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The request id.
+    pub id: RequestId,
+    /// The request class.
+    pub class: ClassId,
+    /// Arrival slot.
+    pub arrival: Slot,
+    /// Duration in slots.
+    pub duration: Slot,
+    /// Demand size.
+    pub demand: f64,
+    /// Final status.
+    pub status: RequestStatus,
+}
+
+/// Per-slot aggregate series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlotMetrics {
+    /// Total demand of all requests that *would* be active (accepted or
+    /// not) — the "requested" curve of Fig. 8.
+    pub requested_demand: f64,
+    /// Total demand of active accepted requests — the "allocated" curve.
+    pub allocated_demand: f64,
+    /// Resource cost of the current loads for this slot (Eq. 3 term).
+    pub resource_cost: f64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// One outcome per request, in arrival order.
+    pub requests: Vec<RequestOutcome>,
+    /// One entry per simulated slot.
+    pub slots: Vec<SlotMetrics>,
+    /// Wall-clock seconds spent inside the online loop.
+    pub online_secs: f64,
+}
+
+/// Runs `algorithm` over `trace` for `slots` time slots.
+///
+/// `inspect` is called after each slot with the slot index and the
+/// algorithm (used by per-node drill-down figures); pass
+/// [`no_inspection`] when not needed.
+pub fn run<A, F>(
+    algorithm: &mut A,
+    substrate: &SubstrateNetwork,
+    trace: &[Request],
+    slots: Slot,
+    mut inspect: F,
+) -> RunResult
+where
+    A: OnlineAlgorithm,
+    F: FnMut(Slot, &A),
+{
+    // Pre-bucket arrivals per slot.
+    let mut arrivals_at: Vec<Vec<Request>> = vec![Vec::new(); slots as usize];
+    for r in trace {
+        if r.arrival < slots {
+            arrivals_at[r.arrival as usize].push(r.clone());
+        }
+    }
+    for bucket in &mut arrivals_at {
+        bucket.sort_by_key(|r| r.id);
+    }
+
+    let mut departures_at: Vec<Vec<Request>> = vec![Vec::new(); slots as usize + 1];
+    let mut alive: HashSet<RequestId> = HashSet::new();
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
+    let mut outcome_index: std::collections::HashMap<RequestId, usize> =
+        std::collections::HashMap::with_capacity(trace.len());
+    let mut slot_metrics = vec![SlotMetrics::default(); slots as usize];
+
+    // Requested-demand series (independent of algorithm decisions).
+    let mut requested = vec![0.0f64; slots as usize];
+    for r in trace {
+        let end = r.departure().min(slots);
+        for t in r.arrival..end {
+            requested[t as usize] += r.demand;
+        }
+    }
+
+    let mut allocated_active = 0.0f64;
+    let started = Instant::now();
+    for t in 0..slots {
+        // Departures of accepted-and-still-alive requests.
+        let departures: Vec<Request> = departures_at[t as usize]
+            .drain(..)
+            .filter(|r| alive.remove(&r.id))
+            .collect();
+        for d in &departures {
+            allocated_active -= d.demand;
+        }
+        let arrivals = std::mem::take(&mut arrivals_at[t as usize]);
+        let outcome = algorithm.process_slot(t, &departures, &arrivals);
+
+        for r in &arrivals {
+            let accepted = outcome.accepted.contains(&r.id);
+            let status = if accepted {
+                RequestStatus::Accepted
+            } else {
+                RequestStatus::Rejected
+            };
+            outcome_index.insert(r.id, outcomes.len());
+            outcomes.push(RequestOutcome {
+                id: r.id,
+                class: r.class(),
+                arrival: r.arrival,
+                duration: r.duration,
+                demand: r.demand,
+                status,
+            });
+            if accepted {
+                alive.insert(r.id);
+                allocated_active += r.demand;
+                let dep = r.departure();
+                if dep <= slots {
+                    departures_at[dep as usize].push(r.clone());
+                }
+            }
+        }
+        for &p in &outcome.preempted {
+            if alive.remove(&p) {
+                if let Some(&idx) = outcome_index.get(&p) {
+                    allocated_active -= outcomes[idx].demand;
+                    outcomes[idx].status = RequestStatus::Preempted(t);
+                }
+            }
+        }
+
+        slot_metrics[t as usize] = SlotMetrics {
+            requested_demand: requested[t as usize],
+            allocated_demand: allocated_active,
+            resource_cost: algorithm.loads().cost_per_slot(substrate),
+        };
+        inspect(t, algorithm);
+    }
+    let online_secs = started.elapsed().as_secs_f64();
+
+    RunResult {
+        algorithm: algorithm.name().to_string(),
+        requests: outcomes,
+        slots: slot_metrics,
+        online_secs,
+    }
+}
+
+/// A no-op inspection hook for [`run`].
+pub fn no_inspection<A: OnlineAlgorithm>(_t: Slot, _a: &A) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_model::app::{shapes, AppSet, AppShape};
+    use vne_model::ids::AppId;
+    use vne_model::ids::NodeId;
+    use vne_model::policy::PlacementPolicy;
+    use vne_model::substrate::Tier;
+    use vne_olive::olive::Olive;
+
+    fn world() -> (SubstrateNetwork, AppSet) {
+        let mut s = SubstrateNetwork::new("line");
+        let e = s.add_node("e0", Tier::Edge, 100.0, 50.0).unwrap();
+        let c = s.add_node("c1", Tier::Core, 200.0, 1.0).unwrap();
+        s.add_link(e, c, 1000.0, 1.0).unwrap();
+        let mut apps = AppSet::new();
+        apps.push(
+            "chain",
+            AppShape::Chain,
+            shapes::uniform_chain(1, 10.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        (s, apps)
+    }
+
+    fn req(id: u64, t: Slot, dur: Slot, demand: f64) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: t,
+            duration: dur,
+            ingress: NodeId(0),
+            app: AppId(0),
+            demand,
+        }
+    }
+
+    #[test]
+    fn accepts_and_departs() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        // Capacity 300 total; β 10: demand 10 → 100 CU.
+        let trace = vec![req(0, 0, 3, 10.0), req(1, 1, 3, 10.0), req(2, 5, 2, 10.0)];
+        let result = run(&mut alg, &s, &trace, 10, no_inspection);
+        assert_eq!(result.requests.len(), 3);
+        assert!(result
+            .requests
+            .iter()
+            .all(|r| r.status == RequestStatus::Accepted));
+        // Allocated demand series: 10 at t0, 20 at t1-2, 10 at t3, 0 at 4.
+        assert_eq!(result.slots[0].allocated_demand, 10.0);
+        assert_eq!(result.slots[1].allocated_demand, 20.0);
+        assert_eq!(result.slots[3].allocated_demand, 10.0);
+        assert_eq!(result.slots[4].allocated_demand, 0.0);
+        assert_eq!(result.slots[5].allocated_demand, 10.0);
+        // Requested matches allocated when everything is accepted.
+        for sm in &result.slots {
+            assert!((sm.requested_demand - sm.allocated_demand).abs() < 1e-9);
+        }
+        assert!(result.online_secs >= 0.0);
+    }
+
+    #[test]
+    fn rejections_show_in_outcomes_and_series() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        // 300 CU total ⇒ 3 × demand-10 requests fit; the 4th is rejected.
+        let trace: Vec<Request> = (0..4).map(|i| req(i, 0, 5, 10.0)).collect();
+        let result = run(&mut alg, &s, &trace, 6, no_inspection);
+        let denied = result
+            .requests
+            .iter()
+            .filter(|r| r.status.is_denied())
+            .count();
+        assert_eq!(denied, 1);
+        assert_eq!(result.slots[0].allocated_demand, 30.0);
+        assert_eq!(result.slots[0].requested_demand, 40.0);
+    }
+
+    #[test]
+    fn resource_cost_tracks_loads() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let trace = vec![req(0, 0, 2, 10.0)];
+        let result = run(&mut alg, &s, &trace, 4, no_inspection);
+        // 100 CU on the core node (cost 1/CU) + link 10 CU (cost 1).
+        assert!(result.slots[0].resource_cost > 0.0);
+        assert_eq!(result.slots[2].resource_cost, 0.0);
+    }
+
+    #[test]
+    fn inspection_hook_runs_every_slot() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let mut calls = 0;
+        let _ = run(&mut alg, &s, &[], 7, |_, _| calls += 1);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn arrivals_beyond_horizon_are_ignored() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let trace = vec![req(0, 50, 3, 10.0)];
+        let result = run(&mut alg, &s, &trace, 10, no_inspection);
+        assert!(result.requests.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # vne-sim — the discrete-time online VNE simulator
+//!
+//! Drives the paper's evaluation (§IV): the [`engine`] replays a request
+//! trace slot by slot against any [`vne_olive::algorithm::OnlineAlgorithm`],
+//! [`metrics`] computes rejection rates, costs (Eqs. 3–4) and the
+//! rejection balance index (Eq. 20), [`scenario`] wires the full
+//! history → plan → online pipeline with all the evaluation's variations,
+//! and [`runner`] replays scenarios across seeds in parallel with
+//! confidence intervals.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+//! use vne_workload::appgen::{paper_mix, AppGenConfig};
+//! use vne_workload::rng::SeededRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let substrate = vne_topology::zoo::iris()?;
+//! let mut rng = SeededRng::new(7);
+//! let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+//! let scenario = Scenario::new(substrate, apps, ScenarioConfig::small(1.0));
+//! let outcome = scenario.run(Algorithm::Olive);
+//! println!("rejection rate: {:.3}", outcome.summary.rejection_rate);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+pub use engine::{RequestStatus, RunResult};
+pub use metrics::{aggregate, summarize, AggregatedSummary, Summary};
+pub use runner::{default_apps, run_seeds, Utilization};
+pub use scenario::{Algorithm, Outcome, Scenario, ScenarioConfig};

@@ -1,0 +1,329 @@
+//! Evaluation metrics (§IV): rejection rate, cost, balance index.
+//!
+//! All metrics are computed over a *measurement window* of arrival slots
+//! — the paper displays requests started between slots 100 and 500 of
+//! the 600-slot online phase. Preempted requests count as denied (they
+//! incur the rejection cost like rejected ones).
+
+use std::collections::BTreeMap;
+
+use vne_model::cost::RejectionPenalty;
+use vne_model::ids::{AppId, NodeId};
+use vne_model::request::Slot;
+
+use crate::engine::{RequestStatus, RunResult};
+
+/// Summary of one run over a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Requests arriving inside the window.
+    pub arrivals: usize,
+    /// Requests rejected on arrival.
+    pub rejected: usize,
+    /// Requests preempted after acceptance.
+    pub preempted: usize,
+    /// `(rejected + preempted) / arrivals`.
+    pub rejection_rate: f64,
+    /// Σ over window slots of the per-slot resource cost (Eq. 3).
+    pub resource_cost: f64,
+    /// Σ over denied requests of `ψ(a)·d·T` (Eq. 4).
+    pub rejection_cost: f64,
+    /// `resource_cost + rejection_cost`.
+    pub total_cost: f64,
+    /// Jain-style rejection balance index (Eq. 20).
+    pub balance_index: f64,
+    /// Online-loop wall-clock seconds (whole run, not only the window).
+    pub online_secs: f64,
+}
+
+/// Computes the window summary of a run.
+pub fn summarize(
+    result: &RunResult,
+    penalty: &RejectionPenalty,
+    window: (Slot, Slot),
+) -> Summary {
+    let (from, to) = window;
+    let mut arrivals = 0usize;
+    let mut rejected = 0usize;
+    let mut preempted = 0usize;
+    let mut rejection_cost = 0.0;
+    for r in &result.requests {
+        if r.arrival < from || r.arrival >= to {
+            continue;
+        }
+        arrivals += 1;
+        match r.status {
+            RequestStatus::Accepted => {}
+            RequestStatus::Rejected => {
+                rejected += 1;
+                rejection_cost += penalty.psi(r.class.app) * r.demand * f64::from(r.duration);
+            }
+            RequestStatus::Preempted(_) => {
+                preempted += 1;
+                rejection_cost += penalty.psi(r.class.app) * r.demand * f64::from(r.duration);
+            }
+        }
+    }
+    let resource_cost: f64 = result
+        .slots
+        .iter()
+        .enumerate()
+        .filter(|(t, _)| (*t as Slot) >= from && (*t as Slot) < to)
+        .map(|(_, s)| s.resource_cost)
+        .sum();
+    let denied = rejected + preempted;
+    Summary {
+        arrivals,
+        rejected,
+        preempted,
+        rejection_rate: if arrivals == 0 {
+            0.0
+        } else {
+            denied as f64 / arrivals as f64
+        },
+        resource_cost,
+        rejection_cost,
+        total_cost: resource_cost + rejection_cost,
+        balance_index: balance_index(result, window),
+        online_secs: result.online_secs,
+    }
+}
+
+/// The rejection balance index (Eq. 20): a weighted Jain fairness index
+/// of per-application rejections at each ingress node; 1 is perfectly
+/// balanced. Nodes without any rejection are excluded (Jain's index is
+/// undefined on an all-zero vector, and including them as "perfect"
+/// saturates the index at high acceptance); if no node rejects at all
+/// the index is 1.
+pub fn balance_index(result: &RunResult, window: (Slot, Slot)) -> f64 {
+    let (from, to) = window;
+    // n(v) and x_{v,a}.
+    let mut n_v: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut x_va: BTreeMap<(NodeId, AppId), f64> = BTreeMap::new();
+    let mut apps: std::collections::BTreeSet<AppId> = std::collections::BTreeSet::new();
+    for r in &result.requests {
+        if r.arrival < from || r.arrival >= to {
+            continue;
+        }
+        apps.insert(r.class.app);
+        *n_v.entry(r.class.ingress).or_insert(0.0) += 1.0;
+        if r.status.is_denied() {
+            *x_va.entry((r.class.ingress, r.class.app)).or_insert(0.0) += 1.0;
+        }
+    }
+    let a_count = apps.len() as f64;
+    if a_count == 0.0 || n_v.is_empty() {
+        return 1.0;
+    }
+    let mut weighted = 0.0;
+    let mut total_weight = 0.0;
+    for (&v, &n) in &n_v {
+        let sum: f64 = apps
+            .iter()
+            .map(|&a| x_va.get(&(v, a)).copied().unwrap_or(0.0))
+            .sum();
+        let sum_sq: f64 = apps
+            .iter()
+            .map(|&a| x_va.get(&(v, a)).copied().unwrap_or(0.0).powi(2))
+            .sum();
+        if sum_sq == 0.0 {
+            continue; // no rejections at v: Jain undefined, excluded
+        }
+        let jain = sum * sum / (a_count * sum_sq);
+        weighted += n * jain;
+        total_weight += n;
+    }
+    if total_weight == 0.0 {
+        return 1.0;
+    }
+    weighted / total_weight
+}
+
+/// Mean ± 95% CI aggregation of summaries across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregatedSummary {
+    /// Mean and CI half-width of the rejection rate.
+    pub rejection_rate: (f64, f64),
+    /// Mean and CI half-width of the total cost.
+    pub total_cost: (f64, f64),
+    /// Mean and CI half-width of the resource cost.
+    pub resource_cost: (f64, f64),
+    /// Mean and CI half-width of the rejection cost.
+    pub rejection_cost: (f64, f64),
+    /// Mean and CI half-width of the balance index.
+    pub balance_index: (f64, f64),
+    /// Mean and CI half-width of the online runtime (seconds).
+    pub online_secs: (f64, f64),
+    /// Number of seeds aggregated.
+    pub seeds: usize,
+}
+
+/// Aggregates per-seed summaries with Student-t confidence intervals.
+pub fn aggregate(summaries: &[Summary]) -> AggregatedSummary {
+    use vne_workload::stats::mean_and_ci;
+    let pick = |f: fn(&Summary) -> f64| -> (f64, f64) {
+        let values: Vec<f64> = summaries.iter().map(f).collect();
+        mean_and_ci(&values)
+    };
+    AggregatedSummary {
+        rejection_rate: pick(|s| s.rejection_rate),
+        total_cost: pick(|s| s.total_cost),
+        resource_cost: pick(|s| s.resource_cost),
+        rejection_cost: pick(|s| s.rejection_cost),
+        balance_index: pick(|s| s.balance_index),
+        online_secs: pick(|s| s.online_secs),
+        seeds: summaries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RequestOutcome, SlotMetrics};
+    use vne_model::app::{shapes, AppSet, AppShape};
+    use vne_model::ids::{ClassId, RequestId};
+
+    fn outcome(
+        id: u64,
+        arrival: Slot,
+        node: u32,
+        app: u32,
+        status: RequestStatus,
+    ) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(id),
+            class: ClassId::new(AppId(app), NodeId(node)),
+            arrival,
+            duration: 10,
+            demand: 2.0,
+            status,
+        }
+    }
+
+    fn penalty() -> RejectionPenalty {
+        let mut apps = AppSet::new();
+        for name in ["a", "b"] {
+            apps.push(
+                name,
+                AppShape::Chain,
+                shapes::uniform_chain(1, 1.0, 1.0).unwrap(),
+            )
+            .unwrap();
+        }
+        RejectionPenalty::uniform(&apps, 3.0)
+    }
+
+    fn result(requests: Vec<RequestOutcome>, slots: usize) -> RunResult {
+        RunResult {
+            algorithm: "test".into(),
+            requests,
+            slots: vec![
+                SlotMetrics {
+                    requested_demand: 0.0,
+                    allocated_demand: 0.0,
+                    resource_cost: 5.0,
+                };
+                slots
+            ],
+            online_secs: 0.1,
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_costs() {
+        let r = result(
+            vec![
+                outcome(0, 1, 0, 0, RequestStatus::Accepted),
+                outcome(1, 2, 0, 0, RequestStatus::Rejected),
+                outcome(2, 3, 0, 1, RequestStatus::Preempted(5)),
+                outcome(3, 99, 0, 0, RequestStatus::Rejected), // outside window
+            ],
+            10,
+        );
+        let s = summarize(&r, &penalty(), (0, 10));
+        assert_eq!(s.arrivals, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.preempted, 1);
+        assert!((s.rejection_rate - 2.0 / 3.0).abs() < 1e-12);
+        // Rejection cost: 2 denied × ψ3 × d2 × T10 = 120.
+        assert_eq!(s.rejection_cost, 120.0);
+        // Resource cost: 10 slots × 5.
+        assert_eq!(s.resource_cost, 50.0);
+        assert_eq!(s.total_cost, 170.0);
+    }
+
+    #[test]
+    fn empty_window() {
+        let r = result(vec![], 5);
+        let s = summarize(&r, &penalty(), (0, 5));
+        assert_eq!(s.arrivals, 0);
+        assert_eq!(s.rejection_rate, 0.0);
+        assert_eq!(s.balance_index, 1.0);
+    }
+
+    #[test]
+    fn balance_index_perfect_when_rejections_even() {
+        // Node 0: one rejection of each app → Jain = 1.
+        let r = result(
+            vec![
+                outcome(0, 1, 0, 0, RequestStatus::Rejected),
+                outcome(1, 1, 0, 1, RequestStatus::Rejected),
+            ],
+            5,
+        );
+        assert!((balance_index(&r, (0, 5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_index_halves_when_one_sided() {
+        // All rejections on one app of two → Jain = 1/2.
+        let r = result(
+            vec![
+                outcome(0, 1, 0, 0, RequestStatus::Rejected),
+                outcome(1, 1, 0, 0, RequestStatus::Rejected),
+                outcome(2, 1, 0, 1, RequestStatus::Accepted),
+            ],
+            5,
+        );
+        assert!((balance_index(&r, (0, 5)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_index_weights_by_node_arrivals() {
+        // Node 0 (3 requests): one-sided rejections (Jain 0.5); node 1
+        // (1 request, no rejections): excluded. Node 2 (1 request):
+        // balanced rejections across both apps (Jain 1.0).
+        // Weighted over rejecting nodes: (3·0.5 + 1·1)/4 = 0.625.
+        let r = result(
+            vec![
+                outcome(0, 1, 0, 0, RequestStatus::Rejected),
+                outcome(1, 1, 0, 0, RequestStatus::Rejected),
+                outcome(2, 1, 0, 1, RequestStatus::Accepted),
+                outcome(3, 1, 1, 1, RequestStatus::Accepted),
+                outcome(4, 1, 2, 0, RequestStatus::Rejected),
+                outcome(5, 1, 2, 1, RequestStatus::Rejected),
+            ],
+            5,
+        );
+        // n(0)=3 (Jain 0.5), n(2)=2 (Jain 1.0) → (3·0.5+2·1)/5 = 0.7.
+        assert!((balance_index(&r, (0, 5)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_index_is_one_without_rejections() {
+        let r = result(vec![outcome(0, 1, 0, 0, RequestStatus::Accepted)], 5);
+        assert_eq!(balance_index(&r, (0, 5)), 1.0);
+    }
+
+    #[test]
+    fn aggregation_produces_cis() {
+        let r1 = result(vec![outcome(0, 1, 0, 0, RequestStatus::Rejected)], 5);
+        let r2 = result(vec![outcome(0, 1, 0, 0, RequestStatus::Accepted)], 5);
+        let p = penalty();
+        let summaries = vec![summarize(&r1, &p, (0, 5)), summarize(&r2, &p, (0, 5))];
+        let agg = aggregate(&summaries);
+        assert_eq!(agg.seeds, 2);
+        assert!((agg.rejection_rate.0 - 0.5).abs() < 1e-12);
+        assert!(agg.rejection_rate.1 > 0.0);
+    }
+}

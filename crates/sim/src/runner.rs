@@ -1,0 +1,138 @@
+//! Multi-seed experiment runner with parallel execution.
+//!
+//! The paper executes every experiment 30 times and reports means with
+//! confidence intervals. [`run_seeds`] replays a scenario across seeds on
+//! worker threads (crossbeam scoped threads) and aggregates the
+//! summaries.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use vne_model::app::AppSet;
+use vne_model::substrate::SubstrateNetwork;
+use vne_workload::appgen::{paper_mix, AppGenConfig};
+use vne_workload::rng::SeededRng;
+
+use crate::metrics::{aggregate, AggregatedSummary, Summary};
+use crate::scenario::{Algorithm, Scenario, ScenarioConfig};
+
+/// An edge-utilization level (the x-axis of Figs. 6/7/15/16).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// From a percentage (e.g. `Utilization::percent(140)`).
+    pub fn percent(p: u32) -> Self {
+        Self(f64::from(p) / 100.0)
+    }
+
+    /// As a fraction (1.0 = 100%).
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The paper's sweep: 60% to 140% in 20-point steps.
+    pub fn paper_sweep() -> Vec<Utilization> {
+        [60, 80, 100, 120, 140]
+            .into_iter()
+            .map(Utilization::percent)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// Generates the per-seed application set the way the paper does: a
+/// fresh draw of the standard mix per execution.
+pub fn default_apps(seed: u64) -> AppSet {
+    let mut rng = SeededRng::new(seed).derive(0xA995);
+    paper_mix(&AppGenConfig::default(), &mut rng)
+}
+
+/// Runs `algorithm` across `seeds` in parallel and returns the per-seed
+/// summaries (in seed order) plus their aggregate.
+///
+/// `make_apps` draws the application set for a seed (usually
+/// [`default_apps`]); `configure` builds the scenario config for a seed.
+pub fn run_seeds<FA, FC>(
+    substrate: &SubstrateNetwork,
+    algorithm: Algorithm,
+    seeds: &[u64],
+    make_apps: FA,
+    configure: FC,
+) -> (Vec<Summary>, AggregatedSummary)
+where
+    FA: Fn(u64) -> AppSet + Sync,
+    FC: Fn(u64) -> ScenarioConfig + Sync,
+{
+    let results: Mutex<Vec<(usize, Summary)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= seeds.len() {
+                    break;
+                }
+                let seed = seeds[idx];
+                let apps = make_apps(seed);
+                let config = configure(seed);
+                let scenario = Scenario::new(substrate.clone(), apps, config);
+                let outcome = scenario.run(algorithm);
+                results.lock().push((idx, outcome.summary));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    let summaries: Vec<Summary> = collected.into_iter().map(|(_, s)| s).collect();
+    let agg = aggregate(&summaries);
+    (summaries, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_topology::zoo::citta_studi;
+
+    #[test]
+    fn utilization_helpers() {
+        let u = Utilization::percent(140);
+        assert!((u.fraction() - 1.4).abs() < 1e-12);
+        assert_eq!(u.to_string(), "140%");
+        assert_eq!(Utilization::paper_sweep().len(), 5);
+    }
+
+    #[test]
+    fn parallel_seeds_are_deterministic_and_ordered() {
+        let substrate = citta_studi().unwrap();
+        let seeds = [1u64, 2, 3];
+        let run = || {
+            run_seeds(
+                &substrate,
+                Algorithm::Quickg,
+                &seeds,
+                default_apps,
+                |seed| ScenarioConfig::small(1.2).with_seed(seed),
+            )
+        };
+        let (a, agg_a) = run();
+        let (b, _) = run();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rejection_rate, y.rejection_rate);
+        }
+        assert_eq!(agg_a.seeds, 3);
+        assert!(agg_a.rejection_rate.0 >= 0.0);
+    }
+}

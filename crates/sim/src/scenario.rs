@@ -1,0 +1,467 @@
+//! End-to-end experiment scenarios: trace → history → plan → online run.
+//!
+//! A [`Scenario`] reproduces the paper's pipeline for one seed: generate
+//! a request history and an online trace, aggregate the history, solve
+//! PLAN-VNE, then drive the chosen algorithm through the online phase and
+//! summarize the measurement window. Variations used by the evaluation —
+//! plan built for a different utilization (Fig. 13), spatially shifted
+//! plan input (Fig. 14), CAIDA-like demand (Fig. 15), GPU scenario
+//! (Fig. 10) — are configuration switches here.
+
+use vne_model::app::AppSet;
+use vne_model::cost::RejectionPenalty;
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::{Request, Slot};
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
+use vne_olive::colgen::{solve_plan, PlanVneConfig};
+use vne_olive::fullg::FullG;
+use vne_olive::olive::{Olive, OliveConfig};
+use vne_olive::plan::Plan;
+use vne_olive::slotoff::SlotOff;
+use vne_workload::caida::{self, CaidaConfig};
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+use crate::engine::{no_inspection, run, RunResult};
+use crate::metrics::{summarize, Summary};
+
+/// The algorithms of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's contribution: plan-based online embedding.
+    Olive,
+    /// Greedy collocated baseline (OLIVE with an empty plan).
+    Quickg,
+    /// Exact per-request baseline.
+    Fullg,
+    /// Per-slot offline re-optimization.
+    SlotOff,
+}
+
+impl Algorithm {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Olive => "OLIVE",
+            Algorithm::Quickg => "QUICKG",
+            Algorithm::Fullg => "FULLG",
+            Algorithm::SlotOff => "SLOTOFF",
+        }
+    }
+}
+
+/// Scenario parameters (defaults mirror Table III at reduced scale; use
+/// [`ScenarioConfig::paper`] for the full-scale settings).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// History (planning) window length in slots.
+    pub history_slots: Slot,
+    /// Online (test) phase length in slots.
+    pub test_slots: Slot,
+    /// Measurement window within the online phase.
+    pub measure_window: (Slot, Slot),
+    /// Edge utilization of the online demand (1.0 = 100%).
+    pub utilization: f64,
+    /// Utilization the *plan* is built for (Fig. 13); defaults to
+    /// `utilization`.
+    pub plan_utilization: Option<f64>,
+    /// Remap history ingress nodes randomly before planning (Fig. 14).
+    pub shift_plan_ingress: bool,
+    /// Rejection quantile count `P` (Fig. 11).
+    pub quantiles: usize,
+    /// OLIVE mechanism switches (ablations).
+    pub olive: OliveConfig,
+    /// History aggregation (percentile α, bootstrap replicates).
+    pub aggregation: AggregationConfig,
+    /// Base synthetic trace parameters.
+    pub trace: TraceConfig,
+    /// Use the CAIDA-like trace instead of the synthetic one (Fig. 15).
+    pub caida: Option<CaidaConfig>,
+    /// Master seed of this scenario instance.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// Fast, reduced-scale defaults for tests and quick runs.
+    pub fn small(utilization: f64) -> Self {
+        Self {
+            history_slots: 300,
+            test_slots: 120,
+            measure_window: (20, 100),
+            utilization,
+            plan_utilization: None,
+            shift_plan_ingress: false,
+            quantiles: 10,
+            olive: OliveConfig::default(),
+            aggregation: AggregationConfig {
+                alpha: 80.0,
+                bootstrap_replicates: 30,
+            },
+            trace: TraceConfig {
+                slots: 0, // set per phase
+                ..TraceConfig::default()
+            },
+            caida: None,
+            seed: 1,
+        }
+    }
+
+    /// The paper's full-scale settings (Table III): 5400 planning slots,
+    /// 600 online slots, measurement window 100–500.
+    pub fn paper(utilization: f64) -> Self {
+        Self {
+            history_slots: 5400,
+            test_slots: 600,
+            measure_window: (100, 500),
+            aggregation: AggregationConfig::default(),
+            ..Self::small(utilization)
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything produced by one scenario run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Window summary.
+    pub summary: Summary,
+    /// Full per-request / per-slot result.
+    pub result: RunResult,
+    /// The plan used (OLIVE only).
+    pub plan: Option<Plan>,
+    /// Seconds spent building the plan (aggregation + PLAN-VNE).
+    pub plan_secs: f64,
+}
+
+/// A fully wired experiment for one substrate, application set and seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The physical substrate.
+    pub substrate: SubstrateNetwork,
+    /// The application catalogue.
+    pub apps: AppSet,
+    /// Placement policy (η).
+    pub policy: PlacementPolicy,
+    /// Scenario parameters.
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default placement policy.
+    pub fn new(substrate: SubstrateNetwork, apps: AppSet, config: ScenarioConfig) -> Self {
+        Self {
+            substrate,
+            apps,
+            policy: PlacementPolicy::default(),
+            config,
+        }
+    }
+
+    fn rng(&self, stream: u64) -> SeededRng {
+        SeededRng::new(self.config.seed).derive(stream)
+    }
+
+    fn trace_at(&self, utilization: f64, slots: Slot, rng: &mut SeededRng) -> Vec<Request> {
+        match &self.config.caida {
+            None => {
+                let mut tc = self
+                    .config
+                    .trace
+                    .at_utilization(utilization, &self.substrate, &self.apps);
+                tc.slots = slots;
+                // Popularity is a property of the scenario: history and
+                // online phases must agree on the hot nodes.
+                tc.popularity_seed = self.config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7);
+                tracegen::generate(&self.substrate, &self.apps, &tc, rng)
+            }
+            Some(caida_config) => {
+                // Calibrate the CAIDA trace's mean demand the same way:
+                // u · cap_edge = rate_per_edge · E[T] · E[d] · E[Σβ].
+                let edge_nodes = self.substrate.edge_nodes().len() as f64;
+                let rate_per_edge = caida_config.total_rate / edge_nodes;
+                let cap_per_edge = self.substrate.total_edge_capacity() / edge_nodes;
+                let mean_fp = self.apps.mean_total_node_size();
+                let mut cc = caida_config.clone();
+                cc.slots = slots;
+                cc.demand_mean = utilization * cap_per_edge
+                    / (rate_per_edge * cc.duration_mean * mean_fp);
+                cc.population_seed = self.config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3);
+                caida::generate(&self.substrate, &self.apps, &cc, rng)
+            }
+        }
+    }
+
+    /// Generates the online-phase trace.
+    pub fn online_trace(&self) -> Vec<Request> {
+        let mut rng = self.rng(2);
+        self.trace_at(self.config.utilization, self.config.test_slots, &mut rng)
+    }
+
+    /// Generates the history (planning) trace, honoring the Fig. 13/14
+    /// distortions.
+    pub fn history_trace(&self) -> Vec<Request> {
+        let mut rng = self.rng(1);
+        let u = self
+            .config
+            .plan_utilization
+            .unwrap_or(self.config.utilization);
+        let mut history = self.trace_at(u, self.config.history_slots, &mut rng);
+        if self.config.shift_plan_ingress {
+            history = tracegen::shift_ingress(&history, &self.substrate, &mut rng);
+        }
+        history
+    }
+
+    /// The rejection penalty used for both planning and cost accounting
+    /// (the paper's conservative ψ).
+    pub fn penalty(&self) -> RejectionPenalty {
+        RejectionPenalty::conservative(&self.apps, &self.substrate)
+    }
+
+    /// The paper's demand-conformance check (§III-A): the fraction of
+    /// classes whose online `P_α` demand falls inside the 95% bootstrap
+    /// confidence interval of the history estimate. Close to 1 when the
+    /// online demand is "drawn from the same distribution" as the
+    /// history; low under the Fig. 13/14 distortions.
+    pub fn demand_conformance(&self) -> f64 {
+        use vne_workload::history::ClassDemandSeries;
+        let history = ClassDemandSeries::from_requests(
+            &self.history_trace(),
+            self.config.history_slots,
+        );
+        let online =
+            ClassDemandSeries::from_requests(&self.online_trace(), self.config.test_slots);
+        let mut rng = self.rng(4);
+        history.conformance(
+            &online,
+            self.config.aggregation.alpha,
+            self.config.aggregation.bootstrap_replicates,
+            &mut rng,
+        )
+    }
+
+    fn plan_config(&self) -> PlanVneConfig {
+        PlanVneConfig::new(self.penalty().max_psi()).with_quantiles(self.config.quantiles)
+    }
+
+    /// Builds the OLIVE plan from the history trace. Returns the plan and
+    /// the wall-clock seconds it took (aggregation + PLAN-VNE solve).
+    pub fn build_plan(&self) -> (Plan, f64) {
+        let started = std::time::Instant::now();
+        let history = self.history_trace();
+        let mut rng = self.rng(3);
+        let aggregate = AggregateDemand::from_history(
+            &history,
+            self.config.history_slots,
+            &self.config.aggregation,
+            &mut rng,
+        );
+        let (plan, _) = solve_plan(
+            &self.substrate,
+            &self.apps,
+            &self.policy,
+            &aggregate,
+            &self.plan_config(),
+        );
+        (plan, started.elapsed().as_secs_f64())
+    }
+
+    /// Runs one algorithm through the online phase.
+    pub fn run(&self, algorithm: Algorithm) -> Outcome {
+        self.run_with_inspector(algorithm, no_inspection::<Olive>)
+    }
+
+    /// Like [`Scenario::run`], but for OLIVE the inspector is called
+    /// after every slot with the algorithm state (Fig. 12 drill-down).
+    /// For other algorithms the inspector is ignored.
+    pub fn run_with_inspector<F>(&self, algorithm: Algorithm, inspect: F) -> Outcome
+    where
+        F: FnMut(Slot, &Olive),
+    {
+        let online = self.online_trace();
+        let penalty = self.penalty();
+        let (result, plan, plan_secs) = match algorithm {
+            Algorithm::Olive => {
+                let (plan, plan_secs) = self.build_plan();
+                let mut alg = Olive::new(
+                    self.substrate.clone(),
+                    self.apps.clone(),
+                    self.policy.clone(),
+                    plan.clone(),
+                    self.config.olive,
+                );
+                let result = run(
+                    &mut alg,
+                    &self.substrate,
+                    &online,
+                    self.config.test_slots,
+                    inspect,
+                );
+                (result, Some(plan), plan_secs)
+            }
+            Algorithm::Quickg => {
+                let mut alg = Olive::quickg(
+                    self.substrate.clone(),
+                    self.apps.clone(),
+                    self.policy.clone(),
+                );
+                let result = run(
+                    &mut alg,
+                    &self.substrate,
+                    &online,
+                    self.config.test_slots,
+                    no_inspection,
+                );
+                (result, None, 0.0)
+            }
+            Algorithm::Fullg => {
+                let mut alg = FullG::new(
+                    self.substrate.clone(),
+                    self.apps.clone(),
+                    self.policy.clone(),
+                );
+                let result = run(
+                    &mut alg,
+                    &self.substrate,
+                    &online,
+                    self.config.test_slots,
+                    no_inspection,
+                );
+                (result, None, 0.0)
+            }
+            Algorithm::SlotOff => {
+                let mut alg = SlotOff::new(
+                    self.substrate.clone(),
+                    self.apps.clone(),
+                    self.policy.clone(),
+                    self.plan_config(),
+                );
+                let result = run(
+                    &mut alg,
+                    &self.substrate,
+                    &online,
+                    self.config.test_slots,
+                    no_inspection,
+                );
+                (result, None, 0.0)
+            }
+        };
+        let summary = summarize(&result, &penalty, self.config.measure_window);
+        Outcome {
+            summary,
+            result,
+            plan,
+            plan_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_topology::zoo::citta_studi;
+    use vne_workload::appgen::{paper_mix, AppGenConfig};
+
+    fn scenario(utilization: f64, seed: u64) -> Scenario {
+        let substrate = citta_studi().unwrap();
+        let mut rng = SeededRng::new(seed);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        Scenario::new(substrate, apps, ScenarioConfig::small(utilization).with_seed(seed))
+    }
+
+    #[test]
+    fn olive_beats_quickg_at_high_load() {
+        let sc = scenario(1.4, 11);
+        let olive = sc.run(Algorithm::Olive);
+        let quickg = sc.run(Algorithm::Quickg);
+        assert!(olive.summary.arrivals > 100);
+        assert_eq!(olive.summary.arrivals, quickg.summary.arrivals);
+        // The paper's headline: OLIVE rejects significantly less.
+        assert!(
+            olive.summary.rejection_rate <= quickg.summary.rejection_rate + 0.02,
+            "OLIVE {} vs QUICKG {}",
+            olive.summary.rejection_rate,
+            quickg.summary.rejection_rate
+        );
+        assert!(olive.plan.is_some());
+        assert!(olive.plan_secs > 0.0);
+    }
+
+    #[test]
+    fn low_load_everything_accepted() {
+        let sc = scenario(0.3, 7);
+        let olive = sc.run(Algorithm::Olive);
+        assert!(
+            olive.summary.rejection_rate < 0.05,
+            "rate {}",
+            olive.summary.rejection_rate
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let sc = scenario(1.0, 5);
+        let a = sc.run(Algorithm::Olive);
+        let b = sc.run(Algorithm::Olive);
+        assert_eq!(a.summary.rejection_rate, b.summary.rejection_rate);
+        assert_eq!(a.summary.total_cost, b.summary.total_cost);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scenario(1.0, 5).run(Algorithm::Quickg);
+        let b = scenario(1.0, 6).run(Algorithm::Quickg);
+        assert_ne!(a.summary.arrivals, b.summary.arrivals);
+    }
+
+    #[test]
+    fn plan_utilization_mismatch_still_works() {
+        let mut sc = scenario(1.2, 9);
+        sc.config.plan_utilization = Some(0.6);
+        let out = sc.run(Algorithm::Olive);
+        // Plan for 60%, demand at 120%: should still function.
+        assert!(out.summary.rejection_rate < 1.0);
+    }
+
+    #[test]
+    fn shifted_plan_ingress_works() {
+        let mut sc = scenario(1.0, 13);
+        sc.config.shift_plan_ingress = true;
+        let out = sc.run(Algorithm::Olive);
+        assert!(out.summary.arrivals > 0);
+    }
+
+    #[test]
+    fn conformance_detects_distribution_shift() {
+        // Note: the 95% CI is of the *estimator* (it tightens with
+        // history length), not a prediction interval for the noisy
+        // online statistic — so even same-distribution conformance is
+        // well below 1 at small scale. The informative property is
+        // relative: a demand shift must push conformance down hard.
+        let sc = scenario(1.0, 21);
+        let base = sc.demand_conformance();
+        let mut shifted = scenario(1.0, 21);
+        shifted.config.plan_utilization = Some(0.3); // history at 30%, online at 100%
+        let low = shifted.demand_conformance();
+        assert!(base > 0.05, "base conformance {base}");
+        assert!(low < base, "shifted {low} vs base {base}");
+    }
+
+    #[test]
+    fn caida_trace_scenario() {
+        let mut sc = scenario(1.0, 15);
+        sc.config.caida = Some(CaidaConfig {
+            total_rate: 100.0,
+            sources: 300,
+            ..CaidaConfig::default()
+        });
+        let out = sc.run(Algorithm::Olive);
+        assert!(out.summary.arrivals > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Assembles a tiered substrate network from a structural description.
+//!
+//! Topology sources (the zoo replicas, the 5G generator, random graphs)
+//! produce a [`TopologySpec`] — named nodes with tiers plus an edge list —
+//! and the builder prices it according to [`TierParams`]: capacities from
+//! the tier table, node costs jittered uniformly in ±50% of the tier mean
+//! (seeded, so every topology instance is reproducible).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vne_model::error::ModelResult;
+use vne_model::substrate::{SubstrateNetwork, Tier};
+
+use crate::params::TierParams;
+
+/// Structural description of a topology before pricing.
+#[derive(Debug, Clone, Default)]
+pub struct TopologySpec {
+    /// Topology name (e.g. `"Iris"`).
+    pub name: String,
+    /// `(name, tier)` per node; indices are node ids.
+    pub nodes: Vec<(String, Tier)>,
+    /// Undirected edges as index pairs into `nodes`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TopologySpec {
+    /// Creates an empty spec with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, name: impl Into<String>, tier: Tier) -> usize {
+        self.nodes.push((name.into(), tier));
+        self.nodes.len() - 1
+    }
+
+    /// Adds an undirected edge between node indices.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.edges.push((a, b));
+    }
+
+    /// Builds the priced substrate with the given parameters and cost seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction errors (duplicate edges, self loops,
+    /// unknown indices) and validates connectivity.
+    pub fn build(&self, params: &TierParams, cost_seed: u64) -> ModelResult<SubstrateNetwork> {
+        let mut rng = StdRng::seed_from_u64(cost_seed);
+        let mut s = SubstrateNetwork::new(self.name.clone());
+        let mut ids = Vec::with_capacity(self.nodes.len());
+        for (name, tier) in &self.nodes {
+            let spec = params.spec(*tier);
+            let jitter = 1.0 + params.cost_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            let cost = spec.mean_node_cost * jitter;
+            ids.push(s.add_node(name.clone(), *tier, spec.node_capacity, cost)?);
+        }
+        for &(a, b) in &self.edges {
+            let tier = TierParams::link_tier(self.nodes[a].1, self.nodes[b].1);
+            let spec = params.spec(tier);
+            s.add_link(ids[a], ids[b], spec.link_capacity, spec.link_cost)?;
+        }
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> TopologySpec {
+        let mut spec = TopologySpec::new("toy");
+        let e0 = spec.add_node("e0", Tier::Edge);
+        let e1 = spec.add_node("e1", Tier::Edge);
+        let t = spec.add_node("t", Tier::Transport);
+        let c = spec.add_node("c", Tier::Core);
+        spec.add_edge(e0, t);
+        spec.add_edge(e1, t);
+        spec.add_edge(t, c);
+        spec
+    }
+
+    #[test]
+    fn build_assigns_tier_parameters() {
+        let s = toy_spec().build(&TierParams::paper(), 7).unwrap();
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.link_count(), 3);
+        let e0 = s.node_by_name("e0").unwrap();
+        assert_eq!(s.node(e0).capacity, 200_000.0);
+        // Edge-transport links take edge-tier parameters.
+        let t = s.node_by_name("t").unwrap();
+        let l = s.link_between(e0, t).unwrap();
+        assert_eq!(s.link(l).capacity, 100_000.0);
+        let c = s.node_by_name("c").unwrap();
+        let tc = s.link_between(t, c).unwrap();
+        assert_eq!(s.link(tc).capacity, 300_000.0);
+    }
+
+    #[test]
+    fn node_costs_jitter_within_bounds() {
+        let s = toy_spec().build(&TierParams::paper(), 42).unwrap();
+        for (_, n) in s.nodes() {
+            let mean = TierParams::paper().spec(n.tier).mean_node_cost;
+            assert!(n.cost >= 0.5 * mean && n.cost <= 1.5 * mean, "cost {}", n.cost);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_costs() {
+        let a = toy_spec().build(&TierParams::paper(), 9).unwrap();
+        let b = toy_spec().build(&TierParams::paper(), 9).unwrap();
+        for (id, n) in a.nodes() {
+            assert_eq!(n.cost, b.node(id).cost);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = toy_spec().build(&TierParams::paper(), 1).unwrap();
+        let b = toy_spec().build(&TierParams::paper(), 2).unwrap();
+        let differs = a.nodes().any(|(id, n)| n.cost != b.node(id).cost);
+        assert!(differs);
+    }
+
+    #[test]
+    fn disconnected_spec_fails() {
+        let mut spec = TopologySpec::new("disc");
+        spec.add_node("a", Tier::Edge);
+        spec.add_node("b", Tier::Edge);
+        assert!(spec.build(&TierParams::paper(), 0).is_err());
+    }
+}

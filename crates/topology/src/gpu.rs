@@ -1,0 +1,97 @@
+//! The GPU scenario transform (paper Fig. 10).
+//!
+//! The paper modifies Iris "to support this scenario by splitting the
+//! core nodes and four random edge nodes into GPU and non-GPU ones.
+//! Non-GPU datacenters were assigned capacity smaller by 25%." We
+//! implement this as: half of the core datacenters (alternating) plus
+//! four seeded-random edge datacenters become GPU sites; every non-GPU
+//! datacenter loses 25% of its capacity.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+
+/// Number of edge datacenters converted to GPU sites.
+pub const GPU_EDGE_SITES: usize = 4;
+
+/// Fractional capacity retained by non-GPU datacenters.
+pub const NON_GPU_CAPACITY_FACTOR: f64 = 0.75;
+
+/// Produces the GPU variant of a substrate.
+///
+/// Half of the core nodes (every other one, by id) and
+/// [`GPU_EDGE_SITES`] seeded-random edge nodes are marked as GPU
+/// datacenters; all remaining datacenters have their capacity reduced by
+/// 25%.
+pub fn gpu_variant(substrate: &SubstrateNetwork, seed: u64) -> SubstrateNetwork {
+    let mut s = substrate.clone();
+    let cores = s.nodes_in_tier(Tier::Core);
+    for (i, &c) in cores.iter().enumerate() {
+        if i % 2 == 0 {
+            s.node_mut(c).gpu = true;
+        }
+    }
+    let mut edges = s.edge_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    for &e in edges.iter().take(GPU_EDGE_SITES) {
+        s.node_mut(e).gpu = true;
+    }
+    for id in s.node_ids().collect::<Vec<_>>() {
+        if !s.node(id).gpu {
+            s.node_mut(id).capacity *= NON_GPU_CAPACITY_FACTOR;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::iris;
+
+    #[test]
+    fn gpu_variant_marks_half_the_cores_and_four_edges() {
+        let base = iris().unwrap();
+        let s = gpu_variant(&base, 11);
+        let gpu_cores = s
+            .nodes_in_tier(Tier::Core)
+            .iter()
+            .filter(|&&c| s.node(c).gpu)
+            .count();
+        assert_eq!(gpu_cores, 3); // ⌈5/2⌉ with alternating marking
+        let gpu_edges = s
+            .edge_nodes()
+            .iter()
+            .filter(|&&e| s.node(e).gpu)
+            .count();
+        assert_eq!(gpu_edges, GPU_EDGE_SITES);
+    }
+
+    #[test]
+    fn non_gpu_capacity_reduced_by_quarter() {
+        let base = iris().unwrap();
+        let s = gpu_variant(&base, 11);
+        for (id, n) in s.nodes() {
+            let orig = base.node(id).capacity;
+            if n.gpu {
+                assert_eq!(n.capacity, orig);
+            } else {
+                assert!((n.capacity - orig * 0.75).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic_per_seed() {
+        let base = iris().unwrap();
+        assert_eq!(gpu_variant(&base, 3), gpu_variant(&base, 3));
+    }
+
+    #[test]
+    fn original_is_untouched() {
+        let base = iris().unwrap();
+        let _ = gpu_variant(&base, 3);
+        assert!(base.nodes().all(|(_, n)| !n.gpu));
+    }
+}

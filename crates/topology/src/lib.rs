@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # vne-topology — evaluation topologies for online VNE
+//!
+//! The paper evaluates on four physical topologies (Table II):
+//!
+//! | topology    | nodes | links | source                        | here |
+//! |-------------|-------|-------|-------------------------------|------|
+//! | Iris        | 50    | 64    | Internet Topology Zoo         | [`zoo::iris`] (replica) |
+//! | Citta Studi | 30    | 35    | mobile edge network           | [`zoo::citta_studi`] (replica) |
+//! | 5GEN        | 78    | 100   | 5GEN tool, Madrid             | [`gen5g::five_gen`] (generator) |
+//! | 100N150E    | 100   | 150   | connected Erdős–Rényi         | [`random::hundred_n_150e`] |
+//!
+//! All topologies are tiered (edge/transport/core) and priced with the
+//! Table II parameters ([`params::TierParams`]); [`gpu::gpu_variant`]
+//! produces the Fig. 10 GPU scenario.
+//!
+//! ## Example
+//!
+//! ```
+//! use vne_topology::{zoo, stats::TopologyStats};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let iris = zoo::iris()?;
+//! let stats = TopologyStats::of(&iris);
+//! assert_eq!((stats.nodes, stats.links), (50, 64));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod gen5g;
+pub mod gpu;
+pub mod params;
+pub mod random;
+pub mod stats;
+pub mod zoo;
+
+use vne_model::error::ModelResult;
+use vne_model::substrate::SubstrateNetwork;
+
+/// The four paper topologies by name, in the paper's order.
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for the fixed instances).
+pub fn paper_topologies() -> ModelResult<Vec<SubstrateNetwork>> {
+    Ok(vec![
+        zoo::iris()?,
+        zoo::citta_studi()?,
+        gen5g::five_gen()?,
+        random::hundred_n_150e()?,
+    ])
+}

@@ -1,0 +1,97 @@
+//! Topology statistics (Table II rows and Fig. 5 summaries).
+
+use std::fmt;
+
+use vne_model::substrate::{SubstrateNetwork, Tier};
+
+/// Summary statistics of a substrate topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Topology name.
+    pub name: String,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Total links.
+    pub links: usize,
+    /// Nodes per tier `[edge, transport, core]`.
+    pub tier_counts: [usize; 3],
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Total node capacity (CU).
+    pub total_node_capacity: f64,
+    /// Total link capacity (CU).
+    pub total_link_capacity: f64,
+    /// Total edge-tier node capacity (the utilization denominator).
+    pub edge_capacity: f64,
+}
+
+impl TopologyStats {
+    /// Computes the statistics of a substrate.
+    pub fn of(s: &SubstrateNetwork) -> Self {
+        let degrees: Vec<usize> = s.node_ids().map(|n| s.degree(n)).collect();
+        let tier_counts = [
+            s.nodes_in_tier(Tier::Edge).len(),
+            s.nodes_in_tier(Tier::Transport).len(),
+            s.nodes_in_tier(Tier::Core).len(),
+        ];
+        Self {
+            name: s.name().to_string(),
+            nodes: s.node_count(),
+            links: s.link_count(),
+            tier_counts,
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            mean_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+            },
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            total_node_capacity: s.nodes().map(|(_, n)| n.capacity).sum(),
+            total_link_capacity: s.links().map(|(_, l)| l.capacity).sum(),
+            edge_capacity: s.total_edge_capacity(),
+        }
+    }
+}
+
+impl fmt::Display for TopologyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>5} {:>5}   {:>4}/{:>4}/{:>4}   {:>2}..{:<5.2}..{:<2}  {:>12.0} {:>12.0}",
+            self.name,
+            self.nodes,
+            self.links,
+            self.tier_counts[0],
+            self.tier_counts[1],
+            self.tier_counts[2],
+            self.min_degree,
+            self.mean_degree,
+            self.max_degree,
+            self.total_node_capacity,
+            self.edge_capacity,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::citta_studi;
+
+    #[test]
+    fn stats_of_citta_studi() {
+        let s = citta_studi().unwrap();
+        let st = TopologyStats::of(&s);
+        assert_eq!(st.nodes, 30);
+        assert_eq!(st.links, 35);
+        assert_eq!(st.tier_counts, [22, 6, 2]);
+        assert!(st.mean_degree > 2.0 && st.mean_degree < 3.0);
+        assert_eq!(st.edge_capacity, 22.0 * 200_000.0);
+        let line = st.to_string();
+        assert!(line.contains("CittaStudi"));
+    }
+}

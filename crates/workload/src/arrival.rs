@@ -1,0 +1,187 @@
+//! Arrival processes: Poisson and Markov-modulated Poisson (MMPP).
+//!
+//! The paper's synthetic trace uses a two-state MMPP [34]: a high-rate
+//! state `λ_h` and a low-rate state `λ_l` with Markov transitions between
+//! them, calibrated so the stationary mean rate equals the target `λ̄`.
+//! MMPP captures the bursty nature of realistic edge request arrivals.
+
+use rand::Rng;
+
+use crate::dist::Poisson;
+
+/// Per-slot arrival count generator.
+pub trait ArrivalProcess {
+    /// Number of arrivals in the next time slot.
+    fn arrivals<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64;
+    /// The long-run mean arrivals per slot.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Memoryless Poisson arrivals at a fixed rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    rate: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson arrival process with `rate` arrivals per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be non-negative");
+        Self { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn arrivals<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        Poisson::new(self.rate).sample(rng)
+    }
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Two-state Markov-modulated Poisson process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mmpp {
+    /// Low-state rate `λ_l`.
+    pub rate_low: f64,
+    /// High-state rate `λ_h`.
+    pub rate_high: f64,
+    /// Probability of switching low → high at a slot boundary.
+    pub p_low_to_high: f64,
+    /// Probability of switching high → low at a slot boundary.
+    pub p_high_to_low: f64,
+    in_high: bool,
+}
+
+impl Mmpp {
+    /// Creates an MMPP with explicit parameters, starting in the low state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are negative or probabilities outside `[0, 1]`.
+    pub fn new(rate_low: f64, rate_high: f64, p_low_to_high: f64, p_high_to_low: f64) -> Self {
+        assert!(rate_low >= 0.0 && rate_high >= 0.0, "rates must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&p_low_to_high) && (0.0..=1.0).contains(&p_high_to_low),
+            "transition probabilities must be in [0, 1]"
+        );
+        Self {
+            rate_low,
+            rate_high,
+            p_low_to_high,
+            p_high_to_low,
+            in_high: false,
+        }
+    }
+
+    /// The paper-calibrated MMPP for a target mean rate `λ̄`: bursts at
+    /// `2.5·λ̄`, lulls at `0.5·λ̄`, and a stationary high-state
+    /// probability of 25% (so the stationary mean is exactly `λ̄`).
+    /// Expected burst length is ~6.7 slots.
+    pub fn with_mean(mean_rate: f64) -> Self {
+        Self::new(0.5 * mean_rate, 2.5 * mean_rate, 0.05, 0.15)
+    }
+
+    /// Whether the process is currently in the high (burst) state.
+    pub fn in_burst(&self) -> bool {
+        self.in_high
+    }
+
+    /// The stationary probability of the high state.
+    pub fn stationary_high(&self) -> f64 {
+        let denom = self.p_low_to_high + self.p_high_to_low;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_low_to_high / denom
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn arrivals<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        // Transition at the slot boundary, then emit with the new state.
+        let flip: f64 = rng.gen();
+        if self.in_high {
+            if flip < self.p_high_to_low {
+                self.in_high = false;
+            }
+        } else if flip < self.p_low_to_high {
+            self.in_high = true;
+        }
+        let rate = if self.in_high { self.rate_high } else { self.rate_low };
+        Poisson::new(rate).sample(rng)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let ph = self.stationary_high();
+        ph * self.rate_high + (1.0 - ph) * self.rate_low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn poisson_mean_rate_matches() {
+        let mut p = PoissonArrivals::new(10.0);
+        let mut rng = SeededRng::new(1);
+        let total: u64 = (0..20_000).map(|_| p.arrivals(&mut rng)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        assert_eq!(p.mean_rate(), 10.0);
+    }
+
+    #[test]
+    fn mmpp_stationary_mean_matches_target() {
+        let mut m = Mmpp::with_mean(10.0);
+        assert!((m.mean_rate() - 10.0).abs() < 1e-12);
+        assert!((m.stationary_high() - 0.25).abs() < 1e-12);
+        let mut rng = SeededRng::new(2);
+        let total: u64 = (0..60_000).map(|_| m.arrivals(&mut rng)).sum();
+        let mean = total as f64 / 60_000.0;
+        assert!((mean - 10.0).abs() < 0.4, "mean {mean}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let mut m = Mmpp::with_mean(10.0);
+        let mut p = PoissonArrivals::new(10.0);
+        let mut rng = SeededRng::new(3);
+        let var = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        let ms: Vec<f64> = (0..30_000).map(|_| m.arrivals(&mut rng) as f64).collect();
+        let ps: Vec<f64> = (0..30_000).map(|_| p.arrivals(&mut rng) as f64).collect();
+        assert!(var(&ms) > 2.0 * var(&ps), "mmpp var {} poisson var {}", var(&ms), var(&ps));
+    }
+
+    #[test]
+    fn mmpp_state_transitions_occur() {
+        let mut m = Mmpp::with_mean(10.0);
+        let mut rng = SeededRng::new(4);
+        let mut highs = 0;
+        for _ in 0..2000 {
+            m.arrivals(&mut rng);
+            if m.in_burst() {
+                highs += 1;
+            }
+        }
+        // Around 25% of slots in burst state.
+        assert!(highs > 300 && highs < 700, "high slots {highs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn mmpp_rejects_bad_probability() {
+        Mmpp::new(1.0, 2.0, 1.5, 0.1);
+    }
+}

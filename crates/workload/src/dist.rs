@@ -1,0 +1,325 @@
+//! Sampling distributions implemented from first principles.
+//!
+//! The offline dependency set provides only uniform randomness (`rand`),
+//! so the distributions the paper's workload needs — normal (element and
+//! request sizes), exponential (durations), Zipf (node popularity),
+//! Poisson (arrivals), lognormal (CAIDA-like flow sizes) — are
+//! implemented here and unit-tested against their analytic moments.
+
+use rand::Rng;
+
+/// Normal distribution via the Box-Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean μ.
+    pub mean: f64,
+    /// Standard deviation σ ≥ 0.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite(), "parameters must be finite");
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Self { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u ∈ (0, 1] to avoid ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let v: f64 = rng.gen();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws a sample truncated below at `min` (resampling, with a final
+    /// clamp after 64 attempts to guarantee termination).
+    pub fn sample_truncated<R: Rng + ?Sized>(&self, rng: &mut R, min: f64) -> f64 {
+        for _ in 0..64 {
+            let x = self.sample(rng);
+            if x >= min {
+                return x;
+            }
+        }
+        min
+    }
+}
+
+/// Exponential distribution parameterized by its mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Mean `1/λ`.
+    pub mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self { mean }
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -self.mean * u.ln()
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `alpha`
+/// (`P(k) ∝ k^−α`), sampled through a precomputed CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability weight of 0-based rank `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Poisson distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    /// Rate λ.
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with rate `lambda ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+        Self { lambda }
+    }
+
+    /// Draws one sample (Knuth's method for small λ, normal approximation
+    /// with continuity correction for λ > 30).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 30.0 {
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            return n.sample(rng).round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Lognormal distribution parameterized by the *target* mean and the σ of
+/// the underlying normal (used by the CAIDA-like heavy-tailed trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal whose mean is `mean` and whose underlying
+    /// normal has standard deviation `sigma` (larger σ ⇒ heavier tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean ≤ 0` or `sigma < 0`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        // E[X] = exp(μ + σ²/2) ⇒ μ = ln(mean) − σ²/2.
+        Self {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = Normal::new(self.mu, self.sigma);
+        n.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeededRng::new(42);
+        let d = Normal::new(50.0, 30.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = mean_and_var(&samples);
+        assert!((m - 50.0).abs() < 0.8, "mean {m}");
+        assert!((v.sqrt() - 30.0).abs() < 0.8, "std {}", v.sqrt());
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut rng = SeededRng::new(1);
+        let d = Normal::new(1.0, 5.0);
+        for _ in 0..1000 {
+            assert!(d.sample_truncated(&mut rng, 0.5) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = SeededRng::new(7);
+        let d = Exponential::new(10.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = mean_and_var(&samples);
+        assert!((m - 10.0).abs() < 0.3, "mean {m}");
+        // Var = mean² for exponential.
+        assert!((v - 100.0).abs() < 8.0, "var {v}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = SeededRng::new(3);
+        let d = Zipf::new(10, 1.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        // Rank 1 weight is 1/H_10 ≈ 0.341; rank 10 is ≈ 0.034.
+        assert!(counts[0] > 5 * counts[9]);
+        let w0 = d.weight(0);
+        assert!((w0 - 0.3414).abs() < 0.01, "w0 {w0}");
+        assert!((counts[0] as f64 / 20_000.0 - w0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let d = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((d.weight(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = SeededRng::new(9);
+        let d = Poisson::new(3.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng) as f64).collect();
+        let (m, v) = mean_and_var(&samples);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+        assert!((v - 3.0).abs() < 0.2, "var {v}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut rng = SeededRng::new(11);
+        let d = Poisson::new(100.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng) as f64).collect();
+        let (m, v) = mean_and_var(&samples);
+        assert!((m - 100.0).abs() < 1.0, "mean {m}");
+        assert!((v - 100.0).abs() < 8.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = SeededRng::new(1);
+        assert_eq!(Poisson::new(0.0).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn lognormal_hits_target_mean() {
+        let mut rng = SeededRng::new(13);
+        let d = LogNormal::with_mean(10.0, 1.2);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, _) = mean_and_var(&samples);
+        assert!((m - 10.0).abs() < 0.4, "mean {m}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn normal_rejects_negative_std() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

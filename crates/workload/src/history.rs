@@ -1,0 +1,218 @@
+//! Request history recording and per-class demand series (§III-A).
+//!
+//! The plan pipeline needs, for every class `r̃ = (application, ingress)`,
+//! the per-slot concurrent demand `d(r̃, t) = Σ_{r ∈ r̃ ∩ R(t)} d(r)`
+//! over the history window, from which the expected demand `d(r̃)` is the
+//! bootstrap-estimated `P̂_α` (Eq. 6; the paper uses α = 80 to avoid
+//! over-provisioning).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use vne_model::ids::ClassId;
+use vne_model::request::{Request, Slot};
+
+use crate::stats::{bootstrap_percentile, BootstrapEstimate, Ecdf};
+
+/// Per-class, per-slot concurrent demand series over a history window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDemandSeries {
+    slots: Slot,
+    series: BTreeMap<ClassId, Vec<f64>>,
+}
+
+impl ClassDemandSeries {
+    /// Accumulates the active demand of `requests` over slots
+    /// `0..slots` (requests active outside the window are clipped).
+    pub fn from_requests(requests: &[Request], slots: Slot) -> Self {
+        let mut series: BTreeMap<ClassId, Vec<f64>> = BTreeMap::new();
+        for r in requests {
+            let start = r.arrival.min(slots);
+            let end = r.departure().min(slots);
+            if start >= end {
+                continue;
+            }
+            let entry = series
+                .entry(r.class())
+                .or_insert_with(|| vec![0.0; slots as usize]);
+            for t in start..end {
+                entry[t as usize] += r.demand;
+            }
+        }
+        Self { slots, series }
+    }
+
+    /// Number of slots in the window.
+    pub fn slots(&self) -> Slot {
+        self.slots
+    }
+
+    /// Number of classes observed.
+    pub fn class_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// The classes observed, in deterministic order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// The demand series of one class (`None` if unobserved).
+    pub fn series(&self, class: ClassId) -> Option<&[f64]> {
+        self.series.get(&class).map(|v| v.as_slice())
+    }
+
+    /// The plain `alpha`-percentile of each class's series.
+    pub fn percentile_demands(&self, alpha: f64) -> BTreeMap<ClassId, f64> {
+        self.series
+            .iter()
+            .map(|(&c, s)| (c, Ecdf::new(s.clone()).percentile(alpha)))
+            .collect()
+    }
+
+    /// The bootstrap-estimated `P̂_α` demand per class (Eq. 6).
+    pub fn expected_demands<R: Rng + ?Sized>(
+        &self,
+        alpha: f64,
+        replicates: usize,
+        rng: &mut R,
+    ) -> BTreeMap<ClassId, f64> {
+        self.bootstrap_demands(alpha, replicates, rng)
+            .into_iter()
+            .map(|(c, est)| (c, est.estimate))
+            .collect()
+    }
+
+    /// Full bootstrap estimates (with confidence intervals) per class.
+    pub fn bootstrap_demands<R: Rng + ?Sized>(
+        &self,
+        alpha: f64,
+        replicates: usize,
+        rng: &mut R,
+    ) -> BTreeMap<ClassId, BootstrapEstimate> {
+        self.series
+            .iter()
+            .map(|(&c, s)| (c, bootstrap_percentile(s, alpha, replicates, rng)))
+            .collect()
+    }
+
+    /// The paper's conformance check: for each class present in both
+    /// windows, whether the online `P_α` falls within the 95% bootstrap
+    /// CI of the history estimate. Returns the conforming fraction.
+    pub fn conformance<R: Rng + ?Sized>(
+        &self,
+        online: &ClassDemandSeries,
+        alpha: f64,
+        replicates: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let estimates = self.bootstrap_demands(alpha, replicates, rng);
+        let mut checked = 0usize;
+        let mut conforming = 0usize;
+        for (&class, est) in &estimates {
+            if let Some(series) = online.series(class) {
+                let observed = Ecdf::new(series.to_vec()).percentile(alpha);
+                checked += 1;
+                if est.contains(observed) {
+                    conforming += 1;
+                }
+            }
+        }
+        if checked == 0 {
+            return 1.0;
+        }
+        conforming as f64 / checked as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use vne_model::ids::{AppId, NodeId, RequestId};
+
+    fn req(id: u64, arrival: Slot, duration: Slot, node: u32, app: u32, demand: f64) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival,
+            duration,
+            ingress: NodeId(node),
+            app: AppId(app),
+            demand,
+        }
+    }
+
+    #[test]
+    fn series_accumulates_active_demand() {
+        let requests = vec![
+            req(0, 0, 3, 1, 0, 2.0), // active slots 0,1,2
+            req(1, 1, 2, 1, 0, 5.0), // active slots 1,2
+            req(2, 0, 1, 2, 0, 7.0), // other class
+        ];
+        let s = ClassDemandSeries::from_requests(&requests, 4);
+        assert_eq!(s.class_count(), 2);
+        let c = ClassId::new(AppId(0), NodeId(1));
+        assert_eq!(s.series(c).unwrap(), &[2.0, 7.0, 7.0, 0.0]);
+        let c2 = ClassId::new(AppId(0), NodeId(2));
+        assert_eq!(s.series(c2).unwrap(), &[7.0, 0.0, 0.0, 0.0]);
+        assert_eq!(s.series(ClassId::new(AppId(9), NodeId(9))), None);
+    }
+
+    #[test]
+    fn clipping_beyond_window() {
+        let requests = vec![req(0, 2, 100, 1, 0, 1.0), req(1, 10, 5, 1, 0, 9.0)];
+        let s = ClassDemandSeries::from_requests(&requests, 4);
+        let c = ClassId::new(AppId(0), NodeId(1));
+        assert_eq!(s.series(c).unwrap(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn percentile_demands_match_ecdf() {
+        let requests = vec![req(0, 0, 2, 1, 0, 4.0)];
+        let s = ClassDemandSeries::from_requests(&requests, 4);
+        let p = s.percentile_demands(100.0);
+        assert_eq!(p[&ClassId::new(AppId(0), NodeId(1))], 4.0);
+        let p50 = s.percentile_demands(50.0);
+        // Series [4, 4, 0, 0] → median 2.
+        assert_eq!(p50[&ClassId::new(AppId(0), NodeId(1))], 2.0);
+    }
+
+    #[test]
+    fn expected_demands_are_reasonable() {
+        // Constant demand 6 over all slots: every percentile is 6.
+        let requests = vec![req(0, 0, 100, 1, 0, 6.0)];
+        let s = ClassDemandSeries::from_requests(&requests, 100);
+        let mut rng = SeededRng::new(1);
+        let d = s.expected_demands(80.0, 50, &mut rng);
+        assert!((d[&ClassId::new(AppId(0), NodeId(1))] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conformance_of_identical_series_is_high() {
+        let mut rng = SeededRng::new(2);
+        let mut requests = Vec::new();
+        for i in 0..400 {
+            use rand::Rng as _;
+            let d: f64 = 1.0 + rng.gen::<f64>() * 4.0;
+            requests.push(req(i, (i % 100) as Slot, 5, 1, 0, d));
+        }
+        let hist = ClassDemandSeries::from_requests(&requests, 100);
+        let conf = hist.conformance(&hist.clone(), 80.0, 100, &mut rng);
+        assert!(conf > 0.99, "conformance {conf}");
+    }
+
+    #[test]
+    fn conformance_detects_demand_shift() {
+        let base: Vec<Request> = (0..200)
+            .map(|i| req(i, (i % 100) as Slot, 5, 1, 0, 2.0))
+            .collect();
+        let shifted: Vec<Request> = (0..200)
+            .map(|i| req(i, (i % 100) as Slot, 5, 1, 0, 20.0))
+            .collect();
+        let hist = ClassDemandSeries::from_requests(&base, 100);
+        let online = ClassDemandSeries::from_requests(&shifted, 100);
+        let mut rng = SeededRng::new(3);
+        let conf = hist.conformance(&online, 80.0, 100, &mut rng);
+        assert_eq!(conf, 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # vne-workload — workload generation and statistics for online VNE
+//!
+//! Reproduces the paper's experimental workloads (Table III):
+//!
+//! * [`dist`] — normal, exponential, Zipf, Poisson and lognormal samplers
+//!   built on uniform randomness;
+//! * [`arrival`] — Poisson and bursty MMPP arrival processes;
+//! * [`appgen`] — random application instances (chains, trees,
+//!   accelerator chains, GPU chains);
+//! * [`tracegen`] — the synthetic MMPP trace with Zipf node popularity
+//!   and utilization calibration;
+//! * [`caida`] — the CAIDA-like heavy-tailed trace (Fig. 15);
+//! * [`stats`] — ECDF, percentiles, bootstrap estimation (Eq. 6);
+//! * [`history`] — per-class concurrent-demand series and the demand
+//!   conformance check;
+//! * [`rng`] — seeded, replayable randomness.
+//!
+//! ## Example
+//!
+//! ```
+//! use vne_workload::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let substrate = vne_topology::zoo::citta_studi()?;
+//! let mut rng = SeededRng::new(7);
+//! let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+//! let config = TraceConfig { slots: 100, ..TraceConfig::default() };
+//! let trace = generate(&substrate, &apps, &config, &mut rng);
+//! let history = ClassDemandSeries::from_requests(&trace, 100);
+//! let demands = history.expected_demands(80.0, 50, &mut rng);
+//! assert!(!demands.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod appgen;
+pub mod arrival;
+pub mod caida;
+pub mod dist;
+pub mod history;
+pub mod rng;
+pub mod stats;
+pub mod tracegen;
+
+/// Commonly used types, re-exported for one-line imports.
+pub mod prelude {
+    pub use crate::appgen::{gpu_set, paper_mix, uniform_shape_set, AppGenConfig};
+    pub use crate::arrival::{ArrivalProcess, Mmpp, PoissonArrivals};
+    pub use crate::caida::CaidaConfig;
+    pub use crate::history::ClassDemandSeries;
+    pub use crate::rng::SeededRng;
+    pub use crate::stats::{bootstrap_percentile, mean_and_ci, Ecdf};
+    pub use crate::tracegen::{generate, shift_ingress, split_trace, ArrivalKind, TraceConfig};
+}

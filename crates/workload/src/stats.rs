@@ -1,0 +1,217 @@
+//! Empirical statistics: ECDF, percentiles and bootstrap estimation.
+//!
+//! The time-aggregation step (§III-A) estimates the α-percentile `P̂_α`
+//! of each class's per-slot demand from the request history by
+//! bootstrapping [25], and checks whether online demand *conforms* to the
+//! history (the observed percentile falls inside the 95% bootstrap
+//! confidence interval of the estimate).
+
+use rand::Rng;
+
+/// An empirical cumulative distribution function over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF needs a non-empty sample");
+        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: the fraction of observations ≤ `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `alpha`-percentile (`alpha ∈ [0, 100]`) with linear
+    /// interpolation between order statistics (type-7, the common
+    /// default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 100]`.
+    pub fn percentile(&self, alpha: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&alpha), "alpha must be in [0, 100]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = (alpha / 100.0) * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// The underlying sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Result of a bootstrap percentile estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapEstimate {
+    /// The point estimate `P̂_α` (mean of bootstrap replicates).
+    pub estimate: f64,
+    /// Lower bound of the 95% confidence interval.
+    pub ci_low: f64,
+    /// Upper bound of the 95% confidence interval.
+    pub ci_high: f64,
+}
+
+impl BootstrapEstimate {
+    /// Whether an observed value falls inside the 95% CI (the paper's
+    /// demand-conformance test).
+    pub fn contains(&self, observed: f64) -> bool {
+        observed >= self.ci_low && observed <= self.ci_high
+    }
+}
+
+/// Bootstrap estimate of the `alpha`-percentile of `sample` with
+/// `replicates` resamples (the paper's Eq. 6 estimator; it uses the
+/// well-known percentile bootstrap [25]).
+///
+/// # Panics
+///
+/// Panics if the sample is empty, `replicates == 0`, or `alpha` is
+/// outside `[0, 100]`.
+pub fn bootstrap_percentile<R: Rng + ?Sized>(
+    sample: &[f64],
+    alpha: f64,
+    replicates: usize,
+    rng: &mut R,
+) -> BootstrapEstimate {
+    assert!(!sample.is_empty(), "bootstrap needs a non-empty sample");
+    assert!(replicates > 0, "bootstrap needs at least one replicate");
+    let n = sample.len();
+    let mut reps = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; n];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.gen_range(0..n)];
+        }
+        reps.push(Ecdf::new(resample.clone()).percentile(alpha));
+    }
+    let estimate = reps.iter().sum::<f64>() / reps.len() as f64;
+    let reps_ecdf = Ecdf::new(reps);
+    BootstrapEstimate {
+        estimate,
+        ci_low: reps_ecdf.percentile(2.5),
+        ci_high: reps_ecdf.percentile(97.5),
+    }
+}
+
+/// Mean and 95% Student-t confidence half-width of a small sample
+/// (used for the paper's 30-execution error bars).
+pub fn mean_and_ci(sample: &[f64]) -> (f64, f64) {
+    let n = sample.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return (mean, 0.0);
+    }
+    let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    // Two-sided 97.5% t quantiles for df = 1..=30, then ≈ 1.96.
+    const T975: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    let df = n - 1;
+    let t = if df <= 30 { T975[df - 1] } else { 1.96 };
+    (mean, t * (var / n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn ecdf_basic_properties() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.5);
+        assert_eq!(e.cdf(10.0), 1.0);
+        assert_eq!(e.percentile(0.0), 1.0);
+        assert_eq!(e.percentile(100.0), 4.0);
+        assert_eq!(e.percentile(50.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let e = Ecdf::new(vec![0.0, 10.0]);
+        assert_eq!(e.percentile(25.0), 2.5);
+        assert_eq!(e.percentile(80.0), 8.0);
+    }
+
+    #[test]
+    fn single_observation_percentile() {
+        let e = Ecdf::new(vec![7.0]);
+        assert_eq!(e.percentile(80.0), 7.0);
+    }
+
+    #[test]
+    fn bootstrap_percentile_recovers_known_quantile() {
+        // Uniform 0..100 sample: P80 ≈ 80.
+        let mut rng = SeededRng::new(5);
+        let sample: Vec<f64> = (0..2000).map(|i| (i % 100) as f64).collect();
+        let est = bootstrap_percentile(&sample, 80.0, 200, &mut rng);
+        assert!((est.estimate - 79.2).abs() < 1.5, "estimate {}", est.estimate);
+        assert!(est.ci_low <= est.estimate && est.estimate <= est.ci_high);
+        assert!(est.contains(est.estimate));
+        assert!(!est.contains(1000.0));
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_under_seed() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = bootstrap_percentile(&sample, 80.0, 100, &mut SeededRng::new(1));
+        let b = bootstrap_percentile(&sample, 80.0, 100, &mut SeededRng::new(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_and_ci_behaviour() {
+        let (m, ci) = mean_and_ci(&[]);
+        assert_eq!((m, ci), (0.0, 0.0));
+        let (m, ci) = mean_and_ci(&[5.0]);
+        assert_eq!((m, ci), (5.0, 0.0));
+        let (m, ci) = mean_and_ci(&[4.0, 6.0]);
+        assert_eq!(m, 5.0);
+        assert!(ci > 0.0);
+        // Wider spread ⇒ wider CI.
+        let (_, ci2) = mean_and_ci(&[0.0, 10.0]);
+        assert!(ci2 > ci);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ecdf_rejects_empty() {
+        Ecdf::new(vec![]);
+    }
+}

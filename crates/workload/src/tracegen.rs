@@ -1,0 +1,343 @@
+//! Synthetic request trace generation (Table III).
+//!
+//! Requests originate exclusively from edge datacenters; node popularity
+//! follows Zipf(α = 1); per-node arrivals follow Poisson or MMPP
+//! processes with mean `λ̄ = 10` per slot; request demands are
+//! `N(10, 2²)` and durations exponential with mean 10 slots. The mean
+//! demand is the knob that sets *edge utilization* (§IV-A): utilization
+//! is 100% when the mean total size of active requests equals the total
+//! edge-datacenter capacity, which at the defaults means `E[d] = 10`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vne_model::app::AppSet;
+use vne_model::ids::{AppId, RequestId};
+use vne_model::request::{Request, Slot};
+use vne_model::substrate::SubstrateNetwork;
+
+use crate::arrival::{ArrivalProcess, Mmpp, PoissonArrivals};
+use crate::dist::{Exponential, Normal, Zipf};
+
+/// The arrival process family for a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless Poisson arrivals.
+    Poisson,
+    /// Bursty Markov-modulated Poisson arrivals (the paper's default).
+    Mmpp,
+}
+
+/// Parameters of a synthetic trace (defaults = Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of time slots to generate.
+    pub slots: Slot,
+    /// Mean arrivals per edge node per slot (`λ`).
+    pub mean_rate_per_node: f64,
+    /// Mean request demand size (`E[d]`; 10 ⇒ 100% utilization).
+    pub demand_mean: f64,
+    /// Standard deviation of request demand (`N(10, 4)` ⇒ 2).
+    pub demand_std: f64,
+    /// Mean request duration in slots.
+    pub duration_mean: f64,
+    /// Zipf exponent for node popularity.
+    pub zipf_alpha: f64,
+    /// Arrival process family.
+    pub arrivals: ArrivalKind,
+    /// Seed of the node-popularity permutation. This is deliberately
+    /// *separate* from the trace RNG: the history and online phases of
+    /// one experiment must agree on which edge nodes are popular, or the
+    /// plan is built for the wrong spatial distribution (that distortion
+    /// is an explicit experiment, Fig. 14 — not the default).
+    pub popularity_seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            slots: 6000,
+            mean_rate_per_node: 10.0,
+            demand_mean: 10.0,
+            demand_std: 2.0,
+            duration_mean: 10.0,
+            zipf_alpha: 1.0,
+            arrivals: ArrivalKind::Mmpp,
+            popularity_seed: 0x90b5,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The mean demand that produces the given edge utilization
+    /// (utilization 1.0 = 100%):
+    /// `E[d] = u · cap_edge / (λ · E[T] · E[Σ_i β_i])`.
+    pub fn demand_mean_for_utilization(
+        utilization: f64,
+        substrate: &SubstrateNetwork,
+        apps: &AppSet,
+        mean_rate_per_node: f64,
+        duration_mean: f64,
+    ) -> f64 {
+        let edge_nodes = substrate.edge_nodes().len() as f64;
+        if edge_nodes == 0.0 {
+            return 0.0;
+        }
+        let cap_per_edge = substrate.total_edge_capacity() / edge_nodes;
+        let mean_footprint = apps.mean_total_node_size();
+        utilization * cap_per_edge / (mean_rate_per_node * duration_mean * mean_footprint)
+    }
+
+    /// Returns a copy with the demand mean set for the target utilization.
+    pub fn at_utilization(
+        &self,
+        utilization: f64,
+        substrate: &SubstrateNetwork,
+        apps: &AppSet,
+    ) -> Self {
+        let mut c = self.clone();
+        c.demand_mean = Self::demand_mean_for_utilization(
+            utilization,
+            substrate,
+            apps,
+            self.mean_rate_per_node,
+            self.duration_mean,
+        );
+        // Keep the paper's coefficient of variation (σ/μ = 0.2).
+        c.demand_std = c.demand_mean * (self.demand_std / self.demand_mean);
+        c
+    }
+}
+
+enum NodeProcess {
+    Poisson(PoissonArrivals),
+    Mmpp(Mmpp),
+}
+
+impl NodeProcess {
+    fn arrivals<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        match self {
+            NodeProcess::Poisson(p) => p.arrivals(rng),
+            NodeProcess::Mmpp(m) => m.arrivals(rng),
+        }
+    }
+}
+
+/// Generates a request trace over the substrate's edge nodes.
+///
+/// Popularity ranks are a seeded random permutation of the edge nodes;
+/// the total arrival rate `λ̄ · |edge|` is split across nodes by Zipf
+/// weight, each node running an independent arrival process. Requests
+/// are returned sorted by arrival slot, with ids in arrival order.
+pub fn generate<R: Rng + ?Sized>(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    config: &TraceConfig,
+    rng: &mut R,
+) -> Vec<Request> {
+    let mut edge_nodes = substrate.edge_nodes();
+    assert!(!edge_nodes.is_empty(), "substrate has no edge nodes");
+    assert!(!apps.is_empty(), "application set is empty");
+    let mut pop_rng = crate::rng::SeededRng::new(config.popularity_seed);
+    edge_nodes.shuffle(&mut pop_rng);
+    let zipf = Zipf::new(edge_nodes.len(), config.zipf_alpha);
+    let total_rate = config.mean_rate_per_node * edge_nodes.len() as f64;
+
+    let mut processes: Vec<NodeProcess> = (0..edge_nodes.len())
+        .map(|rank| {
+            let rate = total_rate * zipf.weight(rank);
+            match config.arrivals {
+                ArrivalKind::Poisson => NodeProcess::Poisson(PoissonArrivals::new(rate)),
+                ArrivalKind::Mmpp => NodeProcess::Mmpp(Mmpp::with_mean(rate)),
+            }
+        })
+        .collect();
+
+    let demand = Normal::new(config.demand_mean, config.demand_std);
+    let duration = Exponential::new(config.duration_mean);
+    let app_count = apps.len();
+
+    let mut requests = Vec::new();
+    let mut next_id = 0u64;
+    for t in 0..config.slots {
+        for (rank, process) in processes.iter_mut().enumerate() {
+            let k = process.arrivals(rng);
+            for _ in 0..k {
+                let app = AppId::from_index(rng.gen_range(0..app_count));
+                let d = demand.sample_truncated(rng, 0.5);
+                let dur = duration.sample(rng).round().max(1.0) as Slot;
+                requests.push(Request {
+                    id: RequestId(next_id),
+                    arrival: t,
+                    duration: dur,
+                    ingress: edge_nodes[rank],
+                    app,
+                    demand: d,
+                });
+                next_id += 1;
+            }
+        }
+    }
+    requests
+}
+
+/// Remaps every request's ingress to a uniformly random edge node
+/// (the Fig. 14 "spatial distribution change": the *plan* is built from
+/// shifted history while the online demand keeps the original locations).
+pub fn shift_ingress<R: Rng + ?Sized>(
+    requests: &[Request],
+    substrate: &SubstrateNetwork,
+    rng: &mut R,
+) -> Vec<Request> {
+    let edge_nodes = substrate.edge_nodes();
+    requests
+        .iter()
+        .map(|r| {
+            let mut shifted = r.clone();
+            shifted.ingress = edge_nodes[rng.gen_range(0..edge_nodes.len())];
+            shifted
+        })
+        .collect()
+}
+
+/// Splits a trace into history (`arrival < split`) and online
+/// (`arrival ≥ split`, shifted so the online part starts at slot 0).
+pub fn split_trace(requests: &[Request], split: Slot) -> (Vec<Request>, Vec<Request>) {
+    let mut history = Vec::new();
+    let mut online = Vec::new();
+    for r in requests {
+        if r.arrival < split {
+            history.push(r.clone());
+        } else {
+            let mut shifted = r.clone();
+            shifted.arrival -= split;
+            online.push(shifted);
+        }
+    }
+    (history, online)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appgen::{paper_mix, AppGenConfig};
+    use crate::rng::SeededRng;
+    use vne_topology::zoo::citta_studi;
+
+    fn small_config() -> TraceConfig {
+        TraceConfig {
+            slots: 200,
+            ..TraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_respects_structure() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(1);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let trace = generate(&s, &apps, &small_config(), &mut rng);
+        assert!(!trace.is_empty());
+        let edge: std::collections::HashSet<_> = s.edge_nodes().into_iter().collect();
+        for r in &trace {
+            assert!(edge.contains(&r.ingress), "non-edge ingress");
+            assert!(r.arrival < 200);
+            assert!(r.duration >= 1);
+            assert!(r.demand > 0.0);
+            assert!(r.app.index() < apps.len());
+        }
+        // Sorted by arrival with sequential ids.
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(trace.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(2);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let config = TraceConfig {
+            slots: 500,
+            arrivals: ArrivalKind::Poisson,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&s, &apps, &config, &mut rng);
+        let expected = 10.0 * s.edge_nodes().len() as f64 * 500.0;
+        let actual = trace.len() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_demand() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(3);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let trace = generate(&s, &apps, &small_config(), &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for r in &trace {
+            *counts.entry(r.ingress).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap_or(0);
+        assert!(max > 3 * min.max(1), "max {max} min {min}");
+    }
+
+    #[test]
+    fn utilization_calibration_matches_paper() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(4);
+        // Apps with E[Σβ] forced to 200 (4 VNFs × 50) by construction.
+        let mut apps = vne_model::app::AppSet::new();
+        apps.push(
+            "c",
+            vne_model::app::AppShape::Chain,
+            vne_model::app::shapes::uniform_chain(4, 50.0, 50.0).unwrap(),
+        )
+        .unwrap();
+        let d = TraceConfig::demand_mean_for_utilization(1.0, &s, &apps, 10.0, 10.0);
+        assert!((d - 10.0).abs() < 1e-9, "demand mean {d}");
+        let d60 = TraceConfig::demand_mean_for_utilization(0.6, &s, &apps, 10.0, 10.0);
+        assert!((d60 - 6.0).abs() < 1e-9);
+        let cfg = TraceConfig::default().at_utilization(1.4, &s, &apps);
+        assert!((cfg.demand_mean - 14.0).abs() < 1e-9);
+        assert!((cfg.demand_std - 2.8).abs() < 1e-9);
+        let _ = generate(&s, &apps, &small_config(), &mut rng);
+    }
+
+    #[test]
+    fn shift_ingress_keeps_everything_else() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(5);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let trace = generate(&s, &apps, &small_config(), &mut rng);
+        let shifted = shift_ingress(&trace, &s, &mut rng);
+        assert_eq!(trace.len(), shifted.len());
+        let edge: std::collections::HashSet<_> = s.edge_nodes().into_iter().collect();
+        let mut moved = 0;
+        for (a, b) in trace.iter().zip(&shifted) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.demand, b.demand);
+            assert_eq!(a.arrival, b.arrival);
+            assert!(edge.contains(&b.ingress));
+            if a.ingress != b.ingress {
+                moved += 1;
+            }
+        }
+        assert!(moved > trace.len() / 2);
+    }
+
+    #[test]
+    fn split_trace_partitions() {
+        let s = citta_studi().unwrap();
+        let mut rng = SeededRng::new(6);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let trace = generate(&s, &apps, &small_config(), &mut rng);
+        let (hist, online) = split_trace(&trace, 150);
+        assert_eq!(hist.len() + online.len(), trace.len());
+        assert!(hist.iter().all(|r| r.arrival < 150));
+        // Online arrivals re-based at zero.
+        assert!(online.iter().all(|r| r.arrival < 50));
+    }
+}

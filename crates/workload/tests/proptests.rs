@@ -1,0 +1,123 @@
+//! Property-based tests for workload generation and statistics.
+
+use proptest::prelude::*;
+use vne_workload::dist::{Exponential, Normal, Poisson, Zipf};
+use vne_workload::history::ClassDemandSeries;
+use vne_workload::rng::SeededRng;
+use vne_workload::stats::{bootstrap_percentile, Ecdf};
+
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::request::Request;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ECDF percentiles are monotone in alpha and bounded by the sample.
+    #[test]
+    fn percentiles_are_monotone(
+        mut sample in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+    ) {
+        let e = Ecdf::new(sample.clone());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(e.percentile(lo) <= e.percentile(hi) + 1e-12);
+        sample.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(e.percentile(0.0) >= sample[0] - 1e-12);
+        prop_assert!(e.percentile(100.0) <= sample[sample.len() - 1] + 1e-12);
+    }
+
+    /// The ECDF is a valid CDF: nondecreasing, 0 before the min, 1 at
+    /// and after the max.
+    #[test]
+    fn ecdf_is_a_cdf(sample in proptest::collection::vec(-50.0f64..50.0, 1..100)) {
+        let e = Ecdf::new(sample.clone());
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.cdf(lo - 1.0), 0.0);
+        prop_assert_eq!(e.cdf(hi), 1.0);
+        prop_assert!(e.cdf(0.0) <= e.cdf(1.0) + 1e-12);
+    }
+
+    /// Bootstrap CIs contain the point estimate and have sane ordering.
+    #[test]
+    fn bootstrap_ci_ordering(
+        sample in proptest::collection::vec(0.0f64..100.0, 2..100),
+        alpha in 1.0f64..99.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let est = bootstrap_percentile(&sample, alpha, 50, &mut rng);
+        prop_assert!(est.ci_low <= est.ci_high);
+        prop_assert!(est.estimate >= est.ci_low - 1e-9);
+        prop_assert!(est.estimate <= est.ci_high + 1e-9);
+        // Bounded by the sample range.
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est.estimate >= lo - 1e-9 && est.estimate <= hi + 1e-9);
+    }
+
+    /// Zipf weights are a probability distribution and rank-decreasing.
+    #[test]
+    fn zipf_is_normalized_and_decreasing(n in 1usize..50, alpha in 0.0f64..3.0) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|i| z.weight(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.weight(i) <= z.weight(i - 1) + 1e-12);
+        }
+    }
+
+    /// Samplers produce values in their support.
+    #[test]
+    fn sampler_supports(seed in any::<u64>()) {
+        let mut rng = SeededRng::new(seed);
+        let e = Exponential::new(5.0);
+        let p = Poisson::new(4.0);
+        let n = Normal::new(0.0, 1.0);
+        for _ in 0..100 {
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+            let _ = p.sample(&mut rng); // u64: non-negative by type
+            prop_assert!(n.sample(&mut rng).is_finite());
+            prop_assert!(n.sample_truncated(&mut rng, -0.5) >= -0.5);
+        }
+    }
+
+    /// Class demand series conserve total demand-slots: summing every
+    /// class series equals Σ demand·active-slots (clipped to the window).
+    #[test]
+    fn class_series_conserve_demand(
+        raw in proptest::collection::vec(
+            (0u8..30, 1u8..10, 0u8..4, 0u8..2, 0.5f64..10.0),
+            0..60,
+        )
+    ) {
+        let slots = 40u32;
+        let requests: Vec<Request> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, dur, node, app, demand))| Request {
+                id: RequestId(i as u64),
+                arrival: u32::from(t),
+                duration: u32::from(dur),
+                ingress: NodeId(u32::from(node)),
+                app: AppId(u32::from(app)),
+                demand,
+            })
+            .collect();
+        let series = ClassDemandSeries::from_requests(&requests, slots);
+        let total_series: f64 = series
+            .classes()
+            .map(|c| series.series(c).unwrap().iter().sum::<f64>())
+            .sum();
+        let total_expected: f64 = requests
+            .iter()
+            .map(|r| {
+                let end = r.departure().min(slots);
+                let start = r.arrival.min(slots);
+                f64::from(end.saturating_sub(start)) * r.demand
+            })
+            .sum();
+        prop_assert!((total_series - total_expected).abs() < 1e-6);
+    }
+}

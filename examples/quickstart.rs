@@ -1,0 +1,72 @@
+//! Quickstart: the full OLIVE pipeline on a real topology in ~40 lines.
+//!
+//! Builds the Iris substrate, draws the paper's application mix,
+//! generates a bursty MMPP trace, aggregates the history into a plan
+//! (PLAN-VNE) and serves the online phase with OLIVE — then compares
+//! against the QUICKG greedy baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vne::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Substrate: Iris (50 datacenters, 64 links, 3 tiers).
+    let substrate = vne::topology::zoo::iris()?;
+    println!(
+        "substrate: {} ({} nodes, {} edge datacenters)",
+        substrate.name(),
+        substrate.node_count(),
+        substrate.edge_nodes().len()
+    );
+
+    // 2. Applications: two chains, a tree and an accelerator chain with
+    //    randomly drawn sizes (Table III).
+    let mut rng = SeededRng::new(42);
+    let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+    for app in apps.iter() {
+        println!(
+            "app {:8} ({}): {} VNFs, total size {:.0}",
+            app.name,
+            app.shape,
+            app.vnet.vnf_count(),
+            app.vnet.total_node_size()
+        );
+    }
+
+    // 3. Scenario at 120% edge utilization: 600 planning slots feed the
+    //    plan, 200 online slots are served.
+    let mut config = ScenarioConfig::small(1.2).with_seed(42);
+    config.history_slots = 600;
+    config.test_slots = 200;
+    config.measure_window = (30, 170);
+    let scenario = Scenario::new(substrate, apps, config);
+
+    // 4. OLIVE vs QUICKG.
+    let olive = scenario.run(Algorithm::Olive);
+    let quickg = scenario.run(Algorithm::Quickg);
+
+    let plan = olive.plan.as_ref().expect("OLIVE builds a plan");
+    println!(
+        "\nplan: {} classes, {} embedding columns, {:.1}% of expected demand rejected up front",
+        plan.len(),
+        plan.total_columns(),
+        plan.planned_rejection_fraction() * 100.0
+    );
+    println!("plan built in {:.2}s", olive.plan_secs);
+
+    println!("\n{:<8} {:>10} {:>14} {:>12}", "alg", "rejection", "total cost", "online[s]");
+    for out in [&olive, &quickg] {
+        println!(
+            "{:<8} {:>9.2}% {:>14.3e} {:>12.3}",
+            out.result.algorithm,
+            out.summary.rejection_rate * 100.0,
+            out.summary.total_cost,
+            out.summary.online_secs
+        );
+    }
+    println!(
+        "\nOLIVE rejected {:.1}% fewer requests than QUICKG",
+        (quickg.summary.rejection_rate - olive.summary.rejection_rate) * 100.0
+    );
+    Ok(())
+}
