@@ -68,9 +68,7 @@ fn main() {
         }
         match r.status {
             RequestStatus::Rejected => *denied.entry(r.class.app.index()).or_insert(0) += 1,
-            RequestStatus::Preempted(_) => {
-                *preempted.entry(r.class.app.index()).or_insert(0) += 1
-            }
+            RequestStatus::Preempted(_) => *preempted.entry(r.class.app.index()).or_insert(0) += 1,
             RequestStatus::Accepted => {}
         }
     }

@@ -41,13 +41,9 @@ fn main() {
         );
     }
     for alg in [Algorithm::Quickg, Algorithm::SlotOff] {
-        let (summaries, _) = run_seeds(
-            &substrate,
-            alg,
-            &opts.seed_list(),
-            default_apps,
-            |seed| opts.config(1.4).with_seed(seed),
-        );
+        let (summaries, _) = run_seeds(&substrate, alg, &opts.seed_list(), default_apps, |seed| {
+            opts.config(1.4).with_seed(seed)
+        });
         let agg = aggregate(&summaries);
         println!(
             "{:>14} {:>12.4} {:>10.4}",

@@ -26,25 +26,16 @@ fn main() {
     );
     for rate in [2.0, 5.0, 10.0, 20.0, 40.0] {
         for alg in [Algorithm::Olive, Algorithm::Quickg] {
-            let (summaries, _) = run_seeds(
-                &iris,
-                alg,
-                &opts.seed_list(),
-                default_apps,
-                |seed| {
-                    let mut c = opts.config(1.0).with_seed(seed);
-                    c.trace.mean_rate_per_node = rate;
-                    c
-                },
-            );
+            let (summaries, _) = run_seeds(&iris, alg, &opts.seed_list(), default_apps, |seed| {
+                let mut c = opts.config(1.0).with_seed(seed);
+                c.trace.mean_rate_per_node = rate;
+                c
+            });
             let agg = aggregate(&summaries);
             // Requests processed per wall-clock second (arrivals over the
             // whole online phase / online seconds).
-            let mean_arrivals: f64 = summaries
-                .iter()
-                .map(|s| s.arrivals as f64)
-                .sum::<f64>()
-                / summaries.len() as f64;
+            let mean_arrivals: f64 =
+                summaries.iter().map(|s| s.arrivals as f64).sum::<f64>() / summaries.len() as f64;
             // `arrivals` counts only the window; scale to the full phase.
             let phase_fraction = {
                 let c = opts.config(1.0);
@@ -76,13 +67,10 @@ fn main() {
         for &u in &opts.utils {
             let mut times = Vec::new();
             for alg in [Algorithm::Olive, Algorithm::Quickg] {
-                let (summaries, _) = run_seeds(
-                    &substrate,
-                    alg,
-                    &opts.seed_list(),
-                    default_apps,
-                    |seed| opts.config(u).with_seed(seed),
-                );
+                let (summaries, _) =
+                    run_seeds(&substrate, alg, &opts.seed_list(), default_apps, |seed| {
+                        opts.config(u).with_seed(seed)
+                    });
                 times.push(aggregate(&summaries).online_secs.0);
             }
             println!(

@@ -2,8 +2,8 @@
 
 use std::time::Instant;
 
-use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
 use vne_sim::runner::default_apps;
+use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
 
 fn main() {
     let substrate = vne_topology::zoo::iris().expect("iris builds");

@@ -11,7 +11,11 @@ fn main() {
     let paper = ScenarioConfig::paper(1.0);
 
     println!("# Table III — experimental settings");
-    println!("{:<34} {}", "node popularity", format_args!("Zipf (α = {})", t.zipf_alpha));
+    println!(
+        "{:<34} {}",
+        "node popularity",
+        format_args!("Zipf (α = {})", t.zipf_alpha)
+    );
     println!("{:<34} {}", "plan period [slots]", paper.history_slots);
     println!("{:<34} {}", "test period [slots]", paper.test_slots);
     println!(

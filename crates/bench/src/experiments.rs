@@ -36,17 +36,11 @@ where
     let mut rows = Vec::new();
     for &u in &opts.utils {
         for &alg in algorithms {
-            let (_, agg) = run_seeds(
-                substrate,
-                alg,
-                &opts.seed_list(),
-                default_apps,
-                |seed| {
-                    let mut c = opts.config(u).with_seed(seed);
-                    tweak(&mut c);
-                    c
-                },
-            );
+            let (_, agg) = run_seeds(substrate, alg, &opts.seed_list(), default_apps, |seed| {
+                let mut c = opts.config(u).with_seed(seed);
+                tweak(&mut c);
+                c
+            });
             rows.push(SweepRow {
                 topology: substrate.name().to_string(),
                 utilization: u,
@@ -93,17 +87,12 @@ mod tests {
             utils: vec![1.0],
             ..BenchOpts::default()
         };
-        let rows = sweep(
-            &substrate,
-            &[Algorithm::Quickg],
-            &opts,
-            |c| {
-                // Shrink for the unit test.
-                c.history_slots = 100;
-                c.test_slots = 60;
-                c.measure_window = (10, 50);
-            },
-        );
+        let rows = sweep(&substrate, &[Algorithm::Quickg], &opts, |c| {
+            // Shrink for the unit test.
+            c.history_slots = 100;
+            c.test_slots = 60;
+            c.measure_window = (10, 50);
+        });
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].algorithm, "QUICKG");
         assert!(rows[0].summary.rejection_rate.0 >= 0.0);

@@ -42,8 +42,12 @@ pub trait OnlineAlgorithm {
     ///
     /// Implementations must keep their internal [`LoadLedger`] feasible
     /// at all times.
-    fn process_slot(&mut self, t: Slot, departures: &[Request], arrivals: &[Request])
-        -> SlotOutcome;
+    fn process_slot(
+        &mut self,
+        t: Slot,
+        departures: &[Request],
+        arrivals: &[Request],
+    ) -> SlotOutcome;
 
     /// The current substrate load ledger (used for cost accounting).
     fn loads(&self) -> &LoadLedger;

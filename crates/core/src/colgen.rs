@@ -224,14 +224,9 @@ pub fn solve_plan_with_columns(
         for (k, agg) in classes.iter().enumerate() {
             let mu = duals[n_nodes + n_links + k];
             let vnet = apps.vnet(agg.class.app);
-            let Some((embedding, adj_cost)) = min_cost_embedding(
-                substrate,
-                vnet,
-                policy,
-                agg.class.ingress,
-                &adjusted,
-                None,
-            ) else {
+            let Some((embedding, adj_cost)) =
+                min_cost_embedding(substrate, vnet, policy, agg.class.ingress, &adjusted, None)
+            else {
                 continue;
             };
             let reduced = agg.demand * adj_cost - mu;
@@ -357,7 +352,11 @@ mod tests {
             &PlanVneConfig::new(1e4),
         );
         let cp = plan.class(ClassId::new(AppId(0), NodeId(0))).unwrap();
-        assert!(cp.rejected_fraction < 1e-6, "rejected {}", cp.rejected_fraction);
+        assert!(
+            cp.rejected_fraction < 1e-6,
+            "rejected {}",
+            cp.rejected_fraction
+        );
         assert!(!cp.columns.is_empty());
         let total_share: f64 = cp.columns.iter().map(|c| c.share).sum();
         assert!((total_share - 1.0).abs() < 1e-6);
@@ -397,7 +396,11 @@ mod tests {
             &PlanVneConfig::new(1e4),
         );
         let cp = plan.class(ClassId::new(AppId(0), NodeId(0))).unwrap();
-        assert!(cp.rejected_fraction > 0.2, "rejected {}", cp.rejected_fraction);
+        assert!(
+            cp.rejected_fraction > 0.2,
+            "rejected {}",
+            cp.rejected_fraction
+        );
         assert!(cp.rejected_fraction < 1.0);
         // Allocated fraction + rejected fraction = 1.
         let total_share: f64 = cp.columns.iter().map(|c| c.share).sum();
@@ -491,10 +494,20 @@ mod tests {
         let (s, apps) = small_world();
         let policy = PlacementPolicy::default();
         let agg = aggregate_of(100.0);
-        let (plan1, _) =
-            solve_plan(&s, &apps, &policy, &agg, &PlanVneConfig::new(1e4).with_quantiles(1));
-        let (plan10, _) =
-            solve_plan(&s, &apps, &policy, &agg, &PlanVneConfig::new(1e4).with_quantiles(10));
+        let (plan1, _) = solve_plan(
+            &s,
+            &apps,
+            &policy,
+            &agg,
+            &PlanVneConfig::new(1e4).with_quantiles(1),
+        );
+        let (plan10, _) = solve_plan(
+            &s,
+            &apps,
+            &policy,
+            &agg,
+            &PlanVneConfig::new(1e4).with_quantiles(10),
+        );
         let r1 = plan1.planned_rejection_fraction();
         let r10 = plan10.planned_rejection_fraction();
         // Same single class: overall rejected fraction should be nearly

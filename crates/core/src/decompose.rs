@@ -45,14 +45,11 @@ fn strip_paths(
 ) -> Vec<PathAtom> {
     let mut residual: HashMap<(NodeId, NodeId), f64> = flows.clone();
     let mut atoms = Vec::new();
-    loop {
-        // Pick the largest remaining supply.
-        let Some(src_idx) = (0..supply.len())
-            .filter(|&i| supply[i] > EPS)
-            .max_by(|&a, &b| supply[a].partial_cmp(&supply[b]).unwrap())
-        else {
-            break;
-        };
+    // Pick the largest remaining supply each round until none is left.
+    while let Some(src_idx) = (0..supply.len())
+        .filter(|&i| supply[i] > EPS)
+        .max_by(|&a, &b| supply[a].partial_cmp(&supply[b]).unwrap())
+    {
         let source = NodeId::from_index(src_idx);
         // Walk positive residual arcs until a node with sink capacity.
         let mut links = Vec::new();

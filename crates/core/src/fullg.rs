@@ -128,8 +128,7 @@ impl FullG {
                 // accepted even if the node budget ran out first).
                 self.stats.ilp_fallbacks += 1;
                 if let Some(embedding) = self.solve_ilp(&vnet, r) {
-                    let footprint =
-                        embedding.footprint(&vnet, &self.substrate, &self.policy);
+                    let footprint = embedding.footprint(&vnet, &self.substrate, &self.policy);
                     if self.loads.fits(&footprint, r.demand) {
                         self.loads.apply(&footprint, r.demand);
                         self.active.insert(r.id, (r.demand, footprint));
@@ -249,11 +248,9 @@ impl FullG {
         for (i, _) in vnet.vnodes() {
             let row = p.add_row(format!("asg-{i}"), Relation::Eq, 1.0);
             let mut any = false;
-            for v in 0..n_sub {
-                if let Some(var) = node_vars[i.index()][v] {
-                    p.set_coeff(row, var, 1.0);
-                    any = true;
-                }
+            for var in node_vars[i.index()].iter().flatten() {
+                p.set_coeff(row, *var, 1.0);
+                any = true;
             }
             if !any {
                 return None; // some VNF has no feasible host at all
@@ -287,7 +284,11 @@ impl FullG {
         }
         // Joint residual capacity rows.
         for (v, _) in s.nodes() {
-            let row = p.add_row(format!("cap-{v}"), Relation::Le, self.loads.node_residual(v));
+            let row = p.add_row(
+                format!("cap-{v}"),
+                Relation::Le,
+                self.loads.node_residual(v),
+            );
             for (i, vnf) in vnet.vnodes() {
                 if let Some(var) = node_vars[i.index()][v.index()] {
                     let eta = self.policy.node_eta(vnf, s.node(v)).expect("var exists");
@@ -299,7 +300,11 @@ impl FullG {
             }
         }
         for (l, slink) in s.links() {
-            let row = p.add_row(format!("cap-{l}"), Relation::Le, self.loads.link_residual(l));
+            let row = p.add_row(
+                format!("cap-{l}"),
+                Relation::Le,
+                self.loads.link_residual(l),
+            );
             for (e, vlink) in vnet.vlinks() {
                 let eta = self.policy.link_eta(vlink, slink).expect("eta exists");
                 let load = r.demand * vlink.beta * eta;
@@ -475,8 +480,7 @@ mod tests {
         assert!(fullg.loads().node_load(NodeId(2)) > 0.0);
         // QUICKG on the same instance places both VNFs on e0 (the only
         // node fitting 60 CU) at much higher cost.
-        let mut quickg =
-            crate::olive::Olive::quickg(s, apps, PlacementPolicy::default());
+        let mut quickg = crate::olive::Olive::quickg(s, apps, PlacementPolicy::default());
         let qout = quickg.process_slot(0, &[], &[req(0, 3.0)]);
         assert_eq!(qout.accepted.len(), 1);
         assert_eq!(quickg.loads().node_load(NodeId(0)), 60.0);

@@ -154,7 +154,10 @@ mod tests {
         let vn = VirtualNetwork::chain(&[10.0, 10.0], &[5.0, 5.0]).unwrap();
         let mut ledger = LoadLedger::new(&s);
         // Fill c2 so 20 CU no longer fit.
-        ledger.apply(&Footprint::from_parts(vec![(NodeId(2), 885.0)], vec![]), 1.0);
+        ledger.apply(
+            &Footprint::from_parts(vec![(NodeId(2), 885.0)], vec![]),
+            1.0,
+        );
         let (emb, _) = collocated_embed(
             &s,
             &vn,

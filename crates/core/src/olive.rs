@@ -478,10 +478,8 @@ mod tests {
     fn plan_on_core(s: &SubstrateNetwork, apps: &AppSet, budget: f64) -> Plan {
         let class = ClassId::new(AppId(0), NodeId(0));
         let vnet = apps.vnet(AppId(0));
-        let embedding = Embedding::new(
-            vec![NodeId(0), NodeId(2)],
-            vec![vec![LinkId(0), LinkId(1)]],
-        );
+        let embedding =
+            Embedding::new(vec![NodeId(0), NodeId(2)], vec![vec![LinkId(0), LinkId(1)]]);
         let policy = PlacementPolicy::default();
         assert!(embedding.validate(vnet, s, &policy).is_ok());
         let footprint = embedding.footprint(vnet, s, &policy);
@@ -566,11 +564,7 @@ mod tests {
         );
         // First request eats 8 of 10 budget; second (demand 6) cannot
         // fully fit the plan but borrows (substrate has room).
-        let out = olive.process_slot(
-            0,
-            &[],
-            &[req(0, 0, 5, 8.0), req(1, 0, 5, 6.0)],
-        );
+        let out = olive.process_slot(0, &[], &[req(0, 0, 5, 8.0), req(1, 0, 5, 6.0)]);
         assert_eq!(out.accepted.len(), 2);
         assert!(olive.is_planned(RequestId(0)));
         assert!(!olive.is_planned(RequestId(1)));

@@ -147,9 +147,7 @@ impl PlanLedger {
     /// the `PLAN EMBED` full-fit test (Eq. 19).
     pub fn full_fit(&self, class: ClassId, demand: f64) -> Option<usize> {
         let residuals = self.residual.get(&class)?;
-        residuals
-            .iter()
-            .position(|&r| r + BUDGET_EPS >= demand)
+        residuals.iter().position(|&r| r + BUDGET_EPS >= demand)
     }
 
     /// Column indices with any positive residual, sorted by descending
@@ -197,9 +195,9 @@ impl PlanLedger {
     /// Whether all residuals are within `[0, budget]` (test invariant).
     pub fn check_invariants(&self) -> bool {
         self.residual.iter().all(|(c, v)| {
-            v.iter().zip(&self.budgets[c]).all(|(&r, &b)| {
-                (-BUDGET_EPS..=b + BUDGET_EPS).contains(&r)
-            })
+            v.iter()
+                .zip(&self.budgets[c])
+                .all(|(&r, &b)| (-BUDGET_EPS..=b + BUDGET_EPS).contains(&r))
         })
     }
 }
@@ -246,8 +244,13 @@ mod tests {
         assert!(plan.is_empty());
         assert_eq!(plan.planned_rejection_fraction(), 0.0);
         let ledger = PlanLedger::new(&plan);
-        assert_eq!(ledger.full_fit(ClassId::new(AppId(0), NodeId(0)), 1.0), None);
-        assert!(ledger.partial_candidates(ClassId::new(AppId(0), NodeId(0))).is_empty());
+        assert_eq!(
+            ledger.full_fit(ClassId::new(AppId(0), NodeId(0)), 1.0),
+            None
+        );
+        assert!(ledger
+            .partial_candidates(ClassId::new(AppId(0), NodeId(0)))
+            .is_empty());
     }
 
     #[test]

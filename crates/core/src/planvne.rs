@@ -109,8 +109,7 @@ pub fn solve_arc_lp(
         }
 
         // Arc flow variables, two directions per substrate link.
-        let mut arc_vars: Vec<Vec<(LinkId, bool, VarId)>> =
-            vec![Vec::new(); vnet.link_count()];
+        let mut arc_vars: Vec<Vec<(LinkId, bool, VarId)>> = vec![Vec::new(); vnet.link_count()];
         for (e, vlink) in vnet.vlinks() {
             for (l, slink) in substrate.links() {
                 let Some(eta) = policy.link_eta(vlink, slink) else {

@@ -112,8 +112,7 @@ pub fn min_cost_embedding_with_exclusions(
     let mut subtree = vec![vec![0.0f64; n_sub]; n_virt];
     // For each virtual link e: the Dijkstra predecessor forest and the
     // arrival cost M (indexed by substrate node).
-    let mut preds: Vec<Vec<Option<(NodeId, LinkId)>>> =
-        vec![vec![None; n_sub]; vnet.link_count()];
+    let mut preds: Vec<Vec<Option<(NodeId, LinkId)>>> = vec![vec![None; n_sub]; vnet.link_count()];
     let mut transfer = vec![vec![INF; n_sub]; vnet.link_count()];
 
     let order = vnet.bfs_order();
@@ -159,21 +158,17 @@ pub fn min_cost_embedding_with_exclusions(
         // connecting virtual link, unless v is the root.
         if let Some((_, e)) = vnet.parent(v) {
             let vlink = vnet.link(e);
-            let (m, pred) = multi_source_dijkstra(
-                substrate,
-                &subtree[v.index()],
-                |l| {
-                    let link = substrate.link(l);
-                    let eta = policy.link_eta(vlink, link)?;
-                    if let Some(f) = &filter {
-                        let need = f.demand * vlink.beta * eta;
-                        if need > 0.0 && f.ledger.link_residual(l) < need {
-                            return None;
-                        }
+            let (m, pred) = multi_source_dijkstra(substrate, &subtree[v.index()], |l| {
+                let link = substrate.link(l);
+                let eta = policy.link_eta(vlink, link)?;
+                if let Some(f) = &filter {
+                    let need = f.demand * vlink.beta * eta;
+                    if need > 0.0 && f.ledger.link_residual(l) < need {
+                        return None;
                     }
-                    Some(vlink.beta * eta * costs.link[l.index()])
-                },
-            );
+                }
+                Some(vlink.beta * eta * costs.link[l.index()])
+            });
             transfer[e.index()] = m;
             preds[e.index()] = pred;
         }
@@ -426,10 +421,7 @@ mod tests {
         let mut ledger = LoadLedger::new(&s);
         for i in 0..3 {
             ledger.apply(
-                &vne_model::embedding::Footprint::from_parts(
-                    vec![(NodeId(i), 999.5)],
-                    vec![],
-                ),
+                &vne_model::embedding::Footprint::from_parts(vec![(NodeId(i), 999.5)], vec![]),
                 1.0,
             );
         }
@@ -488,15 +480,8 @@ mod tests {
         vn.add_vnf(head, VnfKind::Standard, 10.0, 1.0).unwrap();
         vn.add_vnf(head, VnfKind::Standard, 10.0, 1.0).unwrap();
         let costs = ElementCosts::from_substrate(&s);
-        let (emb, cost) = min_cost_embedding(
-            &s,
-            &vn,
-            &PlacementPolicy::default(),
-            e,
-            &costs,
-            None,
-        )
-        .unwrap();
+        let (emb, cost) =
+            min_cost_embedding(&s, &vn, &PlacementPolicy::default(), e, &costs, None).unwrap();
         // All three VNFs at node a (cost 1): 30 + link θ→head 1 = 31.
         assert_eq!(emb.node(VnodeId(1)), a);
         assert_eq!(emb.node(VnodeId(2)), a);

@@ -154,8 +154,7 @@ impl OnlineAlgorithm for SlotOff {
             let class_budgets = budgets.get_mut(&class).expect("budgets mirror the plan");
             // First fit within budget.
             for (i, col) in cp.columns.iter().enumerate() {
-                if class_budgets[i] + 1e-9 >= r.demand && ledger.fits(&col.footprint, r.demand)
-                {
+                if class_budgets[i] + 1e-9 >= r.demand && ledger.fits(&col.footprint, r.demand) {
                     ledger.apply(&col.footprint, r.demand);
                     class_budgets[i] -= r.demand;
                     return true;

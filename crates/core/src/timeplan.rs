@@ -94,9 +94,7 @@ impl TimeVaryingPlan {
                 let phase_samples: Vec<f64> = full
                     .iter()
                     .enumerate()
-                    .filter(|(t, _)| {
-                        ((*t as Slot / period_length) as usize) % periods == phase
-                    })
+                    .filter(|(t, _)| ((*t as Slot / period_length) as usize) % periods == phase)
                     .map(|(_, &d)| d)
                     .collect();
                 if phase_samples.is_empty() {
@@ -303,14 +301,29 @@ mod tests {
         );
         let c0 = ClassId::new(AppId(0), NodeId(0));
         let c1 = ClassId::new(AppId(0), NodeId(1));
-        let g0_phase0 = tv.plan_at(0).class(c0).map(|c| c.guaranteed_demand()).unwrap_or(0.0);
-        let g1_phase1 = tv.plan_at(10).class(c1).map(|c| c.guaranteed_demand()).unwrap_or(0.0);
+        let g0_phase0 = tv
+            .plan_at(0)
+            .class(c0)
+            .map(|c| c.guaranteed_demand())
+            .unwrap_or(0.0);
+        let g1_phase1 = tv
+            .plan_at(10)
+            .class(c1)
+            .map(|c| c.guaranteed_demand())
+            .unwrap_or(0.0);
         assert!(g0_phase0 > 20.0, "phase-0 guarantee for e0: {g0_phase0}");
         assert!(g1_phase1 > 20.0, "phase-1 guarantee for e1: {g1_phase1}");
         // Cross-phase demand is residual (active requests spill a few
         // slots across the boundary).
-        let g0_phase1 = tv.plan_at(10).class(c0).map(|c| c.guaranteed_demand()).unwrap_or(0.0);
-        assert!(g0_phase1 < g0_phase0 / 2.0, "cross-phase: {g0_phase1} vs {g0_phase0}");
+        let g0_phase1 = tv
+            .plan_at(10)
+            .class(c0)
+            .map(|c| c.guaranteed_demand())
+            .unwrap_or(0.0);
+        assert!(
+            g0_phase1 < g0_phase0 / 2.0,
+            "cross-phase: {g0_phase1} vs {g0_phase0}"
+        );
     }
 
     #[test]

@@ -267,7 +267,11 @@ mod tests {
                 best = best.max(v);
             }
         }
-        assert!((sol.objective + best).abs() < 1e-6, "got {}, want -{best}", sol.objective);
+        assert!(
+            (sol.objective + best).abs() < 1e-6,
+            "got {}, want -{best}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -281,16 +285,16 @@ mod tests {
                 vars[i][j] = p.add_binary_var(format!("x{i}{j}"), cost[i][j]);
             }
         }
-        for i in 0..3 {
+        for (i, row) in vars.iter().enumerate() {
             let r = p.add_row(format!("row{i}"), Relation::Eq, 1.0);
-            for j in 0..3 {
-                p.set_coeff(r, vars[i][j], 1.0);
+            for &var in row {
+                p.set_coeff(r, var, 1.0);
             }
         }
         for j in 0..3 {
             let c = p.add_row(format!("col{j}"), Relation::Eq, 1.0);
-            for i in 0..3 {
-                p.set_coeff(c, vars[i][j], 1.0);
+            for row in &vars {
+                p.set_coeff(c, row[j], 1.0);
             }
         }
         let sol = solve_mip(&p, Default::default());

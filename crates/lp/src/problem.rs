@@ -81,7 +81,10 @@ impl Problem {
     ///
     /// Panics if `lb > ub` or a bound is NaN.
     pub fn add_var(&mut self, name: impl Into<String>, obj: f64, lb: f64, ub: f64) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         let id = VarId(self.obj.len());
         self.obj.push(obj);
@@ -191,7 +194,10 @@ impl Problem {
     ///
     /// Panics if `lb > ub` or a bound is NaN.
     pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         self.lb[var.0] = lb;
         self.ub[var.0] = ub;

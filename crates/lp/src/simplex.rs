@@ -213,14 +213,14 @@ impl Simplex {
         }
         // Artificial basis: coefficient sign(b̃ᵢ) so values are |b̃ᵢ| ≥ 0.
         self.basis = (0..self.m).map(|i| self.art_index(i)).collect();
-        for i in 0..self.m {
+        for (i, &bt) in btilde.iter().enumerate() {
             let j = self.art_index(i);
-            let sigma = if btilde[i] >= 0.0 { 1.0 } else { -1.0 };
+            let sigma = if bt >= 0.0 { 1.0 } else { -1.0 };
             self.cols[j] = vec![(i, sigma)];
             self.lb[j] = 0.0;
             self.ub[j] = f64::INFINITY;
             self.state[j] = VarState::Basic;
-            self.x[j] = btilde[i].abs();
+            self.x[j] = bt.abs();
         }
         self.binv = vec![0.0; self.m * self.m];
         for i in 0..self.m {
@@ -366,8 +366,8 @@ impl Simplex {
         let mut w = vec![0.0; m];
         for &(r, a) in &self.cols[j] {
             if a != 0.0 {
-                for i in 0..m {
-                    w[i] += self.binv[i * m + r] * a;
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi += self.binv[i * m + r] * a;
                 }
             }
         }
@@ -431,7 +431,11 @@ impl Simplex {
             // Ratio test.
             let w = self.ftran(j);
             let range = self.ub[j] - self.lb[j];
-            let mut t_star = if range.is_finite() { range } else { f64::INFINITY };
+            let mut t_star = if range.is_finite() {
+                range
+            } else {
+                f64::INFINITY
+            };
             let mut leaving: Option<usize> = None;
             let mut leaving_coef: f64 = 0.0;
             for (i, &wi) in w.iter().enumerate() {
@@ -536,13 +540,10 @@ impl Simplex {
         for k in 0..m {
             self.binv[r * m + k] *= inv;
         }
-        for i in 0..m {
-            if i != r {
-                let f = w[i];
-                if f != 0.0 {
-                    for k in 0..m {
-                        self.binv[i * m + k] -= f * self.binv[r * m + k];
-                    }
+        for (i, &f) in w.iter().enumerate() {
+            if i != r && f != 0.0 {
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[r * m + k];
                 }
             }
         }

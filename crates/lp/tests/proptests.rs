@@ -58,8 +58,8 @@ proptest! {
         let mut dual_obj: f64 = sol.duals.iter().zip(&b).map(|(y, bi)| y * bi).sum();
         for j in 0..n {
             let mut red = c[j];
-            for i in 0..m {
-                red -= sol.duals[i] * a[i][j];
+            for (y, ai) in sol.duals.iter().zip(&a) {
+                red -= y * ai[j];
             }
             if red < 0.0 {
                 dual_obj += red * u[j];

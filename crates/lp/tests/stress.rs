@@ -31,14 +31,14 @@ fn transportation_problem() {
     }
     for (i, &s) in supply.iter().enumerate() {
         let r = p.add_row(format!("s{i}"), Relation::Le, s);
-        for j in 0..4 {
-            p.set_coeff(r, vars[i][j], 1.0);
+        for &var in &vars[i] {
+            p.set_coeff(r, var, 1.0);
         }
     }
     for (j, &d) in demand.iter().enumerate() {
         let r = p.add_row(format!("d{j}"), Relation::Ge, d);
-        for i in 0..3 {
-            p.set_coeff(r, vars[i][j], 1.0);
+        for row in &vars {
+            p.set_coeff(r, row[j], 1.0);
         }
     }
     let sol = solve_lp(&p);
@@ -102,7 +102,12 @@ fn repeated_column_generation_cycles() {
         let sol = s.reoptimize();
         assert_eq!(sol.status, SolveStatus::Optimal);
         // Objective can only improve as columns are added.
-        assert!(sol.objective <= last_obj + 1e-6, "{} > {}", sol.objective, last_obj);
+        assert!(
+            sol.objective <= last_obj + 1e-6,
+            "{} > {}",
+            sol.objective,
+            last_obj
+        );
         last_obj = sol.objective;
     }
     assert!(last_obj < first.objective, "columns should have helped");

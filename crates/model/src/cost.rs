@@ -30,9 +30,7 @@ impl RejectionPenalty {
         let max_link = substrate.max_link_cost();
         let per_app = apps
             .iter()
-            .map(|a| {
-                a.vnet.total_node_size() * max_node + a.vnet.total_link_size() * max_link
-            })
+            .map(|a| a.vnet.total_node_size() * max_node + a.vnet.total_link_size() * max_link)
             .collect();
         Self { per_app }
     }

@@ -33,7 +33,10 @@ impl Embedding {
     /// performed by [`Embedding::validate`]; this constructor only checks
     /// that both maps are non-empty-consistent in length elsewhere.
     pub fn new(node_map: Vec<NodeId>, link_paths: Vec<Vec<LinkId>>) -> Self {
-        Self { node_map, link_paths }
+        Self {
+            node_map,
+            link_paths,
+        }
     }
 
     /// The substrate node hosting virtual node `v`.
@@ -95,8 +98,7 @@ impl Embedding {
         substrate: &SubstrateNetwork,
         policy: &PlacementPolicy,
     ) -> ModelResult<()> {
-        if self.node_map.len() != vnet.node_count() || self.link_paths.len() != vnet.link_count()
-        {
+        if self.node_map.len() != vnet.node_count() || self.link_paths.len() != vnet.link_count() {
             return Err(ModelError::IncompleteEmbedding);
         }
         for (v, vnf) in vnet.vnodes() {
@@ -105,7 +107,10 @@ impl Embedding {
                 return Err(ModelError::UnknownNode(host));
             }
             if !policy.allows(vnf, substrate.node(host)) {
-                return Err(ModelError::ForbiddenPlacement { vnode: v, node: host });
+                return Err(ModelError::ForbiddenPlacement {
+                    vnode: v,
+                    node: host,
+                });
             }
         }
         for (e, vlink) in vnet.vlinks() {
@@ -347,7 +352,10 @@ mod tests {
             vec![NodeId(0), NodeId(1), NodeId(2)],
             vec![vec![LinkId(0)], vec![LinkId(0)]],
         );
-        assert_eq!(emb.validate(&vn, &s, &p), Err(ModelError::BrokenPath(VlinkId(1))));
+        assert_eq!(
+            emb.validate(&vn, &s, &p),
+            Err(ModelError::BrokenPath(VlinkId(1)))
+        );
     }
 
     #[test]
@@ -359,7 +367,10 @@ mod tests {
             vec![NodeId(0), NodeId(1), NodeId(2)],
             vec![vec![LinkId(0)], vec![]],
         );
-        assert_eq!(emb.validate(&vn, &s, &p), Err(ModelError::BrokenPath(VlinkId(1))));
+        assert_eq!(
+            emb.validate(&vn, &s, &p),
+            Err(ModelError::BrokenPath(VlinkId(1)))
+        );
     }
 
     #[test]
@@ -368,7 +379,10 @@ mod tests {
         let vn = chain2();
         let p = PlacementPolicy::default();
         let emb = Embedding::new(vec![NodeId(0), NodeId(1)], vec![vec![LinkId(0)]]);
-        assert_eq!(emb.validate(&vn, &s, &p), Err(ModelError::IncompleteEmbedding));
+        assert_eq!(
+            emb.validate(&vn, &s, &p),
+            Err(ModelError::IncompleteEmbedding)
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl fmt::Display for ModelError {
             ModelError::UnknownVnode(v) => write!(f, "unknown virtual node {v}"),
             ModelError::UnknownVlink(e) => write!(f, "unknown virtual link {e}"),
             ModelError::ForbiddenPlacement { vnode, node } => {
-                write!(f, "virtual node {vnode} may not be placed on substrate node {node}")
+                write!(
+                    f,
+                    "virtual node {vnode} may not be placed on substrate node {node}"
+                )
             }
             ModelError::BrokenPath(e) => {
                 write!(f, "embedding path for virtual link {e} is not contiguous")

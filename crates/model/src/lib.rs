@@ -63,9 +63,7 @@ pub mod prelude {
     pub use crate::cost::RejectionPenalty;
     pub use crate::embedding::{Embedding, Footprint};
     pub use crate::error::{ModelError, ModelResult};
-    pub use crate::ids::{
-        AppId, ClassId, ElementId, LinkId, NodeId, RequestId, VlinkId, VnodeId,
-    };
+    pub use crate::ids::{AppId, ClassId, ElementId, LinkId, NodeId, RequestId, VlinkId, VnodeId};
     pub use crate::load::LoadLedger;
     pub use crate::policy::PlacementPolicy;
     pub use crate::request::{Request, Slot};

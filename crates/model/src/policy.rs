@@ -118,21 +118,33 @@ mod tests {
     #[test]
     fn standard_vnf_on_ordinary_dc() {
         let p = PlacementPolicy::default();
-        assert_eq!(p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, false)), Some(1.0));
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, false)),
+            Some(1.0)
+        );
         assert!(p.allows(&vnf(VnfKind::Standard), &node(Tier::Core, false)));
     }
 
     #[test]
     fn gpu_vnf_requires_gpu_dc() {
         let p = PlacementPolicy::default();
-        assert_eq!(p.node_eta(&vnf(VnfKind::Gpu), &node(Tier::Core, false)), None);
-        assert_eq!(p.node_eta(&vnf(VnfKind::Gpu), &node(Tier::Core, true)), Some(1.0));
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Gpu), &node(Tier::Core, false)),
+            None
+        );
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Gpu), &node(Tier::Core, true)),
+            Some(1.0)
+        );
     }
 
     #[test]
     fn gpu_dc_excludes_ordinary_vnfs() {
         let p = PlacementPolicy::default();
-        assert_eq!(p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, true)), None);
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, true)),
+            None
+        );
         assert_eq!(
             p.node_eta(&vnf(VnfKind::Accelerator), &node(Tier::Edge, true)),
             None
@@ -157,7 +169,10 @@ mod tests {
             gpu_exclusive: false,
             ..PlacementPolicy::default()
         };
-        assert_eq!(p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, true)), Some(1.0));
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, true)),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -166,8 +181,14 @@ mod tests {
             tier_node_eta: [2.0, 1.0, 0.5],
             ..PlacementPolicy::default()
         };
-        assert_eq!(p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, false)), Some(2.0));
-        assert_eq!(p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Core, false)), Some(0.5));
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Edge, false)),
+            Some(2.0)
+        );
+        assert_eq!(
+            p.node_eta(&vnf(VnfKind::Standard), &node(Tier::Core, false)),
+            Some(0.5)
+        );
     }
 
     #[test]

@@ -189,7 +189,12 @@ impl SubstrateNetwork {
         check_quantity("link capacity", capacity)?;
         check_quantity("link cost", cost)?;
         let id = LinkId::from_index(self.links.len());
-        self.links.push(SubstrateLink { a, b, capacity, cost });
+        self.links.push(SubstrateLink {
+            a,
+            b,
+            capacity,
+            cost,
+        });
         self.adjacency[a.index()].push((b, id));
         self.adjacency[b.index()].push((a, id));
         Ok(id)

@@ -10,8 +10,11 @@ use vne_model::vnet::{VirtualNetwork, VnfKind};
 
 /// A random connected substrate: a path backbone plus random extra links.
 fn arb_substrate() -> impl Strategy<Value = SubstrateNetwork> {
-    (3usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..10)).prop_map(
-        |(n, extra)| {
+    (
+        3usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12), 0..10),
+    )
+        .prop_map(|(n, extra)| {
             let mut s = SubstrateNetwork::new("prop");
             let tiers = [Tier::Edge, Tier::Transport, Tier::Core];
             for i in 0..n {
@@ -24,13 +27,8 @@ fn arb_substrate() -> impl Strategy<Value = SubstrateNetwork> {
                 .unwrap();
             }
             for i in 1..n {
-                s.add_link(
-                    NodeId::from_index(i - 1),
-                    NodeId::from_index(i),
-                    50.0,
-                    1.0,
-                )
-                .unwrap();
+                s.add_link(NodeId::from_index(i - 1), NodeId::from_index(i), 50.0, 1.0)
+                    .unwrap();
             }
             for (a, b) in extra {
                 let (a, b) = (a % n, b % n);
@@ -42,8 +40,7 @@ fn arb_substrate() -> impl Strategy<Value = SubstrateNetwork> {
                 }
             }
             s
-        },
-    )
+        })
 }
 
 /// A random tree virtual network with parent indices < child index.
@@ -52,9 +49,9 @@ fn arb_vnet() -> impl Strategy<Value = VirtualNetwork> {
         |specs| {
             let mut vn = VirtualNetwork::with_root();
             for (pick, beta, link_beta) in specs {
-                let parent =
-                    vne_model::ids::VnodeId::from_index(pick as usize % vn.node_count());
-                vn.add_vnf(parent, VnfKind::Standard, beta, link_beta).unwrap();
+                let parent = vne_model::ids::VnodeId::from_index(pick as usize % vn.node_count());
+                vn.add_vnf(parent, VnfKind::Standard, beta, link_beta)
+                    .unwrap();
             }
             vn
         },

@@ -37,11 +37,7 @@ pub struct Summary {
 }
 
 /// Computes the window summary of a run.
-pub fn summarize(
-    result: &RunResult,
-    penalty: &RejectionPenalty,
-    window: (Slot, Slot),
-) -> Summary {
+pub fn summarize(result: &RunResult, penalty: &RejectionPenalty, window: (Slot, Slot)) -> Summary {
     let (from, to) = window;
     let mut arrivals = 0usize;
     let mut rejected = 0usize;

@@ -2,11 +2,9 @@
 //!
 //! The paper executes every experiment 30 times and reports means with
 //! confidence intervals. [`run_seeds`] replays a scenario across seeds on
-//! worker threads (crossbeam scoped threads) and aggregates the
-//! summaries.
+//! worker threads (std scoped threads) and aggregates the summaries.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use vne_model::app::AppSet;
 use vne_model::substrate::SubstrateNetwork;
 use vne_workload::appgen::{paper_mix, AppGenConfig};
@@ -75,9 +73,9 @@ where
         .min(seeds.len().max(1));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= seeds.len() {
                     break;
@@ -87,13 +85,15 @@ where
                 let config = configure(seed);
                 let scenario = Scenario::new(substrate.clone(), apps, config);
                 let outcome = scenario.run(algorithm);
-                results.lock().push((idx, outcome.summary));
+                results
+                    .lock()
+                    .expect("runner mutex poisoned")
+                    .push((idx, outcome.summary));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("runner mutex poisoned");
     collected.sort_by_key(|(idx, _)| *idx);
     let summaries: Vec<Summary> = collected.into_iter().map(|(_, s)| s).collect();
     let agg = aggregate(&summaries);

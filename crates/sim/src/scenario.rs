@@ -170,10 +170,10 @@ impl Scenario {
     fn trace_at(&self, utilization: f64, slots: Slot, rng: &mut SeededRng) -> Vec<Request> {
         match &self.config.caida {
             None => {
-                let mut tc = self
-                    .config
-                    .trace
-                    .at_utilization(utilization, &self.substrate, &self.apps);
+                let mut tc =
+                    self.config
+                        .trace
+                        .at_utilization(utilization, &self.substrate, &self.apps);
                 tc.slots = slots;
                 // Popularity is a property of the scenario: history and
                 // online phases must agree on the hot nodes.
@@ -189,8 +189,8 @@ impl Scenario {
                 let mean_fp = self.apps.mean_total_node_size();
                 let mut cc = caida_config.clone();
                 cc.slots = slots;
-                cc.demand_mean = utilization * cap_per_edge
-                    / (rate_per_edge * cc.duration_mean * mean_fp);
+                cc.demand_mean =
+                    utilization * cap_per_edge / (rate_per_edge * cc.duration_mean * mean_fp);
                 cc.population_seed = self.config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3);
                 caida::generate(&self.substrate, &self.apps, &cc, rng)
             }
@@ -231,12 +231,9 @@ impl Scenario {
     /// history; low under the Fig. 13/14 distortions.
     pub fn demand_conformance(&self) -> f64 {
         use vne_workload::history::ClassDemandSeries;
-        let history = ClassDemandSeries::from_requests(
-            &self.history_trace(),
-            self.config.history_slots,
-        );
-        let online =
-            ClassDemandSeries::from_requests(&self.online_trace(), self.config.test_slots);
+        let history =
+            ClassDemandSeries::from_requests(&self.history_trace(), self.config.history_slots);
+        let online = ClassDemandSeries::from_requests(&self.online_trace(), self.config.test_slots);
         let mut rng = self.rng(4);
         history.conformance(
             &online,
@@ -372,7 +369,11 @@ mod tests {
         let substrate = citta_studi().unwrap();
         let mut rng = SeededRng::new(seed);
         let apps = paper_mix(&AppGenConfig::default(), &mut rng);
-        Scenario::new(substrate, apps, ScenarioConfig::small(utilization).with_seed(seed))
+        Scenario::new(
+            substrate,
+            apps,
+            ScenarioConfig::small(utilization).with_seed(seed),
+        )
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::cost::RejectionPenalty;
 use vne_model::ids::{AppId, NodeId, RequestId};
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::Request;
@@ -10,7 +11,6 @@ use vne_olive::algorithm::OnlineAlgorithm;
 use vne_olive::olive::Olive;
 use vne_sim::engine::{no_inspection, run, RequestStatus};
 use vne_sim::metrics::{balance_index, summarize};
-use vne_model::cost::RejectionPenalty;
 
 fn world() -> (SubstrateNetwork, AppSet) {
     let mut s = SubstrateNetwork::new("w");

@@ -107,7 +107,11 @@ mod tests {
         let s = toy_spec().build(&TierParams::paper(), 42).unwrap();
         for (_, n) in s.nodes() {
             let mean = TierParams::paper().spec(n.tier).mean_node_cost;
-            assert!(n.cost >= 0.5 * mean && n.cost <= 1.5 * mean, "cost {}", n.cost);
+            assert!(
+                n.cost >= 0.5 * mean && n.cost <= 1.5 * mean,
+                "cost {}",
+                n.cost
+            );
         }
     }
 

@@ -60,11 +60,7 @@ mod tests {
             .filter(|&&c| s.node(c).gpu)
             .count();
         assert_eq!(gpu_cores, 3); // ⌈5/2⌉ with alternating marking
-        let gpu_edges = s
-            .edge_nodes()
-            .iter()
-            .filter(|&&e| s.node(e).gpu)
-            .count();
+        let gpu_edges = s.edge_nodes().iter().filter(|&&e| s.node(e).gpu).count();
         assert_eq!(gpu_edges, GPU_EDGE_SITES);
     }
 

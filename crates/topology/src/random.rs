@@ -89,8 +89,8 @@ pub fn erdos_renyi_spec(n: usize, m: usize, seed: u64, fractions: TierFractions)
     }
 
     let mut spec = TopologySpec::new(format!("{n}N{m}E"));
-    for v in 0..n {
-        spec.add_node(format!("R{v}"), tier[v]);
+    for (v, &t) in tier.iter().enumerate() {
+        spec.add_node(format!("R{v}"), t);
     }
     for (a, b) in edges {
         spec.add_edge(a, b);
@@ -137,12 +137,7 @@ mod tests {
             .map(|&n| s.degree(n))
             .min()
             .unwrap();
-        let max_edge_degree = s
-            .edge_nodes()
-            .iter()
-            .map(|&n| s.degree(n))
-            .max()
-            .unwrap();
+        let max_edge_degree = s.edge_nodes().iter().map(|&n| s.degree(n)).max().unwrap();
         assert!(min_core_degree >= max_edge_degree);
     }
 
@@ -158,9 +153,7 @@ mod tests {
     #[test]
     fn minimal_tree_case() {
         let spec = erdos_renyi_spec(5, 4, 1, TierFractions::default());
-        let s = spec
-            .build(&TierParams::paper(), 0)
-            .unwrap();
+        let s = spec.build(&TierParams::paper(), 0).unwrap();
         assert!(s.is_connected());
         assert_eq!(s.link_count(), 4);
     }

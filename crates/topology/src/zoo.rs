@@ -21,10 +21,38 @@ pub const DEFAULT_COST_SEED: u64 = 0x1215;
 /// Edge-node city names for the Iris replica (32 names, `Franklin` among
 /// them, as in the paper's Fig. 12).
 const IRIS_EDGE_NAMES: [&str; 32] = [
-    "Franklin", "Aurora", "Bristol", "Clayton", "Dayton", "Easton", "Fairfield", "Georgetown",
-    "Hamilton", "Irvine", "Jackson", "Kingston", "Lebanon", "Madison", "Newport", "Oakland",
-    "Princeton", "Quincy", "Riverside", "Salem", "Trenton", "Union", "Vernon", "Warren",
-    "Xenia", "York", "Zanesville", "Ashland", "Burlington", "Camden", "Dover", "Elgin",
+    "Franklin",
+    "Aurora",
+    "Bristol",
+    "Clayton",
+    "Dayton",
+    "Easton",
+    "Fairfield",
+    "Georgetown",
+    "Hamilton",
+    "Irvine",
+    "Jackson",
+    "Kingston",
+    "Lebanon",
+    "Madison",
+    "Newport",
+    "Oakland",
+    "Princeton",
+    "Quincy",
+    "Riverside",
+    "Salem",
+    "Trenton",
+    "Union",
+    "Vernon",
+    "Warren",
+    "Xenia",
+    "York",
+    "Zanesville",
+    "Ashland",
+    "Burlington",
+    "Camden",
+    "Dover",
+    "Elgin",
 ];
 
 /// The structural spec of the Iris replica (50 nodes, 64 links).

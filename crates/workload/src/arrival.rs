@@ -65,7 +65,10 @@ impl Mmpp {
     ///
     /// Panics if rates are negative or probabilities outside `[0, 1]`.
     pub fn new(rate_low: f64, rate_high: f64, p_low_to_high: f64, p_high_to_low: f64) -> Self {
-        assert!(rate_low >= 0.0 && rate_high >= 0.0, "rates must be non-negative");
+        assert!(
+            rate_low >= 0.0 && rate_high >= 0.0,
+            "rates must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&p_low_to_high) && (0.0..=1.0).contains(&p_high_to_low),
             "transition probabilities must be in [0, 1]"
@@ -114,7 +117,11 @@ impl ArrivalProcess for Mmpp {
         } else if flip < self.p_low_to_high {
             self.in_high = true;
         }
-        let rate = if self.in_high { self.rate_high } else { self.rate_low };
+        let rate = if self.in_high {
+            self.rate_high
+        } else {
+            self.rate_low
+        };
         Poisson::new(rate).sample(rng)
     }
 
@@ -161,7 +168,12 @@ mod tests {
         };
         let ms: Vec<f64> = (0..30_000).map(|_| m.arrivals(&mut rng) as f64).collect();
         let ps: Vec<f64> = (0..30_000).map(|_| p.arrivals(&mut rng) as f64).collect();
-        assert!(var(&ms) > 2.0 * var(&ps), "mmpp var {} poisson var {}", var(&ms), var(&ps));
+        assert!(
+            var(&ms) > 2.0 * var(&ps),
+            "mmpp var {} poisson var {}",
+            var(&ms),
+            var(&ps)
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std_dev.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         Self { mean, std_dev }
     }
@@ -91,7 +94,10 @@ impl Zipf {
     /// Panics if `n == 0` or `alpha` is negative/non-finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -151,7 +157,10 @@ impl Poisson {
     ///
     /// Panics if `lambda` is negative or non-finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be non-negative"
+        );
         Self { lambda }
     }
 

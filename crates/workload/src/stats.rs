@@ -22,7 +22,10 @@ impl Ecdf {
     /// Panics if the sample is empty or contains NaN.
     pub fn new(mut sample: Vec<f64>) -> Self {
         assert!(!sample.is_empty(), "ECDF needs a non-empty sample");
-        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
         sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         Self { sorted: sample }
     }
@@ -136,9 +139,9 @@ pub fn mean_and_ci(sample: &[f64]) -> (f64, f64) {
     let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
     // Two-sided 97.5% t quantiles for df = 1..=30, then ≈ 1.96.
     const T975: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     let df = n - 1;
     let t = if df <= 30 { T975[df - 1] } else { 1.96 };
@@ -181,7 +184,11 @@ mod tests {
         let mut rng = SeededRng::new(5);
         let sample: Vec<f64> = (0..2000).map(|i| (i % 100) as f64).collect();
         let est = bootstrap_percentile(&sample, 80.0, 200, &mut rng);
-        assert!((est.estimate - 79.2).abs() < 1.5, "estimate {}", est.estimate);
+        assert!(
+            (est.estimate - 79.2).abs() < 1.5,
+            "estimate {}",
+            est.estimate
+        );
         assert!(est.ci_low <= est.estimate && est.estimate <= est.ci_high);
         assert!(est.contains(est.estimate));
         assert!(!est.contains(1000.0));

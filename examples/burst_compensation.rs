@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sum();
     println!("guaranteed (planned) demand at this node: {guaranteed:.1}\n");
 
-    println!("{:>5} {:>12} {:>12}   burst?", "slot", "planned", "borrowed");
+    println!(
+        "{:>5} {:>12} {:>12}   burst?",
+        "slot", "planned", "borrowed"
+    );
     for (t, planned, borrowed) in rows.iter().skip(20).take(40) {
         let marker = if *borrowed > 0.2 * guaranteed.max(1.0) {
             " <== borrowing"

@@ -11,7 +11,7 @@
 use vne::prelude::*;
 use vne_model::ids::RequestId;
 use vne_model::request::Request;
-use vne_olive::timeplan::{TimedOlive, TimeVaryingPlan};
+use vne_olive::timeplan::{TimeVaryingPlan, TimedOlive};
 use vne_workload::dist::{Exponential, Normal, Poisson};
 
 use rand::Rng;
@@ -51,9 +51,7 @@ fn diurnal_trace(
                         arrival: t,
                         duration: duration.sample(rng).round().max(1.0) as u32,
                         ingress: node,
-                        app: vne::model::ids::AppId::from_index(
-                            rng.gen_range(0..apps.len()),
-                        ),
+                        app: vne::model::ids::AppId::from_index(rng.gen_range(0..apps.len())),
                         demand: demand.sample_truncated(rng, 0.5),
                     });
                     id += 1;
@@ -119,8 +117,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         OliveConfig::default(),
     );
 
-    let static_result =
-        vne::sim::engine::run(&mut static_olive, &substrate, &online, TEST_SLOTS, |_, _| {});
+    let static_result = vne::sim::engine::run(
+        &mut static_olive,
+        &substrate,
+        &online,
+        TEST_SLOTS,
+        |_, _| {},
+    );
     let timed_result =
         vne::sim::engine::run(&mut timed_olive, &substrate, &online, TEST_SLOTS, |_, _| {});
 

@@ -29,12 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.len(),
         series.class_count()
     );
-    let aggregate = AggregateDemand::from_history(
-        &history,
-        600,
-        &AggregationConfig::default(),
-        &mut rng,
-    );
+    let aggregate =
+        AggregateDemand::from_history(&history, 600, &AggregationConfig::default(), &mut rng);
 
     // PLAN-VNE via column generation.
     let penalty = RejectionPenalty::conservative(&apps, &substrate);

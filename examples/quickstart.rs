@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("plan built in {:.2}s", olive.plan_secs);
 
-    println!("\n{:<8} {:>10} {:>14} {:>12}", "alg", "rejection", "total cost", "online[s]");
+    println!(
+        "\n{:<8} {:>10} {:>14} {:>12}",
+        "alg", "rejection", "total cost", "online[s]"
+    );
     for out in [&olive, &quickg] {
         println!(
             "{:<8} {:>9.2}% {:>14.3e} {:>12.3}",

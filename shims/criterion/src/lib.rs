@@ -1,0 +1,306 @@
+//! Vendored, API-compatible shim for the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace benches use — `Criterion`,
+//! benchmark groups with `sample_size`/`throughput`/`bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `Throughput`,
+//! `BatchSize`, [`black_box`] and the [`criterion_group!`]/
+//! [`criterion_main!`] macros. Measurement is a plain wall-clock
+//! mean/min/max over the configured sample count (no outlier analysis,
+//! no HTML reports); results print one line per benchmark. Under
+//! `cargo test`/`--test` the binaries exit immediately so bench targets
+//! stay cheap in test runs.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (sizing hints are accepted for
+/// API compatibility; the shim runs one setup per measured batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch upstream.
+    SmallInput,
+    /// Large inputs: one iteration per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (function name plus optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Measures `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, label: &str, throughput: Option<Throughput>, durations: &[Duration]) {
+    if durations.is_empty() {
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().expect("non-empty");
+    let max = durations.iter().max().expect("non-empty");
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<50} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  \
+         [{} samples]{rate}",
+        durations.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget (accepted for compatibility;
+    /// the shim always runs exactly `sample_size` samples).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.samples);
+        routine(&mut bencher);
+        report(&self.name, &id.label, self.throughput, &bencher.durations);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.samples);
+        routine(&mut bencher, input);
+        report(&self.name, &id.label, self.throughput, &bencher.durations);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.default_samples);
+        routine(&mut bencher);
+        report("", &id.label, None, &bencher.durations);
+        self
+    }
+}
+
+/// True when invoked by `cargo test` (libtest passes `--test`), in
+/// which case bench mains exit immediately.
+#[doc(hidden)]
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_measure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("batched"), |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

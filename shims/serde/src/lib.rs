@@ -1,0 +1,19 @@
+//! Vendored API-surface shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` compile unchanged. The
+//! derives expand to nothing (see `serde_derive`); the traits are empty
+//! markers. Replace the `path` dependency with the registry crate to
+//! restore real serialization.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

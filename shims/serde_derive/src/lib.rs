@@ -1,0 +1,23 @@
+//! Vendored no-op replacement for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! the workspace only tags types as serializable for future use and
+//! never serializes through the shim. Swapping the real `serde` back in
+//! (root `[workspace.dependencies]`) restores full codegen without any
+//! source change.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,82 @@
+//! Cross-algorithm smoke test: every `Algorithm` variant must complete
+//! a small scenario end to end with sane headline metrics.
+//!
+//! The substrate is deliberately tiny (4 nodes) so the expensive exact
+//! baselines (FULLG's per-request ILPs, SLOTOFF's per-slot re-plans)
+//! stay fast in debug builds.
+
+use vne::model::app::{shapes, AppSet, AppShape};
+use vne::model::substrate::{SubstrateNetwork, Tier};
+use vne::prelude::*;
+
+fn tiny_world() -> (SubstrateNetwork, AppSet) {
+    let mut s = SubstrateNetwork::new("tiny");
+    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0).unwrap();
+    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0).unwrap();
+    let t = s.add_node("t", Tier::Transport, 900.0, 10.0).unwrap();
+    let c = s.add_node("c", Tier::Core, 2700.0, 1.0).unwrap();
+    s.add_link(e0, t, 1500.0, 1.0).unwrap();
+    s.add_link(e1, t, 1500.0, 1.0).unwrap();
+    s.add_link(t, c, 4500.0, 1.0).unwrap();
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps.push(
+        "tree",
+        AppShape::Tree,
+        shapes::two_branch_tree(3, 6.0, 2.0).unwrap(),
+    )
+    .unwrap();
+    (s, apps)
+}
+
+#[test]
+fn every_algorithm_completes_a_tiny_scenario() {
+    let algorithms = [
+        Algorithm::Olive,
+        Algorithm::Quickg,
+        Algorithm::Fullg,
+        Algorithm::SlotOff,
+    ];
+    for algorithm in algorithms {
+        let (substrate, apps) = tiny_world();
+        let mut config = ScenarioConfig::small(1.0).with_seed(11);
+        config.history_slots = 60;
+        config.test_slots = 20;
+        config.measure_window = (2, 18);
+        config.aggregation.bootstrap_replicates = 10;
+        let outcome = Scenario::new(substrate, apps, config).run(algorithm);
+        let s = &outcome.summary;
+        assert!(s.arrivals > 0, "{}: no arrivals", algorithm.label());
+        assert!(
+            (0.0..=1.0).contains(&s.rejection_rate),
+            "{}: rejection rate {} outside [0, 1]",
+            algorithm.label(),
+            s.rejection_rate
+        );
+        assert!(
+            s.rejected + s.preempted <= s.arrivals,
+            "{}: denied {} + preempted {} exceeds arrivals {}",
+            algorithm.label(),
+            s.rejected,
+            s.preempted,
+            s.arrivals
+        );
+        assert!(
+            s.total_cost.is_finite() && s.total_cost >= 0.0,
+            "{}: bad total cost {}",
+            algorithm.label(),
+            s.total_cost
+        );
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&s.balance_index),
+            "{}: balance index {} outside [0, 1]",
+            algorithm.label(),
+            s.balance_index
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Reproducibility regression: the whole history → plan → online
+//! pipeline must be bit-deterministic for a fixed seed, so that future
+//! parallelism or solver changes cannot silently break replayability.
+
+use vne::prelude::*;
+use vne_sim::Summary;
+
+fn tiny_config(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::small(1.0).with_seed(seed);
+    c.history_slots = 150;
+    c.test_slots = 60;
+    c.measure_window = (10, 50);
+    c.aggregation.bootstrap_replicates = 20;
+    c
+}
+
+/// Deterministic fields of two summaries must match exactly (only
+/// `online_secs` is wall-clock and exempt).
+fn assert_identical(a: &Summary, b: &Summary) {
+    assert_eq!(a.arrivals, b.arrivals, "arrivals differ");
+    assert_eq!(a.rejected, b.rejected, "rejected differ");
+    assert_eq!(a.preempted, b.preempted, "preempted differ");
+    assert_eq!(
+        a.rejection_rate.to_bits(),
+        b.rejection_rate.to_bits(),
+        "rejection_rate differs: {} vs {}",
+        a.rejection_rate,
+        b.rejection_rate
+    );
+    assert_eq!(
+        a.resource_cost.to_bits(),
+        b.resource_cost.to_bits(),
+        "resource_cost differs: {} vs {}",
+        a.resource_cost,
+        b.resource_cost
+    );
+    assert_eq!(
+        a.rejection_cost.to_bits(),
+        b.rejection_cost.to_bits(),
+        "rejection_cost differs: {} vs {}",
+        a.rejection_cost,
+        b.rejection_cost
+    );
+    assert_eq!(
+        a.total_cost.to_bits(),
+        b.total_cost.to_bits(),
+        "total_cost differs: {} vs {}",
+        a.total_cost,
+        b.total_cost
+    );
+    assert_eq!(
+        a.balance_index.to_bits(),
+        b.balance_index.to_bits(),
+        "balance_index differs: {} vs {}",
+        a.balance_index,
+        b.balance_index
+    );
+}
+
+#[test]
+fn same_seed_reproduces_olive_run_exactly() {
+    let seed = 42;
+    let run = || {
+        let substrate = vne::topology::zoo::citta_studi().unwrap();
+        let mut rng = SeededRng::new(seed).derive(0xA995);
+        let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+        let scenario = Scenario::new(substrate, apps, tiny_config(seed));
+        scenario.run(Algorithm::Olive)
+    };
+    let first = run();
+    let second = run();
+    assert!(first.summary.arrivals > 0, "no arrivals in the window");
+    assert_identical(&first.summary, &second.summary);
+}
+
+#[test]
+fn different_seeds_change_the_trace() {
+    let substrate = vne::topology::zoo::citta_studi().unwrap();
+    let apps = default_apps(1);
+    let a = Scenario::new(substrate.clone(), apps.clone(), tiny_config(1)).run(Algorithm::Quickg);
+    let b = Scenario::new(substrate, apps, tiny_config(2)).run(Algorithm::Quickg);
+    // Different seeds must not replay the identical workload.
+    assert!(
+        a.summary.arrivals != b.summary.arrivals
+            || a.summary.resource_cost.to_bits() != b.summary.resource_cost.to_bits(),
+        "seeds 1 and 2 produced identical runs"
+    );
+}

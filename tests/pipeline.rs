@@ -72,7 +72,9 @@ fn olive_no_worse_than_quickg_on_reference_scenarios() {
 fn accepted_plus_denied_equals_arrivals() {
     let substrate = vne::topology::zoo::citta_studi().unwrap();
     let apps = default_apps(7);
-    let scenario = Scenario::new(substrate, apps, tiny_config(1.4, 7));
+    let config = tiny_config(1.4, 7);
+    let (from, to) = config.measure_window;
+    let scenario = Scenario::new(substrate, apps, config);
     for alg in [Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff] {
         let out = scenario.run(alg);
         let denied = out.summary.rejected + out.summary.preempted;
@@ -80,12 +82,15 @@ fn accepted_plus_denied_equals_arrivals() {
             .result
             .requests
             .iter()
-            .filter(|r| {
-                r.arrival >= out.result.slots.len() as u32 - out.result.slots.len() as u32
-            })
+            .filter(|r| r.arrival >= from && r.arrival < to && !r.status.is_denied())
             .count();
-        let _ = accepted_in_window;
-        assert!(denied <= out.summary.arrivals);
+        assert_eq!(
+            accepted_in_window + denied,
+            out.summary.arrivals,
+            "{}: accepted {accepted_in_window} + denied {denied} != arrivals {}",
+            out.result.algorithm,
+            out.summary.arrivals
+        );
         // Every request has exactly one outcome entry.
         let mut ids: Vec<_> = out.result.requests.iter().map(|r| r.id).collect();
         ids.sort();
