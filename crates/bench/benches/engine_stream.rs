@@ -1,0 +1,70 @@
+//! Criterion bench: the streaming engine hot path — a perf baseline for
+//! the event-driven simulator.
+//!
+//! Measures `run_stream` end to end (lazy trace generation, slot loop,
+//! observer dispatch) over a full online phase, with the two standard
+//! observers: `NullObserver` (engine floor) and `WindowSummary` (the
+//! multi-seed runner's path). QUICKG keeps the algorithm cost flat so
+//! regressions in the engine itself are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vne_model::policy::PlacementPolicy;
+use vne_olive::olive::Olive;
+use vne_sim::engine::run_stream;
+use vne_sim::observe::{NullObserver, WindowSummary};
+use vne_sim::runner::default_apps;
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+fn bench_engine_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_stream");
+    group.sample_size(10);
+    let slots = 300;
+    for substrate in [
+        vne_topology::zoo::iris().unwrap(),
+        vne_topology::random::hundred_n_150e().unwrap(),
+    ] {
+        let apps = default_apps(1);
+        let mut tc = TraceConfig::default().at_utilization(1.0, &substrate, &apps);
+        tc.slots = slots;
+        // Throughput in requests: count one realization.
+        let total: usize = tracegen::stream(&substrate, &apps, &tc, SeededRng::new(5))
+            .map(|ev| ev.arrivals.len())
+            .sum();
+        group.throughput(Throughput::Elements(total as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("null_observer", substrate.name()),
+            &tc,
+            |b, tc| {
+                b.iter(|| {
+                    let mut alg =
+                        Olive::quickg(substrate.clone(), apps.clone(), PlacementPolicy::default());
+                    let events = tracegen::stream(&substrate, &apps, tc, SeededRng::new(5));
+                    run_stream(&mut alg, &substrate, events, &mut NullObserver)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("window_summary", substrate.name()),
+            &tc,
+            |b, tc| {
+                b.iter(|| {
+                    let mut alg =
+                        Olive::quickg(substrate.clone(), apps.clone(), PlacementPolicy::default());
+                    let events = tracegen::stream(&substrate, &apps, tc, SeededRng::new(5));
+                    let mut observer = WindowSummary::new(
+                        (50, 250),
+                        vne_model::cost::RejectionPenalty::conservative(&apps, &substrate),
+                    );
+                    let stats = run_stream(&mut alg, &substrate, events, &mut observer);
+                    observer.finish(&stats)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_stream);
+criterion_main!(benches);

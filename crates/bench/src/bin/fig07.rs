@@ -6,13 +6,11 @@
 
 use vne_bench::experiments::{print_rows, sweep};
 use vne_bench::BenchOpts;
-use vne_sim::scenario::Algorithm;
 
 fn main() {
     let opts = BenchOpts::parse();
-    let algorithms = [Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff];
     for substrate in opts.topologies() {
-        let rows = sweep(&substrate, &algorithms, &opts, |_| {});
+        let rows = sweep(&substrate, &opts.algs, &opts, |_| {});
         print_rows(
             &format!("Fig. 7 — total cost — {}", substrate.name()),
             &rows,

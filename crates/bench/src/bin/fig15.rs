@@ -12,14 +12,12 @@
 
 use vne_bench::experiments::{print_rows, sweep};
 use vne_bench::BenchOpts;
-use vne_sim::scenario::Algorithm;
 use vne_workload::caida::CaidaConfig;
 
 fn main() {
     let opts = BenchOpts::parse();
     let substrate = vne_topology::zoo::iris().expect("iris");
-    let algorithms = [Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff];
-    let rows = sweep(&substrate, &algorithms, &opts, |c| {
+    let rows = sweep(&substrate, &opts.algs, &opts, |c| {
         c.caida = Some(CaidaConfig::default());
     });
     print_rows(

@@ -2,10 +2,12 @@
 
 use std::time::Instant;
 
+use vne_bench::BenchOpts;
 use vne_sim::runner::default_apps;
-use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_sim::scenario::{Scenario, ScenarioConfig};
 
 fn main() {
+    let opts = BenchOpts::parse();
     let substrate = vne_topology::zoo::iris().expect("iris builds");
     let apps = default_apps(1);
     for (label, cfg) in [
@@ -13,7 +15,7 @@ fn main() {
         ("paper(1.0)", ScenarioConfig::paper(1.0)),
     ] {
         let sc = Scenario::new(substrate.clone(), apps.clone(), cfg);
-        for alg in [Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff] {
+        for &alg in &opts.algs {
             let t = Instant::now();
             let out = sc.run(alg);
             println!(

@@ -1,7 +1,7 @@
 //! Minimal argument parsing shared by the figure binaries.
 
 use vne_model::substrate::SubstrateNetwork;
-use vne_sim::scenario::ScenarioConfig;
+use vne_sim::scenario::{Algorithm, ScenarioConfig};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -12,6 +12,10 @@ pub struct BenchOpts {
     pub paper_scale: bool,
     /// Utilization sweep as fractions (1.0 = 100%).
     pub utils: Vec<f64>,
+    /// Algorithms to sweep (`--algs olive,quickg`; parsed through
+    /// [`Algorithm`]'s `FromStr`). Defaults to the scalable trio the
+    /// sweep figures use (FULLG is opted into per binary).
+    pub algs: Vec<Algorithm>,
     /// Topology restriction (`None` = all four).
     pub topo: Option<String>,
 }
@@ -22,6 +26,7 @@ impl Default for BenchOpts {
             seeds: 3,
             paper_scale: false,
             utils: vec![0.6, 0.8, 1.0, 1.2, 1.4],
+            algs: vec![Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff],
             topo: None,
         }
     }
@@ -34,32 +39,41 @@ impl BenchOpts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> Self {
+        const USAGE: &str =
+            "supported: --seeds N --paper --utils 60,100 --algs olive,quickg --topo iris";
+        fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("{flag} requires a value; {USAGE}"))
+        }
+
         let mut opts = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--seeds" => {
-                    i += 1;
-                    opts.seeds = args[i].parse().expect("--seeds takes an integer");
+                    opts.seeds = value(&args, &mut i, "--seeds")
+                        .parse()
+                        .expect("--seeds takes an integer");
                 }
                 "--paper" | "--full" => opts.paper_scale = true,
                 "--utils" => {
-                    i += 1;
-                    opts.utils = args[i]
+                    opts.utils = value(&args, &mut i, "--utils")
                         .split(',')
-                        .map(|p| {
-                            p.parse::<f64>().expect("--utils takes percents") / 100.0
-                        })
+                        .map(|p| p.parse::<f64>().expect("--utils takes percents") / 100.0)
+                        .collect();
+                }
+                "--algs" => {
+                    opts.algs = value(&args, &mut i, "--algs")
+                        .split(',')
+                        .map(|name| name.parse::<Algorithm>().unwrap_or_else(|e| panic!("{e}")))
                         .collect();
                 }
                 "--topo" => {
-                    i += 1;
-                    opts.topo = Some(args[i].to_lowercase());
+                    opts.topo = Some(value(&args, &mut i, "--topo").to_lowercase());
                 }
-                other => panic!(
-                    "unknown argument {other}; supported: --seeds N --paper --utils 60,100 --topo iris"
-                ),
+                other => panic!("unknown argument {other}; {USAGE}"),
             }
             i += 1;
         }
@@ -123,6 +137,25 @@ mod tests {
         assert_eq!(opts.utils.len(), 5);
         assert_eq!(opts.seed_list(), vec![1, 2, 3]);
         assert_eq!(opts.topologies().len(), 4);
+        assert_eq!(
+            opts.algs,
+            vec![Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff]
+        );
+    }
+
+    #[test]
+    fn algorithm_names_parse_like_the_cli() {
+        // `--algs` goes through Algorithm::from_str — one parser for
+        // labels and CLI input.
+        let parsed: Vec<Algorithm> = "olive,FULLG, slotoff"
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(
+            parsed,
+            vec![Algorithm::Olive, Algorithm::Fullg, Algorithm::SlotOff]
+        );
+        assert!("cplex".parse::<Algorithm>().is_err());
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use vne_model::substrate::SubstrateNetwork;
 use vne_sim::metrics::AggregatedSummary;
-use vne_sim::runner::{default_apps, run_seeds};
-use vne_sim::scenario::{Algorithm, ScenarioConfig};
+use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec};
+use vne_sim::runner::{default_apps, run_seeds_in};
+use vne_sim::scenario::ScenarioConfig;
 
 use crate::cli::BenchOpts;
 
@@ -14,37 +15,71 @@ pub struct SweepRow {
     pub topology: String,
     /// Utilization fraction.
     pub utilization: f64,
-    /// Algorithm label.
-    pub algorithm: &'static str,
+    /// Algorithm name.
+    pub algorithm: String,
     /// Aggregated metrics across seeds.
     pub summary: AggregatedSummary,
 }
 
 /// Runs `algorithms × opts.utils` on one topology and returns rows.
 ///
-/// `tweak` customizes the scenario config after the scale defaults are
-/// applied (e.g. Fig. 13's `plan_utilization`).
-pub fn sweep<F>(
+/// Algorithms are anything resolvable by the built-in registry —
+/// [`vne_sim::scenario::Algorithm`] values or names; use
+/// [`sweep_in`] for custom registries. `tweak` customizes the scenario
+/// config after the scale defaults are applied (e.g. Fig. 13's
+/// `plan_utilization`).
+pub fn sweep<S, F>(
     substrate: &SubstrateNetwork,
-    algorithms: &[Algorithm],
+    algorithms: &[S],
     opts: &BenchOpts,
     tweak: F,
 ) -> Vec<SweepRow>
 where
+    S: Clone + Into<AlgorithmSpec>,
     F: Fn(&mut ScenarioConfig) + Sync,
 {
+    sweep_in(
+        &AlgorithmRegistry::builtins(),
+        substrate,
+        algorithms,
+        opts,
+        tweak,
+    )
+}
+
+/// [`sweep`] with an explicit algorithm registry (custom algorithms in
+/// figure-style sweeps).
+pub fn sweep_in<S, F>(
+    registry: &AlgorithmRegistry,
+    substrate: &SubstrateNetwork,
+    algorithms: &[S],
+    opts: &BenchOpts,
+    tweak: F,
+) -> Vec<SweepRow>
+where
+    S: Clone + Into<AlgorithmSpec>,
+    F: Fn(&mut ScenarioConfig) + Sync,
+{
+    let specs: Vec<AlgorithmSpec> = algorithms.iter().cloned().map(Into::into).collect();
     let mut rows = Vec::new();
     for &u in &opts.utils {
-        for &alg in algorithms {
-            let (_, agg) = run_seeds(substrate, alg, &opts.seed_list(), default_apps, |seed| {
-                let mut c = opts.config(u).with_seed(seed);
-                tweak(&mut c);
-                c
-            });
+        for spec in &specs {
+            let (_, agg) = run_seeds_in(
+                registry,
+                substrate,
+                spec,
+                &opts.seed_list(),
+                default_apps,
+                |seed| {
+                    let mut c = opts.config(u).with_seed(seed);
+                    tweak(&mut c);
+                    c
+                },
+            );
             rows.push(SweepRow {
                 topology: substrate.name().to_string(),
                 utilization: u,
-                algorithm: alg.label(),
+                algorithm: spec.name().to_string(),
                 summary: agg,
             });
         }
@@ -87,12 +122,17 @@ mod tests {
             utils: vec![1.0],
             ..BenchOpts::default()
         };
-        let rows = sweep(&substrate, &[Algorithm::Quickg], &opts, |c| {
-            // Shrink for the unit test.
-            c.history_slots = 100;
-            c.test_slots = 60;
-            c.measure_window = (10, 50);
-        });
+        let rows = sweep(
+            &substrate,
+            &[vne_sim::scenario::Algorithm::Quickg],
+            &opts,
+            |c| {
+                // Shrink for the unit test.
+                c.history_slots = 100;
+                c.test_slots = 60;
+                c.measure_window = (10, 50);
+            },
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].algorithm, "QUICKG");
         assert!(rows[0].summary.rejection_rate.0 >= 0.0);

@@ -34,7 +34,7 @@ pub struct AggregateDemand {
 pub struct AggregationConfig {
     /// The percentile α of Eq. 6 (the paper uses 80).
     pub alpha: f64,
-    /// Bootstrap replicates for `P̂_α` (the paper's estimator [25]).
+    /// Bootstrap replicates for `P̂_α` (the paper’s estimator \[25\]).
     pub bootstrap_replicates: usize,
 }
 

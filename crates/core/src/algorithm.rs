@@ -32,9 +32,22 @@ impl SlotOutcome {
 }
 
 /// An online VNE algorithm driven slot by slot.
+///
+/// The trait is object-safe: simulation drivers hold algorithms as
+/// `Box<dyn OnlineAlgorithm>`, which is what lets third-party
+/// algorithms be registered by name without touching the simulator
+/// (see `vne-sim`'s algorithm registry).
 pub trait OnlineAlgorithm {
     /// A short display name (e.g. `"OLIVE"`).
     fn name(&self) -> &str;
+
+    /// Typed self-access for drill-down inspection through a trait
+    /// object (e.g. reading OLIVE's per-class planned/borrowed split
+    /// from a per-slot observer). Implementations that want to expose
+    /// their concrete state return `Some(self)`; the default hides it.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 
     /// Processes one time slot: `departures` leave first (their resources
     /// are released), then `arrivals` are processed sequentially in the

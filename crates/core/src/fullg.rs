@@ -377,6 +377,10 @@ impl FullG {
 }
 
 impl OnlineAlgorithm for FullG {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         "FULLG"
     }

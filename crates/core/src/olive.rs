@@ -416,6 +416,10 @@ impl OnlineAlgorithm for Olive {
         &self.name
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn process_slot(
         &mut self,
         _t: Slot,

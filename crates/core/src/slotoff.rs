@@ -79,6 +79,10 @@ impl SlotOff {
 }
 
 impl OnlineAlgorithm for SlotOff {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         "SLOTOFF"
     }

@@ -160,6 +160,10 @@ impl OnlineAlgorithm for TimedOlive {
         "OLIVE-T"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn process_slot(
         &mut self,
         t: Slot,

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::ids::{AppId, ClassId, ElementId, LinkId, NodeId, RequestId, VlinkId, VnodeId};
     pub use crate::load::LoadLedger;
     pub use crate::policy::PlacementPolicy;
-    pub use crate::request::{Request, Slot};
+    pub use crate::request::{Request, Slot, SlotEvents};
     pub use crate::substrate::{SubstrateNetwork, Tier};
     pub use crate::vnet::{VirtualNetwork, VnfKind};
 }

@@ -31,6 +31,35 @@ pub struct Request {
     pub demand: f64,
 }
 
+/// The arrivals of one time slot, as produced by a (possibly lazy)
+/// trace source and consumed by the simulation engine.
+///
+/// Streams of `SlotEvents` are the unit of the event-driven simulator:
+/// a trace is an `Iterator<Item = SlotEvents>` yielding one item per
+/// slot (empty `arrivals` for quiet slots), so a simulation only ever
+/// materializes the requests of the slot being processed plus the
+/// currently active ones — memory stays `O(active)` instead of
+/// `O(trace length)`. Arrivals must be listed in the ON-VNE processing
+/// order (ascending [`RequestId`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlotEvents {
+    /// The slot these events belong to. Streams yield strictly
+    /// increasing, contiguous slots starting at 0.
+    pub slot: Slot,
+    /// The requests arriving in this slot, in processing order.
+    pub arrivals: Vec<Request>,
+}
+
+impl SlotEvents {
+    /// An empty slot (no arrivals).
+    pub fn empty(slot: Slot) -> Self {
+        Self {
+            slot,
+            arrivals: Vec::new(),
+        }
+    }
+}
+
 impl Request {
     /// The slot at which the request departs (first slot it is inactive).
     pub fn departure(&self) -> Slot {

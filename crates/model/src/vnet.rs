@@ -22,7 +22,7 @@ pub enum VnfKind {
     Gpu,
     /// A hardware-acceleratable packet-processing function; reduces the
     /// size of downstream virtual links by the application's acceleration
-    /// factor (the paper's "accelerator" application, after [33]).
+    /// factor (the paper's "accelerator" application, after \[33\]).
     Accelerator,
 }
 

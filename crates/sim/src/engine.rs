@@ -1,18 +1,38 @@
-//! The discrete-time simulation engine.
+//! The streaming, event-driven simulation engine.
 //!
-//! Drives an [`OnlineAlgorithm`] slot by slot over a request trace:
-//! departures are released first, then the slot's arrivals are processed
-//! in order (ON-VNE semantics). The engine records a per-request outcome
-//! log and per-slot load/demand series from which all the paper's
-//! metrics are computed.
+//! [`run_stream`] drives an [`OnlineAlgorithm`] over a lazy stream of
+//! [`SlotEvents`] (one item per slot): departures are released first,
+//! then the slot's arrivals are processed in order (ON-VNE semantics).
+//! Instead of materializing the whole trace and a per-request outcome
+//! log up front, the engine keeps only the *active* requests — peak
+//! memory is `O(active requests)`, independent of the trace length —
+//! and reports everything it learns through a [`SimObserver`]:
+//!
+//! * [`SimObserver::on_arrival`] — one call per request with its
+//!   accept/reject decision;
+//! * [`SimObserver::on_preemption`] — a previously accepted request was
+//!   evicted;
+//! * [`SimObserver::on_slot_end`] — per-slot [`SlotMetrics`] plus the
+//!   algorithm itself (drill-down inspection), with the option to stop
+//!   the simulation early.
+//!
+//! Ready-made observers live in [`crate::observe`]: a [`Recorder`]
+//! collecting the classic [`RunResult`], an `O(classes)` incremental
+//! window summary, closure-based inspection, and a tee combinator.
+//! [`run`] is the batch convenience wrapper (slice in, [`RunResult`]
+//! out) used by tests and small experiments.
+//!
+//! [`Recorder`]: crate::observe::Recorder
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use vne_model::ids::{ClassId, RequestId};
-use vne_model::request::{Request, Slot};
+use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::algorithm::OnlineAlgorithm;
+
+use crate::observe::{Inspect, Recorder, Tee};
 
 /// Final status of a request after the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +70,19 @@ pub struct RequestOutcome {
     pub status: RequestStatus,
 }
 
+impl RequestOutcome {
+    fn of(request: &Request, status: RequestStatus) -> Self {
+        Self {
+            id: request.id,
+            class: request.class(),
+            arrival: request.arrival,
+            duration: request.duration,
+            demand: request.demand,
+            status,
+        }
+    }
+}
+
 /// Per-slot aggregate series.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotMetrics {
@@ -62,7 +95,8 @@ pub struct SlotMetrics {
     pub resource_cost: f64,
 }
 
-/// Complete result of one simulation run.
+/// Complete result of one simulation run (as collected by
+/// [`crate::observe::Recorder`]).
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Algorithm name.
@@ -75,23 +109,214 @@ pub struct RunResult {
     pub online_secs: f64,
 }
 
-/// Runs `algorithm` over `trace` for `slots` time slots.
+/// Engine-level counters returned by [`run_stream`].
 ///
-/// `inspect` is called after each slot with the slot index and the
-/// algorithm (used by per-node drill-down figures); pass
-/// [`no_inspection`] when not needed.
-pub fn run<A, F>(
-    algorithm: &mut A,
+/// `peak_active` is the engine's memory high-water mark in requests:
+/// the streaming engine holds state only for active accepted requests,
+/// so for a stationary workload this stays flat no matter how many
+/// slots the stream yields (see the `long_horizon` integration test).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamStats {
+    /// Number of slots actually simulated.
+    pub slots_run: Slot,
+    /// Total arrivals processed.
+    pub arrivals: usize,
+    /// Maximum number of simultaneously active (accepted) requests —
+    /// the engine's O(active) memory bound.
+    pub peak_active: usize,
+    /// Wall-clock seconds spent inside the online loop.
+    pub online_secs: f64,
+    /// Whether an observer stopped the run before the stream ended.
+    pub stopped_early: bool,
+}
+
+/// Observer verdict after each slot: keep going or stop the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimControl {
+    /// Continue with the next slot.
+    Continue,
+    /// Stop the simulation after this slot (early stop).
+    Stop,
+}
+
+/// Per-slot callbacks invoked by [`run_stream`].
+///
+/// All methods have no-op defaults, so an observer implements only what
+/// it needs. Observers compose with [`crate::observe::Tee`].
+pub trait SimObserver {
+    /// A new slot begins (before departures are released).
+    fn on_slot_start(&mut self, _t: Slot) {}
+
+    /// An arriving request was decided: `outcome.status` is
+    /// [`RequestStatus::Accepted`] or [`RequestStatus::Rejected`].
+    /// Called once per request, in processing order.
+    fn on_arrival(&mut self, _outcome: &RequestOutcome) {}
+
+    /// A previously accepted request was evicted; `outcome.status` is
+    /// [`RequestStatus::Preempted`] and supersedes the `Accepted`
+    /// outcome reported for the same id earlier.
+    fn on_preemption(&mut self, _outcome: &RequestOutcome) {}
+
+    /// The slot is complete: aggregate metrics plus the algorithm for
+    /// drill-down inspection (downcast via
+    /// [`OnlineAlgorithm::as_any`]). Return [`SimControl::Stop`] to end
+    /// the run early.
+    fn on_slot_end(
+        &mut self,
+        _t: Slot,
+        _metrics: &SlotMetrics,
+        _algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        SimControl::Continue
+    }
+}
+
+/// Blanket impl so `&mut observer` can be passed down call chains.
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    fn on_slot_start(&mut self, t: Slot) {
+        (**self).on_slot_start(t);
+    }
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        (**self).on_arrival(outcome);
+    }
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        (**self).on_preemption(outcome);
+    }
+    fn on_slot_end(
+        &mut self,
+        t: Slot,
+        metrics: &SlotMetrics,
+        algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        (**self).on_slot_end(t, metrics, algorithm)
+    }
+}
+
+/// Runs `algorithm` over a lazy stream of slot events.
+///
+/// Slots must be yielded in strictly increasing order (enforced by an
+/// assertion); quiet slots may be skipped — departures falling into a
+/// gap are released at the next yielded slot, and only yielded slots
+/// get a [`SimObserver::on_slot_end`] call. Use [`slot_events`] to
+/// adapt a pre-collected trace. Engine state is bounded by the number
+/// of simultaneously active requests: departures of accepted requests
+/// are scheduled in a calendar keyed by departure slot, and the
+/// requested-demand curve is maintained incrementally.
+///
+/// # Panics
+///
+/// Panics if the stream yields a slot that is not strictly greater
+/// than its predecessor.
+pub fn run_stream<E, O>(
+    algorithm: &mut dyn OnlineAlgorithm,
     substrate: &SubstrateNetwork,
-    trace: &[Request],
-    slots: Slot,
-    mut inspect: F,
-) -> RunResult
+    events: E,
+    observer: &mut O,
+) -> StreamStats
 where
-    A: OnlineAlgorithm,
-    F: FnMut(Slot, &A),
+    E: IntoIterator<Item = SlotEvents>,
+    O: SimObserver + ?Sized,
 {
-    // Pre-bucket arrivals per slot.
+    // Active accepted requests (the O(active) working set).
+    let mut alive: HashMap<RequestId, Request> = HashMap::new();
+    // Departure calendar: slot -> accepted request ids departing then.
+    let mut departures_at: BTreeMap<Slot, Vec<RequestId>> = BTreeMap::new();
+    // Requested-demand decrements: slot -> total demand departing then
+    // (all arrivals, accepted or not — the "requested" curve of Fig. 8).
+    let mut requested_drop: BTreeMap<Slot, f64> = BTreeMap::new();
+    let mut requested_active = 0.0f64;
+    let mut allocated_active = 0.0f64;
+    let mut stats = StreamStats::default();
+
+    // The lowest slot the next event may carry (slots strictly increase).
+    let mut next_min_slot: u64 = 0;
+    let started = Instant::now();
+    for event in events {
+        let t = event.slot;
+        assert!(
+            u64::from(t) >= next_min_slot,
+            "slot events must be strictly increasing (got slot {t} after {})",
+            next_min_slot - 1
+        );
+        next_min_slot = u64::from(t) + 1;
+        observer.on_slot_start(t);
+
+        // Departures of accepted-and-still-alive requests, up to and
+        // including this slot (a sparse stream may skip quiet slots;
+        // departures falling into the gap are released now).
+        let mut departures: Vec<Request> = Vec::new();
+        while let Some(entry) = departures_at.first_entry() {
+            if *entry.key() > t {
+                break;
+            }
+            for id in entry.remove() {
+                if let Some(r) = alive.remove(&id) {
+                    allocated_active -= r.demand;
+                    departures.push(r);
+                }
+            }
+        }
+        while let Some(entry) = requested_drop.first_entry() {
+            if *entry.key() > t {
+                break;
+            }
+            requested_active -= entry.remove();
+        }
+
+        let arrivals = event.arrivals;
+        for r in &arrivals {
+            requested_active += r.demand;
+            *requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
+        }
+        let outcome = algorithm.process_slot(t, &departures, &arrivals);
+        stats.arrivals += arrivals.len();
+
+        for r in arrivals {
+            let accepted = outcome.accepted.contains(&r.id);
+            let status = if accepted {
+                RequestStatus::Accepted
+            } else {
+                RequestStatus::Rejected
+            };
+            observer.on_arrival(&RequestOutcome::of(&r, status));
+            if accepted {
+                allocated_active += r.demand;
+                departures_at.entry(r.departure()).or_default().push(r.id);
+                alive.insert(r.id, r);
+            }
+        }
+        stats.peak_active = stats.peak_active.max(alive.len());
+        for &p in &outcome.preempted {
+            if let Some(r) = alive.remove(&p) {
+                allocated_active -= r.demand;
+                observer.on_preemption(&RequestOutcome::of(&r, RequestStatus::Preempted(t)));
+            }
+        }
+
+        let metrics = SlotMetrics {
+            requested_demand: requested_active,
+            allocated_demand: allocated_active,
+            resource_cost: algorithm.loads().cost_per_slot(substrate),
+        };
+        stats.slots_run = t + 1;
+        if observer.on_slot_end(t, &metrics, algorithm) == SimControl::Stop {
+            stats.stopped_early = true;
+            break;
+        }
+    }
+    stats.online_secs = started.elapsed().as_secs_f64();
+    stats
+}
+
+/// Adapts a pre-collected trace into the slot-event stream [`run_stream`]
+/// expects: arrivals bucketed per slot (sorted by id within a slot, the
+/// ON-VNE order), one event per slot in `0..slots`, arrivals at or past
+/// the horizon dropped.
+///
+/// This is `O(trace)` memory by construction — it exists for tests and
+/// pre-materialized traces; lazy sources ([`vne_workload::tracegen::stream`],
+/// [`vne_workload::caida::stream`]) feed the engine directly.
+pub fn slot_events(trace: &[Request], slots: Slot) -> impl Iterator<Item = SlotEvents> {
     let mut arrivals_at: Vec<Vec<Request>> = vec![Vec::new(); slots as usize];
     for r in trace {
         if r.arrival < slots {
@@ -101,90 +326,48 @@ where
     for bucket in &mut arrivals_at {
         bucket.sort_by_key(|r| r.id);
     }
+    arrivals_at
+        .into_iter()
+        .enumerate()
+        .map(|(t, arrivals)| SlotEvents {
+            slot: t as Slot,
+            arrivals,
+        })
+}
 
-    let mut departures_at: Vec<Vec<Request>> = vec![Vec::new(); slots as usize + 1];
-    let mut alive: HashSet<RequestId> = HashSet::new();
-    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
-    let mut outcome_index: std::collections::HashMap<RequestId, usize> =
-        std::collections::HashMap::with_capacity(trace.len());
-    let mut slot_metrics = vec![SlotMetrics::default(); slots as usize];
-
-    // Requested-demand series (independent of algorithm decisions).
-    let mut requested = vec![0.0f64; slots as usize];
-    for r in trace {
-        let end = r.departure().min(slots);
-        for t in r.arrival..end {
-            requested[t as usize] += r.demand;
-        }
-    }
-
-    let mut allocated_active = 0.0f64;
-    let started = Instant::now();
-    for t in 0..slots {
-        // Departures of accepted-and-still-alive requests.
-        let departures: Vec<Request> = departures_at[t as usize]
-            .drain(..)
-            .filter(|r| alive.remove(&r.id))
-            .collect();
-        for d in &departures {
-            allocated_active -= d.demand;
-        }
-        let arrivals = std::mem::take(&mut arrivals_at[t as usize]);
-        let outcome = algorithm.process_slot(t, &departures, &arrivals);
-
-        for r in &arrivals {
-            let accepted = outcome.accepted.contains(&r.id);
-            let status = if accepted {
-                RequestStatus::Accepted
-            } else {
-                RequestStatus::Rejected
-            };
-            outcome_index.insert(r.id, outcomes.len());
-            outcomes.push(RequestOutcome {
-                id: r.id,
-                class: r.class(),
-                arrival: r.arrival,
-                duration: r.duration,
-                demand: r.demand,
-                status,
-            });
-            if accepted {
-                alive.insert(r.id);
-                allocated_active += r.demand;
-                let dep = r.departure();
-                if dep <= slots {
-                    departures_at[dep as usize].push(r.clone());
-                }
-            }
-        }
-        for &p in &outcome.preempted {
-            if alive.remove(&p) {
-                if let Some(&idx) = outcome_index.get(&p) {
-                    allocated_active -= outcomes[idx].demand;
-                    outcomes[idx].status = RequestStatus::Preempted(t);
-                }
-            }
-        }
-
-        slot_metrics[t as usize] = SlotMetrics {
-            requested_demand: requested[t as usize],
-            allocated_demand: allocated_active,
-            resource_cost: algorithm.loads().cost_per_slot(substrate),
-        };
-        inspect(t, algorithm);
-    }
-    let online_secs = started.elapsed().as_secs_f64();
-
-    RunResult {
-        algorithm: algorithm.name().to_string(),
-        requests: outcomes,
-        slots: slot_metrics,
-        online_secs,
-    }
+/// Runs `algorithm` over a pre-collected `trace` for `slots` time slots
+/// and records the full [`RunResult`] (batch convenience over
+/// [`run_stream`]).
+///
+/// `inspect` is called after each slot with the slot index and the
+/// algorithm (used by per-node drill-down figures); pass
+/// [`no_inspection`] when not needed.
+pub fn run<F>(
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    trace: &[Request],
+    slots: Slot,
+    mut inspect: F,
+) -> RunResult
+where
+    F: FnMut(Slot, &dyn OnlineAlgorithm),
+{
+    let mut recorder = Recorder::new();
+    let mut observer = Tee(
+        &mut recorder,
+        Inspect(|t: Slot, _m: &SlotMetrics, alg: &dyn OnlineAlgorithm| inspect(t, alg)),
+    );
+    let stats = run_stream(
+        algorithm,
+        substrate,
+        slot_events(trace, slots),
+        &mut observer,
+    );
+    recorder.finish(algorithm.name(), &stats)
 }
 
 /// A no-op inspection hook for [`run`].
-pub fn no_inspection<A: OnlineAlgorithm>(_t: Slot, _a: &A) {}
+pub fn no_inspection(_t: Slot, _a: &dyn OnlineAlgorithm) {}
 
 #[cfg(test)]
 mod tests {
@@ -291,5 +474,95 @@ mod tests {
         let trace = vec![req(0, 50, 3, 10.0)];
         let result = run(&mut alg, &s, &trace, 10, no_inspection);
         assert!(result.requests.is_empty());
+    }
+
+    #[test]
+    fn stream_stats_track_activity() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let trace = vec![req(0, 0, 3, 10.0), req(1, 1, 3, 10.0), req(2, 5, 2, 10.0)];
+        let mut observer = crate::observe::NullObserver;
+        let stats = run_stream(&mut alg, &s, slot_events(&trace, 10), &mut observer);
+        assert_eq!(stats.slots_run, 10);
+        assert_eq!(stats.arrivals, 3);
+        // Requests 0 and 1 overlap at slots 1-2.
+        assert_eq!(stats.peak_active, 2);
+        assert!(!stats.stopped_early);
+    }
+
+    struct StopAt(Slot);
+    impl SimObserver for StopAt {
+        fn on_slot_end(
+            &mut self,
+            t: Slot,
+            _m: &SlotMetrics,
+            _a: &dyn OnlineAlgorithm,
+        ) -> SimControl {
+            if t >= self.0 {
+                SimControl::Stop
+            } else {
+                SimControl::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn observer_can_stop_early() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let mut observer = StopAt(3);
+        let stats = run_stream(&mut alg, &s, slot_events(&[], 100), &mut observer);
+        assert!(stats.stopped_early);
+        assert_eq!(stats.slots_run, 4);
+    }
+
+    #[test]
+    fn sparse_streams_release_gap_departures() {
+        // An event-driven source that skips quiet slots entirely: the
+        // engine must still release departures falling into the gaps.
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        // Departs at slot 2; the stream then jumps straight to slot 9.
+        let events = vec![
+            SlotEvents {
+                slot: 0,
+                arrivals: vec![req(0, 0, 2, 10.0)],
+            },
+            SlotEvents {
+                slot: 9,
+                arrivals: vec![req(1, 9, 2, 10.0)],
+            },
+        ];
+        let mut recorder = crate::observe::Recorder::new();
+        let stats = run_stream(&mut alg, &s, events, &mut recorder);
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.peak_active, 1, "request 0 must depart in the gap");
+        let result = recorder.finish("QUICKG", &stats);
+        // Only yielded slots produce metrics; by slot 9 request 0 is gone.
+        assert_eq!(result.slots.len(), 2);
+        assert_eq!(result.slots[1].allocated_demand, 10.0);
+        assert_eq!(result.slots[1].requested_demand, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_slots_panic() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let events = vec![SlotEvents::empty(5), SlotEvents::empty(5)];
+        let _ = run_stream(&mut alg, &s, events, &mut crate::observe::NullObserver);
+    }
+
+    #[test]
+    fn dyn_algorithm_runs_through_the_engine() {
+        // The registry hands out Box<dyn OnlineAlgorithm>; the engine
+        // must drive it without knowing the concrete type.
+        let (s, apps) = world();
+        let mut boxed: Box<dyn OnlineAlgorithm> =
+            Box::new(Olive::quickg(s.clone(), apps, PlacementPolicy::default()));
+        let trace = vec![req(0, 0, 3, 10.0)];
+        let result = run(boxed.as_mut(), &s, &trace, 5, no_inspection);
+        assert_eq!(result.requests.len(), 1);
+        assert_eq!(result.algorithm, "QUICKG");
     }
 }

@@ -1,13 +1,25 @@
 #![warn(missing_docs)]
-//! # vne-sim — the discrete-time online VNE simulator
+//! # vne-sim — the streaming discrete-time online VNE simulator
 //!
-//! Drives the paper's evaluation (§IV): the [`engine`] replays a request
-//! trace slot by slot against any [`vne_olive::algorithm::OnlineAlgorithm`],
-//! [`metrics`] computes rejection rates, costs (Eqs. 3–4) and the
-//! rejection balance index (Eq. 20), [`scenario`] wires the full
-//! history → plan → online pipeline with all the evaluation's variations,
-//! and [`runner`] replays scenarios across seeds in parallel with
-//! confidence intervals.
+//! Drives the paper's evaluation (§IV) as an event-driven pipeline:
+//!
+//! * the [`engine`] streams `SlotEvents` (lazy, one slot at a time)
+//!   against any [`vne_olive::algorithm::OnlineAlgorithm`], keeping
+//!   only `O(active requests)` of state and reporting per-request and
+//!   per-slot facts to a [`engine::SimObserver`];
+//! * [`observe`] has the ready-made observers: a full-result
+//!   [`observe::Recorder`], an `O(classes)` incremental
+//!   [`observe::WindowSummary`], closure inspection and a tee;
+//! * the [`registry`] constructs algorithms by name
+//!   (`Box<dyn OnlineAlgorithm>`): the paper's four are built in and
+//!   third-party algorithms register without touching this crate;
+//! * [`metrics`] computes rejection rates, costs (Eqs. 3–4) and the
+//!   rejection balance index (Eq. 20);
+//! * [`scenario`] wires the full history → plan → online pipeline with
+//!   all the evaluation's variations ([`scenario::ScenarioBuilder`] for
+//!   custom policies/algorithms);
+//! * [`runner`] replays scenarios across seeds in parallel with
+//!   confidence intervals.
 //!
 //! ## Example
 //!
@@ -21,6 +33,8 @@
 //! let mut rng = SeededRng::new(7);
 //! let apps = paper_mix(&AppGenConfig::default(), &mut rng);
 //! let scenario = Scenario::new(substrate, apps, ScenarioConfig::small(1.0));
+//! // Algorithms resolve by name: `Algorithm::Olive` and `"OLIVE"` are
+//! // interchangeable.
 //! let outcome = scenario.run(Algorithm::Olive);
 //! println!("rejection rate: {:.3}", outcome.summary.rejection_rate);
 //! # Ok(())
@@ -29,10 +43,14 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod observe;
+pub mod registry;
 pub mod runner;
 pub mod scenario;
 
-pub use engine::{RequestStatus, RunResult};
+pub use engine::{RequestStatus, RunResult, SimControl, SimObserver, StreamStats};
 pub use metrics::{aggregate, summarize, AggregatedSummary, Summary};
-pub use runner::{default_apps, run_seeds, Utilization};
-pub use scenario::{Algorithm, Outcome, Scenario, ScenarioConfig};
+pub use observe::{NullObserver, Recorder, WindowSummary};
+pub use registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
+pub use runner::{default_apps, run_seeds, run_seeds_in, Utilization};
+pub use scenario::{Algorithm, Outcome, Scenario, ScenarioBuilder, ScenarioConfig};

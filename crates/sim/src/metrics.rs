@@ -107,13 +107,25 @@ pub fn balance_index(result: &RunResult, window: (Slot, Slot)) -> f64 {
             *x_va.entry((r.class.ingress, r.class.app)).or_insert(0.0) += 1.0;
         }
     }
+    balance_from_counts(&n_v, &x_va, &apps)
+}
+
+/// The balance index computed from pre-aggregated counts: `n_v` window
+/// arrivals per node, `x_va` denials per `(node, app)`, `apps` the apps
+/// seen in the window. This is the shared core of [`balance_index`] and
+/// the incremental [`crate::observe::WindowSummary`] observer.
+pub fn balance_from_counts(
+    n_v: &BTreeMap<NodeId, f64>,
+    x_va: &BTreeMap<(NodeId, AppId), f64>,
+    apps: &std::collections::BTreeSet<AppId>,
+) -> f64 {
     let a_count = apps.len() as f64;
     if a_count == 0.0 || n_v.is_empty() {
         return 1.0;
     }
     let mut weighted = 0.0;
     let mut total_weight = 0.0;
-    for (&v, &n) in &n_v {
+    for (&v, &n) in n_v {
         let sum: f64 = apps
             .iter()
             .map(|&a| x_va.get(&(v, a)).copied().unwrap_or(0.0))

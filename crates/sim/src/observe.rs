@@ -1,0 +1,350 @@
+//! Ready-made [`SimObserver`]s for the streaming engine.
+//!
+//! * [`NullObserver`] — ignores everything (pure throughput runs);
+//! * [`Recorder`] — collects the classic [`RunResult`] (per-request
+//!   outcome log + per-slot series), `O(trace)` memory by design;
+//! * [`WindowSummary`] — computes the measurement-window [`Summary`]
+//!   incrementally in `O(classes + nodes)` memory, the pairing for
+//!   long-horizon streams where a full outcome log would defeat the
+//!   engine's `O(active)` bound;
+//! * [`Inspect`] — adapts a per-slot closure (drill-down figures);
+//! * [`Tee`] — composes two observers.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vne_model::cost::RejectionPenalty;
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::request::Slot;
+use vne_olive::algorithm::OnlineAlgorithm;
+
+use crate::engine::{RequestOutcome, RunResult, SimControl, SimObserver, SlotMetrics, StreamStats};
+use crate::metrics::{balance_from_counts, Summary};
+
+/// An observer that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Collects the full per-request outcome log and per-slot series.
+///
+/// Memory is `O(trace length)` — that is the point of a recorder. Use
+/// [`WindowSummary`] when only the window summary is needed.
+///
+/// The recorded [`RunResult::slots`] vector is indexed by position, so
+/// consumers like [`crate::metrics::summarize`] equate index and slot
+/// number: feed the recorder a *dense* stream (one event per slot from
+/// 0, as produced by [`crate::engine::slot_events`] and the scenario
+/// trace streams). With a sparse stream the per-slot series would be
+/// compacted and window filters would look at the wrong entries; use
+/// [`WindowSummary`] (which reads the real slot number) there instead.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    requests: Vec<RequestOutcome>,
+    index: HashMap<RequestId, usize>,
+    slots: Vec<SlotMetrics>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the recorder into a [`RunResult`].
+    pub fn finish(self, algorithm: &str, stats: &StreamStats) -> RunResult {
+        RunResult {
+            algorithm: algorithm.to_string(),
+            requests: self.requests,
+            slots: self.slots,
+            online_secs: stats.online_secs,
+        }
+    }
+}
+
+impl SimObserver for Recorder {
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        self.index.insert(outcome.id, self.requests.len());
+        self.requests.push(outcome.clone());
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        if let Some(&i) = self.index.get(&outcome.id) {
+            self.requests[i] = outcome.clone();
+        }
+    }
+
+    fn on_slot_end(
+        &mut self,
+        _t: Slot,
+        metrics: &SlotMetrics,
+        _algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        self.slots.push(*metrics);
+        SimControl::Continue
+    }
+}
+
+/// Computes the measurement-window [`Summary`] incrementally.
+///
+/// State is `O(request classes + nodes)` — counts, running costs and
+/// the per-`(node, app)` rejection tallies for the balance index — so
+/// a multi-seed sweep over arbitrarily long streams never materializes
+/// an outcome log. Counts, rates, the resource cost and the balance
+/// index match [`crate::metrics::summarize`] bit for bit; the rejection
+/// cost accumulates preemption penalties at eviction time rather than
+/// in arrival order, which can differ from the batch sum in the last
+/// ulp when preemptions occur.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    window: (Slot, Slot),
+    penalty: RejectionPenalty,
+    arrivals: usize,
+    rejected: usize,
+    preempted: usize,
+    rejection_cost: f64,
+    resource_cost: f64,
+    n_v: BTreeMap<NodeId, f64>,
+    x_va: BTreeMap<(NodeId, AppId), f64>,
+    apps: BTreeSet<AppId>,
+}
+
+impl WindowSummary {
+    /// Creates a summary observer for a `[from, to)` window of arrival
+    /// slots.
+    pub fn new(window: (Slot, Slot), penalty: RejectionPenalty) -> Self {
+        Self {
+            window,
+            penalty,
+            arrivals: 0,
+            rejected: 0,
+            preempted: 0,
+            rejection_cost: 0.0,
+            resource_cost: 0.0,
+            n_v: BTreeMap::new(),
+            x_va: BTreeMap::new(),
+            apps: BTreeSet::new(),
+        }
+    }
+
+    fn in_window(&self, arrival: Slot) -> bool {
+        arrival >= self.window.0 && arrival < self.window.1
+    }
+
+    fn denial_cost(&self, outcome: &RequestOutcome) -> f64 {
+        self.penalty.psi(outcome.class.app) * outcome.demand * f64::from(outcome.duration)
+    }
+
+    /// Finalizes the summary (balance index, rates, runtime).
+    pub fn finish(&self, stats: &StreamStats) -> Summary {
+        let denied = self.rejected + self.preempted;
+        Summary {
+            arrivals: self.arrivals,
+            rejected: self.rejected,
+            preempted: self.preempted,
+            rejection_rate: if self.arrivals == 0 {
+                0.0
+            } else {
+                denied as f64 / self.arrivals as f64
+            },
+            resource_cost: self.resource_cost,
+            rejection_cost: self.rejection_cost,
+            total_cost: self.resource_cost + self.rejection_cost,
+            balance_index: balance_from_counts(&self.n_v, &self.x_va, &self.apps),
+            online_secs: stats.online_secs,
+        }
+    }
+}
+
+impl SimObserver for WindowSummary {
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        if !self.in_window(outcome.arrival) {
+            return;
+        }
+        self.arrivals += 1;
+        self.apps.insert(outcome.class.app);
+        *self.n_v.entry(outcome.class.ingress).or_insert(0.0) += 1.0;
+        if outcome.status.is_denied() {
+            self.rejected += 1;
+            self.rejection_cost += self.denial_cost(outcome);
+            *self
+                .x_va
+                .entry((outcome.class.ingress, outcome.class.app))
+                .or_insert(0.0) += 1.0;
+        }
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        if !self.in_window(outcome.arrival) {
+            return;
+        }
+        self.preempted += 1;
+        self.rejection_cost += self.denial_cost(outcome);
+        *self
+            .x_va
+            .entry((outcome.class.ingress, outcome.class.app))
+            .or_insert(0.0) += 1.0;
+    }
+
+    fn on_slot_end(
+        &mut self,
+        t: Slot,
+        metrics: &SlotMetrics,
+        _algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        if self.in_window(t) {
+            self.resource_cost += metrics.resource_cost;
+        }
+        SimControl::Continue
+    }
+}
+
+/// Adapts a per-slot closure into a [`SimObserver`] (drill-down
+/// inspection; never stops the run).
+#[derive(Debug, Clone)]
+pub struct Inspect<F: FnMut(Slot, &SlotMetrics, &dyn OnlineAlgorithm)>(pub F);
+
+impl<F: FnMut(Slot, &SlotMetrics, &dyn OnlineAlgorithm)> SimObserver for Inspect<F> {
+    fn on_slot_end(
+        &mut self,
+        t: Slot,
+        metrics: &SlotMetrics,
+        algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        (self.0)(t, metrics, algorithm);
+        SimControl::Continue
+    }
+}
+
+/// Runs two observers side by side; the run stops as soon as either
+/// asks to stop.
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
+    fn on_slot_start(&mut self, t: Slot) {
+        self.0.on_slot_start(t);
+        self.1.on_slot_start(t);
+    }
+
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        self.0.on_arrival(outcome);
+        self.1.on_arrival(outcome);
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        self.0.on_preemption(outcome);
+        self.1.on_preemption(outcome);
+    }
+
+    fn on_slot_end(
+        &mut self,
+        t: Slot,
+        metrics: &SlotMetrics,
+        algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        let a = self.0.on_slot_end(t, metrics, algorithm);
+        let b = self.1.on_slot_end(t, metrics, algorithm);
+        if a == SimControl::Stop || b == SimControl::Stop {
+            SimControl::Stop
+        } else {
+            SimControl::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RequestStatus;
+    use vne_model::app::{shapes, AppSet, AppShape};
+    use vne_model::ids::ClassId;
+
+    fn outcome(id: u64, arrival: Slot, status: RequestStatus) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(id),
+            class: ClassId::new(AppId(0), NodeId(0)),
+            arrival,
+            duration: 10,
+            demand: 2.0,
+            status,
+        }
+    }
+
+    fn penalty() -> RejectionPenalty {
+        let mut apps = AppSet::new();
+        apps.push(
+            "a",
+            AppShape::Chain,
+            shapes::uniform_chain(1, 1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        RejectionPenalty::uniform(&apps, 3.0)
+    }
+
+    #[test]
+    fn recorder_applies_preemption_updates() {
+        let mut rec = Recorder::new();
+        rec.on_arrival(&outcome(1, 2, RequestStatus::Accepted));
+        rec.on_arrival(&outcome(2, 2, RequestStatus::Rejected));
+        rec.on_preemption(&outcome(1, 2, RequestStatus::Preempted(5)));
+        let result = rec.finish("X", &StreamStats::default());
+        assert_eq!(result.requests.len(), 2);
+        assert_eq!(result.requests[0].status, RequestStatus::Preempted(5));
+        assert_eq!(result.requests[1].status, RequestStatus::Rejected);
+        assert_eq!(result.algorithm, "X");
+    }
+
+    #[test]
+    fn window_summary_counts_only_window_arrivals() {
+        let mut ws = WindowSummary::new((2, 10), penalty());
+        ws.on_arrival(&outcome(0, 0, RequestStatus::Rejected)); // before window
+        ws.on_arrival(&outcome(1, 2, RequestStatus::Accepted));
+        ws.on_arrival(&outcome(2, 3, RequestStatus::Rejected));
+        ws.on_preemption(&outcome(1, 2, RequestStatus::Preempted(7)));
+        let s = ws.finish(&StreamStats::default());
+        assert_eq!(s.arrivals, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.preempted, 1);
+        assert_eq!(s.rejection_rate, 1.0);
+        // 2 denied × ψ3 × d2 × T10 = 120.
+        assert_eq!(s.rejection_cost, 120.0);
+    }
+
+    #[test]
+    fn tee_stops_when_either_stops() {
+        struct Stopper;
+        impl SimObserver for Stopper {
+            fn on_slot_end(
+                &mut self,
+                _t: Slot,
+                _m: &SlotMetrics,
+                _a: &dyn OnlineAlgorithm,
+            ) -> SimControl {
+                SimControl::Stop
+            }
+        }
+        let mut tee = Tee(NullObserver, Stopper);
+        let m = SlotMetrics::default();
+        // A dummy algorithm is needed only for the signature; build the
+        // cheapest possible one.
+        let mut s = vne_model::substrate::SubstrateNetwork::new("t");
+        let e = s
+            .add_node("e", vne_model::substrate::Tier::Edge, 1.0, 1.0)
+            .unwrap();
+        let c = s
+            .add_node("c", vne_model::substrate::Tier::Core, 1.0, 1.0)
+            .unwrap();
+        s.add_link(e, c, 1.0, 1.0).unwrap();
+        let mut apps = AppSet::new();
+        apps.push(
+            "a",
+            AppShape::Chain,
+            shapes::uniform_chain(1, 1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        let alg =
+            vne_olive::olive::Olive::quickg(s, apps, vne_model::policy::PlacementPolicy::default());
+        assert_eq!(tee.on_slot_end(0, &m, &alg), SimControl::Stop);
+    }
+}

@@ -1,0 +1,360 @@
+//! The open algorithm registry: online algorithms constructed by name.
+//!
+//! The paper's evaluation has four algorithms, but the simulator is not
+//! limited to them: an [`AlgorithmRegistry`] maps an [`AlgorithmSpec`]
+//! (a case-insensitive name) to an [`AlgorithmFactory`] that builds a
+//! `Box<dyn OnlineAlgorithm>` from a [`BuildContext`] — the scenario's
+//! substrate, applications, policy and configuration, plus a lazy plan
+//! builder for plan-based algorithms. Registering a new algorithm is a
+//! one-file addition (see the `custom_algorithm` example): no change to
+//! `vne-sim` is needed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use vne_model::app::AppSet;
+use vne_model::policy::PlacementPolicy;
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::algorithm::OnlineAlgorithm;
+use vne_olive::colgen::PlanVneConfig;
+use vne_olive::fullg::FullG;
+use vne_olive::olive::Olive;
+use vne_olive::plan::Plan;
+use vne_olive::slotoff::SlotOff;
+
+use crate::scenario::{Algorithm, Scenario, ScenarioConfig};
+
+/// An algorithm selector: a normalized (upper-case, trimmed) name
+/// resolved against an [`AlgorithmRegistry`].
+///
+/// Built from the [`Algorithm`] enum (the four paper algorithms), from
+/// any string, or parsed with [`str::parse`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlgorithmSpec {
+    name: String,
+}
+
+impl AlgorithmSpec {
+    /// Creates a spec from a raw name (trimmed, upper-cased).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.trim().to_ascii_uppercase(),
+        }
+    }
+
+    /// The normalized algorithm name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl std::str::FromStr for AlgorithmSpec {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Self::new(s))
+    }
+}
+
+impl From<Algorithm> for AlgorithmSpec {
+    fn from(a: Algorithm) -> Self {
+        Self::new(a.label())
+    }
+}
+
+impl From<&str> for AlgorithmSpec {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for AlgorithmSpec {
+    fn from(s: String) -> Self {
+        Self::new(&s)
+    }
+}
+
+impl From<&AlgorithmSpec> for AlgorithmSpec {
+    fn from(s: &AlgorithmSpec) -> Self {
+        s.clone()
+    }
+}
+
+/// Everything a factory may need to construct an algorithm instance.
+///
+/// Borrows the scenario: substrate, application catalogue, placement
+/// policy and configuration are accessors, and [`BuildContext::build_plan`]
+/// runs the full history → aggregation → PLAN-VNE pipeline on demand
+/// (only plan-based algorithms pay for it).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildContext<'a> {
+    scenario: &'a Scenario,
+}
+
+impl<'a> BuildContext<'a> {
+    /// Creates a context for one scenario.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Self { scenario }
+    }
+
+    /// The scenario being run.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The physical substrate.
+    pub fn substrate(&self) -> &'a SubstrateNetwork {
+        &self.scenario.substrate
+    }
+
+    /// The application catalogue.
+    pub fn apps(&self) -> &'a AppSet {
+        &self.scenario.apps
+    }
+
+    /// The placement policy (η).
+    pub fn policy(&self) -> &'a PlacementPolicy {
+        &self.scenario.policy
+    }
+
+    /// The scenario parameters.
+    pub fn config(&self) -> &'a ScenarioConfig {
+        &self.scenario.config
+    }
+
+    /// Builds the OLIVE plan from the history trace; returns the plan
+    /// and the wall-clock seconds it took.
+    pub fn build_plan(&self) -> (Plan, f64) {
+        self.scenario.build_plan()
+    }
+
+    /// The PLAN-VNE solver configuration (ψ, quantile count) of this
+    /// scenario — what SLOTOFF re-optimizes with every slot.
+    pub fn plan_config(&self) -> PlanVneConfig {
+        self.scenario.plan_config()
+    }
+}
+
+/// A constructed algorithm plus the planning byproducts (if any).
+pub struct BuiltAlgorithm {
+    /// The algorithm instance the engine will drive.
+    pub algorithm: Box<dyn OnlineAlgorithm>,
+    /// The plan used, for plan-based algorithms.
+    pub plan: Option<Plan>,
+    /// Seconds spent building the plan (0 for plan-free algorithms).
+    pub plan_secs: f64,
+}
+
+impl BuiltAlgorithm {
+    /// Wraps a plan-free algorithm.
+    pub fn plain(algorithm: impl OnlineAlgorithm + 'static) -> Self {
+        Self {
+            algorithm: Box::new(algorithm),
+            plan: None,
+            plan_secs: 0.0,
+        }
+    }
+
+    /// Wraps a plan-based algorithm with its plan and planning time.
+    pub fn planned(algorithm: impl OnlineAlgorithm + 'static, plan: Plan, plan_secs: f64) -> Self {
+        Self {
+            algorithm: Box::new(algorithm),
+            plan: Some(plan),
+            plan_secs,
+        }
+    }
+}
+
+impl fmt::Debug for BuiltAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuiltAlgorithm")
+            .field("algorithm", &self.algorithm.name())
+            .field("plan", &self.plan.is_some())
+            .field("plan_secs", &self.plan_secs)
+            .finish()
+    }
+}
+
+/// A factory constructing an algorithm instance for one scenario run.
+pub type AlgorithmFactory = Arc<dyn Fn(&BuildContext<'_>) -> BuiltAlgorithm + Send + Sync>;
+
+/// The error returned when a spec does not resolve.
+#[derive(Debug, Clone)]
+pub struct UnknownAlgorithm {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// The names the registry does know.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?}; registered: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+/// A name → factory map of online algorithms.
+///
+/// Cloning is cheap (factories are `Arc`s); registries are `Send +
+/// Sync` so the multi-seed runner can share one across worker threads.
+#[derive(Clone, Default)]
+pub struct AlgorithmRegistry {
+    factories: BTreeMap<String, AlgorithmFactory>,
+}
+
+impl AlgorithmRegistry {
+    /// An empty registry (no algorithms).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the paper's four algorithms (OLIVE, QUICKG,
+    /// FULLG, SLOTOFF) pre-registered.
+    pub fn builtins() -> Self {
+        let mut registry = Self::empty();
+        registry.register(Algorithm::Olive.label(), |ctx| {
+            let (plan, plan_secs) = ctx.build_plan();
+            BuiltAlgorithm::planned(
+                Olive::new(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                    plan.clone(),
+                    ctx.config().olive,
+                ),
+                plan,
+                plan_secs,
+            )
+        });
+        registry.register(Algorithm::Quickg.label(), |ctx| {
+            BuiltAlgorithm::plain(Olive::quickg(
+                ctx.substrate().clone(),
+                ctx.apps().clone(),
+                ctx.policy().clone(),
+            ))
+        });
+        registry.register(Algorithm::Fullg.label(), |ctx| {
+            BuiltAlgorithm::plain(FullG::new(
+                ctx.substrate().clone(),
+                ctx.apps().clone(),
+                ctx.policy().clone(),
+            ))
+        });
+        registry.register(Algorithm::SlotOff.label(), |ctx| {
+            BuiltAlgorithm::plain(SlotOff::new(
+                ctx.substrate().clone(),
+                ctx.apps().clone(),
+                ctx.policy().clone(),
+                ctx.plan_config(),
+            ))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name` (normalized like
+    /// an [`AlgorithmSpec`]).
+    pub fn register(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&BuildContext<'_>) -> BuiltAlgorithm + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(
+            AlgorithmSpec::new(name).name().to_string(),
+            Arc::new(factory),
+        );
+        self
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Whether `spec` resolves.
+    pub fn contains(&self, spec: &AlgorithmSpec) -> bool {
+        self.factories.contains_key(spec.name())
+    }
+
+    /// Constructs the algorithm selected by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAlgorithm`] when the name is not registered.
+    pub fn build(
+        &self,
+        spec: &AlgorithmSpec,
+        ctx: &BuildContext<'_>,
+    ) -> Result<BuiltAlgorithm, UnknownAlgorithm> {
+        match self.factories.get(spec.name()) {
+            Some(factory) => Ok(factory(ctx)),
+            None => Err(UnknownAlgorithm {
+                name: spec.name().to_string(),
+                known: self.factories.keys().cloned().collect(),
+            }),
+        }
+    }
+}
+
+// `Debug` lists the registered names (factories are opaque closures).
+impl fmt::Debug for AlgorithmRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_normalizes_names() {
+        assert_eq!(AlgorithmSpec::new(" olive ").name(), "OLIVE");
+        assert_eq!(AlgorithmSpec::from(Algorithm::SlotOff).name(), "SLOTOFF");
+        assert_eq!(AlgorithmSpec::from("quickg").to_string(), "QUICKG");
+        let parsed: AlgorithmSpec = "FullG".parse().unwrap();
+        assert_eq!(parsed.name(), "FULLG");
+    }
+
+    #[test]
+    fn builtins_cover_the_paper_algorithms() {
+        let registry = AlgorithmRegistry::builtins();
+        assert_eq!(
+            registry.names(),
+            vec!["FULLG", "OLIVE", "QUICKG", "SLOTOFF"]
+        );
+        for alg in Algorithm::ALL {
+            assert!(registry.contains(&alg.into()), "{alg} missing");
+        }
+        assert!(!registry.contains(&"NOSUCH".into()));
+    }
+
+    #[test]
+    fn unknown_algorithm_error_names_the_candidates() {
+        let registry = AlgorithmRegistry::builtins();
+        let spec = AlgorithmSpec::new("mystery");
+        // Building requires a scenario; resolution alone is enough here.
+        assert!(!registry.contains(&spec));
+        let err = UnknownAlgorithm {
+            name: spec.name().to_string(),
+            known: registry.names().iter().map(|s| s.to_string()).collect(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("MYSTERY") && msg.contains("OLIVE"), "{msg}");
+    }
+}

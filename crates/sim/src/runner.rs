@@ -3,6 +3,11 @@
 //! The paper executes every experiment 30 times and reports means with
 //! confidence intervals. [`run_seeds`] replays a scenario across seeds on
 //! worker threads (std scoped threads) and aggregates the summaries.
+//! Each per-seed run streams the online phase through the engine's
+//! incremental window-summary observer, so a whole sweep never
+//! materializes a trace or an outcome log. [`run_seeds_in`] is the same
+//! loop with an explicit [`AlgorithmRegistry`], which is how custom
+//! (non-builtin) algorithms join multi-seed sweeps.
 
 use std::sync::Mutex;
 use vne_model::app::AppSet;
@@ -11,16 +16,36 @@ use vne_workload::appgen::{paper_mix, AppGenConfig};
 use vne_workload::rng::SeededRng;
 
 use crate::metrics::{aggregate, AggregatedSummary, Summary};
-use crate::scenario::{Algorithm, Scenario, ScenarioConfig};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec};
+use crate::scenario::{Scenario, ScenarioConfig};
 
 /// An edge-utilization level (the x-axis of Figs. 6/7/15/16).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+///
+/// Total-ordered and hashable (`Ord` via IEEE `total_cmp`, `Hash` over
+/// the bit pattern) so sweeps can key result maps by utilization.
+/// Constructors reject non-finite values and normalize `-0.0` to `0.0`,
+/// which keeps `Eq`/`Ord`/`Hash` mutually consistent.
+#[derive(Debug, Clone, Copy)]
 pub struct Utilization(f64);
 
 impl Utilization {
     /// From a percentage (e.g. `Utilization::percent(140)`).
     pub fn percent(p: u32) -> Self {
         Self(f64::from(p) / 100.0)
+    }
+
+    /// From a fraction (e.g. `Utilization::fraction_of(1.4)` = 140%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is NaN, infinite, or negative.
+    pub fn fraction_of(f: f64) -> Self {
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "utilization must be finite and ≥ 0, got {f}"
+        );
+        // `-0.0 + 0.0 == +0.0`: one canonical zero for Eq/Ord/Hash.
+        Self(f + 0.0)
     }
 
     /// As a fraction (1.0 = 100%).
@@ -34,6 +59,32 @@ impl Utilization {
             .into_iter()
             .map(Utilization::percent)
             .collect()
+    }
+}
+
+impl PartialEq for Utilization {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Utilization {}
+
+impl PartialOrd for Utilization {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Utilization {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Utilization {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.to_bits());
     }
 }
 
@@ -53,11 +104,41 @@ pub fn default_apps(seed: u64) -> AppSet {
 /// Runs `algorithm` across `seeds` in parallel and returns the per-seed
 /// summaries (in seed order) plus their aggregate.
 ///
-/// `make_apps` draws the application set for a seed (usually
-/// [`default_apps`]); `configure` builds the scenario config for a seed.
+/// The algorithm is resolved by name in [`AlgorithmRegistry::builtins`];
+/// use [`run_seeds_in`] to sweep custom algorithms. `make_apps` draws
+/// the application set for a seed (usually [`default_apps`]);
+/// `configure` builds the scenario config for a seed.
 pub fn run_seeds<FA, FC>(
     substrate: &SubstrateNetwork,
-    algorithm: Algorithm,
+    algorithm: impl Into<AlgorithmSpec>,
+    seeds: &[u64],
+    make_apps: FA,
+    configure: FC,
+) -> (Vec<Summary>, AggregatedSummary)
+where
+    FA: Fn(u64) -> AppSet + Sync,
+    FC: Fn(u64) -> ScenarioConfig + Sync,
+{
+    run_seeds_in(
+        &AlgorithmRegistry::builtins(),
+        substrate,
+        &algorithm.into(),
+        seeds,
+        make_apps,
+        configure,
+    )
+}
+
+/// [`run_seeds`] with an explicit algorithm registry — the entry point
+/// for sweeping algorithms registered outside `vne-sim`.
+///
+/// # Panics
+///
+/// Panics when `spec` does not resolve in `registry`.
+pub fn run_seeds_in<FA, FC>(
+    registry: &AlgorithmRegistry,
+    substrate: &SubstrateNetwork,
+    spec: &AlgorithmSpec,
     seeds: &[u64],
     make_apps: FA,
     configure: FC,
@@ -83,12 +164,13 @@ where
                 let seed = seeds[idx];
                 let apps = make_apps(seed);
                 let config = configure(seed);
-                let scenario = Scenario::new(substrate.clone(), apps, config);
-                let outcome = scenario.run(algorithm);
+                let scenario =
+                    Scenario::new(substrate.clone(), apps, config).with_registry(registry.clone());
+                let summary = scenario.run_summary(spec).unwrap_or_else(|e| panic!("{e}"));
                 results
                     .lock()
                     .expect("runner mutex poisoned")
-                    .push((idx, outcome.summary));
+                    .push((idx, summary));
             });
         }
     });
@@ -103,6 +185,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Algorithm;
+    use std::collections::{BTreeMap, HashMap};
     use vne_topology::zoo::citta_studi;
 
     #[test]
@@ -111,6 +195,50 @@ mod tests {
         assert!((u.fraction() - 1.4).abs() < 1e-12);
         assert_eq!(u.to_string(), "140%");
         assert_eq!(Utilization::paper_sweep().len(), 5);
+    }
+
+    #[test]
+    fn utilization_is_totally_ordered() {
+        let mut sweep = Utilization::paper_sweep();
+        sweep.reverse();
+        sweep.sort();
+        let fractions: Vec<f64> = sweep.iter().map(|u| u.fraction()).collect();
+        assert_eq!(fractions, vec![0.6, 0.8, 1.0, 1.2, 1.4]);
+        assert!(Utilization::percent(60) < Utilization::percent(140));
+        assert_eq!(Utilization::percent(100), Utilization::fraction_of(1.0));
+    }
+
+    #[test]
+    fn utilization_works_as_map_key() {
+        // The satellite motivation: keying a sweep's results per level.
+        let mut btree: BTreeMap<Utilization, usize> = BTreeMap::new();
+        let mut hash: HashMap<Utilization, usize> = HashMap::new();
+        for (i, u) in Utilization::paper_sweep().into_iter().enumerate() {
+            btree.insert(u, i);
+            hash.insert(u, i);
+        }
+        assert_eq!(btree.len(), 5);
+        assert_eq!(hash.len(), 5);
+        // Lookup through an independently-constructed key.
+        assert_eq!(btree[&Utilization::fraction_of(1.2)], 3);
+        assert_eq!(hash[&Utilization::percent(120)], 3);
+        // BTreeMap iterates in utilization order.
+        let keys: Vec<f64> = btree.keys().map(|u| u.fraction()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn utilization_zero_is_canonical() {
+        assert_eq!(Utilization::fraction_of(0.0), Utilization::percent(0));
+        let neg_zero = Utilization::fraction_of(-0.0);
+        assert_eq!(neg_zero, Utilization::percent(0));
+        assert_eq!(neg_zero.fraction().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn utilization_rejects_nan() {
+        let _ = Utilization::fraction_of(f64::NAN);
     }
 
     #[test]
@@ -134,5 +262,29 @@ mod tests {
         }
         assert_eq!(agg_a.seeds, 3);
         assert!(agg_a.rejection_rate.0 >= 0.0);
+    }
+
+    #[test]
+    fn run_seeds_matches_scenario_runs() {
+        let substrate = citta_studi().unwrap();
+        let seeds = [4u64, 5];
+        let (summaries, _) = run_seeds(
+            &substrate,
+            Algorithm::Quickg,
+            &seeds,
+            default_apps,
+            |seed| ScenarioConfig::small(1.0).with_seed(seed),
+        );
+        for (i, &seed) in seeds.iter().enumerate() {
+            let scenario = Scenario::new(
+                substrate.clone(),
+                default_apps(seed),
+                ScenarioConfig::small(1.0).with_seed(seed),
+            );
+            let direct = scenario.run(Algorithm::Quickg).summary;
+            assert_eq!(summaries[i].arrivals, direct.arrivals);
+            assert_eq!(summaries[i].rejection_rate, direct.rejection_rate);
+            assert_eq!(summaries[i].resource_cost, direct.resource_cost);
+        }
     }
 }

@@ -1,32 +1,47 @@
 //! End-to-end experiment scenarios: trace → history → plan → online run.
 //!
 //! A [`Scenario`] reproduces the paper's pipeline for one seed: generate
-//! a request history and an online trace, aggregate the history, solve
-//! PLAN-VNE, then drive the chosen algorithm through the online phase and
-//! summarize the measurement window. Variations used by the evaluation —
-//! plan built for a different utilization (Fig. 13), spatially shifted
-//! plan input (Fig. 14), CAIDA-like demand (Fig. 15), GPU scenario
-//! (Fig. 10) — are configuration switches here.
+//! a request history, aggregate it, solve PLAN-VNE, then stream the
+//! online phase through the chosen algorithm and summarize the
+//! measurement window. Algorithms are resolved by name through the
+//! scenario's [`AlgorithmRegistry`] — the paper's four are built in,
+//! and [`ScenarioBuilder::algorithm`] registers new ones without
+//! touching this crate. The online trace is *streamed* (one slot at a
+//! time), so a run's memory is bounded by the active requests, not the
+//! horizon. Variations used by the evaluation — plan built for a
+//! different utilization (Fig. 13), spatially shifted plan input
+//! (Fig. 14), CAIDA-like demand (Fig. 15), GPU scenario (Fig. 10) —
+//! are configuration switches here.
+
+use std::fmt;
+use std::str::FromStr;
 
 use vne_model::app::AppSet;
 use vne_model::cost::RejectionPenalty;
 use vne_model::policy::PlacementPolicy;
-use vne_model::request::{Request, Slot};
+use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
+use vne_olive::algorithm::OnlineAlgorithm;
 use vne_olive::colgen::{solve_plan, PlanVneConfig};
-use vne_olive::fullg::FullG;
 use vne_olive::olive::{Olive, OliveConfig};
 use vne_olive::plan::Plan;
-use vne_olive::slotoff::SlotOff;
 use vne_workload::caida::{self, CaidaConfig};
 use vne_workload::rng::SeededRng;
 use vne_workload::tracegen::{self, TraceConfig};
 
-use crate::engine::{no_inspection, run, RunResult};
+use crate::engine::{run_stream, RunResult, SimObserver};
 use crate::metrics::{summarize, Summary};
+use crate::observe::{Inspect, NullObserver, Recorder, Tee, WindowSummary};
+use crate::registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, UnknownAlgorithm};
 
-/// The algorithms of the paper's evaluation.
+/// The algorithms of the paper's evaluation — convenience handles whose
+/// names resolve against [`AlgorithmRegistry::builtins`].
+///
+/// The simulator itself is open: any name registered in a scenario's
+/// registry runs the same way. `Display` writes the canonical label
+/// (`"OLIVE"`), [`FromStr`] parses it case-insensitively — the single
+/// source of truth for CLI parsing and result labeling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// The paper's contribution: plan-based online embedding.
@@ -40,6 +55,14 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// All four paper algorithms, in the paper's order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Olive,
+        Algorithm::Quickg,
+        Algorithm::Fullg,
+        Algorithm::SlotOff,
+    ];
+
     /// Display name.
     pub fn label(self) -> &'static str {
         match self {
@@ -48,6 +71,40 @@ impl Algorithm {
             Algorithm::Fullg => "FULLG",
             Algorithm::SlotOff => "SLOTOFF",
         }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The error returned when a string names none of the paper algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError(String);
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?}; expected one of OLIVE, QUICKG, FULLG, SLOTOFF",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        Self::ALL
+            .into_iter()
+            .find(|a| a.label().eq_ignore_ascii_case(trimmed))
+            .ok_or_else(|| ParseAlgorithmError(s.to_string()))
     }
 }
 
@@ -133,10 +190,17 @@ pub struct Outcome {
     pub summary: Summary,
     /// Full per-request / per-slot result.
     pub result: RunResult,
-    /// The plan used (OLIVE only).
+    /// The plan used (plan-based algorithms only).
     pub plan: Option<Plan>,
     /// Seconds spent building the plan (aggregation + PLAN-VNE).
     pub plan_secs: f64,
+}
+
+/// One phase's trace source (synthetic or CAIDA-like), calibrated for a
+/// target utilization.
+enum PhaseTrace {
+    Synthetic(TraceConfig),
+    Caida(CaidaConfig),
 }
 
 /// A fully wired experiment for one substrate, application set and seed.
@@ -150,24 +214,60 @@ pub struct Scenario {
     pub policy: PlacementPolicy,
     /// Scenario parameters.
     pub config: ScenarioConfig,
+    /// Algorithms runnable by name (builtins unless overridden).
+    registry: AlgorithmRegistry,
 }
 
 impl Scenario {
-    /// Creates a scenario with the default placement policy.
+    /// Creates a scenario with the default placement policy and the
+    /// built-in algorithm registry.
     pub fn new(substrate: SubstrateNetwork, apps: AppSet, config: ScenarioConfig) -> Self {
         Self {
             substrate,
             apps,
             policy: PlacementPolicy::default(),
             config,
+            registry: AlgorithmRegistry::builtins(),
         }
+    }
+
+    /// Starts a [`ScenarioBuilder`] (custom policy, registry,
+    /// third-party algorithms).
+    pub fn builder(substrate: SubstrateNetwork) -> ScenarioBuilder {
+        ScenarioBuilder::new(substrate)
+    }
+
+    /// Replaces the algorithm registry (builder style).
+    pub fn with_registry(mut self, registry: AlgorithmRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The algorithm registry of this scenario.
+    pub fn registry(&self) -> &AlgorithmRegistry {
+        &self.registry
+    }
+
+    /// Registers an algorithm factory on this scenario (see
+    /// [`AlgorithmRegistry::register`]).
+    pub fn register_algorithm(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&BuildContext<'_>) -> crate::registry::BuiltAlgorithm + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.registry.register(name, factory);
+        self
     }
 
     fn rng(&self, stream: u64) -> SeededRng {
         SeededRng::new(self.config.seed).derive(stream)
     }
 
-    fn trace_at(&self, utilization: f64, slots: Slot, rng: &mut SeededRng) -> Vec<Request> {
+    /// The calibrated trace source for one phase: utilization sets the
+    /// mean demand, the popularity/population seed is a scenario
+    /// property (history and online phases must agree on the hot
+    /// nodes), and `slots` is the phase length.
+    fn phase_trace(&self, utilization: f64, slots: Slot) -> PhaseTrace {
         match &self.config.caida {
             None => {
                 let mut tc =
@@ -178,7 +278,7 @@ impl Scenario {
                 // Popularity is a property of the scenario: history and
                 // online phases must agree on the hot nodes.
                 tc.popularity_seed = self.config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7);
-                tracegen::generate(&self.substrate, &self.apps, &tc, rng)
+                PhaseTrace::Synthetic(tc)
             }
             Some(caida_config) => {
                 // Calibrate the CAIDA trace's mean demand the same way:
@@ -192,12 +292,35 @@ impl Scenario {
                 cc.demand_mean =
                     utilization * cap_per_edge / (rate_per_edge * cc.duration_mean * mean_fp);
                 cc.population_seed = self.config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3);
-                caida::generate(&self.substrate, &self.apps, &cc, rng)
+                PhaseTrace::Caida(cc)
             }
         }
     }
 
-    /// Generates the online-phase trace.
+    fn trace_at(&self, utilization: f64, slots: Slot, rng: &mut SeededRng) -> Vec<Request> {
+        match self.phase_trace(utilization, slots) {
+            PhaseTrace::Synthetic(tc) => tracegen::generate(&self.substrate, &self.apps, &tc, rng),
+            PhaseTrace::Caida(cc) => caida::generate(&self.substrate, &self.apps, &cc, rng),
+        }
+    }
+
+    /// The online phase as a lazy slot-event stream — what
+    /// [`Scenario::run`] feeds the engine. Yields exactly
+    /// `config.test_slots` events; memory is `O(edge nodes)` /
+    /// `O(sources)`, independent of the horizon.
+    pub fn online_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+        let rng = self.rng(2);
+        match self.phase_trace(self.config.utilization, self.config.test_slots) {
+            PhaseTrace::Synthetic(tc) => {
+                Box::new(tracegen::stream(&self.substrate, &self.apps, &tc, rng))
+            }
+            PhaseTrace::Caida(cc) => Box::new(caida::stream(&self.substrate, &self.apps, &cc, rng)),
+        }
+    }
+
+    /// Generates the online-phase trace eagerly (conformance checks and
+    /// offline analysis; the engine streams [`Scenario::online_events`]
+    /// instead).
     pub fn online_trace(&self) -> Vec<Request> {
         let mut rng = self.rng(2);
         self.trace_at(self.config.utilization, self.config.test_slots, &mut rng)
@@ -243,7 +366,9 @@ impl Scenario {
         )
     }
 
-    fn plan_config(&self) -> PlanVneConfig {
+    /// The PLAN-VNE solver configuration of this scenario (ψ from the
+    /// conservative penalty, quantile count from the config).
+    pub fn plan_config(&self) -> PlanVneConfig {
         PlanVneConfig::new(self.penalty().max_psi()).with_quantiles(self.config.quantiles)
     }
 
@@ -270,91 +395,207 @@ impl Scenario {
     }
 
     /// Runs one algorithm through the online phase.
-    pub fn run(&self, algorithm: Algorithm) -> Outcome {
-        self.run_with_inspector(algorithm, no_inspection::<Olive>)
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name does not resolve in this scenario's
+    /// registry; use [`Scenario::try_run`] to handle that gracefully.
+    pub fn run(&self, algorithm: impl Into<AlgorithmSpec>) -> Outcome {
+        self.try_run(algorithm).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Scenario::run`], but for OLIVE the inspector is called
-    /// after every slot with the algorithm state (Fig. 12 drill-down).
-    /// For other algorithms the inspector is ignored.
-    pub fn run_with_inspector<F>(&self, algorithm: Algorithm, inspect: F) -> Outcome
+    /// Runs one algorithm through the online phase, resolving the name
+    /// in this scenario's registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAlgorithm`] when the name is not registered.
+    pub fn try_run(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+    ) -> Result<Outcome, UnknownAlgorithm> {
+        self.try_run_observed(algorithm, &mut NullObserver)
+    }
+
+    /// Like [`Scenario::run`], with an extra [`SimObserver`] attached to
+    /// the engine (per-slot metrics, drill-down inspection, early stop).
+    pub fn run_observed<O: SimObserver + ?Sized>(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+        observer: &mut O,
+    ) -> Outcome {
+        self.try_run_observed(algorithm, observer)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible core of [`Scenario::run_observed`]: resolve the
+    /// algorithm, stream the online phase through the engine with a
+    /// [`Recorder`] plus the caller's observer, summarize the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAlgorithm`] when the name is not registered.
+    pub fn try_run_observed<O: SimObserver + ?Sized>(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+        observer: &mut O,
+    ) -> Result<Outcome, UnknownAlgorithm> {
+        let spec = algorithm.into();
+        let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
+        let mut recorder = Recorder::new();
+        let stats = {
+            let mut tee = Tee(&mut recorder, observer);
+            run_stream(
+                built.algorithm.as_mut(),
+                &self.substrate,
+                self.online_events(),
+                &mut tee,
+            )
+        };
+        let result = recorder.finish(built.algorithm.name(), &stats);
+        let summary = summarize(&result, &self.penalty(), self.config.measure_window);
+        Ok(Outcome {
+            summary,
+            result,
+            plan: built.plan,
+            plan_secs: built.plan_secs,
+        })
+    }
+
+    /// Runs one algorithm and returns only the window [`Summary`],
+    /// computed incrementally by [`WindowSummary`] — `O(classes)`
+    /// memory instead of a full outcome log, the pairing for multi-seed
+    /// sweeps and long horizons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAlgorithm`] when the name is not registered.
+    pub fn run_summary(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+    ) -> Result<Summary, UnknownAlgorithm> {
+        let spec = algorithm.into();
+        let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
+        let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
+        let stats = run_stream(
+            built.algorithm.as_mut(),
+            &self.substrate,
+            self.online_events(),
+            &mut window,
+        );
+        Ok(window.finish(&stats))
+    }
+
+    /// Like [`Scenario::run`], but the inspector is called after every
+    /// slot with the concrete OLIVE state when the running algorithm is
+    /// OLIVE-based (Fig. 12 drill-down); for other algorithms the
+    /// inspector is not called.
+    pub fn run_with_inspector<F>(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+        mut inspect: F,
+    ) -> Outcome
     where
         F: FnMut(Slot, &Olive),
     {
-        let online = self.online_trace();
-        let penalty = self.penalty();
-        let (result, plan, plan_secs) = match algorithm {
-            Algorithm::Olive => {
-                let (plan, plan_secs) = self.build_plan();
-                let mut alg = Olive::new(
-                    self.substrate.clone(),
-                    self.apps.clone(),
-                    self.policy.clone(),
-                    plan.clone(),
-                    self.config.olive,
-                );
-                let result = run(
-                    &mut alg,
-                    &self.substrate,
-                    &online,
-                    self.config.test_slots,
-                    inspect,
-                );
-                (result, Some(plan), plan_secs)
-            }
-            Algorithm::Quickg => {
-                let mut alg = Olive::quickg(
-                    self.substrate.clone(),
-                    self.apps.clone(),
-                    self.policy.clone(),
-                );
-                let result = run(
-                    &mut alg,
-                    &self.substrate,
-                    &online,
-                    self.config.test_slots,
-                    no_inspection,
-                );
-                (result, None, 0.0)
-            }
-            Algorithm::Fullg => {
-                let mut alg = FullG::new(
-                    self.substrate.clone(),
-                    self.apps.clone(),
-                    self.policy.clone(),
-                );
-                let result = run(
-                    &mut alg,
-                    &self.substrate,
-                    &online,
-                    self.config.test_slots,
-                    no_inspection,
-                );
-                (result, None, 0.0)
-            }
-            Algorithm::SlotOff => {
-                let mut alg = SlotOff::new(
-                    self.substrate.clone(),
-                    self.apps.clone(),
-                    self.policy.clone(),
-                    self.plan_config(),
-                );
-                let result = run(
-                    &mut alg,
-                    &self.substrate,
-                    &online,
-                    self.config.test_slots,
-                    no_inspection,
-                );
-                (result, None, 0.0)
-            }
-        };
-        let summary = summarize(&result, &penalty, self.config.measure_window);
-        Outcome {
-            summary,
-            result,
-            plan,
-            plan_secs,
+        let mut observer = Inspect(
+            |t: Slot, _m: &crate::engine::SlotMetrics, alg: &dyn OnlineAlgorithm| {
+                if let Some(olive) = alg.as_any().and_then(|a| a.downcast_ref::<Olive>()) {
+                    inspect(t, olive);
+                }
+            },
+        );
+        self.run_observed(algorithm, &mut observer)
+    }
+}
+
+/// Builds a [`Scenario`] piece by piece: substrate, applications,
+/// policy, configuration, and — the open part — algorithm registration
+/// by name.
+///
+/// ```no_run
+/// use vne_sim::scenario::{Scenario, ScenarioConfig};
+/// use vne_sim::registry::BuiltAlgorithm;
+/// # let substrate = vne_topology::zoo::iris().unwrap();
+/// # let apps = vne_sim::runner::default_apps(1);
+/// # fn my_algorithm(_: &vne_sim::registry::BuildContext<'_>) -> BuiltAlgorithm { unimplemented!() }
+/// let scenario = Scenario::builder(substrate)
+///     .apps(apps)
+///     .config(ScenarioConfig::small(1.0))
+///     .algorithm("MYALG", my_algorithm)
+///     .build();
+/// let outcome = scenario.run("MYALG");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    substrate: SubstrateNetwork,
+    apps: Option<AppSet>,
+    policy: PlacementPolicy,
+    config: Option<ScenarioConfig>,
+    registry: AlgorithmRegistry,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder for one substrate.
+    pub fn new(substrate: SubstrateNetwork) -> Self {
+        Self {
+            substrate,
+            apps: None,
+            policy: PlacementPolicy::default(),
+            config: None,
+            registry: AlgorithmRegistry::builtins(),
+        }
+    }
+
+    /// Sets the application catalogue (default: the paper mix drawn
+    /// from the config seed).
+    pub fn apps(mut self, apps: AppSet) -> Self {
+        self.apps = Some(apps);
+        self
+    }
+
+    /// Sets the placement policy (default: [`PlacementPolicy::default`]).
+    pub fn policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the scenario parameters (default:
+    /// [`ScenarioConfig::small`] at 100% utilization).
+    pub fn config(mut self, config: ScenarioConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Replaces the whole algorithm registry (default: the builtins).
+    pub fn registry(mut self, registry: AlgorithmRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an algorithm factory under `name` — the one-file path
+    /// for third-party algorithms.
+    pub fn algorithm(
+        mut self,
+        name: &str,
+        factory: impl Fn(&BuildContext<'_>) -> crate::registry::BuiltAlgorithm + Send + Sync + 'static,
+    ) -> Self {
+        self.registry.register(name, factory);
+        self
+    }
+
+    /// Finishes the scenario.
+    pub fn build(self) -> Scenario {
+        let config = self.config.unwrap_or_else(|| ScenarioConfig::small(1.0));
+        let apps = self
+            .apps
+            .unwrap_or_else(|| crate::runner::default_apps(config.seed));
+        Scenario {
+            substrate: self.substrate,
+            apps,
+            policy: self.policy,
+            config,
+            registry: self.registry,
         }
     }
 }
@@ -362,6 +603,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::BuiltAlgorithm;
     use vne_topology::zoo::citta_studi;
     use vne_workload::appgen::{paper_mix, AppGenConfig};
 
@@ -374,6 +616,23 @@ mod tests {
             apps,
             ScenarioConfig::small(utilization).with_seed(seed),
         )
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip_through_display_and_fromstr() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.to_string().parse::<Algorithm>().unwrap(), alg);
+            assert_eq!(
+                alg.label().to_lowercase().parse::<Algorithm>().unwrap(),
+                alg
+            );
+        }
+        assert_eq!(
+            " slotoff ".parse::<Algorithm>().unwrap(),
+            Algorithm::SlotOff
+        );
+        let err = "nope".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]
@@ -419,6 +678,82 @@ mod tests {
         let a = scenario(1.0, 5).run(Algorithm::Quickg);
         let b = scenario(1.0, 6).run(Algorithm::Quickg);
         assert_ne!(a.summary.arrivals, b.summary.arrivals);
+    }
+
+    #[test]
+    fn algorithms_run_by_name() {
+        let sc = scenario(1.0, 5);
+        let by_enum = sc.run(Algorithm::Quickg);
+        let by_name = sc.run("quickg");
+        assert_eq!(
+            by_enum.summary.rejection_rate,
+            by_name.summary.rejection_rate
+        );
+        assert_eq!(by_enum.summary.total_cost, by_name.summary.total_cost);
+        assert!(sc.try_run("NOSUCH").is_err());
+    }
+
+    #[test]
+    fn run_summary_matches_full_run() {
+        let sc = scenario(1.2, 8);
+        let full = sc.run(Algorithm::Quickg).summary;
+        let streaming = sc.run_summary(Algorithm::Quickg).unwrap();
+        assert_eq!(full.arrivals, streaming.arrivals);
+        assert_eq!(full.rejected, streaming.rejected);
+        assert_eq!(full.preempted, streaming.preempted);
+        assert_eq!(full.rejection_rate, streaming.rejection_rate);
+        assert_eq!(full.resource_cost, streaming.resource_cost);
+        // QUICKG never preempts, so even the cost sum order matches.
+        assert_eq!(full.rejection_cost, streaming.rejection_cost);
+        assert_eq!(full.balance_index, streaming.balance_index);
+    }
+
+    #[test]
+    fn online_events_match_online_trace() {
+        let sc = scenario(1.0, 17);
+        let streamed: Vec<Request> = sc.online_events().flat_map(|ev| ev.arrivals).collect();
+        assert_eq!(streamed, sc.online_trace());
+        assert_eq!(sc.online_events().count(), sc.config.test_slots as usize);
+    }
+
+    #[test]
+    fn custom_algorithm_registers_and_runs() {
+        // An "algorithm" that rejects everything, registered through the
+        // builder — the open-registry path end to end.
+        struct RejectAll(vne_model::load::LoadLedger);
+        impl OnlineAlgorithm for RejectAll {
+            fn name(&self) -> &str {
+                "REJECTALL"
+            }
+            fn process_slot(
+                &mut self,
+                _t: Slot,
+                _departures: &[Request],
+                arrivals: &[Request],
+            ) -> vne_olive::algorithm::SlotOutcome {
+                vne_olive::algorithm::SlotOutcome {
+                    rejected: arrivals.iter().map(|r| r.id).collect(),
+                    ..Default::default()
+                }
+            }
+            fn loads(&self) -> &vne_model::load::LoadLedger {
+                &self.0
+            }
+        }
+
+        let base = scenario(1.0, 5);
+        let sc = Scenario::builder(base.substrate.clone())
+            .apps(base.apps.clone())
+            .config(base.config.clone())
+            .algorithm("rejectall", |ctx| {
+                BuiltAlgorithm::plain(RejectAll(vne_model::load::LoadLedger::new(ctx.substrate())))
+            })
+            .build();
+        let outcome = sc.run("RejectAll");
+        assert!(outcome.summary.arrivals > 0);
+        assert_eq!(outcome.summary.rejection_rate, 1.0);
+        assert_eq!(outcome.result.algorithm, "REJECTALL");
+        assert!(outcome.plan.is_none());
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! | parameter            | edge | transport | core |
 //! |----------------------|------|-----------|------|
-//! | node capacity [CU]   | 200K | 600K      | 1.8M |
+//! | node capacity \[CU\]   | 200K | 600K      | 1.8M |
 //! | mean node cost (/CU) | 50   | 10        | 1    |
-//! | link capacity [CU]   | 100K | 300K      | 900K |
+//! | link capacity \[CU\]   | 100K | 300K      | 900K |
 //! | link cost (/CU)      | 1    | 1         | 1    |
 //!
 //! Datacenter costs are drawn uniformly between 50% and 150% of the tier

@@ -1,6 +1,6 @@
 //! Arrival processes: Poisson and Markov-modulated Poisson (MMPP).
 //!
-//! The paper's synthetic trace uses a two-state MMPP [34]: a high-rate
+//! The paper's synthetic trace uses a two-state MMPP \[34\]: a high-rate
 //! state `λ_h` and a low-rate state `λ_l` with Markov transitions between
 //! them, calibrated so the stationary mean rate equals the target `λ̄`.
 //! MMPP captures the bursty nature of realistic edge request arrivals.

@@ -17,7 +17,7 @@
 use rand::Rng;
 use vne_model::app::AppSet;
 use vne_model::ids::{AppId, NodeId, RequestId};
-use vne_model::request::{Request, Slot};
+use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::substrate::SubstrateNetwork;
 
 use crate::dist::{Exponential, LogNormal, Poisson, Zipf};
@@ -62,18 +62,79 @@ impl Default for CaidaConfig {
     }
 }
 
-/// Generates the CAIDA-like trace.
+/// A lazy, slot-by-slot CAIDA-like trace: an `Iterator<Item = SlotEvents>`.
+///
+/// Memory is `O(sources)` — the source population is fixed up front,
+/// arrivals are sampled per slot on demand. Construct with [`stream`];
+/// [`generate`] is the eager collecting wrapper.
+pub struct CaidaStream<R: Rng> {
+    slots: Slot,
+    next_slot: Slot,
+    next_id: u64,
+    sources: Vec<(NodeId, f64)>,
+    source_zipf: Zipf,
+    arrivals: Poisson,
+    duration: Exponential,
+    jitter: LogNormal,
+    demand_mean: f64,
+    app_count: usize,
+    rng: R,
+}
+
+impl<R: Rng> Iterator for CaidaStream<R> {
+    type Item = SlotEvents;
+
+    fn next(&mut self) -> Option<SlotEvents> {
+        if self.next_slot >= self.slots {
+            return None;
+        }
+        let t = self.next_slot;
+        self.next_slot += 1;
+        let k = self.arrivals.sample(&mut self.rng);
+        let mut arrivals = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let (node, scale) = self.sources[self.source_zipf.sample(&mut self.rng)];
+            let d = (self.demand_mean * scale * self.jitter.sample(&mut self.rng)).max(0.5);
+            let dur = self.duration.sample(&mut self.rng).round().max(1.0) as Slot;
+            let app = AppId::from_index(self.rng.gen_range(0..self.app_count));
+            arrivals.push(Request {
+                id: RequestId(self.next_id),
+                arrival: t,
+                duration: dur,
+                ingress: node,
+                app,
+                demand: d,
+            });
+            self.next_id += 1;
+        }
+        Some(SlotEvents { slot: t, arrivals })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.slots - self.next_slot) as usize;
+        (left, Some(left))
+    }
+}
+
+impl<R: Rng> ExactSizeIterator for CaidaStream<R> {}
+
+/// Creates a lazy CAIDA-like trace stream.
 ///
 /// Each arrival picks a source with Zipf weight (heavy-hitter sources
 /// emit more), inherits the source's home edge datacenter and scales the
 /// source's lognormal demand factor, so per-datacenter demand inherits
 /// the heavy tail of the source population.
-pub fn generate<R: Rng + ?Sized>(
+///
+/// # Panics
+///
+/// Panics if the substrate has no edge nodes, `apps` is empty, or
+/// `config.sources` is zero.
+pub fn stream<R: Rng>(
     substrate: &SubstrateNetwork,
     apps: &AppSet,
     config: &CaidaConfig,
-    rng: &mut R,
-) -> Vec<Request> {
+    rng: R,
+) -> CaidaStream<R> {
     let edge_nodes = substrate.edge_nodes();
     assert!(!edge_nodes.is_empty(), "substrate has no edge nodes");
     assert!(!apps.is_empty(), "application set is empty");
@@ -90,34 +151,33 @@ pub fn generate<R: Rng + ?Sized>(
             (node, scale_dist.sample(&mut pop_rng))
         })
         .collect();
-    // Heavy-hitter source selection (Zipf over sources).
-    let source_zipf = Zipf::new(config.sources, config.zipf_alpha);
 
-    let arrivals = Poisson::new(config.total_rate);
-    let duration = Exponential::new(config.duration_mean);
-    let jitter = LogNormal::with_mean(1.0, 0.3);
-
-    let mut requests = Vec::new();
-    let mut next_id = 0u64;
-    for t in 0..config.slots {
-        let k = arrivals.sample(rng);
-        for _ in 0..k {
-            let (node, scale) = sources[source_zipf.sample(rng)];
-            let d = (config.demand_mean * scale * jitter.sample(rng)).max(0.5);
-            let dur = duration.sample(rng).round().max(1.0) as Slot;
-            let app = AppId::from_index(rng.gen_range(0..apps.len()));
-            requests.push(Request {
-                id: RequestId(next_id),
-                arrival: t,
-                duration: dur,
-                ingress: node,
-                app,
-                demand: d,
-            });
-            next_id += 1;
-        }
+    CaidaStream {
+        slots: config.slots,
+        next_slot: 0,
+        next_id: 0,
+        sources,
+        // Heavy-hitter source selection (Zipf over sources).
+        source_zipf: Zipf::new(config.sources, config.zipf_alpha),
+        arrivals: Poisson::new(config.total_rate),
+        duration: Exponential::new(config.duration_mean),
+        jitter: LogNormal::with_mean(1.0, 0.3),
+        demand_mean: config.demand_mean,
+        app_count: apps.len(),
+        rng,
     }
-    requests
+}
+
+/// Generates the CAIDA-like trace eagerly by draining [`stream`].
+pub fn generate<R: Rng + ?Sized>(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    config: &CaidaConfig,
+    rng: &mut R,
+) -> Vec<Request> {
+    stream(substrate, apps, config, rng)
+        .flat_map(|ev| ev.arrivals)
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,5 +238,17 @@ mod tests {
         let a = generate(&s, &apps, &small(), &mut SeededRng::new(5));
         let b = generate(&s, &apps, &small(), &mut SeededRng::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(4));
+        let config = small();
+        let eager = generate(&s, &apps, &config, &mut SeededRng::new(6));
+        let events: Vec<_> = stream(&s, &apps, &config, SeededRng::new(6)).collect();
+        assert_eq!(events.len(), config.slots as usize);
+        let streamed: Vec<Request> = events.into_iter().flat_map(|ev| ev.arrivals).collect();
+        assert_eq!(eager, streamed);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The time-aggregation step (§III-A) estimates the α-percentile `P̂_α`
 //! of each class's per-slot demand from the request history by
-//! bootstrapping [25], and checks whether online demand *conforms* to the
+//! bootstrapping \[25\], and checks whether online demand *conforms* to the
 //! history (the observed percentile falls inside the 95% bootstrap
 //! confidence interval of the estimate).
 
@@ -93,7 +93,7 @@ impl BootstrapEstimate {
 
 /// Bootstrap estimate of the `alpha`-percentile of `sample` with
 /// `replicates` resamples (the paper's Eq. 6 estimator; it uses the
-/// well-known percentile bootstrap [25]).
+/// well-known percentile bootstrap \[25\]).
 ///
 /// # Panics
 ///

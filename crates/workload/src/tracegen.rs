@@ -11,8 +11,8 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use vne_model::app::AppSet;
-use vne_model::ids::{AppId, RequestId};
-use vne_model::request::{Request, Slot};
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::substrate::SubstrateNetwork;
 
 use crate::arrival::{ArrivalProcess, Mmpp, PoissonArrivals};
@@ -122,18 +122,82 @@ impl NodeProcess {
     }
 }
 
-/// Generates a request trace over the substrate's edge nodes.
+/// A lazy, slot-by-slot synthetic trace: an `Iterator<Item = SlotEvents>`.
+///
+/// Holds only the per-node arrival processes and the sampling
+/// distributions — memory is `O(edge nodes)`, independent of the number
+/// of slots or requests, which is what lets the streaming engine replay
+/// arbitrarily long horizons. Construct with [`stream`]; [`generate`]
+/// is the eager collecting wrapper (the two produce identical requests
+/// for the same RNG by construction).
+pub struct TraceStream<R: Rng> {
+    slots: Slot,
+    next_slot: Slot,
+    next_id: u64,
+    /// Edge nodes in popularity-rank order (rank 0 = hottest).
+    nodes: Vec<NodeId>,
+    processes: Vec<NodeProcess>,
+    demand: Normal,
+    duration: Exponential,
+    app_count: usize,
+    rng: R,
+}
+
+impl<R: Rng> Iterator for TraceStream<R> {
+    type Item = SlotEvents;
+
+    fn next(&mut self) -> Option<SlotEvents> {
+        if self.next_slot >= self.slots {
+            return None;
+        }
+        let t = self.next_slot;
+        self.next_slot += 1;
+        let mut arrivals = Vec::new();
+        for rank in 0..self.processes.len() {
+            let k = self.processes[rank].arrivals(&mut self.rng);
+            for _ in 0..k {
+                let app = AppId::from_index(self.rng.gen_range(0..self.app_count));
+                let d = self.demand.sample_truncated(&mut self.rng, 0.5);
+                let dur = self.duration.sample(&mut self.rng).round().max(1.0) as Slot;
+                arrivals.push(Request {
+                    id: RequestId(self.next_id),
+                    arrival: t,
+                    duration: dur,
+                    ingress: self.nodes[rank],
+                    app,
+                    demand: d,
+                });
+                self.next_id += 1;
+            }
+        }
+        Some(SlotEvents { slot: t, arrivals })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.slots - self.next_slot) as usize;
+        (left, Some(left))
+    }
+}
+
+impl<R: Rng> ExactSizeIterator for TraceStream<R> {}
+
+/// Creates a lazy synthetic trace stream over the substrate's edge
+/// nodes.
 ///
 /// Popularity ranks are a seeded random permutation of the edge nodes;
 /// the total arrival rate `λ̄ · |edge|` is split across nodes by Zipf
-/// weight, each node running an independent arrival process. Requests
-/// are returned sorted by arrival slot, with ids in arrival order.
-pub fn generate<R: Rng + ?Sized>(
+/// weight, each node running an independent arrival process. Slots are
+/// yielded in order with request ids in arrival order.
+///
+/// # Panics
+///
+/// Panics if the substrate has no edge nodes or `apps` is empty.
+pub fn stream<R: Rng>(
     substrate: &SubstrateNetwork,
     apps: &AppSet,
     config: &TraceConfig,
-    rng: &mut R,
-) -> Vec<Request> {
+    rng: R,
+) -> TraceStream<R> {
     let mut edge_nodes = substrate.edge_nodes();
     assert!(!edge_nodes.is_empty(), "substrate has no edge nodes");
     assert!(!apps.is_empty(), "application set is empty");
@@ -142,7 +206,7 @@ pub fn generate<R: Rng + ?Sized>(
     let zipf = Zipf::new(edge_nodes.len(), config.zipf_alpha);
     let total_rate = config.mean_rate_per_node * edge_nodes.len() as f64;
 
-    let mut processes: Vec<NodeProcess> = (0..edge_nodes.len())
+    let processes: Vec<NodeProcess> = (0..edge_nodes.len())
         .map(|rank| {
             let rate = total_rate * zipf.weight(rank);
             match config.arrivals {
@@ -152,32 +216,31 @@ pub fn generate<R: Rng + ?Sized>(
         })
         .collect();
 
-    let demand = Normal::new(config.demand_mean, config.demand_std);
-    let duration = Exponential::new(config.duration_mean);
-    let app_count = apps.len();
-
-    let mut requests = Vec::new();
-    let mut next_id = 0u64;
-    for t in 0..config.slots {
-        for (rank, process) in processes.iter_mut().enumerate() {
-            let k = process.arrivals(rng);
-            for _ in 0..k {
-                let app = AppId::from_index(rng.gen_range(0..app_count));
-                let d = demand.sample_truncated(rng, 0.5);
-                let dur = duration.sample(rng).round().max(1.0) as Slot;
-                requests.push(Request {
-                    id: RequestId(next_id),
-                    arrival: t,
-                    duration: dur,
-                    ingress: edge_nodes[rank],
-                    app,
-                    demand: d,
-                });
-                next_id += 1;
-            }
-        }
+    TraceStream {
+        slots: config.slots,
+        next_slot: 0,
+        next_id: 0,
+        nodes: edge_nodes,
+        processes,
+        demand: Normal::new(config.demand_mean, config.demand_std),
+        duration: Exponential::new(config.duration_mean),
+        app_count: apps.len(),
+        rng,
     }
-    requests
+}
+
+/// Generates a request trace eagerly by draining [`stream`]. Kept for
+/// offline analysis (conformance checks, history aggregation) — the
+/// simulation engine consumes the stream directly.
+pub fn generate<R: Rng + ?Sized>(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    config: &TraceConfig,
+    rng: &mut R,
+) -> Vec<Request> {
+    stream(substrate, apps, config, rng)
+        .flat_map(|ev| ev.arrivals)
+        .collect()
 }
 
 /// Remaps every request's ingress to a uniformly random edge node
@@ -326,6 +389,33 @@ mod tests {
             }
         }
         assert!(moved > trace.len() / 2);
+    }
+
+    #[test]
+    fn stream_matches_generate_and_is_slot_complete() {
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(8));
+        let config = small_config();
+        let eager = generate(&s, &apps, &config, &mut SeededRng::new(9));
+        let events: Vec<_> = stream(&s, &apps, &config, SeededRng::new(9)).collect();
+        // One SlotEvents per slot, in order, including quiet slots.
+        assert_eq!(events.len(), config.slots as usize);
+        for (t, ev) in events.iter().enumerate() {
+            assert_eq!(ev.slot, t as Slot);
+            assert!(ev.arrivals.iter().all(|r| r.arrival == ev.slot));
+        }
+        let streamed: Vec<Request> = events.into_iter().flat_map(|ev| ev.arrivals).collect();
+        assert_eq!(eager, streamed);
+    }
+
+    #[test]
+    fn stream_reports_remaining_length() {
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(8));
+        let mut st = stream(&s, &apps, &small_config(), SeededRng::new(1));
+        assert_eq!(st.len(), 200);
+        st.next();
+        assert_eq!(st.len(), 199);
     }
 
     #[test]

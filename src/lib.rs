@@ -11,7 +11,8 @@
 //! * [`topology`] — the four evaluation topologies with Table II tiering;
 //! * [`workload`] — MMPP/Zipf/CAIDA-like traces and bootstrap statistics;
 //! * [`olive`] — time-aggregation, PLAN-VNE, OLIVE and the baselines;
-//! * [`sim`] — the slot-driven simulator, metrics and multi-seed runner.
+//! * [`sim`] — the streaming event-driven simulator: engine, observers,
+//!   algorithm registry, metrics and multi-seed runner.
 //!
 //! ## Quickstart
 //!
@@ -51,8 +52,11 @@ pub mod prelude {
     pub use vne_olive::colgen::{solve_plan, PlanVneConfig};
     pub use vne_olive::olive::{Olive, OliveConfig};
     pub use vne_olive::plan::Plan;
-    pub use vne_sim::runner::{default_apps, run_seeds, Utilization};
-    pub use vne_sim::scenario::{Algorithm, Outcome, Scenario, ScenarioConfig};
+    pub use vne_sim::engine::{SimControl, SimObserver, StreamStats};
+    pub use vne_sim::observe::{NullObserver, Recorder, WindowSummary};
+    pub use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
+    pub use vne_sim::runner::{default_apps, run_seeds, run_seeds_in, Utilization};
+    pub use vne_sim::scenario::{Algorithm, Outcome, Scenario, ScenarioBuilder, ScenarioConfig};
     pub use vne_workload::appgen::{paper_mix, AppGenConfig};
     pub use vne_workload::rng::SeededRng;
     pub use vne_workload::tracegen::TraceConfig;

@@ -101,7 +101,6 @@ fn accepted_plus_denied_equals_arrivals() {
 
 #[test]
 fn loads_never_exceed_capacity_throughout_a_run() {
-    use vne_olive::algorithm::OnlineAlgorithm;
     // Drive OLIVE manually and check ledger invariants every slot.
     let substrate = vne::topology::zoo::citta_studi().unwrap();
     let apps = default_apps(9);
