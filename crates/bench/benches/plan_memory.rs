@@ -1,0 +1,57 @@
+//! Criterion bench: streaming plan-input aggregation, exact vs sketch.
+//!
+//! Measures `AggregateDemand::from_stream` folding a synthetic history
+//! through the two built-in estimators. The exact estimator pays the
+//! dense `O(classes × slots)` series plus the bootstrap replay; the P²
+//! sketch estimator folds the same stream in `O(classes)` memory with
+//! no bootstrap — the gap is the cost of rebuilding the plan input
+//! every planning window, which is what bounds how often a deployment
+//! can re-plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
+use vne_sim::runner::default_apps;
+use vne_workload::estimator::EstimatorKind;
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+fn bench_plan_input(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_memory");
+    group.sample_size(10);
+    let substrate = vne_topology::zoo::citta_studi().unwrap();
+    let apps = default_apps(1);
+    let config = AggregationConfig {
+        alpha: 80.0,
+        bootstrap_replicates: 10,
+    };
+    for slots in [600u32, 2400] {
+        let mut tc = TraceConfig::default().at_utilization(1.0, &substrate, &apps);
+        tc.slots = slots;
+        for (name, kind) in [
+            ("exact", EstimatorKind::Exact),
+            ("sketch", EstimatorKind::Sketch),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, slots),
+                &(&tc, &kind),
+                |b, (tc, kind)| {
+                    b.iter(|| {
+                        let events = tracegen::stream(&substrate, &apps, tc, SeededRng::new(2));
+                        let mut estimator = kind.build(slots, &config);
+                        let aggregate = AggregateDemand::from_stream(
+                            events,
+                            estimator.as_mut(),
+                            &mut SeededRng::new(3),
+                        );
+                        assert!(!aggregate.is_empty());
+                        aggregate.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_input);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Plan-build micro-harness: times the full offline phase (history
+//! stream → estimator fold → PLAN-VNE solve) for the exact and sketch
+//! estimators across history lengths, and writes the rows to
+//! `BENCH_plan.json` — a machine-readable snapshot seeding the repo's
+//! performance trajectory (compare across commits with plain `diff` or
+//! `jq`).
+//!
+//! Run with: `cargo run --release --bin bench_plan [-- --slots 600,2400]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vne_sim::runner::default_apps;
+use vne_sim::scenario::{Scenario, ScenarioConfig};
+use vne_workload::estimator::EstimatorKind;
+
+struct Row {
+    estimator: &'static str,
+    history_slots: u32,
+    build_secs: f64,
+    planned_classes: usize,
+    total_columns: usize,
+}
+
+fn main() {
+    let mut horizons: Vec<u32> = vec![300, 1200];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--slots" => {
+                i += 1;
+                horizons = args
+                    .get(i)
+                    .expect("--slots takes a comma-separated list")
+                    .split(',')
+                    .map(|s| s.parse().expect("--slots takes slot counts"))
+                    .collect();
+            }
+            other => panic!("unknown argument {other}; supported: --slots 300,1200"),
+        }
+        i += 1;
+    }
+
+    let substrate = vne_topology::zoo::citta_studi().expect("citta studi");
+    let mut rows = Vec::new();
+    for &slots in &horizons {
+        for (name, kind) in [
+            ("exact", EstimatorKind::Exact),
+            ("sketch", EstimatorKind::Sketch),
+        ] {
+            let mut config = ScenarioConfig::small(1.0).with_seed(1);
+            config.history_slots = slots;
+            config.estimator = kind;
+            let scenario = Scenario::new(substrate.clone(), default_apps(1), config);
+            let started = Instant::now();
+            let (plan, _) = scenario.build_plan();
+            let build_secs = started.elapsed().as_secs_f64();
+            println!(
+                "{name:7} history={slots:6} classes={:4} columns={:5} build={build_secs:.3}s",
+                plan.len(),
+                plan.total_columns(),
+            );
+            rows.push(Row {
+                estimator: name,
+                history_slots: slots,
+                build_secs,
+                planned_classes: plan.len(),
+                total_columns: plan.total_columns(),
+            });
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"plan_build\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"estimator\": \"{}\", \"history_slots\": {}, \"build_secs\": {:.6}, \
+             \"planned_classes\": {}, \"total_columns\": {}}}{}",
+            r.estimator,
+            r.history_slots,
+            r.build_secs,
+            r.planned_classes,
+            r.total_columns,
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+    println!("wrote BENCH_plan.json ({} rows)", rows.len());
+}

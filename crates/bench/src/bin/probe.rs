@@ -14,13 +14,14 @@ fn main() {
         ("small(1.0)", ScenarioConfig::small(1.0)),
         ("paper(1.0)", ScenarioConfig::paper(1.0)),
     ] {
-        let sc = Scenario::new(substrate.clone(), apps.clone(), cfg);
-        for &alg in &opts.algs {
+        let sc = Scenario::new(substrate.clone(), apps.clone(), cfg)
+            .with_registry(opts.registry.clone());
+        for alg in &opts.algs {
             let t = Instant::now();
             let out = sc.run(alg);
             println!(
                 "{label:12} {:8} rej={:.4} cost={:.3e} arrivals={:6} plan={:.2}s online={:.2}s total={:.2}s",
-                alg.label(),
+                alg.name(),
                 out.summary.rejection_rate,
                 out.summary.total_cost,
                 out.summary.arrivals,

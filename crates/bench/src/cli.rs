@@ -1,7 +1,76 @@
 //! Minimal argument parsing shared by the figure binaries.
+//!
+//! Algorithm selection is *registry-driven*: `--algs` names are
+//! resolved against an [`AlgorithmRegistry`] chosen by the
+//! `--registry` flag / `VNE_REGISTRY` environment variable from a
+//! process-global provider table ([`register_registry_provider`]).
+//! A downstream binary can therefore register a provider that builds a
+//! registry with custom algorithms and reuse every sweep driver in
+//! this crate — no recompilation of `vne-bench` needed.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use vne_model::substrate::SubstrateNetwork;
+use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec};
 use vne_sim::scenario::{Algorithm, ScenarioConfig};
+
+/// Builds the algorithm registry a sweep resolves `--algs` against.
+pub type RegistryProvider = Arc<dyn Fn() -> AlgorithmRegistry + Send + Sync>;
+
+/// The provider table: name → registry constructor.
+fn providers() -> &'static Mutex<BTreeMap<String, RegistryProvider>> {
+    static PROVIDERS: OnceLock<Mutex<BTreeMap<String, RegistryProvider>>> = OnceLock::new();
+    PROVIDERS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Registers (or replaces) a named registry provider. Call this before
+/// [`BenchOpts::parse`] in a custom binary, then select it with
+/// `--registry NAME` or `VNE_REGISTRY=NAME`.
+pub fn register_registry_provider(
+    name: &str,
+    provider: impl Fn() -> AlgorithmRegistry + Send + Sync + 'static,
+) {
+    providers()
+        .lock()
+        .expect("registry provider table poisoned")
+        .insert(name.to_ascii_lowercase(), Arc::new(provider));
+}
+
+/// Resolves a provider by name. Registered providers win; `"builtins"`
+/// (or the empty string) falls back to [`AlgorithmRegistry::builtins`]
+/// unless a provider overrode that name.
+///
+/// Returns `None` for unknown names.
+pub fn registry_named(name: &str) -> Option<AlgorithmRegistry> {
+    let normalized = name.trim().to_ascii_lowercase();
+    if let Some(provider) = providers()
+        .lock()
+        .expect("registry provider table poisoned")
+        .get(&normalized)
+    {
+        return Some(provider());
+    }
+    if normalized.is_empty() || normalized == "builtins" {
+        return Some(AlgorithmRegistry::builtins());
+    }
+    None
+}
+
+/// The provider names selectable right now (always includes
+/// `builtins`), sorted and unique.
+pub fn registry_names() -> Vec<String> {
+    let mut names: Vec<String> = providers()
+        .lock()
+        .expect("registry provider table poisoned")
+        .keys()
+        .cloned()
+        .collect();
+    names.push("builtins".to_string());
+    names.sort();
+    names.dedup();
+    names
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -12,10 +81,13 @@ pub struct BenchOpts {
     pub paper_scale: bool,
     /// Utilization sweep as fractions (1.0 = 100%).
     pub utils: Vec<f64>,
-    /// Algorithms to sweep (`--algs olive,quickg`; parsed through
-    /// [`Algorithm`]'s `FromStr`). Defaults to the scalable trio the
-    /// sweep figures use (FULLG is opted into per binary).
-    pub algs: Vec<Algorithm>,
+    /// Algorithms to sweep (`--algs olive,quickg`), validated against
+    /// [`BenchOpts::registry`]. Defaults to the scalable trio the sweep
+    /// figures use (FULLG is opted into per binary).
+    pub algs: Vec<AlgorithmSpec>,
+    /// The registry `--algs` names resolve in and sweeps run with
+    /// (selected by `--registry` / `VNE_REGISTRY`; builtins otherwise).
+    pub registry: AlgorithmRegistry,
     /// Topology restriction (`None` = all four).
     pub topo: Option<String>,
 }
@@ -26,21 +98,38 @@ impl Default for BenchOpts {
             seeds: 3,
             paper_scale: false,
             utils: vec![0.6, 0.8, 1.0, 1.2, 1.4],
-            algs: vec![Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff],
+            algs: vec![
+                Algorithm::Olive.into(),
+                Algorithm::Quickg.into(),
+                Algorithm::SlotOff.into(),
+            ],
+            registry: AlgorithmRegistry::builtins(),
             topo: None,
         }
     }
 }
 
 impl BenchOpts {
-    /// Parses `std::env::args()`.
+    /// Parses `std::env::args()`, honoring `VNE_REGISTRY`.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
+    /// Panics with a usage message on malformed arguments, unknown
+    /// registry providers, or `--algs` names the selected registry does
+    /// not know.
     pub fn parse() -> Self {
-        const USAGE: &str =
-            "supported: --seeds N --paper --utils 60,100 --algs olive,quickg --topo iris";
+        Self::parse_from(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    /// Parses an explicit argument list (exposed for tests and custom
+    /// binaries; [`BenchOpts::parse`] wraps the process arguments).
+    ///
+    /// # Panics
+    ///
+    /// See [`BenchOpts::parse`].
+    pub fn parse_from(args: &[String]) -> Self {
+        const USAGE: &str = "supported: --seeds N --paper --utils 60,100 \
+                             --algs olive,quickg --registry NAME --topo iris";
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
             *i += 1;
             args.get(*i)
@@ -48,34 +137,74 @@ impl BenchOpts {
         }
 
         let mut opts = Self::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut registry_pick: Option<String> = std::env::var("VNE_REGISTRY").ok();
+        let mut explicit_algs: Option<Vec<AlgorithmSpec>> = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--seeds" => {
-                    opts.seeds = value(&args, &mut i, "--seeds")
+                    opts.seeds = value(args, &mut i, "--seeds")
                         .parse()
                         .expect("--seeds takes an integer");
                 }
                 "--paper" | "--full" => opts.paper_scale = true,
                 "--utils" => {
-                    opts.utils = value(&args, &mut i, "--utils")
+                    opts.utils = value(args, &mut i, "--utils")
                         .split(',')
                         .map(|p| p.parse::<f64>().expect("--utils takes percents") / 100.0)
                         .collect();
                 }
                 "--algs" => {
-                    opts.algs = value(&args, &mut i, "--algs")
-                        .split(',')
-                        .map(|name| name.parse::<Algorithm>().unwrap_or_else(|e| panic!("{e}")))
-                        .collect();
+                    explicit_algs = Some(
+                        value(args, &mut i, "--algs")
+                            .split(',')
+                            .map(AlgorithmSpec::new)
+                            .collect(),
+                    );
+                }
+                "--registry" => {
+                    registry_pick = Some(value(args, &mut i, "--registry").to_string());
                 }
                 "--topo" => {
-                    opts.topo = Some(value(&args, &mut i, "--topo").to_lowercase());
+                    opts.topo = Some(value(args, &mut i, "--topo").to_lowercase());
                 }
                 other => panic!("unknown argument {other}; {USAGE}"),
             }
             i += 1;
+        }
+        if let Some(name) = registry_pick {
+            opts.registry = registry_named(&name).unwrap_or_else(|| {
+                panic!(
+                    "unknown registry provider {name:?}; available: {}",
+                    registry_names().join(", ")
+                )
+            });
+        }
+        match explicit_algs {
+            Some(algs) => {
+                // Explicitly requested names must all resolve.
+                for spec in &algs {
+                    assert!(
+                        opts.registry.contains(spec),
+                        "unknown algorithm {:?}; registered: {}",
+                        spec.name(),
+                        opts.registry.names().join(", ")
+                    );
+                }
+                opts.algs = algs;
+            }
+            None => {
+                // The default trio, restricted to what the selected
+                // registry actually knows (a builtin-free registry must
+                // not fail on names the user never asked for).
+                opts.algs.retain(|spec| opts.registry.contains(spec));
+                assert!(
+                    !opts.algs.is_empty(),
+                    "the selected registry has none of the default algorithms; \
+                     pass --algs (registered: {})",
+                    opts.registry.names().join(", ")
+                );
+            }
         }
         opts
     }
@@ -130,6 +259,11 @@ pub fn medium_config(utilization: f64) -> ScenarioConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vne_sim::registry::BuiltAlgorithm;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn defaults_cover_paper_sweep() {
@@ -139,23 +273,95 @@ mod tests {
         assert_eq!(opts.topologies().len(), 4);
         assert_eq!(
             opts.algs,
-            vec![Algorithm::Olive, Algorithm::Quickg, Algorithm::SlotOff]
+            vec![
+                AlgorithmSpec::new("OLIVE"),
+                AlgorithmSpec::new("QUICKG"),
+                AlgorithmSpec::new("SLOTOFF"),
+            ]
+        );
+        assert_eq!(opts.registry.names(), AlgorithmRegistry::builtins().names());
+    }
+
+    #[test]
+    fn algs_parse_and_validate_against_the_registry() {
+        let opts = BenchOpts::parse_from(&args(&["--algs", "olive,FULLG, slotoff"]));
+        assert_eq!(
+            opts.algs,
+            vec![
+                AlgorithmSpec::new("OLIVE"),
+                AlgorithmSpec::new("FULLG"),
+                AlgorithmSpec::new("SLOTOFF"),
+            ]
         );
     }
 
     #[test]
-    fn algorithm_names_parse_like_the_cli() {
-        // `--algs` goes through Algorithm::from_str — one parser for
-        // labels and CLI input.
-        let parsed: Vec<Algorithm> = "olive,FULLG, slotoff"
-            .split(',')
-            .map(|s| s.parse().unwrap())
-            .collect();
-        assert_eq!(
-            parsed,
-            vec![Algorithm::Olive, Algorithm::Fullg, Algorithm::SlotOff]
-        );
-        assert!("cplex".parse::<Algorithm>().is_err());
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_algorithms_are_rejected() {
+        let _ = BenchOpts::parse_from(&args(&["--algs", "cplex"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown registry provider")]
+    fn unknown_registry_provider_is_rejected() {
+        let _ = BenchOpts::parse_from(&args(&["--registry", "no-such-provider"]));
+    }
+
+    #[test]
+    fn custom_provider_extends_the_alg_namespace() {
+        // A provider adding a fifth algorithm on top of the builtins:
+        // the plugin path figure bins use without recompiling.
+        register_registry_provider("extended-test", || {
+            let mut registry = AlgorithmRegistry::builtins();
+            registry.register("MYALG", |ctx| {
+                BuiltAlgorithm::plain(vne_olive::olive::Olive::quickg(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                ))
+            });
+            registry
+        });
+        assert!(registry_names().contains(&"extended-test".to_string()));
+        // "myalg" resolves only through the custom provider.
+        let opts = BenchOpts::parse_from(&args(&[
+            "--registry",
+            "extended-test",
+            "--algs",
+            "myalg,olive",
+        ]));
+        assert!(opts.registry.contains(&AlgorithmSpec::new("myalg")));
+        assert_eq!(opts.algs.len(), 2);
+        assert!(registry_named("builtins")
+            .unwrap()
+            .names()
+            .iter()
+            .all(|n| *n != "MYALG"));
+    }
+
+    #[test]
+    fn builtin_free_registry_filters_the_default_algs() {
+        // A registry without the builtin names must not panic on the
+        // *default* algs the user never asked for — it keeps whatever
+        // defaults it does know (here: only QUICKG).
+        register_registry_provider("quickg-only", || {
+            let mut registry = AlgorithmRegistry::empty();
+            registry.register("QUICKG", |ctx| {
+                BuiltAlgorithm::plain(vne_olive::olive::Olive::quickg(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                ))
+            });
+            registry
+        });
+        let opts = BenchOpts::parse_from(&args(&["--registry", "quickg-only"]));
+        assert_eq!(opts.algs, vec![AlgorithmSpec::new("QUICKG")]);
+        // Explicit names still fail loudly against that registry.
+        let err = std::panic::catch_unwind(|| {
+            BenchOpts::parse_from(&args(&["--registry", "quickg-only", "--algs", "olive"]))
+        });
+        assert!(err.is_err());
     }
 
     #[test]

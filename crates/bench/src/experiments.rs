@@ -23,11 +23,13 @@ pub struct SweepRow {
 
 /// Runs `algorithms × opts.utils` on one topology and returns rows.
 ///
-/// Algorithms are anything resolvable by the built-in registry —
-/// [`vne_sim::scenario::Algorithm`] values or names; use
-/// [`sweep_in`] for custom registries. `tweak` customizes the scenario
-/// config after the scale defaults are applied (e.g. Fig. 13's
-/// `plan_utilization`).
+/// Algorithms are anything resolvable by the options' registry
+/// ([`BenchOpts::registry`], selected via `--registry` /
+/// `VNE_REGISTRY`) — [`vne_sim::scenario::Algorithm`] values, names,
+/// or custom algorithms a registry provider added; use [`sweep_in`] to
+/// bypass the options and pass a registry directly. `tweak` customizes
+/// the scenario config after the scale defaults are applied (e.g.
+/// Fig. 13's `plan_utilization`).
 pub fn sweep<S, F>(
     substrate: &SubstrateNetwork,
     algorithms: &[S],
@@ -38,13 +40,7 @@ where
     S: Clone + Into<AlgorithmSpec>,
     F: Fn(&mut ScenarioConfig) + Sync,
 {
-    sweep_in(
-        &AlgorithmRegistry::builtins(),
-        substrate,
-        algorithms,
-        opts,
-        tweak,
-    )
+    sweep_in(&opts.registry, substrate, algorithms, opts, tweak)
 }
 
 /// [`sweep`] with an explicit algorithm registry (custom algorithms in
@@ -137,5 +133,38 @@ mod tests {
         assert_eq!(rows[0].algorithm, "QUICKG");
         assert!(rows[0].summary.rejection_rate.0 >= 0.0);
         print_rows("test", &rows, "rate", |s| s.rejection_rate);
+    }
+
+    #[test]
+    fn sweep_resolves_custom_algorithms_through_the_opts_registry() {
+        // The plugin path end to end: a provider-extended registry in
+        // BenchOpts lets `sweep` run an algorithm vne-bench knows
+        // nothing about.
+        crate::cli::register_registry_provider("sweep-test", || {
+            let mut registry = vne_sim::registry::AlgorithmRegistry::builtins();
+            registry.register("PLUGGED", |ctx| {
+                vne_sim::registry::BuiltAlgorithm::plain(vne_olive::olive::Olive::quickg(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                ))
+            });
+            registry
+        });
+        let substrate = vne_topology::zoo::citta_studi().unwrap();
+        let mut opts = BenchOpts {
+            seeds: 1,
+            utils: vec![1.0],
+            ..BenchOpts::default()
+        };
+        opts.registry = crate::cli::registry_named("sweep-test").unwrap();
+        opts.algs = vec![AlgorithmSpec::new("plugged")];
+        let rows = sweep(&substrate, &opts.algs, &opts, |c| {
+            c.history_slots = 100;
+            c.test_slots = 60;
+            c.measure_window = (10, 50);
+        });
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].algorithm, "PLUGGED");
     }
 }

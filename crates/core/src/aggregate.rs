@@ -5,14 +5,24 @@
 //! bootstrap-estimated `P̂_α` of its per-slot concurrent demand (α = 80
 //! by default, trading peak coverage against over-provisioning). The
 //! result is the input of PLAN-VNE.
+//!
+//! Aggregation is a *fold*: [`AggregateDemand::from_stream`] consumes a
+//! slot-event stream through any
+//! [`DemandEstimator`], so
+//! the planning phase never materializes the history;
+//! [`AggregateDemand::from_history`] is the batch wrapper over a
+//! collected trace.
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use vne_model::ids::ClassId;
-use vne_model::request::{Request, Slot};
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_workload::estimator::DemandEstimator;
 use vne_workload::history::ClassDemandSeries;
+
+pub use vne_workload::estimator::AggregationConfig;
 
 /// One aggregated request `r̃_{a,v}` with its expected demand `d(r̃)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,24 +37,6 @@ pub struct AggregateRequest {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct AggregateDemand {
     requests: Vec<AggregateRequest>,
-}
-
-/// Parameters of the aggregation step.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AggregationConfig {
-    /// The percentile α of Eq. 6 (the paper uses 80).
-    pub alpha: f64,
-    /// Bootstrap replicates for `P̂_α` (the paper’s estimator \[25\]).
-    pub bootstrap_replicates: usize,
-}
-
-impl Default for AggregationConfig {
-    fn default() -> Self {
-        Self {
-            alpha: 80.0,
-            bootstrap_replicates: 100,
-        }
-    }
 }
 
 impl AggregateDemand {
@@ -62,6 +54,26 @@ impl AggregateDemand {
         let series = ClassDemandSeries::from_requests(history, slots);
         let demands = series.expected_demands(config.alpha, config.bootstrap_replicates, rng);
         Self::from_demands(&demands)
+    }
+
+    /// Aggregates a history *stream* through a [`DemandEstimator`] —
+    /// the planning input is folded one slot at a time, so nothing on
+    /// this path materializes the trace. With the exact estimator the
+    /// result is bit-identical to [`AggregateDemand::from_history`]
+    /// over the collected stream; with a sketch estimator memory is
+    /// `O(classes)` regardless of the horizon.
+    pub fn from_stream<I>(
+        events: I,
+        estimator: &mut dyn DemandEstimator,
+        rng: &mut dyn RngCore,
+    ) -> Self
+    where
+        I: IntoIterator<Item = SlotEvents>,
+    {
+        for ev in events {
+            estimator.observe_slot(&ev);
+        }
+        Self::from_demands(&estimator.finalize(rng))
     }
 
     /// Builds the aggregate from explicit per-class demands.
@@ -196,6 +208,49 @@ mod tests {
         demands.insert(ClassId::new(AppId(0), NodeId(1)), 10.0);
         let agg = AggregateDemand::from_demands(&demands).scaled(0.6);
         assert!((agg.demand(ClassId::new(AppId(0), NodeId(1))) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_stream_with_exact_estimator_matches_from_history() {
+        use vne_model::request::SlotEvents;
+        use vne_workload::estimator::{EstimatorKind, SketchEstimator};
+        let history = vec![
+            req(0, 0, 10, 1, 0, 3.0),
+            req(1, 2, 5, 1, 1, 4.0),
+            req(2, 0, 10, 2, 0, 5.0),
+        ];
+        let events: Vec<SlotEvents> = (0..10)
+            .map(|t| SlotEvents {
+                slot: t,
+                arrivals: history.iter().filter(|r| r.arrival == t).cloned().collect(),
+            })
+            .collect();
+        let config = AggregationConfig::default();
+        let batch = AggregateDemand::from_history(&history, 10, &config, &mut SeededRng::new(7));
+        let mut exact = EstimatorKind::Exact.build(10, &config);
+        let streamed = AggregateDemand::from_stream(
+            events.iter().cloned(),
+            exact.as_mut(),
+            &mut SeededRng::new(7),
+        );
+        assert_eq!(batch.len(), streamed.len());
+        for (b, s) in batch.requests().iter().zip(streamed.requests()) {
+            assert_eq!(b.class, s.class);
+            assert_eq!(b.demand.to_bits(), s.demand.to_bits());
+        }
+        // The sketch path lands near the exact estimates on these
+        // constant-demand classes.
+        let mut sketch = SketchEstimator::new(config.alpha);
+        let approx = AggregateDemand::from_stream(events, &mut sketch, &mut SeededRng::new(7));
+        for s in approx.requests() {
+            let exact_demand = batch.demand(s.class);
+            assert!(
+                (s.demand - exact_demand).abs() < 1.0,
+                "class {:?}: sketch {} vs exact {exact_demand}",
+                s.class,
+                s.demand
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@ use vne_model::load::LoadLedger;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot};
 use vne_model::substrate::SubstrateNetwork;
+use vne_workload::estimator::{DemandEstimator, ExactEstimator};
+use vne_workload::history::ClassDemandSeries;
 
 use crate::aggregate::{AggregateDemand, AggregationConfig};
 use crate::algorithm::{OnlineAlgorithm, SlotOutcome};
@@ -81,36 +83,86 @@ impl TimeVaryingPlan {
         aggregation: &AggregationConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(periods >= 1, "need at least one period");
-        // Per-phase class demand series: concatenate the slots belonging
-        // to each phase and aggregate them separately.
-        use vne_workload::history::ClassDemandSeries;
         let series = ClassDemandSeries::from_requests(history, history_slots);
+        Self::from_series(
+            substrate,
+            apps,
+            policy,
+            &series,
+            period_length,
+            periods,
+            plan_config,
+            aggregation,
+            rng,
+        )
+    }
+
+    /// Builds a schedule from a history *stream*, folding the slot
+    /// events through an [`ExactEstimator`] — the same estimator that
+    /// drives single-plan construction — before phase slicing. Nothing
+    /// on this path pre-collects the trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_stream<I, R>(
+        substrate: &SubstrateNetwork,
+        apps: &AppSet,
+        policy: &PlacementPolicy,
+        events: I,
+        history_slots: Slot,
+        period_length: Slot,
+        periods: usize,
+        plan_config: &PlanVneConfig,
+        aggregation: &AggregationConfig,
+        rng: &mut R,
+    ) -> Self
+    where
+        I: IntoIterator<Item = vne_model::request::SlotEvents>,
+        R: Rng + ?Sized,
+    {
+        let mut estimator = ExactEstimator::new(history_slots, *aggregation);
+        for ev in events {
+            estimator.observe_slot(&ev);
+        }
+        Self::from_series(
+            substrate,
+            apps,
+            policy,
+            estimator.series(),
+            period_length,
+            periods,
+            plan_config,
+            aggregation,
+            rng,
+        )
+    }
+
+    /// The shared core of the history constructors: slice the demand
+    /// series into phases, aggregate each phase's sub-series, solve
+    /// PLAN-VNE per phase.
+    #[allow(clippy::too_many_arguments)]
+    fn from_series<R: Rng + ?Sized>(
+        substrate: &SubstrateNetwork,
+        apps: &AppSet,
+        policy: &PlacementPolicy,
+        series: &ClassDemandSeries,
+        period_length: Slot,
+        periods: usize,
+        plan_config: &PlanVneConfig,
+        aggregation: &AggregationConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(periods >= 1, "need at least one period");
         let mut plans = Vec::with_capacity(periods);
         for phase in 0..periods {
-            let mut demands = std::collections::BTreeMap::new();
-            for class in series.classes() {
-                let full = series.series(class).expect("listed class");
-                let phase_samples: Vec<f64> = full
-                    .iter()
-                    .enumerate()
-                    .filter(|(t, _)| ((*t as Slot / period_length) as usize) % periods == phase)
-                    .map(|(_, &d)| d)
-                    .collect();
-                if phase_samples.is_empty() {
-                    continue;
-                }
-                let est = vne_workload::stats::bootstrap_percentile(
-                    &phase_samples,
+            let phase_series = series.phase_slice(period_length, periods, phase);
+            let aggregate = if phase_series.slots() == 0 {
+                AggregateDemand::default()
+            } else {
+                AggregateDemand::from_demands(&phase_series.expected_demands(
                     aggregation.alpha,
                     aggregation.bootstrap_replicates,
                     rng,
-                );
-                if est.estimate > 1e-9 {
-                    demands.insert(class, est.estimate);
-                }
-            }
-            let aggregate = AggregateDemand::from_demands(&demands);
+                ))
+            };
             let (plan, _) = solve_plan(substrate, apps, policy, &aggregate, plan_config);
             plans.push(plan);
         }
@@ -328,6 +380,69 @@ mod tests {
             g0_phase1 < g0_phase0 / 2.0,
             "cross-phase: {g0_phase1} vs {g0_phase0}"
         );
+    }
+
+    #[test]
+    fn from_stream_matches_from_history() {
+        let (s, apps) = world();
+        let mut history = Vec::new();
+        let mut id = 0;
+        for t in 0..100u32 {
+            let node = if (t / 10) % 2 == 0 { 0 } else { 1 };
+            history.push(req(id, t, node, 6.0));
+            id += 1;
+        }
+        let events: Vec<vne_model::request::SlotEvents> = (0..100)
+            .map(|t| vne_model::request::SlotEvents {
+                slot: t,
+                arrivals: history.iter().filter(|r| r.arrival == t).cloned().collect(),
+            })
+            .collect();
+        let aggregation = AggregationConfig {
+            alpha: 80.0,
+            bootstrap_replicates: 15,
+        };
+        let batch = TimeVaryingPlan::from_history(
+            &s,
+            &apps,
+            &PlacementPolicy::default(),
+            &history,
+            100,
+            10,
+            2,
+            &PlanVneConfig::new(1e4),
+            &aggregation,
+            &mut vne_workload::rng::SeededRng::new(4),
+        );
+        let streamed = TimeVaryingPlan::from_stream(
+            &s,
+            &apps,
+            &PlacementPolicy::default(),
+            events,
+            100,
+            10,
+            2,
+            &PlanVneConfig::new(1e4),
+            &aggregation,
+            &mut vne_workload::rng::SeededRng::new(4),
+        );
+        assert_eq!(batch.periods(), streamed.periods());
+        for t in [0, 10] {
+            for node in [0u32, 1] {
+                let c = ClassId::new(AppId(0), NodeId(node));
+                let demand = |tv: &TimeVaryingPlan| {
+                    tv.plan_at(t)
+                        .class(c)
+                        .map(|p| p.guaranteed_demand())
+                        .unwrap_or(0.0)
+                };
+                assert_eq!(
+                    demand(&batch).to_bits(),
+                    demand(&streamed).to_bits(),
+                    "slot {t}, node {node}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! — the paper displays requests started between slots 100 and 500 of
 //! the 600-slot online phase. Preempted requests count as denied (they
 //! incur the rejection cost like rejected ones).
+//!
+//! The rejection cost is accumulated with a *pinned summation order* so
+//! the batch path here and the incremental
+//! [`crate::observe::WindowSummary`] are byte-identical even when
+//! preemptions occur: rejected-on-arrival costs fold in arrival order,
+//! preemption costs fold in `(eviction slot, request id)` order, each
+//! through a compensated [`NeumaierSum`], and the two partial sums are
+//! combined last.
 
 use std::collections::BTreeMap;
 
@@ -12,6 +20,41 @@ use vne_model::ids::{AppId, NodeId};
 use vne_model::request::Slot;
 
 use crate::engine::{RequestStatus, RunResult};
+
+/// Kahan–Neumaier compensated summation.
+///
+/// Both summary paths accumulate the rejection cost through this (in
+/// the same pinned order), so streaming and batch summaries agree bit
+/// for bit; the compensation also keeps long-horizon cost sums accurate
+/// to the last ulp.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// An empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one term into the sum.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
 
 /// Summary of one run over a measurement window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,7 +85,8 @@ pub fn summarize(result: &RunResult, penalty: &RejectionPenalty, window: (Slot, 
     let mut arrivals = 0usize;
     let mut rejected = 0usize;
     let mut preempted = 0usize;
-    let mut rejection_cost = 0.0;
+    let mut rejected_cost = NeumaierSum::new();
+    let mut preemptions: Vec<(Slot, vne_model::ids::RequestId, f64)> = Vec::new();
     for r in &result.requests {
         if r.arrival < from || r.arrival >= to {
             continue;
@@ -52,14 +96,26 @@ pub fn summarize(result: &RunResult, penalty: &RejectionPenalty, window: (Slot, 
             RequestStatus::Accepted => {}
             RequestStatus::Rejected => {
                 rejected += 1;
-                rejection_cost += penalty.psi(r.class.app) * r.demand * f64::from(r.duration);
+                rejected_cost.add(penalty.psi(r.class.app) * r.demand * f64::from(r.duration));
             }
-            RequestStatus::Preempted(_) => {
+            RequestStatus::Preempted(at) => {
                 preempted += 1;
-                rejection_cost += penalty.psi(r.class.app) * r.demand * f64::from(r.duration);
+                preemptions.push((
+                    at,
+                    r.id,
+                    penalty.psi(r.class.app) * r.demand * f64::from(r.duration),
+                ));
             }
         }
     }
+    // Pinned order: preemption costs fold by (eviction slot, id) — the
+    // order the incremental observer sees them in.
+    preemptions.sort_by_key(|&(slot, id, _)| (slot, id));
+    let mut preempted_cost = NeumaierSum::new();
+    for (_, _, cost) in preemptions {
+        preempted_cost.add(cost);
+    }
+    let rejection_cost = rejected_cost.value() + preempted_cost.value();
     let resource_cost: f64 = result
         .slots
         .iter()
@@ -321,6 +377,39 @@ mod tests {
     fn balance_index_is_one_without_rejections() {
         let r = result(vec![outcome(0, 1, 0, 0, RequestStatus::Accepted)], 5);
         assert_eq!(balance_index(&r, (0, 5)), 1.0);
+    }
+
+    #[test]
+    fn neumaier_sum_is_compensated() {
+        // The classic Kahan failure case: 1 + 1e100 + 1 - 1e100 = 2.
+        let mut s = NeumaierSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+        // Plain summation gets this wrong.
+        let plain: f64 = [1.0, 1e100, 1.0, -1e100].iter().sum();
+        assert_eq!(plain, 0.0);
+    }
+
+    #[test]
+    fn summarize_pins_preemption_order_by_slot_then_id() {
+        // Preemptions recorded in arrival order but evicted in a
+        // different slot order: summarize must fold them by
+        // (eviction slot, id) — the order the streaming observer sees.
+        let mk = |id: u64, at: Slot| RequestOutcome {
+            demand: 2.0 + id as f64,
+            ..outcome(id, 1, 0, 0, RequestStatus::Preempted(at))
+        };
+        // Arrival order: 0 (evicted late), 1 (evicted early).
+        let r1 = result(vec![mk(0, 9), mk(1, 3)], 10);
+        // Same multiset, arrival order flipped.
+        let r2 = result(vec![mk(1, 3), mk(0, 9)], 10);
+        let p = penalty();
+        let s1 = summarize(&r1, &p, (0, 10));
+        let s2 = summarize(&r2, &p, (0, 10));
+        assert_eq!(s1.rejection_cost.to_bits(), s2.rejection_cost.to_bits());
+        assert_eq!(s1.preempted, 2);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   long-horizon streams where a full outcome log would defeat the
 //!   engine's `O(active)` bound;
 //! * [`Inspect`] — adapts a per-slot closure (drill-down figures);
+//! * [`StopAfter`] — ends the run after a fixed slot budget (the
+//!   simplest user of [`SimControl::Stop`]);
 //! * [`Tee`] — composes two observers.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -18,7 +20,7 @@ use vne_model::request::Slot;
 use vne_olive::algorithm::OnlineAlgorithm;
 
 use crate::engine::{RequestOutcome, RunResult, SimControl, SimObserver, SlotMetrics, StreamStats};
-use crate::metrics::{balance_from_counts, Summary};
+use crate::metrics::{balance_from_counts, NeumaierSum, Summary};
 
 /// An observer that ignores every event.
 #[derive(Debug, Clone, Copy, Default)]
@@ -90,11 +92,12 @@ impl SimObserver for Recorder {
 /// State is `O(request classes + nodes)` — counts, running costs and
 /// the per-`(node, app)` rejection tallies for the balance index — so
 /// a multi-seed sweep over arbitrarily long streams never materializes
-/// an outcome log. Counts, rates, the resource cost and the balance
-/// index match [`crate::metrics::summarize`] bit for bit; the rejection
-/// cost accumulates preemption penalties at eviction time rather than
-/// in arrival order, which can differ from the batch sum in the last
-/// ulp when preemptions occur.
+/// an outcome log. Every field matches [`crate::metrics::summarize`]
+/// bit for bit, *including* the rejection cost under preemption: both
+/// paths fold rejected-on-arrival costs in arrival order and preemption
+/// costs in `(eviction slot, request id)` order through a compensated
+/// [`NeumaierSum`] (the per-slot preemption buffer below pins the
+/// within-slot order to request ids).
 #[derive(Debug, Clone)]
 pub struct WindowSummary {
     window: (Slot, Slot),
@@ -102,7 +105,10 @@ pub struct WindowSummary {
     arrivals: usize,
     rejected: usize,
     preempted: usize,
-    rejection_cost: f64,
+    rejected_cost: NeumaierSum,
+    preempted_cost: NeumaierSum,
+    /// This slot's preemption costs, folded in id order at slot end.
+    pending_preemptions: Vec<(RequestId, f64)>,
     resource_cost: f64,
     n_v: BTreeMap<NodeId, f64>,
     x_va: BTreeMap<(NodeId, AppId), f64>,
@@ -119,7 +125,9 @@ impl WindowSummary {
             arrivals: 0,
             rejected: 0,
             preempted: 0,
-            rejection_cost: 0.0,
+            rejected_cost: NeumaierSum::new(),
+            preempted_cost: NeumaierSum::new(),
+            pending_preemptions: Vec::new(),
             resource_cost: 0.0,
             n_v: BTreeMap::new(),
             x_va: BTreeMap::new(),
@@ -135,9 +143,24 @@ impl WindowSummary {
         self.penalty.psi(outcome.class.app) * outcome.demand * f64::from(outcome.duration)
     }
 
+    /// The preempted-cost sum with this slot's still-buffered costs
+    /// folded in request-id order (the pinned within-slot order shared
+    /// with the batch path). Non-destructive — [`WindowSummary::finish`]
+    /// uses it mid-slot; the per-slot flush sorts the buffer in place.
+    fn flushed_preempted_cost(&self) -> NeumaierSum {
+        let mut pending = self.pending_preemptions.clone();
+        pending.sort_by_key(|&(id, _)| id);
+        let mut sum = self.preempted_cost;
+        for (_, cost) in pending {
+            sum.add(cost);
+        }
+        sum
+    }
+
     /// Finalizes the summary (balance index, rates, runtime).
     pub fn finish(&self, stats: &StreamStats) -> Summary {
         let denied = self.rejected + self.preempted;
+        let rejection_cost = self.rejected_cost.value() + self.flushed_preempted_cost().value();
         Summary {
             arrivals: self.arrivals,
             rejected: self.rejected,
@@ -148,8 +171,8 @@ impl WindowSummary {
                 denied as f64 / self.arrivals as f64
             },
             resource_cost: self.resource_cost,
-            rejection_cost: self.rejection_cost,
-            total_cost: self.resource_cost + self.rejection_cost,
+            rejection_cost,
+            total_cost: self.resource_cost + rejection_cost,
             balance_index: balance_from_counts(&self.n_v, &self.x_va, &self.apps),
             online_secs: stats.online_secs,
         }
@@ -166,7 +189,8 @@ impl SimObserver for WindowSummary {
         *self.n_v.entry(outcome.class.ingress).or_insert(0.0) += 1.0;
         if outcome.status.is_denied() {
             self.rejected += 1;
-            self.rejection_cost += self.denial_cost(outcome);
+            let cost = self.denial_cost(outcome);
+            self.rejected_cost.add(cost);
             *self
                 .x_va
                 .entry((outcome.class.ingress, outcome.class.app))
@@ -179,7 +203,8 @@ impl SimObserver for WindowSummary {
             return;
         }
         self.preempted += 1;
-        self.rejection_cost += self.denial_cost(outcome);
+        let cost = self.denial_cost(outcome);
+        self.pending_preemptions.push((outcome.id, cost));
         *self
             .x_va
             .entry((outcome.class.ingress, outcome.class.app))
@@ -192,10 +217,66 @@ impl SimObserver for WindowSummary {
         metrics: &SlotMetrics,
         _algorithm: &dyn OnlineAlgorithm,
     ) -> SimControl {
+        if !self.pending_preemptions.is_empty() {
+            self.pending_preemptions.sort_by_key(|&(id, _)| id);
+            for &(_, cost) in &self.pending_preemptions {
+                self.preempted_cost.add(cost);
+            }
+            self.pending_preemptions.clear();
+        }
         if self.in_window(t) {
             self.resource_cost += metrics.resource_cost;
         }
         SimControl::Continue
+    }
+}
+
+/// Stops the run after observing a fixed number of slot-end events —
+/// the smallest real user of [`SimControl::Stop`]: cap an open-ended
+/// stream at a slot budget and keep the partial statistics collected so
+/// far (compose with [`Tee`] to pair it with a recording observer).
+///
+/// Deliberately not `Copy`: the counter is the observer's state, and a
+/// silent by-value copy into [`Tee`] would leave the caller reading a
+/// stale [`StopAfter::slots_seen`]. Pass `&mut` (the blanket
+/// `SimObserver for &mut O` impl covers that).
+#[derive(Debug, Clone)]
+pub struct StopAfter {
+    limit: Slot,
+    seen: Slot,
+}
+
+impl StopAfter {
+    /// Stops after `limit` slots have completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` (the run would stop before producing
+    /// anything).
+    pub fn new(limit: Slot) -> Self {
+        assert!(limit > 0, "slot budget must be positive");
+        Self { limit, seen: 0 }
+    }
+
+    /// Slots observed so far.
+    pub fn slots_seen(&self) -> Slot {
+        self.seen
+    }
+}
+
+impl SimObserver for StopAfter {
+    fn on_slot_end(
+        &mut self,
+        _t: Slot,
+        _metrics: &SlotMetrics,
+        _algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        self.seen += 1;
+        if self.seen >= self.limit {
+            SimControl::Stop
+        } else {
+            SimControl::Continue
+        }
     }
 }
 
@@ -309,6 +390,72 @@ mod tests {
         assert_eq!(s.rejection_rate, 1.0);
         // 2 denied × ψ3 × d2 × T10 = 120.
         assert_eq!(s.rejection_cost, 120.0);
+    }
+
+    #[test]
+    fn window_summary_pins_preemption_cost_order() {
+        // Two preemptions in one slot, reported in reverse id order:
+        // the pinned (slot, id) fold must match the batch path, which
+        // sorts by id within the slot.
+        let mut a = WindowSummary::new((0, 10), penalty());
+        let mut b = WindowSummary::new((0, 10), penalty());
+        let first = outcome(1, 2, RequestStatus::Preempted(5));
+        let second = RequestOutcome {
+            demand: 7.0,
+            ..outcome(2, 3, RequestStatus::Preempted(5))
+        };
+        a.on_arrival(&outcome(1, 2, RequestStatus::Accepted));
+        a.on_arrival(&outcome(2, 3, RequestStatus::Accepted));
+        b.on_arrival(&outcome(1, 2, RequestStatus::Accepted));
+        b.on_arrival(&outcome(2, 3, RequestStatus::Accepted));
+        a.on_preemption(&first);
+        a.on_preemption(&second);
+        b.on_preemption(&second);
+        b.on_preemption(&first);
+        let sa = a.finish(&StreamStats::default());
+        let sb = b.finish(&StreamStats::default());
+        assert_eq!(sa.rejection_cost.to_bits(), sb.rejection_cost.to_bits());
+        assert_eq!(sa.preempted, 2);
+    }
+
+    #[test]
+    fn stop_after_halts_the_engine_with_partial_stats() {
+        let mut s = vne_model::substrate::SubstrateNetwork::new("t");
+        let e = s
+            .add_node("e", vne_model::substrate::Tier::Edge, 100.0, 1.0)
+            .unwrap();
+        let c = s
+            .add_node("c", vne_model::substrate::Tier::Core, 100.0, 1.0)
+            .unwrap();
+        s.add_link(e, c, 100.0, 1.0).unwrap();
+        let mut apps = AppSet::new();
+        apps.push(
+            "a",
+            AppShape::Chain,
+            shapes::uniform_chain(1, 1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        let mut alg = vne_olive::olive::Olive::quickg(
+            s.clone(),
+            apps.clone(),
+            vne_model::policy::PlacementPolicy::default(),
+        );
+        let mut stop = StopAfter::new(7);
+        let mut summary = WindowSummary::new((0, 100), RejectionPenalty::uniform(&apps, 1.0));
+        let mut observer = Tee(&mut summary, &mut stop);
+        let stats = crate::engine::run_stream(
+            &mut alg,
+            &s,
+            crate::engine::slot_events(&[], 100),
+            &mut observer,
+        );
+        assert!(stats.stopped_early, "the budget must stop the run");
+        assert_eq!(stats.slots_run, 7);
+        assert_eq!(stop.slots_seen(), 7);
+        // Partial statistics are still reported.
+        let partial = summary.finish(&stats);
+        assert_eq!(partial.arrivals, 0);
+        assert_eq!(partial.rejection_rate, 0.0);
     }
 
     #[test]

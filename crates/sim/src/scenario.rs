@@ -27,6 +27,7 @@ use vne_olive::colgen::{solve_plan, PlanVneConfig};
 use vne_olive::olive::{Olive, OliveConfig};
 use vne_olive::plan::Plan;
 use vne_workload::caida::{self, CaidaConfig};
+use vne_workload::estimator::{DemandEstimator, EstimatorKind, ExactEstimator};
 use vne_workload::rng::SeededRng;
 use vne_workload::tracegen::{self, TraceConfig};
 
@@ -131,6 +132,10 @@ pub struct ScenarioConfig {
     pub olive: OliveConfig,
     /// History aggregation (percentile α, bootstrap replicates).
     pub aggregation: AggregationConfig,
+    /// The demand estimator folding the history stream into per-class
+    /// expected demands: exact (dense + bootstrap, the default),
+    /// `O(classes)` P² sketches, or a custom estimator.
+    pub estimator: EstimatorKind,
     /// Base synthetic trace parameters.
     pub trace: TraceConfig,
     /// Use the CAIDA-like trace instead of the synthetic one (Fig. 15).
@@ -155,6 +160,7 @@ impl ScenarioConfig {
                 alpha: 80.0,
                 bootstrap_replicates: 30,
             },
+            estimator: EstimatorKind::Exact,
             trace: TraceConfig {
                 slots: 0, // set per phase
                 ..TraceConfig::default()
@@ -341,6 +347,38 @@ impl Scenario {
         history
     }
 
+    /// The history (planning) phase as a lazy slot-event stream — what
+    /// [`Scenario::build_plan`] folds through the demand estimator.
+    /// Yields exactly `config.history_slots` events with memory
+    /// `O(edge nodes)` / `O(sources)`, independent of the horizon, and
+    /// flattens to exactly [`Scenario::history_trace`].
+    ///
+    /// The one exception is the Fig. 14 `shift_plan_ingress`
+    /// distortion: the batch shift draws its RNG *after* the whole
+    /// trace is generated, so reproducing it bit for bit requires
+    /// materializing — that explicitly-distorted path keeps the
+    /// `O(trace)` collect and is documented as such.
+    pub fn history_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+        let u = self
+            .config
+            .plan_utilization
+            .unwrap_or(self.config.utilization);
+        if self.config.shift_plan_ingress {
+            let history = self.history_trace();
+            return Box::new(crate::engine::slot_events(
+                &history,
+                self.config.history_slots,
+            ));
+        }
+        let rng = self.rng(1);
+        match self.phase_trace(u, self.config.history_slots) {
+            PhaseTrace::Synthetic(tc) => {
+                Box::new(tracegen::stream(&self.substrate, &self.apps, &tc, rng))
+            }
+            PhaseTrace::Caida(cc) => Box::new(caida::stream(&self.substrate, &self.apps, &cc, rng)),
+        }
+    }
+
     /// The rejection penalty used for both planning and cost accounting
     /// (the paper's conservative ψ).
     pub fn penalty(&self) -> RejectionPenalty {
@@ -353,17 +391,12 @@ impl Scenario {
     /// online demand is "drawn from the same distribution" as the
     /// history; low under the Fig. 13/14 distortions.
     pub fn demand_conformance(&self) -> f64 {
-        use vne_workload::history::ClassDemandSeries;
-        let history =
-            ClassDemandSeries::from_requests(&self.history_trace(), self.config.history_slots);
-        let online = ClassDemandSeries::from_requests(&self.online_trace(), self.config.test_slots);
+        let mut history = ExactEstimator::new(self.config.history_slots, self.config.aggregation);
+        history.observe_all(self.history_events());
+        let mut online = ExactEstimator::new(self.config.test_slots, self.config.aggregation);
+        online.observe_all(self.online_events());
         let mut rng = self.rng(4);
-        history.conformance(
-            &online,
-            self.config.aggregation.alpha,
-            self.config.aggregation.bootstrap_replicates,
-            &mut rng,
-        )
+        history.conformance(online.series(), &mut rng)
     }
 
     /// The PLAN-VNE solver configuration of this scenario (ψ from the
@@ -372,18 +405,20 @@ impl Scenario {
         PlanVneConfig::new(self.penalty().max_psi()).with_quantiles(self.config.quantiles)
     }
 
-    /// Builds the OLIVE plan from the history trace. Returns the plan and
-    /// the wall-clock seconds it took (aggregation + PLAN-VNE solve).
+    /// Builds the OLIVE plan by *streaming* the history through the
+    /// configured [`EstimatorKind`] — the trace is folded one slot at a
+    /// time and never materialized (planning memory is the estimator's:
+    /// `O(classes × slots)` exact, `O(classes)` sketch). Returns the
+    /// plan and the wall-clock seconds it took (fold + PLAN-VNE solve).
     pub fn build_plan(&self) -> (Plan, f64) {
         let started = std::time::Instant::now();
-        let history = self.history_trace();
+        let mut estimator = self
+            .config
+            .estimator
+            .build(self.config.history_slots, &self.config.aggregation);
         let mut rng = self.rng(3);
-        let aggregate = AggregateDemand::from_history(
-            &history,
-            self.config.history_slots,
-            &self.config.aggregation,
-            &mut rng,
-        );
+        let aggregate =
+            AggregateDemand::from_stream(self.history_events(), estimator.as_mut(), &mut rng);
         let (plan, _) = solve_plan(
             &self.substrate,
             &self.apps,
@@ -703,9 +738,111 @@ mod tests {
         assert_eq!(full.preempted, streaming.preempted);
         assert_eq!(full.rejection_rate, streaming.rejection_rate);
         assert_eq!(full.resource_cost, streaming.resource_cost);
-        // QUICKG never preempts, so even the cost sum order matches.
         assert_eq!(full.rejection_cost, streaming.rejection_cost);
         assert_eq!(full.balance_index, streaming.balance_index);
+    }
+
+    #[test]
+    fn run_summary_is_byte_identical_under_preemption() {
+        // OLIVE at 140% preempts (pinned by the streaming-parity
+        // suite); the incremental and batch summaries must still agree
+        // bit for bit — the rejection-cost fold order is pinned on both
+        // paths.
+        let sc = scenario(1.4, 11);
+        let full = sc.run(Algorithm::Olive).summary;
+        let streaming = sc.run_summary(Algorithm::Olive).unwrap();
+        assert!(full.preempted > 0, "seed must exercise preemption");
+        assert_eq!(full.arrivals, streaming.arrivals);
+        assert_eq!(full.preempted, streaming.preempted);
+        assert_eq!(
+            full.rejection_cost.to_bits(),
+            streaming.rejection_cost.to_bits()
+        );
+        assert_eq!(full.total_cost.to_bits(), streaming.total_cost.to_bits());
+        assert_eq!(
+            full.balance_index.to_bits(),
+            streaming.balance_index.to_bits()
+        );
+    }
+
+    #[test]
+    fn sketch_estimator_scenario_runs_close_to_exact() {
+        let exact = scenario(1.2, 19);
+        let mut sketch = scenario(1.2, 19);
+        sketch.config.estimator = EstimatorKind::Sketch;
+        let exact_out = exact.run(Algorithm::Olive);
+        let sketch_out = sketch.run(Algorithm::Olive);
+        // Same online trace, a plan built from approximated demands:
+        // the sketch plan must be a working plan of a similar size.
+        assert_eq!(exact_out.summary.arrivals, sketch_out.summary.arrivals);
+        let exact_plan = exact_out.plan.unwrap();
+        let sketch_plan = sketch_out.plan.unwrap();
+        assert!(!sketch_plan.is_empty());
+        let ratio = sketch_plan.len() as f64 / exact_plan.len() as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "planned classes: sketch {} vs exact {}",
+            sketch_plan.len(),
+            exact_plan.len()
+        );
+        assert!(
+            (sketch_out.summary.rejection_rate - exact_out.summary.rejection_rate).abs() < 0.15,
+            "rates: sketch {} vs exact {}",
+            sketch_out.summary.rejection_rate,
+            exact_out.summary.rejection_rate
+        );
+    }
+
+    #[test]
+    fn custom_estimator_drives_the_plan() {
+        // A fixed-demand estimator: every observed class gets demand 5.
+        struct Flat {
+            seen: std::collections::BTreeSet<vne_model::ids::ClassId>,
+            observed: Slot,
+        }
+        impl DemandEstimator for Flat {
+            fn observe_slot(&mut self, events: &SlotEvents) {
+                for r in &events.arrivals {
+                    self.seen.insert(r.class());
+                }
+                self.observed += 1;
+            }
+            fn slots_observed(&self) -> Slot {
+                self.observed
+            }
+            fn finalize(
+                &mut self,
+                _rng: &mut dyn vne_workload::estimator::RngCore,
+            ) -> std::collections::BTreeMap<vne_model::ids::ClassId, f64> {
+                self.seen.iter().map(|&c| (c, 5.0)).collect()
+            }
+        }
+        let mut sc = scenario(1.0, 23);
+        sc.config.estimator = EstimatorKind::custom(|_, _| {
+            Box::new(Flat {
+                seen: Default::default(),
+                observed: 0,
+            })
+        });
+        let (plan, _) = sc.build_plan();
+        assert!(!plan.is_empty());
+        for class_plan in plan.iter() {
+            assert!((class_plan.expected_demand - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn history_events_match_history_trace() {
+        for shift in [false, true] {
+            let mut sc = scenario(1.0, 31);
+            sc.config.shift_plan_ingress = shift;
+            let streamed: Vec<Request> = sc.history_events().flat_map(|ev| ev.arrivals).collect();
+            assert_eq!(streamed, sc.history_trace(), "shift={shift}");
+            assert_eq!(
+                sc.history_events().count(),
+                sc.config.history_slots as usize
+            );
+        }
     }
 
     #[test]

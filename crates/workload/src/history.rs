@@ -10,11 +10,18 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 use vne_model::ids::ClassId;
-use vne_model::request::{Request, Slot};
+use vne_model::request::{Request, Slot, SlotEvents};
 
 use crate::stats::{bootstrap_percentile, BootstrapEstimate, Ecdf};
 
 /// Per-class, per-slot concurrent demand series over a history window.
+///
+/// The series is an *incremental fold*: start from
+/// [`ClassDemandSeries::empty`] and feed requests one at a time
+/// ([`ClassDemandSeries::observe_request`]) or one slot of arrivals at
+/// a time ([`ClassDemandSeries::observe_slot`]) — the batch
+/// [`ClassDemandSeries::from_requests`] is the same fold over a
+/// collected trace, bit for bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassDemandSeries {
     slots: Slot,
@@ -22,24 +29,74 @@ pub struct ClassDemandSeries {
 }
 
 impl ClassDemandSeries {
+    /// An empty series over a `slots`-slot window, ready to fold
+    /// requests into.
+    pub fn empty(slots: Slot) -> Self {
+        Self {
+            slots,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one request into the series: its demand is added to every
+    /// slot it is active in, clipped to the window.
+    pub fn observe_request(&mut self, r: &Request) {
+        let start = r.arrival.min(self.slots);
+        let end = r.departure().min(self.slots);
+        if start >= end {
+            return;
+        }
+        let entry = self
+            .series
+            .entry(r.class())
+            .or_insert_with(|| vec![0.0; self.slots as usize]);
+        for t in start..end {
+            entry[t as usize] += r.demand;
+        }
+    }
+
+    /// Folds one slot's arrivals into the series (the
+    /// [`crate::estimator::DemandEstimator`] feed).
+    pub fn observe_slot(&mut self, events: &SlotEvents) {
+        for r in &events.arrivals {
+            self.observe_request(r);
+        }
+    }
+
     /// Accumulates the active demand of `requests` over slots
     /// `0..slots` (requests active outside the window are clipped).
     pub fn from_requests(requests: &[Request], slots: Slot) -> Self {
-        let mut series: BTreeMap<ClassId, Vec<f64>> = BTreeMap::new();
+        let mut folded = Self::empty(slots);
         for r in requests {
-            let start = r.arrival.min(slots);
-            let end = r.departure().min(slots);
-            if start >= end {
-                continue;
-            }
-            let entry = series
-                .entry(r.class())
-                .or_insert_with(|| vec![0.0; slots as usize]);
-            for t in start..end {
-                entry[t as usize] += r.demand;
-            }
+            folded.observe_request(r);
         }
-        Self { slots, series }
+        folded
+    }
+
+    /// The sub-series of the slots belonging to one phase of a cyclic
+    /// schedule: slot `t` belongs to phase `(t / period_length) %
+    /// periods`. The phase's slots are concatenated in time order (the
+    /// slicing behind time-varying plans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_length == 0` or `periods == 0`.
+    pub fn phase_slice(&self, period_length: Slot, periods: usize, phase: usize) -> Self {
+        assert!(period_length > 0, "period length must be positive");
+        assert!(periods > 0, "need at least one period");
+        let picked: Vec<usize> = (0..self.slots)
+            .filter(|&t| ((t / period_length) as usize) % periods == phase)
+            .map(|t| t as usize)
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|(&c, full)| (c, picked.iter().map(|&t| full[t]).collect()))
+            .collect();
+        Self {
+            slots: picked.len() as Slot,
+            series,
+        }
     }
 
     /// Number of slots in the window.
@@ -156,6 +213,44 @@ mod tests {
         let c2 = ClassId::new(AppId(0), NodeId(2));
         assert_eq!(s.series(c2).unwrap(), &[7.0, 0.0, 0.0, 0.0]);
         assert_eq!(s.series(ClassId::new(AppId(9), NodeId(9))), None);
+    }
+
+    #[test]
+    fn incremental_fold_matches_batch() {
+        let requests = vec![
+            req(0, 0, 3, 1, 0, 2.0),
+            req(1, 1, 2, 1, 0, 5.0),
+            req(2, 0, 1, 2, 0, 7.0),
+        ];
+        let batch = ClassDemandSeries::from_requests(&requests, 4);
+        let mut fold = ClassDemandSeries::empty(4);
+        for t in 0..4 {
+            fold.observe_slot(&vne_model::request::SlotEvents {
+                slot: t,
+                arrivals: requests
+                    .iter()
+                    .filter(|r| r.arrival == t)
+                    .cloned()
+                    .collect(),
+            });
+        }
+        assert_eq!(fold, batch);
+    }
+
+    #[test]
+    fn phase_slice_picks_cyclic_slots() {
+        // Demand 3 in slots 0..2, demand 9 in slots 2..4.
+        let requests = vec![req(0, 0, 2, 1, 0, 3.0), req(1, 2, 2, 1, 0, 9.0)];
+        let s = ClassDemandSeries::from_requests(&requests, 4);
+        let c = ClassId::new(AppId(0), NodeId(1));
+        let even = s.phase_slice(2, 2, 0);
+        let odd = s.phase_slice(2, 2, 1);
+        assert_eq!(even.slots(), 2);
+        assert_eq!(even.series(c).unwrap(), &[3.0, 3.0]);
+        assert_eq!(odd.series(c).unwrap(), &[9.0, 9.0]);
+        // A phase with no slots in the window is empty.
+        let beyond = s.phase_slice(4, 3, 2);
+        assert_eq!(beyond.slots(), 0);
     }
 
     #[test]

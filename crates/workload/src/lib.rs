@@ -12,8 +12,12 @@
 //!   and utilization calibration;
 //! * [`caida`] — the CAIDA-like heavy-tailed trace (Fig. 15);
 //! * [`stats`] — ECDF, percentiles, bootstrap estimation (Eq. 6);
+//! * [`sketch`] — the P² streaming quantile sketch;
 //! * [`history`] — per-class concurrent-demand series and the demand
 //!   conformance check;
+//! * [`estimator`] — the streaming [`estimator::DemandEstimator`] API
+//!   folding a slot-event stream into per-class expected demands
+//!   (exact dense+bootstrap oracle, or O(classes) P² sketches);
 //! * [`rng`] — seeded, replayable randomness.
 //!
 //! ## Example
@@ -38,8 +42,10 @@ pub mod appgen;
 pub mod arrival;
 pub mod caida;
 pub mod dist;
+pub mod estimator;
 pub mod history;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
 pub mod tracegen;
 
@@ -48,8 +54,12 @@ pub mod prelude {
     pub use crate::appgen::{gpu_set, paper_mix, uniform_shape_set, AppGenConfig};
     pub use crate::arrival::{ArrivalProcess, Mmpp, PoissonArrivals};
     pub use crate::caida::CaidaConfig;
+    pub use crate::estimator::{
+        AggregationConfig, DemandEstimator, EstimatorKind, ExactEstimator, SketchEstimator,
+    };
     pub use crate::history::ClassDemandSeries;
     pub use crate::rng::SeededRng;
+    pub use crate::sketch::P2Quantile;
     pub use crate::stats::{bootstrap_percentile, mean_and_ci, Ecdf};
     pub use crate::tracegen::{generate, shift_ingress, split_trace, ArrivalKind, TraceConfig};
 }

@@ -1,0 +1,305 @@
+//! Streaming quantile estimation: the P² (piecewise-parabolic)
+//! algorithm of Jain & Chlamtac (CACM 1985).
+//!
+//! A [`P2Quantile`] tracks one target quantile of a stream in O(1)
+//! memory — five markers whose heights approximate the quantile curve —
+//! without storing the observations. It is the building block of the
+//! sketch-based demand estimator: one sketch per request class replaces
+//! the dense per-slot demand series, so the offline planning phase folds
+//! an arbitrarily long history in `O(classes)` memory.
+
+/// A P² estimator of the `p`-quantile of a stream.
+///
+/// The first five observations are stored exactly; from the sixth on,
+/// five markers (minimum, `p/2`, `p`, `(1+p)/2`, maximum) are adjusted
+/// per observation with the piecewise-parabolic update. Besides the
+/// target quantile ([`P2Quantile::estimate`]), any quantile can be
+/// interpolated from the marker curve ([`P2Quantile::query`]) — the
+/// zero-inflated demand estimator uses that to evaluate shifted ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights `q_1..q_5`.
+    heights: [f64; 5],
+    /// Actual marker positions `n_1..n_5` (1-based ranks, integral).
+    positions: [f64; 5],
+    /// Desired marker positions `n'_1..n'_5`.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Exact sample buffer until five observations have been seen.
+    initial: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates a sketch for the `p`-quantile (`p ∈ (0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly between 0 and 1.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            initial: Vec::with_capacity(5),
+            count: 0,
+        }
+    }
+
+    /// The target quantile `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation into the sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN observations.
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "P² cannot observe NaN");
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                for (i, &v) in self.initial.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell k with q_k ≤ x < q_{k+1}, extending the
+        // extreme markers when x falls outside them.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // q_k ≤ x < q_{k+1} for some k in 0..=3.
+            (1..4).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers toward their desired
+        // positions, parabolic when the interpolated height stays
+        // bracketed, linear otherwise.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// The piecewise-parabolic (P²) height prediction for marker `i`
+    /// moved by `d ∈ {-1, +1}`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// The linear fallback height prediction.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The estimate of the target `p`-quantile (`None` before the first
+    /// observation).
+    pub fn estimate(&self) -> Option<f64> {
+        self.query(self.p)
+    }
+
+    /// Interpolates the `f`-quantile (`f ∈ [0, 1]`) from the marker
+    /// curve — exact (type-7) while ≤ 5 observations are buffered,
+    /// piecewise linear between marker ranks afterwards. `None` before
+    /// the first observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    pub fn query(&self, f: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&f), "quantile fraction {f}");
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let h = f * (sorted.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            return Some(sorted[lo] + (sorted[hi] - sorted[lo]) * (h - lo as f64));
+        }
+        // 1-based rank of the requested quantile among `count` samples.
+        let rank = (f * (self.count - 1) as f64 + 1.0).clamp(1.0, self.count as f64);
+        let i = (0..4).rfind(|&i| self.positions[i] <= rank).unwrap_or(0);
+        let span = self.positions[i + 1] - self.positions[i];
+        if span <= 0.0 {
+            return Some(self.heights[i]);
+        }
+        let t = ((rank - self.positions[i]) / span).clamp(0.0, 1.0);
+        Some(self.heights[i] + t * (self.heights[i + 1] - self.heights[i]))
+    }
+
+    /// The smallest observation seen so far (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else if self.count <= 5 {
+            self.initial
+                .iter()
+                .copied()
+                .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+        } else {
+            Some(self.heights[0])
+        }
+    }
+
+    /// The largest observation seen so far (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else if self.count <= 5 {
+            self.initial
+                .iter()
+                .copied()
+                .max_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+        } else {
+            Some(self.heights[4])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use crate::stats::Ecdf;
+    use rand::Rng;
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut s = P2Quantile::new(0.8);
+        assert_eq!(s.estimate(), None);
+        for x in [5.0, 1.0, 3.0] {
+            s.observe(x);
+        }
+        // Type-7 p80 of [1, 3, 5]: h = 1.6 → 3 + 0.6·2 = 4.2.
+        assert!((s.estimate().unwrap() - 4.2).abs() < 1e-12);
+        assert_eq!(s.query(0.0).unwrap(), 1.0);
+        assert_eq!(s.query(1.0).unwrap(), 5.0);
+        assert_eq!(s.min().unwrap(), 1.0);
+        assert_eq!(s.max().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn tracks_uniform_quantiles() {
+        let mut rng = SeededRng::new(7);
+        for p in [0.5, 0.8, 0.95] {
+            let mut s = P2Quantile::new(p);
+            for _ in 0..20_000 {
+                s.observe(rng.gen::<f64>() * 100.0);
+            }
+            let est = s.estimate().unwrap();
+            assert!(
+                (est - p * 100.0).abs() < 2.0,
+                "p{p}: estimate {est} vs {}",
+                p * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_exponential_tail() {
+        // Exponential(1): p80 = ln 5 ≈ 1.609.
+        let mut rng = SeededRng::new(9);
+        let mut s = P2Quantile::new(0.8);
+        for _ in 0..50_000 {
+            let u: f64 = rng.gen();
+            s.observe(-(1.0 - u).ln());
+        }
+        let est = s.estimate().unwrap();
+        assert!((est - 1.609).abs() < 0.08, "estimate {est}");
+    }
+
+    #[test]
+    fn query_matches_ecdf_on_synthetic_stream() {
+        let mut rng = SeededRng::new(11);
+        let sample: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let mut s = P2Quantile::new(0.8);
+        for &x in &sample {
+            s.observe(x);
+        }
+        let ecdf = Ecdf::new(sample);
+        for f in [0.3, 0.5, 0.8, 0.9] {
+            let exact = ecdf.percentile(f * 100.0);
+            let est = s.query(f).unwrap();
+            assert!((est - exact).abs() < 0.5, "f={f}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut s = P2Quantile::new(0.8);
+        for _ in 0..1000 {
+            s.observe(6.0);
+        }
+        assert_eq!(s.estimate().unwrap(), 6.0);
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min().unwrap(), 6.0);
+        assert_eq!(s.max().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn handles_many_ties_with_outliers() {
+        let mut s = P2Quantile::new(0.8);
+        for i in 0..5000 {
+            s.observe(if i % 10 == 0 { 100.0 } else { 1.0 });
+        }
+        // 90% of mass at 1, 10% at 100: p80 must sit at the low plateau.
+        let est = s.estimate().unwrap();
+        assert!((1.0..50.0).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

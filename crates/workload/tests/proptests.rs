@@ -2,12 +2,13 @@
 
 use proptest::prelude::*;
 use vne_workload::dist::{Exponential, Normal, Poisson, Zipf};
+use vne_workload::estimator::{DemandEstimator, ExactEstimator, SketchEstimator};
 use vne_workload::history::ClassDemandSeries;
 use vne_workload::rng::SeededRng;
 use vne_workload::stats::{bootstrap_percentile, Ecdf};
 
 use vne_model::ids::{AppId, NodeId, RequestId};
-use vne_model::request::Request;
+use vne_model::request::{Request, SlotEvents};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -119,5 +120,97 @@ proptest! {
             })
             .sum();
         prop_assert!((total_series - total_expected).abs() < 1e-6);
+    }
+}
+
+/// A realistic generated trace (MMPP, Zipf popularity) plus its
+/// slot-event bucketing, for the estimator parity properties.
+fn generated_events(seed: u64, slots: u32) -> (Vec<Request>, Vec<SlotEvents>) {
+    let substrate = vne_topology::zoo::citta_studi().unwrap();
+    let mut rng = SeededRng::new(seed);
+    let apps =
+        vne_workload::appgen::paper_mix(&vne_workload::appgen::AppGenConfig::default(), &mut rng);
+    let config = vne_workload::tracegen::TraceConfig {
+        slots,
+        ..vne_workload::tracegen::TraceConfig::default()
+    };
+    let events: Vec<SlotEvents> =
+        vne_workload::tracegen::stream(&substrate, &apps, &config, rng).collect();
+    let trace: Vec<Request> = events.iter().flat_map(|ev| ev.arrivals.clone()).collect();
+    (trace, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The exact estimator folded slot-by-slot is byte-identical to the
+    /// batch `ClassDemandSeries::from_requests` path: the same dense
+    /// series, and the same finalized `P̂_α` bit for bit under the same
+    /// bootstrap RNG.
+    #[test]
+    fn exact_estimator_fold_is_byte_identical_to_batch(
+        seed in 1u64..500,
+        slots in 80u32..220,
+    ) {
+        let (trace, events) = generated_events(seed, slots);
+        let mut estimator = ExactEstimator::new(
+            slots,
+            vne_workload::estimator::AggregationConfig {
+                alpha: 80.0,
+                bootstrap_replicates: 10,
+            },
+        );
+        estimator.observe_all(events);
+        prop_assert_eq!(estimator.slots_observed(), slots);
+        let batch = ClassDemandSeries::from_requests(&trace, slots);
+        prop_assert_eq!(estimator.series(), &batch);
+        let folded = estimator.finalize(&mut SeededRng::new(seed ^ 0xF00D));
+        let direct = batch.expected_demands(80.0, 10, &mut SeededRng::new(seed ^ 0xF00D));
+        prop_assert_eq!(folded.len(), direct.len());
+        for (class, value) in &folded {
+            prop_assert_eq!(value.to_bits(), direct[class].to_bits());
+        }
+    }
+
+    /// The sketch estimator lands inside a tolerance band around the
+    /// exact per-class `P̂_α`: between the exact P65 and P95 (widened by
+    /// a small absolute/relative slack), bounded by the class's peak,
+    /// and exactly absent for classes the history never touches.
+    #[test]
+    fn sketch_estimator_tracks_exact_percentiles(
+        seed in 1u64..500,
+        slots in 120u32..260,
+    ) {
+        let (trace, events) = generated_events(seed, slots);
+        let mut sketch = SketchEstimator::new(80.0);
+        sketch.observe_all(events);
+        let estimates = sketch.finalize(&mut SeededRng::new(1));
+        let series = ClassDemandSeries::from_requests(&trace, slots);
+
+        // No invented classes: every estimate belongs to an observed
+        // class (and unobserved classes are absent — the "empty class"
+        // case).
+        for class in estimates.keys() {
+            prop_assert!(series.series(*class).is_some());
+        }
+        let lo_band = series.percentile_demands(65.0);
+        let hi_band = series.percentile_demands(95.0);
+        for class in series.classes() {
+            let est = estimates.get(&class).copied().unwrap_or(0.0);
+            let max = series
+                .series(class)
+                .unwrap()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            prop_assert!(est <= max + 1e-9, "class {:?}: {} above peak {}", class, est, max);
+            let lo = lo_band[&class];
+            let hi = hi_band[&class];
+            let slack = 0.75 + 0.1 * hi;
+            prop_assert!(
+                est >= lo - slack && est <= hi + slack,
+                "class {:?}: sketch {} outside [{} - {}, {} + {}]",
+                class, est, lo, slack, hi, slack
+            );
+        }
     }
 }
