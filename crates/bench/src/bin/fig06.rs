@@ -3,12 +3,26 @@
 //!
 //! Expected shape (paper): rejection grows with utilization everywhere;
 //! OLIVE tracks SLOTOFF within a few points and stays far below QUICKG.
+//!
+//! Long sweeps are interruptible: `--checkpoint-every N` serializes
+//! every per-seed run's state to `--checkpoint-dir` (default
+//! `checkpoints/`) every N online slots, and `--resume-from FILE`
+//! finishes one such run — byte-identical to never having stopped —
+//! instead of sweeping:
+//!
+//! ```text
+//! fig06 --topo citta --seeds 3 --checkpoint-every 100
+//! fig06 --resume-from checkpoints/ckpt-CittaStudi-OLIVE-u140-s2.bin
+//! ```
 
-use vne_bench::experiments::{print_rows, sweep};
+use vne_bench::experiments::{print_rows, resume_from, sweep};
 use vne_bench::BenchOpts;
 
 fn main() {
     let opts = BenchOpts::parse();
+    if resume_from(&opts) {
+        return;
+    }
     for substrate in opts.topologies() {
         let rows = sweep(&substrate, &opts.algs, &opts, |_| {});
         print_rows(

@@ -9,8 +9,10 @@
 //! this crate — no recompilation of `vne-bench` needed.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use vne_model::request::Slot;
 use vne_model::substrate::SubstrateNetwork;
 use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec};
 use vne_sim::scenario::{Algorithm, ScenarioConfig};
@@ -90,6 +92,21 @@ pub struct BenchOpts {
     pub registry: AlgorithmRegistry,
     /// Topology restriction (`None` = all four).
     pub topo: Option<String>,
+    /// Serialize a checkpoint every N online slots of every per-seed
+    /// run (`--checkpoint-every N`); files land in `checkpoint_dir`.
+    /// Honored by the sweep-driver binaries
+    /// ([`crate::experiments::sweep`]).
+    pub checkpoint_every: Option<Slot>,
+    /// Where `--checkpoint-every` writes its files
+    /// (`--checkpoint-dir`, default `checkpoints/`).
+    pub checkpoint_dir: PathBuf,
+    /// Resume a single checkpointed run from a file written by
+    /// `--checkpoint-every` and report its final summary instead of
+    /// sweeping (`--resume-from FILE`). Handled by binaries that call
+    /// [`crate::experiments::resume_from`] (fig06, fig07); sweep-driver
+    /// binaries that do not handle it fail loudly instead of silently
+    /// re-sweeping.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for BenchOpts {
@@ -105,6 +122,9 @@ impl Default for BenchOpts {
             ],
             registry: AlgorithmRegistry::builtins(),
             topo: None,
+            checkpoint_every: None,
+            checkpoint_dir: PathBuf::from("checkpoints"),
+            resume_from: None,
         }
     }
 }
@@ -122,14 +142,24 @@ impl BenchOpts {
     }
 
     /// Parses an explicit argument list (exposed for tests and custom
-    /// binaries; [`BenchOpts::parse`] wraps the process arguments).
+    /// binaries; [`BenchOpts::parse`] wraps the process arguments),
+    /// reading `VNE_REGISTRY` from the process environment.
     ///
     /// # Panics
     ///
     /// See [`BenchOpts::parse`].
     pub fn parse_from(args: &[String]) -> Self {
+        Self::parse_with_env(args, std::env::var("VNE_REGISTRY").ok())
+    }
+
+    /// The full parser with the `VNE_REGISTRY` value passed explicitly
+    /// — the flag wins over the variable when both are given. Split out
+    /// so the precedence is testable without mutating the (process-wide,
+    /// test-shared) environment.
+    fn parse_with_env(args: &[String], env_registry: Option<String>) -> Self {
         const USAGE: &str = "supported: --seeds N --paper --utils 60,100 \
-                             --algs olive,quickg --registry NAME --topo iris";
+                             --algs olive,quickg --registry NAME --topo iris \
+                             --checkpoint-every N --checkpoint-dir DIR --resume-from FILE";
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
             *i += 1;
             args.get(*i)
@@ -137,7 +167,7 @@ impl BenchOpts {
         }
 
         let mut opts = Self::default();
-        let mut registry_pick: Option<String> = std::env::var("VNE_REGISTRY").ok();
+        let mut registry_pick: Option<String> = env_registry;
         let mut explicit_algs: Option<Vec<AlgorithmSpec>> = None;
         let mut i = 0;
         while i < args.len() {
@@ -167,6 +197,19 @@ impl BenchOpts {
                 }
                 "--topo" => {
                     opts.topo = Some(value(args, &mut i, "--topo").to_lowercase());
+                }
+                "--checkpoint-every" => {
+                    let every: Slot = value(args, &mut i, "--checkpoint-every")
+                        .parse()
+                        .expect("--checkpoint-every takes a slot count");
+                    assert!(every > 0, "--checkpoint-every must be positive");
+                    opts.checkpoint_every = Some(every);
+                }
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = PathBuf::from(value(args, &mut i, "--checkpoint-dir"));
+                }
+                "--resume-from" => {
+                    opts.resume_from = Some(PathBuf::from(value(args, &mut i, "--resume-from")));
                 }
                 other => panic!("unknown argument {other}; {USAGE}"),
             }
@@ -305,6 +348,96 @@ mod tests {
     #[should_panic(expected = "unknown registry provider")]
     fn unknown_registry_provider_is_rejected() {
         let _ = BenchOpts::parse_from(&args(&["--registry", "no-such-provider"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown registry provider")]
+    fn unknown_registry_from_env_is_rejected() {
+        // The env-var selection path validates names like the flag does.
+        let _ = BenchOpts::parse_with_env(&args(&[]), Some("no-such-env-provider".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_algorithm_in_a_known_registry_is_rejected() {
+        // The registry resolves ("builtins"), the algorithm does not.
+        register_registry_provider("known-registry", AlgorithmRegistry::builtins);
+        let _ = BenchOpts::parse_from(&args(&[
+            "--registry",
+            "known-registry",
+            "--algs",
+            "olive,notanalg",
+        ]));
+    }
+
+    #[test]
+    fn registry_flag_wins_over_env_var() {
+        register_registry_provider("precedence-flag", || {
+            let mut registry = AlgorithmRegistry::empty();
+            registry.register("FLAGALG", |ctx| {
+                BuiltAlgorithm::plain(vne_olive::olive::Olive::quickg(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                ))
+            });
+            registry
+        });
+        register_registry_provider("precedence-env", || {
+            let mut registry = AlgorithmRegistry::empty();
+            registry.register("ENVALG", |ctx| {
+                BuiltAlgorithm::plain(vne_olive::olive::Olive::quickg(
+                    ctx.substrate().clone(),
+                    ctx.apps().clone(),
+                    ctx.policy().clone(),
+                ))
+            });
+            registry
+        });
+        // Flag present: the env var loses.
+        let opts = BenchOpts::parse_with_env(
+            &args(&["--registry", "precedence-flag", "--algs", "flagalg"]),
+            Some("precedence-env".to_string()),
+        );
+        assert_eq!(opts.registry.names(), vec!["FLAGALG"]);
+        // No flag: the env var selects.
+        let opts = BenchOpts::parse_with_env(
+            &args(&["--algs", "envalg"]),
+            Some("precedence-env".to_string()),
+        );
+        assert_eq!(opts.registry.names(), vec!["ENVALG"]);
+        // The env-selected registry still validates --algs strictly.
+        let err = std::panic::catch_unwind(|| {
+            BenchOpts::parse_with_env(
+                &args(&["--algs", "flagalg"]),
+                Some("precedence-env".to_string()),
+            )
+        });
+        assert!(err.is_err(), "env registry must reject foreign algs");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let opts = BenchOpts::parse_from(&args(&[
+            "--checkpoint-every",
+            "50",
+            "--checkpoint-dir",
+            "/tmp/ckpts",
+            "--resume-from",
+            "/tmp/ckpts/one.bin",
+        ]));
+        assert_eq!(opts.checkpoint_every, Some(50));
+        assert_eq!(opts.checkpoint_dir, PathBuf::from("/tmp/ckpts"));
+        assert_eq!(opts.resume_from, Some(PathBuf::from("/tmp/ckpts/one.bin")));
+        let defaults = BenchOpts::default();
+        assert_eq!(defaults.checkpoint_every, None);
+        assert_eq!(defaults.checkpoint_dir, PathBuf::from("checkpoints"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--checkpoint-every must be positive")]
+    fn zero_checkpoint_interval_is_rejected() {
+        let _ = BenchOpts::parse_from(&args(&["--checkpoint-every", "0"]));
     }
 
     #[test]

@@ -1,10 +1,27 @@
 //! Shared experiment drivers for the figure binaries.
+//!
+//! Besides the plain sweeps, this module carries the checkpoint/resume
+//! plumbing behind `--checkpoint-every` / `--resume-from`: a sweep run
+//! with checkpointing writes one [`BenchCheckpoint`] file per
+//! (topology, algorithm, utilization, seed) cell — the engine
+//! checkpoint plus the scenario coordinates needed to rebuild the run —
+//! and [`resume_from`] finishes any such file to the exact summary the
+//! uninterrupted run would have produced.
+//!
+//! Checkpoint files record the *standard* scenario coordinates
+//! (topology, utilization, seed, `--paper` scale). Binaries that tweak
+//! the config beyond that (e.g. Fig. 13's `plan_utilization`) write
+//! resumable files only if the same tweak is applied on resume — the
+//! `--resume-from` path is wired into the untweaked sweep bins.
 
+use vne_model::state::{StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
-use vne_sim::metrics::AggregatedSummary;
+use vne_sim::engine::EngineCheckpoint;
+use vne_sim::metrics::{aggregate, AggregatedSummary};
 use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec};
-use vne_sim::runner::{default_apps, run_seeds_in};
-use vne_sim::scenario::ScenarioConfig;
+use vne_sim::runner::{default_apps, run_seeds_in, seed_map};
+use vne_sim::scenario::{Scenario, ScenarioConfig};
+use vne_workload::estimator::EstimatorKind;
 
 use crate::cli::BenchOpts;
 
@@ -56,22 +73,36 @@ where
     S: Clone + Into<AlgorithmSpec>,
     F: Fn(&mut ScenarioConfig) + Sync,
 {
+    // An unconsumed --resume-from means the binary never called
+    // [`resume_from`]: fail loudly rather than silently re-sweep the
+    // run the user asked to finish.
+    assert!(
+        opts.resume_from.is_none(),
+        "--resume-from is not supported by this binary's sweep; \
+         use a binary that handles it (e.g. fig06, fig07)"
+    );
     let specs: Vec<AlgorithmSpec> = algorithms.iter().cloned().map(Into::into).collect();
     let mut rows = Vec::new();
     for &u in &opts.utils {
         for spec in &specs {
-            let (_, agg) = run_seeds_in(
-                registry,
-                substrate,
-                spec,
-                &opts.seed_list(),
-                default_apps,
-                |seed| {
-                    let mut c = opts.config(u).with_seed(seed);
-                    tweak(&mut c);
-                    c
-                },
-            );
+            let agg = match opts.checkpoint_every {
+                Some(every) => checkpointed_cell(registry, substrate, spec, opts, u, every, &tweak),
+                None => {
+                    run_seeds_in(
+                        registry,
+                        substrate,
+                        spec,
+                        &opts.seed_list(),
+                        default_apps,
+                        |seed| {
+                            let mut c = opts.config(u).with_seed(seed);
+                            tweak(&mut c);
+                            c
+                        },
+                    )
+                    .1
+                }
+            };
             rows.push(SweepRow {
                 topology: substrate.name().to_string(),
                 utilization: u,
@@ -81,6 +112,268 @@ where
         }
     }
     rows
+}
+
+/// One checkpointing sweep cell: runs every seed with a
+/// [`vne_sim::observe::Checkpointer`] that writes each capture to
+/// `<checkpoint_dir>/ckpt-<topo>-<alg>-u<pct>-s<seed>.bin` (latest
+/// capture overwrites — the file is always the newest resume point).
+/// Seeds fan out through [`seed_map`] like the plain [`run_seeds_in`]
+/// path; each seed owns its file, so the writes never contend.
+///
+/// # Panics
+///
+/// Panics when the sweep's `tweak` changed the config beyond the
+/// coordinates a checkpoint file records (see
+/// [`standard_config_mismatch`]) — resuming such a file would silently
+/// rebuild the wrong scenario, so it must not be written.
+fn checkpointed_cell<F>(
+    registry: &AlgorithmRegistry,
+    substrate: &SubstrateNetwork,
+    spec: &AlgorithmSpec,
+    opts: &BenchOpts,
+    utilization: f64,
+    every: u32,
+    tweak: &F,
+) -> AggregatedSummary
+where
+    F: Fn(&mut ScenarioConfig) + Sync,
+{
+    std::fs::create_dir_all(&opts.checkpoint_dir).expect("create checkpoint directory");
+    let summaries = seed_map(&opts.seed_list(), |seed| {
+        let mut config = opts.config(utilization).with_seed(seed);
+        tweak(&mut config);
+        if let Some(what) =
+            standard_config_mismatch(&config, &opts.config(utilization).with_seed(seed))
+        {
+            panic!(
+                "--checkpoint-every is not supported by this binary's sweep: its config \
+                 tweak ({what}) is not recorded in checkpoint files, so resuming them \
+                 would rebuild the wrong scenario"
+            );
+        }
+        let scenario = Scenario::new(substrate.clone(), default_apps(seed), config)
+            .with_registry(registry.clone());
+        let path = opts.checkpoint_dir.join(format!(
+            "ckpt-{}-{}-u{:.0}-s{seed}.bin",
+            substrate.name(),
+            spec.name(),
+            utilization * 100.0
+        ));
+        let topology = substrate.name().to_string();
+        let paper_scale = opts.paper_scale;
+        let (summary, _) = scenario
+            .run_summary_checkpointed(
+                spec,
+                every,
+                Some(Box::new(move |cp: &EngineCheckpoint| {
+                    let full = BenchCheckpoint {
+                        topology: topology.clone(),
+                        utilization,
+                        seed,
+                        paper_scale,
+                        checkpoint: cp.clone(),
+                    };
+                    std::fs::write(&path, full.to_bytes()).expect("write checkpoint file");
+                })),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+        summary
+    });
+    aggregate(&summaries)
+}
+
+/// Compares a sweep's (possibly tweaked) config against the standard
+/// one a resume would rebuild from the checkpoint file's coordinates.
+/// Returns the first differing field, or `None` when a resume is
+/// faithful.
+fn standard_config_mismatch(tweaked: &ScenarioConfig, standard: &ScenarioConfig) -> Option<String> {
+    if tweaked.history_slots != standard.history_slots
+        || tweaked.test_slots != standard.test_slots
+        || tweaked.measure_window != standard.measure_window
+    {
+        return Some("horizon/measurement window".to_string());
+    }
+    if tweaked.utilization != standard.utilization
+        || tweaked.plan_utilization != standard.plan_utilization
+    {
+        return Some("utilization".to_string());
+    }
+    if tweaked.shift_plan_ingress != standard.shift_plan_ingress {
+        return Some("shift_plan_ingress".to_string());
+    }
+    if tweaked.quantiles != standard.quantiles || tweaked.aggregation != standard.aggregation {
+        return Some("aggregation/quantiles".to_string());
+    }
+    if tweaked.olive != standard.olive {
+        return Some("olive ablation switches".to_string());
+    }
+    if std::mem::discriminant(&tweaked.estimator) != std::mem::discriminant(&standard.estimator) {
+        return Some("estimator kind".to_string());
+    }
+    if matches!(tweaked.estimator, EstimatorKind::Custom(_)) {
+        return Some("custom estimator".to_string());
+    }
+    if tweaked.trace != standard.trace {
+        return Some("trace parameters".to_string());
+    }
+    if tweaked.caida != standard.caida {
+        return Some("caida trace".to_string());
+    }
+    if tweaked.seed != standard.seed {
+        return Some("seed".to_string());
+    }
+    None
+}
+
+/// An [`EngineCheckpoint`] plus the scenario coordinates a figure-bin
+/// run needs to rebuild it: topology, utilization, seed and scale. This
+/// is what `--checkpoint-every` writes and `--resume-from` reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCheckpoint {
+    /// The substrate's name (one of the four builtin topologies).
+    pub topology: String,
+    /// Utilization fraction of the checkpointed run.
+    pub utilization: f64,
+    /// The run's seed.
+    pub seed: u64,
+    /// Whether the run used `--paper` scale (vs the medium default).
+    pub paper_scale: bool,
+    /// The frozen engine/algorithm/observer state.
+    pub checkpoint: EngineCheckpoint,
+}
+
+impl BenchCheckpoint {
+    /// Magic + version prefix of the file format.
+    pub const MAGIC: [u8; 8] = *b"VNEBENC1";
+
+    /// Serializes the file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        for b in Self::MAGIC {
+            w.write_u8(b);
+        }
+        w.write_str(&self.topology);
+        w.write_f64(self.utilization);
+        w.write_u64(self.seed);
+        w.write_bool(self.paper_scale);
+        w.write_blob(&vne_model::state::StateBlob::from_bytes(
+            self.checkpoint.to_bytes(),
+        ));
+        w.finish().into_bytes()
+    }
+
+    /// Parses a file written by [`BenchCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on bad magic or malformed content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::from_bytes(bytes);
+        let mut magic = [0u8; 8];
+        for b in &mut magic {
+            *b = r.read_u8()?;
+        }
+        if magic != Self::MAGIC {
+            return Err(StateError::Corrupt(format!(
+                "bad bench-checkpoint magic {magic:02x?}"
+            )));
+        }
+        let topology = r.read_str()?;
+        let utilization = r.read_f64()?;
+        let seed = r.read_u64()?;
+        let paper_scale = r.read_bool()?;
+        // read_blob bounds-checks the length against the remaining
+        // bytes before allocating, so a corrupt length field errors
+        // instead of attempting a huge allocation.
+        let inner = r.read_blob()?;
+        r.finish()?;
+        Ok(Self {
+            topology,
+            utilization,
+            seed,
+            paper_scale,
+            checkpoint: EngineCheckpoint::from_bytes(inner.as_bytes())?,
+        })
+    }
+
+    /// Rebuilds the scenario this checkpoint froze (same topology,
+    /// application draw, scale and seed — the deterministic pipeline)
+    /// and resolves algorithms in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology name is not one of the four builtins.
+    pub fn scenario(&self, registry: &AlgorithmRegistry) -> Scenario {
+        let substrate = topology_named(&self.topology)
+            .unwrap_or_else(|| panic!("unknown checkpoint topology {:?}", self.topology));
+        let config = if self.paper_scale {
+            ScenarioConfig::paper(self.utilization)
+        } else {
+            crate::cli::medium_config(self.utilization)
+        }
+        .with_seed(self.seed);
+        Scenario::new(substrate, default_apps(self.seed), config).with_registry(registry.clone())
+    }
+}
+
+/// The builtin topology with the given [`SubstrateNetwork::name`], if
+/// any (`Iris`, `CittaStudi`, `5GEN`, `100N150E`).
+pub fn topology_named(name: &str) -> Option<SubstrateNetwork> {
+    [
+        vne_topology::zoo::iris().expect("iris"),
+        vne_topology::zoo::citta_studi().expect("citta"),
+        vne_topology::gen5g::five_gen().expect("5gen"),
+        vne_topology::random::hundred_n_150e().expect("random"),
+    ]
+    .into_iter()
+    .find(|s| s.name() == name)
+}
+
+/// Handles `--resume-from`: when the flag is present, loads the file,
+/// finishes the checkpointed run (byte-identical to the uninterrupted
+/// one) and prints its summary. Figure binaries call this first and
+/// return when it reports `true`.
+///
+/// # Panics
+///
+/// Panics on unreadable/corrupt files or unknown topologies.
+pub fn resume_from(opts: &BenchOpts) -> bool {
+    let Some(path) = &opts.resume_from else {
+        return false;
+    };
+    let bytes = std::fs::read(path)
+        .unwrap_or_else(|e| panic!("cannot read checkpoint {}: {e}", path.display()));
+    let bench = BenchCheckpoint::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("cannot parse checkpoint {}: {e}", path.display()));
+    let scenario = bench.scenario(&opts.registry);
+    let resumed_at = bench.checkpoint.slot;
+    let summary = scenario
+        .resume_summary(&bench.checkpoint)
+        .unwrap_or_else(|e| panic!("cannot resume {}: {e}", path.display()));
+    println!(
+        "# resumed {} on {} at u={:.0}% (seed {}) from slot {} of {}",
+        bench.checkpoint.algorithm,
+        bench.topology,
+        bench.utilization * 100.0,
+        bench.seed,
+        resumed_at + 1,
+        scenario.config.test_slots,
+    );
+    println!(
+        "{:<12} {:>6} {:>9} {:>14} {:>14} {:>12}",
+        "topology", "util", "alg", "rejection", "total_cost", "fingerprint"
+    );
+    println!(
+        "{:<12} {:>5.0}% {:>9} {:>14.6} {:>14.3} {:>12x}",
+        bench.topology,
+        bench.utilization * 100.0,
+        bench.checkpoint.algorithm,
+        summary.rejection_rate,
+        summary.total_cost,
+        summary.fingerprint(),
+    );
+    true
 }
 
 /// Prints sweep rows with a metric selector as an aligned table.
@@ -133,6 +426,116 @@ mod tests {
         assert_eq!(rows[0].algorithm, "QUICKG");
         assert!(rows[0].summary.rejection_rate.0 >= 0.0);
         print_rows("test", &rows, "rate", |s| s.rejection_rate);
+    }
+
+    #[test]
+    fn topology_named_resolves_the_builtin_four() {
+        for name in ["Iris", "CittaStudi", "5GEN", "100N150E"] {
+            let s = topology_named(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(topology_named("Atlantis").is_none());
+    }
+
+    #[test]
+    fn bench_checkpoint_bytes_roundtrip_and_reject_corruption() {
+        let bench = BenchCheckpoint {
+            topology: "CittaStudi".to_string(),
+            utilization: 1.2,
+            seed: 7,
+            paper_scale: false,
+            checkpoint: EngineCheckpoint {
+                slot: 42,
+                algorithm: "QUICKG".to_string(),
+                engine: vne_model::state::StateBlob::from_bytes(vec![1, 2, 3]),
+                algorithm_state: vne_model::state::StateBlob::from_bytes(vec![4]),
+                observer_state: vne_model::state::StateBlob::default(),
+            },
+        };
+        let bytes = bench.to_bytes();
+        let parsed = BenchCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, bench);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(BenchCheckpoint::from_bytes(&bad).is_err());
+        assert!(BenchCheckpoint::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn checkpointed_sweep_writes_resumable_files() {
+        // End to end: a checkpointing sweep writes a file; resuming it
+        // reproduces the uninterrupted run's fingerprint exactly.
+        let dir = std::env::temp_dir().join(format!(
+            "vne-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let substrate = vne_topology::zoo::citta_studi().unwrap();
+        let opts = BenchOpts {
+            seeds: 1,
+            utils: vec![1.0],
+            checkpoint_every: Some(130),
+            checkpoint_dir: dir.clone(),
+            ..BenchOpts::default()
+        };
+        let rows = sweep(
+            &substrate,
+            &[vne_sim::scenario::Algorithm::Quickg],
+            &opts,
+            |_| {},
+        );
+        assert_eq!(rows.len(), 1);
+        // Medium scale = 300 online slots, every 130 ⇒ captures at
+        // slots 129 and 259; the file holds the latest.
+        let path = dir.join("ckpt-CittaStudi-QUICKG-u100-s1.bin");
+        let bench = BenchCheckpoint::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(bench.checkpoint.slot, 259);
+        assert_eq!(bench.topology, "CittaStudi");
+        let scenario = bench.scenario(&opts.registry);
+        let resumed = scenario.resume_summary(&bench.checkpoint).unwrap();
+        let straight = scenario
+            .run_summary(vne_sim::scenario::Algorithm::Quickg)
+            .unwrap();
+        assert_eq!(resumed.fingerprint(), straight.fingerprint());
+        // The --resume-from driver consumes the same file.
+        let resume_opts = BenchOpts {
+            resume_from: Some(path),
+            ..BenchOpts::default()
+        };
+        assert!(resume_from(&resume_opts));
+        assert!(!resume_from(&BenchOpts::default()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_sweep_rejects_tweaked_configs() {
+        // A tweak the checkpoint file cannot record (Fig. 13's
+        // plan_utilization) must fail loudly instead of writing files
+        // that would resume into the wrong scenario.
+        let substrate = vne_topology::zoo::citta_studi().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "vne-ckpt-tweak-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let opts = BenchOpts {
+            seeds: 1,
+            utils: vec![1.0],
+            checkpoint_every: Some(50),
+            checkpoint_dir: dir.clone(),
+            ..BenchOpts::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sweep(
+                &substrate,
+                &[vne_sim::scenario::Algorithm::Quickg],
+                &opts,
+                |c| c.plan_utilization = Some(0.6),
+            )
+        }));
+        assert!(result.is_err(), "tweaked checkpointing sweep must panic");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use vne_model::ids::RequestId;
 use vne_model::load::LoadLedger;
 use vne_model::request::{Request, Slot};
+use vne_model::state::{StateBlob, StateError};
 
 /// Decisions made by an algorithm during one slot.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -64,6 +65,32 @@ pub trait OnlineAlgorithm {
 
     /// The current substrate load ledger (used for cost accounting).
     fn loads(&self) -> &LoadLedger;
+
+    /// Serializes the algorithm's *mutable* state for checkpointing
+    /// (construction inputs — substrate, applications, plan — are not
+    /// included; a resume rebuilds them deterministically first).
+    /// Returns `None` when the algorithm does not support snapshots —
+    /// the default, so third-party algorithms opt in explicitly. All
+    /// four builtin algorithms implement [`vne_model::state::Snapshot`]
+    /// and forward to it here.
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        None
+    }
+
+    /// Restores state produced by [`OnlineAlgorithm::snapshot_state`]
+    /// into a freshly constructed instance of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Unsupported`] by default; implementations
+    /// return decode/mismatch errors for incompatible blobs.
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let _ = blob;
+        Err(StateError::Unsupported(format!(
+            "algorithm {}",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use vne_model::ids::{LinkId, NodeId, RequestId};
 use vne_model::load::LoadLedger;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
 use vne_model::vnet::VirtualNetwork;
 
@@ -376,6 +377,58 @@ impl FullG {
     }
 }
 
+/// Checkpointing: mutable state is the load ledger, the active
+/// allocations (demand + footprint per request) and the solve-path
+/// counters; the branch-and-bound options are construction inputs.
+impl Snapshot for FullG {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_blob(&self.loads.snapshot());
+        // HashMap: canonicalize by request id.
+        let mut active: Vec<(&RequestId, &(f64, Footprint))> = self.active.iter().collect();
+        active.sort_by_key(|(id, _)| **id);
+        w.write_usize(active.len());
+        for (id, (demand, footprint)) in active {
+            w.write(id);
+            w.write_f64(*demand);
+            w.write(footprint);
+        }
+        for count in [
+            self.stats.dp_solved,
+            self.stats.dp_repaired,
+            self.stats.ilp_fallbacks,
+            self.stats.rejected,
+        ] {
+            w.write_usize(count);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let loads_blob = r.read_blob()?;
+        let count = r.read_usize()?;
+        let mut active = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let id: RequestId = r.read()?;
+            let demand = r.read_f64()?;
+            let footprint: Footprint = r.read()?;
+            active.insert(id, (demand, footprint));
+        }
+        let stats = FullGStats {
+            dp_solved: r.read_usize()?,
+            dp_repaired: r.read_usize()?,
+            ilp_fallbacks: r.read_usize()?,
+            rejected: r.read_usize()?,
+        };
+        r.finish()?;
+        self.loads.restore(&loads_blob)?;
+        self.active = active;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
 impl OnlineAlgorithm for FullG {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
@@ -383,6 +436,14 @@ impl OnlineAlgorithm for FullG {
 
     fn name(&self) -> &str {
         "FULLG"
+    }
+
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        Snapshot::restore(self, blob)
     }
 
     fn process_slot(

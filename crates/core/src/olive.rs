@@ -27,6 +27,7 @@ use vne_model::ids::{ClassId, RequestId};
 use vne_model::load::LoadLedger;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
 
 use crate::algorithm::{OnlineAlgorithm, SlotOutcome};
@@ -411,6 +412,85 @@ impl Olive {
     }
 }
 
+/// Checkpointing: the mutable state is the load ledger, the residual
+/// plan ledger, the active allocations and the service-mode counters.
+/// The plan itself, substrate, applications and config are construction
+/// inputs — restore into an instance built with the same ones (the
+/// simulation pipeline rebuilds them deterministically per seed). The
+/// instance name (`OLIVE` vs `QUICKG`) is validated so a QUICKG blob
+/// cannot silently restore into an OLIVE run.
+impl Snapshot for Olive {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_str(&self.name);
+        w.write_blob(&self.loads.snapshot());
+        w.write_blob(&self.plan_ledger.snapshot());
+        // HashMap: canonicalize by request id.
+        let mut active: Vec<(&RequestId, &ActiveAlloc)> = self.active.iter().collect();
+        active.sort_by_key(|(id, _)| **id);
+        w.write_usize(active.len());
+        for (_, alloc) in active {
+            w.write(&alloc.request);
+            w.write(&alloc.footprint);
+            w.write_bool(alloc.planned);
+            w.write(&alloc.plan_column);
+        }
+        for count in [
+            self.stats.planned,
+            self.stats.borrowed,
+            self.stats.greedy,
+            self.stats.rejected,
+            self.stats.preempted,
+        ] {
+            w.write_usize(count);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let name = r.read_str()?;
+        if name != self.name {
+            return Err(StateError::Mismatch {
+                expected: format!("algorithm {}", self.name),
+                found: format!("algorithm {name}"),
+            });
+        }
+        let loads_blob = r.read_blob()?;
+        let ledger_blob = r.read_blob()?;
+        let count = r.read_usize()?;
+        let mut active = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let request: Request = r.read()?;
+            let footprint = r.read()?;
+            let planned = r.read_bool()?;
+            let plan_column: Option<(ClassId, usize)> = r.read()?;
+            active.insert(
+                request.id,
+                ActiveAlloc {
+                    request,
+                    footprint,
+                    planned,
+                    plan_column,
+                },
+            );
+        }
+        let stats = OliveStats {
+            planned: r.read_usize()?,
+            borrowed: r.read_usize()?,
+            greedy: r.read_usize()?,
+            rejected: r.read_usize()?,
+            preempted: r.read_usize()?,
+        };
+        r.finish()?;
+        self.loads.restore(&loads_blob)?;
+        self.plan_ledger.restore(&ledger_blob)?;
+        self.active = active;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
 impl OnlineAlgorithm for Olive {
     fn name(&self) -> &str {
         &self.name
@@ -418,6 +498,14 @@ impl OnlineAlgorithm for Olive {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        Snapshot::restore(self, blob)
     }
 
     fn process_slot(

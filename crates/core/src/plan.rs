@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use vne_model::embedding::{Embedding, Footprint};
 use vne_model::ids::ClassId;
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 
 /// Small tolerance for budget arithmetic.
 const BUDGET_EPS: f64 = 1e-9;
@@ -192,6 +193,11 @@ impl PlanLedger {
         }
     }
 
+    /// The number of planned classes tracked.
+    pub fn class_count(&self) -> usize {
+        self.budgets.len()
+    }
+
     /// Whether all residuals are within `[0, budget]` (test invariant).
     pub fn check_invariants(&self) -> bool {
         self.residual.iter().all(|(c, v)| {
@@ -199,6 +205,37 @@ impl PlanLedger {
                 .zip(&self.budgets[c])
                 .all(|(&r, &b)| (-BUDGET_EPS..=b + BUDGET_EPS).contains(&r))
         })
+    }
+}
+
+/// Checkpointing: both maps are serialized wholesale (BTreeMaps encode
+/// in canonical key order). Restoring validates the class/column shape
+/// against the ledger's current plan before replacing anything.
+impl Snapshot for PlanLedger {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write(&self.residual);
+        w.write(&self.budgets);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let residual: BTreeMap<ClassId, Vec<f64>> = r.read()?;
+        let budgets: BTreeMap<ClassId, Vec<f64>> = r.read()?;
+        r.finish()?;
+        let shape = |m: &BTreeMap<ClassId, Vec<f64>>| -> Vec<(ClassId, usize)> {
+            m.iter().map(|(&c, v)| (c, v.len())).collect()
+        };
+        if shape(&budgets) != shape(&self.budgets) || shape(&residual) != shape(&budgets) {
+            return Err(StateError::Mismatch {
+                expected: format!("plan ledger with {} classes", self.budgets.len()),
+                found: format!("blob with {} classes", budgets.len()),
+            });
+        }
+        self.residual = residual;
+        self.budgets = budgets;
+        Ok(())
     }
 }
 
@@ -295,6 +332,26 @@ mod tests {
         assert_eq!(ledger.partial_candidates(class), vec![1, 0]);
         ledger.consume(class, 0, 0.5);
         assert_eq!(ledger.partial_candidates(class), vec![1]);
+    }
+
+    #[test]
+    fn ledger_snapshot_roundtrips_and_validates() {
+        let (plan, class) = plan_one_class();
+        let mut ledger = PlanLedger::new(&plan);
+        ledger.consume(class, 0, 4.0);
+        ledger.consume(class, 1, 1.0);
+        let blob = ledger.snapshot();
+        let mut fresh = PlanLedger::new(&plan);
+        fresh.restore(&blob).unwrap();
+        assert_eq!(fresh, ledger);
+        assert_eq!(fresh.snapshot(), blob);
+        assert_eq!(fresh.class_count(), 1);
+        // A ledger over a different plan shape rejects the blob.
+        let mut empty = PlanLedger::new(&Plan::empty());
+        assert!(matches!(
+            empty.restore(&blob),
+            Err(StateError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use vne_model::ids::{ClassId, RequestId};
 use vne_model::load::LoadLedger;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
 
 use crate::aggregate::AggregateDemand;
@@ -78,6 +79,49 @@ impl SlotOff {
     }
 }
 
+/// Checkpointing: mutable state is the load ledger, the active
+/// requests, the warm-start column pool *in its exact order* (the pool
+/// seeds the next slot's LP, so resumed runs must price the same
+/// columns in the same sequence to stay byte-identical) and the
+/// cumulative round counter.
+impl Snapshot for SlotOff {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_blob(&self.loads.snapshot());
+        // HashMap: canonicalize by request id.
+        let mut active: Vec<&Request> = self.active.values().collect();
+        active.sort_by_key(|r| r.id);
+        w.write_seq(active.into_iter());
+        w.write_usize(self.pool.len());
+        for (class, embedding) in &self.pool {
+            w.write(class);
+            w.write(embedding);
+        }
+        w.write_usize(self.total_rounds);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let loads_blob = r.read_blob()?;
+        let active_list: Vec<Request> = r.read_seq()?;
+        let pool_len = r.read_usize()?;
+        let mut pool = Vec::with_capacity(pool_len);
+        for _ in 0..pool_len {
+            let class: ClassId = r.read()?;
+            let embedding: Embedding = r.read()?;
+            pool.push((class, embedding));
+        }
+        let total_rounds = r.read_usize()?;
+        r.finish()?;
+        self.loads.restore(&loads_blob)?;
+        self.active = active_list.into_iter().map(|r| (r.id, r)).collect();
+        self.pool = pool;
+        self.total_rounds = total_rounds;
+        Ok(())
+    }
+}
+
 impl OnlineAlgorithm for SlotOff {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
@@ -85,6 +129,14 @@ impl OnlineAlgorithm for SlotOff {
 
     fn name(&self) -> &str {
         "SLOTOFF"
+    }
+
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        Snapshot::restore(self, blob)
     }
 
     fn process_slot(

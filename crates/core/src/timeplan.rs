@@ -386,11 +386,9 @@ mod tests {
     fn from_stream_matches_from_history() {
         let (s, apps) = world();
         let mut history = Vec::new();
-        let mut id = 0;
-        for t in 0..100u32 {
+        for (id, t) in (0..100u32).enumerate() {
             let node = if (t / 10) % 2 == 0 { 0 } else { 1 };
-            history.push(req(id, t, node, 6.0));
-            id += 1;
+            history.push(req(id as u64, t, node, 6.0));
         }
         let events: Vec<vne_model::request::SlotEvents> = (0..100)
             .map(|t| vne_model::request::SlotEvents {

@@ -16,7 +16,9 @@
 //! * [`embedding`] — unsplittable mappings `x(r)` and their per-element
 //!   footprints (Eq. 1);
 //! * [`load`] — residual capacity ledgers (`Res(S,t,x)`, Eq. 16);
-//! * [`cost`] — resource costs and rejection penalties (Eqs. 3–4).
+//! * [`cost`] — resource costs and rejection penalties (Eqs. 3–4);
+//! * [`state`] — the [`state::Snapshot`] checkpoint capability and the
+//!   deterministic binary codec behind checkpoint/resume.
 //!
 //! Higher layers build on this crate: `vne-topology` constructs substrate
 //! instances, `vne-workload` generates requests, `vne-olive` implements
@@ -54,6 +56,7 @@ pub mod ids;
 pub mod load;
 pub mod policy;
 pub mod request;
+pub mod state;
 pub mod substrate;
 pub mod vnet;
 
@@ -67,6 +70,7 @@ pub mod prelude {
     pub use crate::load::LoadLedger;
     pub use crate::policy::PlacementPolicy;
     pub use crate::request::{Request, Slot, SlotEvents};
+    pub use crate::state::{Snapshot, StateBlob, StateError};
     pub use crate::substrate::{SubstrateNetwork, Tier};
     pub use crate::vnet::{VirtualNetwork, VnfKind};
 }

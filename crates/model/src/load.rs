@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::embedding::Footprint;
 use crate::ids::{ElementId, LinkId, NodeId};
+use crate::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use crate::substrate::SubstrateNetwork;
 
 /// Relative tolerance for capacity feasibility checks.
@@ -198,6 +199,44 @@ impl LoadLedger {
     }
 }
 
+/// Checkpointing: the mutable state is the two load vectors; capacities
+/// come from the substrate the ledger was constructed over, so
+/// [`Snapshot::restore`] only validates their dimensions.
+impl Snapshot for LoadLedger {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write(&self.node_load);
+        w.write(&self.link_load);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let node_load: Vec<f64> = r.read()?;
+        let link_load: Vec<f64> = r.read()?;
+        r.finish()?;
+        if node_load.len() != self.node_capacity.len()
+            || link_load.len() != self.link_capacity.len()
+        {
+            return Err(StateError::Mismatch {
+                expected: format!(
+                    "ledger over {} nodes / {} links",
+                    self.node_capacity.len(),
+                    self.link_capacity.len()
+                ),
+                found: format!(
+                    "loads for {} nodes / {} links",
+                    node_load.len(),
+                    link_load.len()
+                ),
+            });
+        }
+        self.node_load = node_load;
+        self.link_load = link_load;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +322,26 @@ mod tests {
         );
         assert!(ledger.all_nodes_loaded_above(0.9));
         assert!(!ledger.all_nodes_loaded_above(1.0));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_validates_shape() {
+        let (s, a, _b, l) = two_nodes();
+        let mut ledger = LoadLedger::new(&s);
+        ledger.apply(&Footprint::from_parts(vec![(a, 10.0)], vec![(l, 5.0)]), 3.0);
+        let blob = ledger.snapshot();
+        let mut fresh = LoadLedger::new(&s);
+        fresh.restore(&blob).unwrap();
+        assert_eq!(fresh, ledger);
+        assert_eq!(fresh.snapshot(), blob);
+        // A ledger over a different substrate rejects the blob.
+        let mut tiny = SubstrateNetwork::new("tiny");
+        tiny.add_node("x", Tier::Edge, 1.0, 1.0).unwrap();
+        let mut wrong = LoadLedger::new(&tiny);
+        assert!(matches!(
+            wrong.restore(&blob),
+            Err(StateError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -25,10 +25,12 @@
 //! [`Recorder`]: crate::observe::Recorder
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::time::Instant;
 
 use vne_model::ids::{ClassId, RequestId};
 use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::algorithm::OnlineAlgorithm;
 
@@ -83,6 +85,56 @@ impl RequestOutcome {
     }
 }
 
+impl vne_model::state::StateEncode for RequestStatus {
+    fn encode(&self, w: &mut StateWriter) {
+        match self {
+            RequestStatus::Accepted => w.write_u8(0),
+            RequestStatus::Rejected => w.write_u8(1),
+            RequestStatus::Preempted(at) => {
+                w.write_u8(2);
+                w.write_u32(*at);
+            }
+        }
+    }
+}
+
+impl vne_model::state::StateDecode for RequestStatus {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        match r.read_u8()? {
+            0 => Ok(RequestStatus::Accepted),
+            1 => Ok(RequestStatus::Rejected),
+            2 => Ok(RequestStatus::Preempted(r.read_u32()?)),
+            tag => Err(StateError::Corrupt(format!(
+                "invalid request status tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl vne_model::state::StateEncode for RequestOutcome {
+    fn encode(&self, w: &mut StateWriter) {
+        w.write(&self.id);
+        w.write(&self.class);
+        w.write_u32(self.arrival);
+        w.write_u32(self.duration);
+        w.write_f64(self.demand);
+        w.write(&self.status);
+    }
+}
+
+impl vne_model::state::StateDecode for RequestOutcome {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            id: r.read()?,
+            class: r.read()?,
+            arrival: r.read_u32()?,
+            duration: r.read_u32()?,
+            demand: r.read_f64()?,
+            status: r.read()?,
+        })
+    }
+}
+
 /// Per-slot aggregate series.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotMetrics {
@@ -93,6 +145,24 @@ pub struct SlotMetrics {
     pub allocated_demand: f64,
     /// Resource cost of the current loads for this slot (Eq. 3 term).
     pub resource_cost: f64,
+}
+
+impl vne_model::state::StateEncode for SlotMetrics {
+    fn encode(&self, w: &mut StateWriter) {
+        w.write_f64(self.requested_demand);
+        w.write_f64(self.allocated_demand);
+        w.write_f64(self.resource_cost);
+    }
+}
+
+impl vne_model::state::StateDecode for SlotMetrics {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            requested_demand: r.read_f64()?,
+            allocated_demand: r.read_f64()?,
+            resource_cost: r.read_f64()?,
+        })
+    }
 }
 
 /// Complete result of one simulation run (as collected by
@@ -169,6 +239,14 @@ pub trait SimObserver {
     ) -> SimControl {
         SimControl::Continue
     }
+
+    /// The slot is fully committed: invoked after
+    /// [`SimObserver::on_slot_end`] with a checkpointable [`EngineView`]
+    /// of the engine's internal state — **including when the slot's
+    /// `on_slot_end` asked to stop**, so an early-stopped run still
+    /// leaves a restorable checkpoint at its final slot (see
+    /// [`crate::observe::Checkpointer`]).
+    fn on_slot_committed(&mut self, _view: &EngineView<'_>) {}
 }
 
 /// Blanket impl so `&mut observer` can be passed down call chains.
@@ -189,6 +267,229 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
         algorithm: &dyn OnlineAlgorithm,
     ) -> SimControl {
         (**self).on_slot_end(t, metrics, algorithm)
+    }
+    fn on_slot_committed(&mut self, view: &EngineView<'_>) {
+        (**self).on_slot_committed(view);
+    }
+}
+
+/// The engine's mutable state between slots: the `O(active)` working
+/// set ([`run_stream`] keeps nothing else). Factored out of the run
+/// loop so checkpoints can serialize it and [`run_stream_from`] can
+/// rebuild it.
+#[derive(Debug, Clone, Default)]
+pub struct EngineState {
+    /// Active accepted requests (the O(active) working set).
+    alive: HashMap<RequestId, Request>,
+    /// Departure calendar: slot -> accepted request ids departing then
+    /// (in acceptance order — the order departures are released in).
+    departures_at: BTreeMap<Slot, Vec<RequestId>>,
+    /// Requested-demand decrements: slot -> total demand departing then
+    /// (all arrivals, accepted or not — the "requested" curve of Fig. 8).
+    requested_drop: BTreeMap<Slot, f64>,
+    requested_active: f64,
+    allocated_active: f64,
+    stats: StreamStats,
+    /// The lowest slot the next event may carry (slots strictly
+    /// increase); after a resume this is `checkpoint slot + 1`.
+    next_min_slot: u64,
+}
+
+impl EngineState {
+    /// The state of a run that has not processed any slot.
+    pub fn fresh() -> Self {
+        Self::default()
+    }
+
+    /// The engine counters accumulated so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Number of currently active (accepted) requests.
+    pub fn active_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The first slot the next event may carry.
+    pub fn next_slot(&self) -> u64 {
+        self.next_min_slot
+    }
+}
+
+/// Checkpointing: everything [`run_stream`] keeps between slots. The
+/// `alive` hash map is canonicalized by request id; the departure
+/// calendar's per-slot vectors keep their order (it is the release
+/// order, and release order feeds the algorithm's departure slice).
+impl Snapshot for EngineState {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        let mut alive: Vec<&Request> = self.alive.values().collect();
+        alive.sort_by_key(|r| r.id);
+        w.write_seq(alive.into_iter());
+        w.write(&self.departures_at);
+        w.write(&self.requested_drop);
+        w.write_f64(self.requested_active);
+        w.write_f64(self.allocated_active);
+        w.write_u32(self.stats.slots_run);
+        w.write_usize(self.stats.arrivals);
+        w.write_usize(self.stats.peak_active);
+        w.write_f64(self.stats.online_secs);
+        w.write_bool(self.stats.stopped_early);
+        w.write_u64(self.next_min_slot);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let alive_list: Vec<Request> = r.read_seq()?;
+        let departures_at: BTreeMap<Slot, Vec<RequestId>> = r.read()?;
+        let requested_drop: BTreeMap<Slot, f64> = r.read()?;
+        let requested_active = r.read_f64()?;
+        let allocated_active = r.read_f64()?;
+        let stats = StreamStats {
+            slots_run: r.read_u32()?,
+            arrivals: r.read_usize()?,
+            peak_active: r.read_usize()?,
+            online_secs: r.read_f64()?,
+            stopped_early: r.read_bool()?,
+        };
+        let next_min_slot = r.read_u64()?;
+        r.finish()?;
+        self.alive = alive_list.into_iter().map(|r| (r.id, r)).collect();
+        self.departures_at = departures_at;
+        self.requested_drop = requested_drop;
+        self.requested_active = requested_active;
+        self.allocated_active = allocated_active;
+        self.stats = stats;
+        self.next_min_slot = next_min_slot;
+        Ok(())
+    }
+}
+
+/// A borrowed, checkpointable view of the engine handed to
+/// [`SimObserver::on_slot_committed`] after every slot.
+#[derive(Clone, Copy)]
+pub struct EngineView<'a> {
+    slot: Slot,
+    state: &'a EngineState,
+    algorithm: &'a dyn OnlineAlgorithm,
+}
+
+impl fmt::Debug for EngineView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineView")
+            .field("slot", &self.slot)
+            .field("algorithm", &self.algorithm.name())
+            .field("active", &self.state.active_count())
+            .finish()
+    }
+}
+
+impl<'a> EngineView<'a> {
+    /// The slot that just committed.
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// The engine state after the slot.
+    pub fn state(&self) -> &'a EngineState {
+        self.state
+    }
+
+    /// The running algorithm (drill-down via [`OnlineAlgorithm::as_any`]).
+    pub fn algorithm(&self) -> &'a dyn OnlineAlgorithm {
+        self.algorithm
+    }
+
+    /// Serializes a full [`EngineCheckpoint`] at this slot. The caller
+    /// supplies the serialized state of whatever observers must survive
+    /// the resume (e.g. a [`crate::observe::WindowSummary`] snapshot) —
+    /// the engine cannot see them, only their owner can.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Unsupported`] when the running algorithm
+    /// does not implement [`OnlineAlgorithm::snapshot_state`].
+    pub fn checkpoint(&self, observer_state: StateBlob) -> Result<EngineCheckpoint, StateError> {
+        let algorithm_state = self.algorithm.snapshot_state().ok_or_else(|| {
+            StateError::Unsupported(format!("algorithm {}", self.algorithm.name()))
+        })?;
+        Ok(EngineCheckpoint {
+            slot: self.slot,
+            algorithm: self.algorithm.name().to_string(),
+            engine: self.state.snapshot(),
+            algorithm_state,
+            observer_state,
+        })
+    }
+}
+
+/// A complete, serializable snapshot of a streaming run after one slot:
+/// enough to finish the run later ([`run_stream_from`]) or to branch a
+/// what-if fork from the middle of a stream
+/// ([`crate::scenario::Scenario::fork_at`]), with results byte-identical
+/// to the uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineCheckpoint {
+    /// The last slot the checkpointed run completed; the resume
+    /// consumes events from `slot + 1` on.
+    pub slot: Slot,
+    /// Name of the algorithm that produced `algorithm_state` (validated
+    /// on resume).
+    pub algorithm: String,
+    /// The [`EngineState`] snapshot.
+    pub engine: StateBlob,
+    /// The algorithm's [`OnlineAlgorithm::snapshot_state`] blob.
+    pub algorithm_state: StateBlob,
+    /// The resumable observer state (owner-defined; often a
+    /// [`crate::observe::WindowSummary`] snapshot).
+    pub observer_state: StateBlob,
+}
+
+impl EngineCheckpoint {
+    /// Magic + version prefix of the serialized form.
+    pub const MAGIC: [u8; 8] = *b"VNECKPT1";
+
+    /// Serializes the checkpoint for storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        for b in Self::MAGIC {
+            w.write_u8(b);
+        }
+        w.write_u32(self.slot);
+        w.write_str(&self.algorithm);
+        w.write_blob(&self.engine);
+        w.write_blob(&self.algorithm_state);
+        w.write_blob(&self.observer_state);
+        w.finish().into_bytes()
+    }
+
+    /// Parses a checkpoint serialized by [`EngineCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] on bad magic or malformed content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::from_bytes(bytes);
+        let mut magic = [0u8; 8];
+        for b in &mut magic {
+            *b = r.read_u8()?;
+        }
+        if magic != Self::MAGIC {
+            return Err(StateError::Corrupt(format!(
+                "bad checkpoint magic {magic:02x?}"
+            )));
+        }
+        let checkpoint = Self {
+            slot: r.read_u32()?,
+            algorithm: r.read_str()?,
+            engine: r.read_blob()?,
+            algorithm_state: r.read_blob()?,
+            observer_state: r.read_blob()?,
+        };
+        r.finish()?;
+        Ok(checkpoint)
     }
 }
 
@@ -217,59 +518,115 @@ where
     E: IntoIterator<Item = SlotEvents>,
     O: SimObserver + ?Sized,
 {
-    // Active accepted requests (the O(active) working set).
-    let mut alive: HashMap<RequestId, Request> = HashMap::new();
-    // Departure calendar: slot -> accepted request ids departing then.
-    let mut departures_at: BTreeMap<Slot, Vec<RequestId>> = BTreeMap::new();
-    // Requested-demand decrements: slot -> total demand departing then
-    // (all arrivals, accepted or not — the "requested" curve of Fig. 8).
-    let mut requested_drop: BTreeMap<Slot, f64> = BTreeMap::new();
-    let mut requested_active = 0.0f64;
-    let mut allocated_active = 0.0f64;
-    let mut stats = StreamStats::default();
+    let mut state = EngineState::fresh();
+    drive(&mut state, algorithm, substrate, events, observer)
+}
 
-    // The lowest slot the next event may carry (slots strictly increase).
-    let mut next_min_slot: u64 = 0;
+/// Resumes a checkpointed run: restores the algorithm, the observer and
+/// the engine state from `checkpoint`, drops the events the checkpoint
+/// already consumed (slots `<= checkpoint.slot`; lazy sources can
+/// fast-forward cheaper via their `skip_to`), and finishes the run.
+///
+/// `algorithm` and `observer` must be freshly constructed with the same
+/// configuration as the checkpointed run (the deterministic scenario
+/// pipeline does this per seed); their mutable state is replaced from
+/// the checkpoint. The finished run is **byte-identical** to the
+/// uninterrupted one — the guarantee pinned by the resume-determinism
+/// test battery.
+///
+/// # Errors
+///
+/// Returns a [`StateError`] when the algorithm's name does not match
+/// the checkpoint or any blob fails to restore.
+///
+/// # Panics
+///
+/// Panics like [`run_stream`] if the remaining stream yields
+/// non-increasing slots.
+pub fn run_stream_from<E, O>(
+    checkpoint: &EngineCheckpoint,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+) -> Result<StreamStats, StateError>
+where
+    E: IntoIterator<Item = SlotEvents>,
+    O: SimObserver + Snapshot + ?Sized,
+{
+    if algorithm.name() != checkpoint.algorithm {
+        return Err(StateError::Mismatch {
+            expected: format!("algorithm {}", checkpoint.algorithm),
+            found: format!("algorithm {}", algorithm.name()),
+        });
+    }
+    algorithm.restore_state(&checkpoint.algorithm_state)?;
+    observer.restore(&checkpoint.observer_state)?;
+    let mut state = EngineState::fresh();
+    state.restore(&checkpoint.engine)?;
+    // The resumed segment gets its own early-stop verdict.
+    state.stats.stopped_early = false;
+    let consumed = state.next_min_slot;
+    let remaining = events
+        .into_iter()
+        .skip_while(move |ev| u64::from(ev.slot) < consumed);
+    Ok(drive(&mut state, algorithm, substrate, remaining, observer))
+}
+
+/// The shared engine loop behind [`run_stream`] and [`run_stream_from`].
+fn drive<E, O>(
+    state: &mut EngineState,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+) -> StreamStats
+where
+    E: IntoIterator<Item = SlotEvents>,
+    O: SimObserver + ?Sized,
+{
+    // Online seconds accumulate across resumed segments.
+    let base_secs = state.stats.online_secs;
     let started = Instant::now();
     for event in events {
         let t = event.slot;
         assert!(
-            u64::from(t) >= next_min_slot,
+            u64::from(t) >= state.next_min_slot,
             "slot events must be strictly increasing (got slot {t} after {})",
-            next_min_slot - 1
+            state.next_min_slot - 1
         );
-        next_min_slot = u64::from(t) + 1;
+        state.next_min_slot = u64::from(t) + 1;
         observer.on_slot_start(t);
 
         // Departures of accepted-and-still-alive requests, up to and
         // including this slot (a sparse stream may skip quiet slots;
         // departures falling into the gap are released now).
         let mut departures: Vec<Request> = Vec::new();
-        while let Some(entry) = departures_at.first_entry() {
+        while let Some(entry) = state.departures_at.first_entry() {
             if *entry.key() > t {
                 break;
             }
             for id in entry.remove() {
-                if let Some(r) = alive.remove(&id) {
-                    allocated_active -= r.demand;
+                if let Some(r) = state.alive.remove(&id) {
+                    state.allocated_active -= r.demand;
                     departures.push(r);
                 }
             }
         }
-        while let Some(entry) = requested_drop.first_entry() {
+        while let Some(entry) = state.requested_drop.first_entry() {
             if *entry.key() > t {
                 break;
             }
-            requested_active -= entry.remove();
+            state.requested_active -= entry.remove();
         }
 
         let arrivals = event.arrivals;
         for r in &arrivals {
-            requested_active += r.demand;
-            *requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
+            state.requested_active += r.demand;
+            *state.requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
         }
         let outcome = algorithm.process_slot(t, &departures, &arrivals);
-        stats.arrivals += arrivals.len();
+        state.stats.arrivals += arrivals.len();
 
         for r in arrivals {
             let accepted = outcome.accepted.contains(&r.id);
@@ -280,32 +637,46 @@ where
             };
             observer.on_arrival(&RequestOutcome::of(&r, status));
             if accepted {
-                allocated_active += r.demand;
-                departures_at.entry(r.departure()).or_default().push(r.id);
-                alive.insert(r.id, r);
+                state.allocated_active += r.demand;
+                state
+                    .departures_at
+                    .entry(r.departure())
+                    .or_default()
+                    .push(r.id);
+                state.alive.insert(r.id, r);
             }
         }
-        stats.peak_active = stats.peak_active.max(alive.len());
+        state.stats.peak_active = state.stats.peak_active.max(state.alive.len());
         for &p in &outcome.preempted {
-            if let Some(r) = alive.remove(&p) {
-                allocated_active -= r.demand;
+            if let Some(r) = state.alive.remove(&p) {
+                state.allocated_active -= r.demand;
                 observer.on_preemption(&RequestOutcome::of(&r, RequestStatus::Preempted(t)));
             }
         }
 
         let metrics = SlotMetrics {
-            requested_demand: requested_active,
-            allocated_demand: allocated_active,
+            requested_demand: state.requested_active,
+            allocated_demand: state.allocated_active,
             resource_cost: algorithm.loads().cost_per_slot(substrate),
         };
-        stats.slots_run = t + 1;
-        if observer.on_slot_end(t, &metrics, algorithm) == SimControl::Stop {
-            stats.stopped_early = true;
+        state.stats.slots_run = t + 1;
+        let control = observer.on_slot_end(t, &metrics, algorithm);
+        // The commit hook fires even when this slot's on_slot_end asked
+        // to stop: a budgeted run must leave a checkpoint at its final
+        // slot (the StopAfter-on-checkpoint-slot regression).
+        state.stats.online_secs = base_secs + started.elapsed().as_secs_f64();
+        observer.on_slot_committed(&EngineView {
+            slot: t,
+            state: &*state,
+            algorithm: &*algorithm,
+        });
+        if control == SimControl::Stop {
+            state.stats.stopped_early = true;
             break;
         }
     }
-    stats.online_secs = started.elapsed().as_secs_f64();
-    stats
+    state.stats.online_secs = base_secs + started.elapsed().as_secs_f64();
+    state.stats
 }
 
 /// Adapts a pre-collected trace into the slot-event stream [`run_stream`]

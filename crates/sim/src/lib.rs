@@ -9,7 +9,9 @@
 //!   per-slot facts to a [`engine::SimObserver`];
 //! * [`observe`] has the ready-made observers: a full-result
 //!   [`observe::Recorder`], an `O(classes)` incremental
-//!   [`observe::WindowSummary`], closure inspection and a tee;
+//!   [`observe::WindowSummary`], a periodic [`observe::Checkpointer`]
+//!   (checkpoint/resume for long-horizon runs), closure inspection and
+//!   a tee;
 //! * the [`registry`] constructs algorithms by name
 //!   (`Box<dyn OnlineAlgorithm>`): the paper's four are built in and
 //!   third-party algorithms register without touching this crate;
@@ -48,9 +50,13 @@ pub mod registry;
 pub mod runner;
 pub mod scenario;
 
-pub use engine::{RequestStatus, RunResult, SimControl, SimObserver, StreamStats};
+pub use engine::{
+    EngineCheckpoint, RequestStatus, RunResult, SimControl, SimObserver, StreamStats,
+};
 pub use metrics::{aggregate, summarize, AggregatedSummary, Summary};
-pub use observe::{NullObserver, Recorder, WindowSummary};
+pub use observe::{Checkpointer, NullObserver, Recorder, WindowSummary};
 pub use registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
 pub use runner::{default_apps, run_seeds, run_seeds_in, Utilization};
-pub use scenario::{Algorithm, Outcome, Scenario, ScenarioBuilder, ScenarioConfig};
+pub use scenario::{
+    Algorithm, Fork, Outcome, ResumeError, Scenario, ScenarioBuilder, ScenarioConfig,
+};

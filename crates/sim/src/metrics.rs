@@ -54,6 +54,19 @@ impl NeumaierSum {
     pub fn value(&self) -> f64 {
         self.sum + self.compensation
     }
+
+    /// The raw `(sum, compensation)` pair — the complete accumulator
+    /// state, exposed for bit-exact checkpointing.
+    pub fn parts(&self) -> (f64, f64) {
+        (self.sum, self.compensation)
+    }
+
+    /// Rebuilds an accumulator from [`NeumaierSum::parts`] (checkpoint
+    /// restore; continuing the fold is bit-identical to never having
+    /// stopped).
+    pub fn from_parts(sum: f64, compensation: f64) -> Self {
+        Self { sum, compensation }
+    }
 }
 
 /// Summary of one run over a measurement window.
@@ -77,6 +90,33 @@ pub struct Summary {
     pub balance_index: f64,
     /// Online-loop wall-clock seconds (whole run, not only the window).
     pub online_secs: f64,
+}
+
+impl Summary {
+    /// FNV-1a fingerprint of every *deterministic* field (all counts
+    /// and IEEE bit patterns; the wall-clock `online_secs` is excluded).
+    /// Two runs of the same scenario — including a checkpointed run
+    /// resumed mid-stream — must produce equal fingerprints; the golden
+    /// regression suite pins these values per algorithm the way
+    /// `plan_identity` pins plans.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(&(self.arrivals as u64).to_le_bytes());
+        eat(&(self.rejected as u64).to_le_bytes());
+        eat(&(self.preempted as u64).to_le_bytes());
+        eat(&self.rejection_rate.to_bits().to_le_bytes());
+        eat(&self.resource_cost.to_bits().to_le_bytes());
+        eat(&self.rejection_cost.to_bits().to_le_bytes());
+        eat(&self.total_cost.to_bits().to_le_bytes());
+        eat(&self.balance_index.to_bits().to_le_bytes());
+        h
+    }
 }
 
 /// Computes the window summary of a run.
@@ -410,6 +450,36 @@ mod tests {
         let s2 = summarize(&r2, &p, (0, 10));
         assert_eq!(s1.rejection_cost.to_bits(), s2.rejection_cost.to_bits());
         assert_eq!(s1.preempted, 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_only() {
+        let r = result(vec![outcome(0, 1, 0, 0, RequestStatus::Rejected)], 5);
+        let p = penalty();
+        let a = summarize(&r, &p, (0, 5));
+        let mut b = a;
+        b.online_secs = a.online_secs + 123.0;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a;
+        c.rejected += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn neumaier_parts_roundtrip_mid_fold() {
+        let terms = [1.0, 1e100, 1.0, -1e100, 3.5];
+        let mut original = NeumaierSum::new();
+        for &x in &terms[..3] {
+            original.add(x);
+        }
+        let (sum, comp) = original.parts();
+        let mut resumed = NeumaierSum::from_parts(sum, comp);
+        for &x in &terms[3..] {
+            original.add(x);
+            resumed.add(x);
+        }
+        assert_eq!(original.value().to_bits(), resumed.value().to_bits());
+        assert_eq!(original.parts(), resumed.parts());
     }
 
     #[test]

@@ -10,23 +10,55 @@
 //! * [`Inspect`] — adapts a per-slot closure (drill-down figures);
 //! * [`StopAfter`] — ends the run after a fixed slot budget (the
 //!   simplest user of [`SimControl::Stop`]);
+//! * [`Checkpointer`] — wraps a snapshot-capable observer and
+//!   serializes a full [`EngineCheckpoint`] every N slots, making
+//!   long-horizon runs interruptible and forkable;
 //! * [`Tee`] — composes two observers.
+//!
+//! The recording observers ([`Recorder`], [`WindowSummary`],
+//! [`StopAfter`], [`NullObserver`], and [`Tee`]s of them) implement
+//! [`Snapshot`], so their partial statistics ride inside checkpoints
+//! and resume bit-exactly.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 
 use vne_model::cost::RejectionPenalty;
 use vne_model::ids::{AppId, NodeId, RequestId};
 use vne_model::request::Slot;
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_olive::algorithm::OnlineAlgorithm;
 
-use crate::engine::{RequestOutcome, RunResult, SimControl, SimObserver, SlotMetrics, StreamStats};
+use crate::engine::{
+    EngineCheckpoint, EngineView, RequestOutcome, RunResult, SimControl, SimObserver, SlotMetrics,
+    StreamStats,
+};
 use crate::metrics::{balance_from_counts, NeumaierSum, Summary};
+
+/// A callback invoked with every checkpoint a [`Checkpointer`] captures.
+type CheckpointSinkFn = Box<dyn FnMut(&EngineCheckpoint) + Send>;
 
 /// An observer that ignores every event.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
 impl SimObserver for NullObserver {}
+
+impl Snapshot for NullObserver {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::default()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        if blob.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError::TrailingBytes {
+                remaining: blob.len(),
+            })
+        }
+    }
+}
 
 /// Collects the full per-request outcome log and per-slot series.
 ///
@@ -84,6 +116,33 @@ impl SimObserver for Recorder {
     ) -> SimControl {
         self.slots.push(*metrics);
         SimControl::Continue
+    }
+}
+
+/// Checkpointing: the outcome log and the per-slot series (the id
+/// index is rebuilt from the log). `O(trace)` blobs by nature — pair a
+/// checkpointed long-horizon run with [`WindowSummary`] instead.
+impl Snapshot for Recorder {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write(&self.requests);
+        w.write(&self.slots);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let requests: Vec<RequestOutcome> = r.read()?;
+        let slots: Vec<SlotMetrics> = r.read()?;
+        r.finish()?;
+        self.index = requests
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.id, i))
+            .collect();
+        self.requests = requests;
+        self.slots = slots;
+        Ok(())
     }
 }
 
@@ -231,6 +290,73 @@ impl SimObserver for WindowSummary {
     }
 }
 
+/// Checkpointing: all counters, both compensated cost accumulators
+/// (sum + compensation, bit-exact), the per-slot preemption buffer and
+/// the balance tallies. The measurement window is validated so a blob
+/// cannot restore into a summary over a different window; the penalty
+/// is a construction input.
+impl Snapshot for WindowSummary {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_u32(self.window.0);
+        w.write_u32(self.window.1);
+        w.write_usize(self.arrivals);
+        w.write_usize(self.rejected);
+        w.write_usize(self.preempted);
+        for sum in [&self.rejected_cost, &self.preempted_cost] {
+            let (s, c) = sum.parts();
+            w.write_f64(s);
+            w.write_f64(c);
+        }
+        w.write(&self.pending_preemptions);
+        w.write_f64(self.resource_cost);
+        w.write(&self.n_v);
+        w.write(&self.x_va);
+        w.write_usize(self.apps.len());
+        for app in &self.apps {
+            w.write(app);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let window = (r.read_u32()?, r.read_u32()?);
+        if window != self.window {
+            return Err(StateError::Mismatch {
+                expected: format!("measurement window {:?}", self.window),
+                found: format!("window {window:?}"),
+            });
+        }
+        let arrivals = r.read_usize()?;
+        let rejected = r.read_usize()?;
+        let preempted = r.read_usize()?;
+        let rejected_cost = NeumaierSum::from_parts(r.read_f64()?, r.read_f64()?);
+        let preempted_cost = NeumaierSum::from_parts(r.read_f64()?, r.read_f64()?);
+        let pending_preemptions: Vec<(RequestId, f64)> = r.read()?;
+        let resource_cost = r.read_f64()?;
+        let n_v: BTreeMap<NodeId, f64> = r.read()?;
+        let x_va: BTreeMap<(NodeId, AppId), f64> = r.read()?;
+        let app_count = r.read_usize()?;
+        let mut apps = BTreeSet::new();
+        for _ in 0..app_count {
+            apps.insert(r.read::<AppId>()?);
+        }
+        r.finish()?;
+        self.arrivals = arrivals;
+        self.rejected = rejected;
+        self.preempted = preempted;
+        self.rejected_cost = rejected_cost;
+        self.preempted_cost = preempted_cost;
+        self.pending_preemptions = pending_preemptions;
+        self.resource_cost = resource_cost;
+        self.n_v = n_v;
+        self.x_va = x_va;
+        self.apps = apps;
+        Ok(())
+    }
+}
+
 /// Stops the run after observing a fixed number of slot-end events —
 /// the smallest real user of [`SimControl::Stop`]: cap an open-ended
 /// stream at a slot budget and keep the partial statistics collected so
@@ -277,6 +403,32 @@ impl SimObserver for StopAfter {
         } else {
             SimControl::Continue
         }
+    }
+}
+
+/// Checkpointing: both the budget and the progress counter, so a
+/// resumed budgeted run keeps (and re-hits) its original budget. Give
+/// the resumed run a *fresh* [`StopAfter`] outside the checkpointed
+/// observer when the budget should restart instead.
+impl Snapshot for StopAfter {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_u32(self.limit);
+        w.write_u32(self.seen);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let limit = r.read_u32()?;
+        let seen = r.read_u32()?;
+        r.finish()?;
+        if limit == 0 {
+            return Err(StateError::Corrupt("zero slot budget".into()));
+        }
+        self.limit = limit;
+        self.seen = seen;
+        Ok(())
     }
 }
 
@@ -330,6 +482,170 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
             SimControl::Stop
         } else {
             SimControl::Continue
+        }
+    }
+
+    fn on_slot_committed(&mut self, view: &EngineView<'_>) {
+        self.0.on_slot_committed(view);
+        self.1.on_slot_committed(view);
+    }
+}
+
+/// Checkpointing: both sides' blobs, nested. A `Tee` of snapshot-capable
+/// observers is itself snapshot-capable, so composed observer stacks
+/// ride inside one checkpoint.
+impl<A: Snapshot, B: Snapshot> Snapshot for Tee<A, B> {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_blob(&self.0.snapshot());
+        w.write_blob(&self.1.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let a = r.read_blob()?;
+        let b = r.read_blob()?;
+        r.finish()?;
+        self.0.restore(&a)?;
+        self.1.restore(&b)
+    }
+}
+
+/// Serializes a full [`EngineCheckpoint`] every `every` slots, wrapping
+/// the observer whose state must survive a resume (typically a
+/// [`WindowSummary`]; any [`Snapshot`]-capable observer or [`Tee`] of
+/// them works). All events are forwarded to the wrapped observer; at
+/// each checkpoint slot the engine state, the algorithm state and the
+/// inner observer's state are captured together, atomically with the
+/// slot boundary.
+///
+/// The latest checkpoint replaces the previous one
+/// ([`Checkpointer::latest`]); attach a sink
+/// ([`Checkpointer::with_sink`]) to persist every capture (e.g. write
+/// it to disk — what `vne-bench --checkpoint-every` does). A capture
+/// failure (an algorithm without snapshot support) is recorded in
+/// [`Checkpointer::last_error`] instead of killing the run.
+///
+/// Early-stop interaction: the engine emits the commit hook even for
+/// the slot whose `on_slot_end` stopped the run, so a [`StopAfter`]
+/// firing exactly on a checkpoint slot still leaves that slot's
+/// checkpoint behind — pinned by a regression test.
+pub struct Checkpointer<O> {
+    every: Slot,
+    inner: O,
+    latest: Option<EngineCheckpoint>,
+    taken: usize,
+    error: Option<StateError>,
+    sink: Option<CheckpointSinkFn>,
+}
+
+impl<O> Checkpointer<O> {
+    /// Checkpoints after every `every`-th slot (slots `every-1`,
+    /// `2·every-1`, … of a dense stream), wrapping `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn every(every: Slot, inner: O) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            every,
+            inner,
+            latest: None,
+            taken: 0,
+            error: None,
+            sink: None,
+        }
+    }
+
+    /// Attaches a sink invoked with every captured checkpoint (builder
+    /// style).
+    pub fn with_sink(mut self, sink: impl FnMut(&EngineCheckpoint) + Send + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// The most recent checkpoint, if any was captured.
+    pub fn latest(&self) -> Option<&EngineCheckpoint> {
+        self.latest.as_ref()
+    }
+
+    /// Consumes the checkpointer into its most recent checkpoint.
+    pub fn into_latest(self) -> Option<EngineCheckpoint> {
+        self.latest
+    }
+
+    /// Number of checkpoints captured.
+    pub fn checkpoints_taken(&self) -> usize {
+        self.taken
+    }
+
+    /// The error of the most recent failed capture, if any.
+    pub fn last_error(&self) -> Option<&StateError> {
+        self.error.as_ref()
+    }
+
+    /// The wrapped observer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the checkpointer into the wrapped observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: fmt::Debug> fmt::Debug for Checkpointer<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpointer")
+            .field("every", &self.every)
+            .field("inner", &self.inner)
+            .field("taken", &self.taken)
+            .field("latest_slot", &self.latest.as_ref().map(|c| c.slot))
+            .field("error", &self.error)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<O: SimObserver + Snapshot> SimObserver for Checkpointer<O> {
+    fn on_slot_start(&mut self, t: Slot) {
+        self.inner.on_slot_start(t);
+    }
+
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        self.inner.on_arrival(outcome);
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        self.inner.on_preemption(outcome);
+    }
+
+    fn on_slot_end(
+        &mut self,
+        t: Slot,
+        metrics: &SlotMetrics,
+        algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        self.inner.on_slot_end(t, metrics, algorithm)
+    }
+
+    fn on_slot_committed(&mut self, view: &EngineView<'_>) {
+        self.inner.on_slot_committed(view);
+        if (u64::from(view.slot()) + 1) % u64::from(self.every) != 0 {
+            return;
+        }
+        match view.checkpoint(self.inner.snapshot()) {
+            Ok(checkpoint) => {
+                self.taken += 1;
+                if let Some(sink) = &mut self.sink {
+                    sink(&checkpoint);
+                }
+                self.latest = Some(checkpoint);
+            }
+            Err(e) => self.error = Some(e),
         }
     }
 }

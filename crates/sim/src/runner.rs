@@ -147,7 +147,31 @@ where
     FA: Fn(u64) -> AppSet + Sync,
     FC: Fn(u64) -> ScenarioConfig + Sync,
 {
-    let results: Mutex<Vec<(usize, Summary)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    let summaries = seed_map(seeds, |seed| {
+        let apps = make_apps(seed);
+        let config = configure(seed);
+        let scenario =
+            Scenario::new(substrate.clone(), apps, config).with_registry(registry.clone());
+        scenario.run_summary(spec).unwrap_or_else(|e| panic!("{e}"))
+    });
+    let agg = aggregate(&summaries);
+    (summaries, agg)
+}
+
+/// Maps `f` over `seeds` on a worker pool (one task per seed, up to
+/// `available_parallelism` threads) and returns the results **in seed
+/// order** — the shared scaffolding of [`run_seeds_in`] and the
+/// checkpointing sweeps in `vne-bench`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the map).
+pub fn seed_map<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(seeds.len()));
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -161,25 +185,18 @@ where
                 if idx >= seeds.len() {
                     break;
                 }
-                let seed = seeds[idx];
-                let apps = make_apps(seed);
-                let config = configure(seed);
-                let scenario =
-                    Scenario::new(substrate.clone(), apps, config).with_registry(registry.clone());
-                let summary = scenario.run_summary(spec).unwrap_or_else(|e| panic!("{e}"));
+                let result = f(seeds[idx]);
                 results
                     .lock()
                     .expect("runner mutex poisoned")
-                    .push((idx, summary));
+                    .push((idx, result));
             });
         }
     });
 
     let mut collected = results.into_inner().expect("runner mutex poisoned");
     collected.sort_by_key(|(idx, _)| *idx);
-    let summaries: Vec<Summary> = collected.into_iter().map(|(_, s)| s).collect();
-    let agg = aggregate(&summaries);
-    (summaries, agg)
+    collected.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use vne_model::app::AppSet;
 use vne_model::cost::RejectionPenalty;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::state::StateError;
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::aggregate::{AggregateDemand, AggregationConfig};
 use vne_olive::algorithm::OnlineAlgorithm;
@@ -31,9 +32,11 @@ use vne_workload::estimator::{DemandEstimator, EstimatorKind, ExactEstimator};
 use vne_workload::rng::SeededRng;
 use vne_workload::tracegen::{self, TraceConfig};
 
-use crate::engine::{run_stream, RunResult, SimObserver};
+use crate::engine::{run_stream, run_stream_from, EngineCheckpoint, RunResult, SimObserver};
 use crate::metrics::{summarize, Summary};
-use crate::observe::{Inspect, NullObserver, Recorder, Tee, WindowSummary};
+use crate::observe::{
+    Checkpointer, Inspect, NullObserver, Recorder, StopAfter, Tee, WindowSummary,
+};
 use crate::registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, UnknownAlgorithm};
 
 /// The algorithms of the paper's evaluation — convenience handles whose
@@ -324,6 +327,27 @@ impl Scenario {
         }
     }
 
+    /// The online phase from `from_slot` on — the resume path of
+    /// checkpointed runs. The underlying lazy stream fast-forwards via
+    /// its `skip_to` (replaying the RNG draws of the consumed slots, so
+    /// the tail is identical to the tail of [`Scenario::online_events`])
+    /// and yields events for slots `from_slot..test_slots` only.
+    pub fn online_events_from(&self, from_slot: Slot) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+        let rng = self.rng(2);
+        match self.phase_trace(self.config.utilization, self.config.test_slots) {
+            PhaseTrace::Synthetic(tc) => {
+                let mut stream = tracegen::stream(&self.substrate, &self.apps, &tc, rng);
+                stream.skip_to(from_slot);
+                Box::new(stream)
+            }
+            PhaseTrace::Caida(cc) => {
+                let mut stream = caida::stream(&self.substrate, &self.apps, &cc, rng);
+                stream.skip_to(from_slot);
+                Box::new(stream)
+            }
+        }
+    }
+
     /// Generates the online-phase trace eagerly (conformance checks and
     /// offline analysis; the engine streams [`Scenario::online_events`]
     /// instead).
@@ -521,6 +545,134 @@ impl Scenario {
         Ok(window.finish(&stats))
     }
 
+    /// Like [`Scenario::run_summary`], with a checkpoint serialized
+    /// every `every` slots: the run survives interruption — feed the
+    /// latest checkpoint back through [`Scenario::resume_summary`] to
+    /// finish it byte-identically. `sink` receives every captured
+    /// checkpoint (pass `None` to only keep the latest in memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError::UnknownAlgorithm`] when the name is not
+    /// registered, and [`ResumeError::State`] when a checkpoint capture
+    /// failed (e.g. a third-party algorithm without snapshot support —
+    /// the run completes, but it was never interruptible, which must
+    /// not pass silently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn run_summary_checkpointed(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+        every: Slot,
+        sink: Option<CheckpointSink>,
+    ) -> Result<(Summary, Option<EngineCheckpoint>), ResumeError> {
+        let spec = algorithm.into();
+        let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
+        // Probe snapshot support up front: a run that can never be
+        // checkpointed must fail in milliseconds, not after the whole
+        // simulation.
+        ensure_snapshot_capable(built.algorithm.as_ref())?;
+        let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
+        let mut checkpointer = Checkpointer::every(every, &mut window);
+        if let Some(sink) = sink {
+            checkpointer = checkpointer.with_sink(sink);
+        }
+        let stats = run_stream(
+            built.algorithm.as_mut(),
+            &self.substrate,
+            self.online_events(),
+            &mut checkpointer,
+        );
+        if let Some(error) = checkpointer.last_error() {
+            return Err(ResumeError::State(error.clone()));
+        }
+        let latest = checkpointer.into_latest();
+        Ok((window.finish(&stats), latest))
+    }
+
+    /// Runs `algorithm` up to and *including* slot `at`, checkpoints
+    /// there, and returns a [`Fork`] handle: resume it to finish the
+    /// run ([`Fork::resume`], byte-identical to the uninterrupted
+    /// [`Scenario::run_summary`]), resume it repeatedly for warm-started
+    /// what-if branches, or extract the raw [`EngineCheckpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError`] when the name is not registered, `at` is
+    /// outside the online phase, or the algorithm does not support
+    /// snapshots.
+    pub fn fork_at(
+        &self,
+        algorithm: impl Into<AlgorithmSpec>,
+        at: Slot,
+    ) -> Result<Fork<'_>, ResumeError> {
+        if at >= self.config.test_slots {
+            return Err(ResumeError::State(StateError::Corrupt(format!(
+                "fork slot {at} outside the {}-slot online phase",
+                self.config.test_slots
+            ))));
+        }
+        let spec = algorithm.into();
+        let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
+        ensure_snapshot_capable(built.algorithm.as_ref())?;
+        let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
+        // One checkpoint exactly at `at`, with the stop firing on the
+        // same slot — the engine's commit hook runs even on the stop
+        // slot, so the checkpoint is captured (the StopAfter off-by-one
+        // regression lives in the checkpoint test battery).
+        let mut checkpointer = Checkpointer::every(at + 1, &mut window);
+        let mut stop = StopAfter::new(at + 1);
+        {
+            let mut observer = Tee(&mut checkpointer, &mut stop);
+            run_stream(
+                built.algorithm.as_mut(),
+                &self.substrate,
+                self.online_events(),
+                &mut observer,
+            );
+        }
+        if let Some(error) = checkpointer.last_error() {
+            return Err(ResumeError::State(error.clone()));
+        }
+        let checkpoint = checkpointer.into_latest().ok_or_else(|| {
+            ResumeError::State(StateError::Corrupt(format!(
+                "no checkpoint captured at slot {at}"
+            )))
+        })?;
+        Ok(Fork {
+            scenario: self,
+            checkpoint,
+        })
+    }
+
+    /// Finishes a checkpointed summary run: rebuilds the algorithm the
+    /// checkpoint names (same registry, same deterministic plan),
+    /// restores algorithm + engine + window state, and streams the
+    /// remaining online slots. The result is byte-identical (up to the
+    /// wall-clock `online_secs`) to the uninterrupted
+    /// [`Scenario::run_summary`] — use [`Summary::fingerprint`] to
+    /// compare.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError`] when the checkpoint's algorithm is not
+    /// registered here or any state blob fails to restore.
+    pub fn resume_summary(&self, checkpoint: &EngineCheckpoint) -> Result<Summary, ResumeError> {
+        let spec = AlgorithmSpec::new(&checkpoint.algorithm);
+        let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
+        let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
+        let stats = run_stream_from(
+            checkpoint,
+            built.algorithm.as_mut(),
+            &self.substrate,
+            self.online_events_from(checkpoint.slot + 1),
+            &mut window,
+        )?;
+        Ok(window.finish(&stats))
+    }
+
     /// Like [`Scenario::run`], but the inspector is called after every
     /// slot with the concrete OLIVE state when the running algorithm is
     /// OLIVE-based (Fig. 12 drill-down); for other algorithms the
@@ -541,6 +693,94 @@ impl Scenario {
             },
         );
         self.run_observed(algorithm, &mut observer)
+    }
+}
+
+/// A callback receiving every checkpoint a
+/// [`Scenario::run_summary_checkpointed`] run captures (e.g. persist it
+/// to disk).
+pub type CheckpointSink = Box<dyn FnMut(&EngineCheckpoint) + Send>;
+
+/// Errors early when `algorithm` does not implement state snapshots
+/// (probing is cheap: serializing the just-constructed state).
+fn ensure_snapshot_capable(algorithm: &dyn OnlineAlgorithm) -> Result<(), ResumeError> {
+    if algorithm.snapshot_state().is_none() {
+        return Err(ResumeError::State(StateError::Unsupported(format!(
+            "algorithm {}",
+            algorithm.name()
+        ))));
+    }
+    Ok(())
+}
+
+/// Why a checkpointed run could not be created or resumed.
+#[derive(Debug, Clone)]
+pub enum ResumeError {
+    /// The algorithm name does not resolve in the scenario's registry.
+    UnknownAlgorithm(UnknownAlgorithm),
+    /// A state blob failed to capture or restore.
+    State(StateError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::UnknownAlgorithm(e) => e.fmt(f),
+            ResumeError::State(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<UnknownAlgorithm> for ResumeError {
+    fn from(e: UnknownAlgorithm) -> Self {
+        Self::UnknownAlgorithm(e)
+    }
+}
+
+impl From<StateError> for ResumeError {
+    fn from(e: StateError) -> Self {
+        Self::State(e)
+    }
+}
+
+/// A run frozen mid-stream by [`Scenario::fork_at`]: the paper pipeline
+/// up to slot `k`, warm state included. [`Fork::resume`] finishes the
+/// run — repeatedly, if desired: every resume starts from the same
+/// checkpoint, which is what makes mid-stream what-if branches (swap
+/// observers, compare tails) cheap.
+#[derive(Debug, Clone)]
+pub struct Fork<'a> {
+    scenario: &'a Scenario,
+    checkpoint: EngineCheckpoint,
+}
+
+impl Fork<'_> {
+    /// The last slot the fork has completed.
+    pub fn slot(&self) -> Slot {
+        self.checkpoint.slot
+    }
+
+    /// The frozen state.
+    pub fn checkpoint(&self) -> &EngineCheckpoint {
+        &self.checkpoint
+    }
+
+    /// Consumes the fork into its checkpoint (e.g. to serialize it with
+    /// [`EngineCheckpoint::to_bytes`]).
+    pub fn into_checkpoint(self) -> EngineCheckpoint {
+        self.checkpoint
+    }
+
+    /// Finishes the run from the fork point; byte-identical to the
+    /// uninterrupted run (see [`Scenario::resume_summary`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError`] when restore fails.
+    pub fn resume(&self) -> Result<Summary, ResumeError> {
+        self.scenario.resume_summary(&self.checkpoint)
     }
 }
 

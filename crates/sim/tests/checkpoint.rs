@@ -1,0 +1,517 @@
+//! Resume determinism: the headline guarantee of the checkpoint/resume
+//! subsystem. A run checkpointed at slot `k` and resumed must produce a
+//! [`Summary`] **byte-identical** to the uninterrupted run — for every
+//! builtin algorithm, with preemption exercised, under
+//! proptest-randomized `k` — plus the snapshot → restore → snapshot
+//! round-trip (blob-equality) property for every [`Snapshot`] impl the
+//! checkpoint path composes.
+//!
+//! The property blocks read `PROPTEST_CASES` (the scheduled CI property
+//! job runs them at 1024 cases; the local default stays small because a
+//! single case drives full simulations).
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::cost::RejectionPenalty;
+use vne_model::request::Slot;
+use vne_model::state::{Snapshot, StateError};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_sim::engine::{run_stream, run_stream_from, EngineCheckpoint, EngineState};
+use vne_sim::metrics::Summary;
+use vne_sim::observe::{Checkpointer, NullObserver, Recorder, StopAfter, Tee, WindowSummary};
+use vne_sim::registry::{AlgorithmRegistry, BuildContext, BuiltAlgorithm};
+use vne_sim::scenario::{Algorithm, ResumeError, Scenario, ScenarioConfig};
+use vne_workload::caida::CaidaConfig;
+use vne_workload::estimator::EstimatorKind;
+
+use proptest::prelude::*;
+
+/// `PROPTEST_CASES`-scalable case count with a local default small
+/// enough for the full-simulation cases below.
+fn cases(default: u32) -> ProptestConfig {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(default);
+    ProptestConfig::with_cases(cases)
+}
+
+/// The tiny 4-node world of the streaming-parity suite: small enough
+/// that the exact baselines (FULLG's ILPs, SLOTOFF's per-slot LPs) stay
+/// fast in debug builds, loaded enough that OLIVE preempts at 140%.
+fn tiny_scenario(utilization: f64, seed: u64) -> Scenario {
+    let mut s = SubstrateNetwork::new("tiny");
+    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0).unwrap();
+    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0).unwrap();
+    let t = s.add_node("t", Tier::Transport, 900.0, 10.0).unwrap();
+    let c = s.add_node("c", Tier::Core, 2700.0, 1.0).unwrap();
+    s.add_link(e0, t, 1500.0, 1.0).unwrap();
+    s.add_link(e1, t, 1500.0, 1.0).unwrap();
+    s.add_link(t, c, 4500.0, 1.0).unwrap();
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps.push(
+        "tree",
+        AppShape::Tree,
+        shapes::two_branch_tree(3, 6.0, 2.0).unwrap(),
+    )
+    .unwrap();
+    let mut config = ScenarioConfig::small(utilization).with_seed(seed);
+    config.history_slots = 60;
+    config.test_slots = 25;
+    config.measure_window = (2, 22);
+    config.aggregation.bootstrap_replicates = 10;
+    Scenario::new(s, apps, config)
+}
+
+fn assert_bitwise_equal(alg: &str, straight: &Summary, resumed: &Summary) {
+    assert_eq!(straight.arrivals, resumed.arrivals, "{alg}: arrivals");
+    assert_eq!(straight.rejected, resumed.rejected, "{alg}: rejected");
+    assert_eq!(straight.preempted, resumed.preempted, "{alg}: preempted");
+    for (name, a, b) in [
+        (
+            "rejection_rate",
+            straight.rejection_rate,
+            resumed.rejection_rate,
+        ),
+        (
+            "resource_cost",
+            straight.resource_cost,
+            resumed.resource_cost,
+        ),
+        (
+            "rejection_cost",
+            straight.rejection_cost,
+            resumed.rejection_cost,
+        ),
+        ("total_cost", straight.total_cost, resumed.total_cost),
+        (
+            "balance_index",
+            straight.balance_index,
+            resumed.balance_index,
+        ),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{alg}: {name}");
+    }
+    assert_eq!(
+        straight.fingerprint(),
+        resumed.fingerprint(),
+        "{alg}: fingerprint"
+    );
+}
+
+/// The core check: straight-through vs fork-at-`k`-then-resume for one
+/// algorithm, including the snapshot → restore → snapshot blob-equality
+/// round-trip of every blob the checkpoint carries.
+fn check_resume(scenario: &Scenario, alg: Algorithm, at: Slot) {
+    let straight = scenario.run_summary(alg).unwrap();
+    let fork = scenario.fork_at(alg, at).unwrap();
+    let checkpoint = fork.checkpoint();
+    assert_eq!(checkpoint.slot, at, "{alg}: checkpoint slot");
+    assert_eq!(checkpoint.algorithm, alg.label(), "{alg}: checkpoint name");
+
+    // Round-trip property, algorithm blob: restore into a freshly built
+    // instance, snapshot again, blobs must be equal.
+    let registry = AlgorithmRegistry::builtins();
+    let mut rebuilt = registry
+        .build(&alg.into(), &BuildContext::new(scenario))
+        .unwrap();
+    rebuilt
+        .algorithm
+        .restore_state(&checkpoint.algorithm_state)
+        .unwrap();
+    assert_eq!(
+        rebuilt.algorithm.snapshot_state().unwrap(),
+        checkpoint.algorithm_state,
+        "{alg}: algorithm snapshot round-trip"
+    );
+
+    // Round-trip property, engine blob.
+    let mut engine = EngineState::fresh();
+    engine.restore(&checkpoint.engine).unwrap();
+    assert_eq!(
+        engine.snapshot(),
+        checkpoint.engine,
+        "{alg}: engine snapshot round-trip"
+    );
+    assert_eq!(engine.next_slot(), u64::from(at) + 1);
+
+    // Round-trip property, observer blob (a WindowSummary).
+    let mut window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    window.restore(&checkpoint.observer_state).unwrap();
+    assert_eq!(
+        window.snapshot(),
+        checkpoint.observer_state,
+        "{alg}: observer snapshot round-trip"
+    );
+
+    // The headline: the resumed run is byte-identical.
+    let resumed = fork.resume().unwrap();
+    assert_bitwise_equal(alg.label(), &straight, &resumed);
+}
+
+proptest! {
+    #![proptest_config(cases(8))]
+
+    /// Checkpoint at a random slot, resume, and require byte-identical
+    /// summaries — all four builtin algorithms, both estimators driving
+    /// OLIVE's plan, preemption included at the high-load levels.
+    #[test]
+    fn resumed_runs_are_byte_identical(
+        seed in 1u64..1000,
+        util_idx in 0usize..5,
+        frac in 0.05f64..0.95,
+    ) {
+        let utilization = [0.6, 0.8, 1.0, 1.2, 1.4][util_idx];
+        let scenario = tiny_scenario(utilization, seed);
+        let at = ((frac * f64::from(scenario.config.test_slots - 1)) as Slot)
+            .min(scenario.config.test_slots - 1);
+        for alg in Algorithm::ALL {
+            check_resume(&scenario, alg, at);
+        }
+        // OLIVE again with the sketch estimator planning the run.
+        let mut sketch = tiny_scenario(utilization, seed);
+        sketch.config.estimator = EstimatorKind::Sketch;
+        check_resume(&sketch, Algorithm::Olive, at);
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(8))]
+
+    /// The checkpoint file format round-trips losslessly for arbitrary
+    /// fork points and algorithms.
+    #[test]
+    fn checkpoint_bytes_roundtrip(
+        seed in 1u64..1000,
+        alg_idx in 0usize..4,
+        at in 0u32..25,
+    ) {
+        let scenario = tiny_scenario(1.0, seed);
+        let alg = Algorithm::ALL[alg_idx];
+        let checkpoint = scenario.fork_at(alg, at).unwrap().into_checkpoint();
+        let bytes = checkpoint.to_bytes();
+        let parsed = EngineCheckpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &checkpoint);
+        // Resuming through the parsed copy still works.
+        let resumed = scenario.resume_summary(&parsed).unwrap();
+        let straight = scenario.run_summary(alg).unwrap();
+        prop_assert_eq!(resumed.fingerprint(), straight.fingerprint());
+    }
+}
+
+/// The off-by-one regression between `on_slot_end` and the stop
+/// control: an [`StopAfter`] firing *exactly* on a checkpoint slot must
+/// still leave that slot's checkpoint behind (the engine emits the
+/// commit hook before honoring the stop), and the checkpoint must be
+/// restorable to a byte-identical finish.
+#[test]
+fn stop_after_on_checkpoint_slot_leaves_restorable_checkpoint() {
+    let scenario = tiny_scenario(1.2, 11);
+    let registry = AlgorithmRegistry::builtins();
+    let mut built = registry
+        .build(&Algorithm::Quickg.into(), &BuildContext::new(&scenario))
+        .unwrap();
+    let mut window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    // Budget 10 slots; checkpoint every 10 slots: both fire at slot 9.
+    let mut checkpointer = Checkpointer::every(10, &mut window);
+    let mut stop = StopAfter::new(10);
+    let stats = {
+        let mut observer = Tee(&mut checkpointer, &mut stop);
+        run_stream(
+            built.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut observer,
+        )
+    };
+    assert!(stats.stopped_early, "the budget must stop the run");
+    assert_eq!(stats.slots_run, 10);
+    assert_eq!(
+        checkpointer.checkpoints_taken(),
+        1,
+        "the stop slot's checkpoint must be captured"
+    );
+    let checkpoint = checkpointer.into_latest().expect("checkpoint at slot 9");
+    assert_eq!(checkpoint.slot, 9);
+
+    // And it resumes to the same place an uninterrupted run reaches.
+    let resumed = scenario.resume_summary(&checkpoint).unwrap();
+    let straight = scenario.run_summary(Algorithm::Quickg).unwrap();
+    assert_bitwise_equal("QUICKG", &straight, &resumed);
+}
+
+#[test]
+fn forks_branch_repeatedly_from_one_checkpoint() {
+    // The what-if use case: one frozen prefix, many resumed tails.
+    let scenario = tiny_scenario(1.4, 11);
+    let fork = scenario.fork_at(Algorithm::Olive, 12).unwrap();
+    let first = fork.resume().unwrap();
+    let second = fork.resume().unwrap();
+    assert_eq!(first.fingerprint(), second.fingerprint());
+    let straight = scenario.run_summary(Algorithm::Olive).unwrap();
+    assert!(straight.preempted > 0, "seed 11 must exercise preemption");
+    assert_bitwise_equal("OLIVE", &straight, &first);
+}
+
+#[test]
+fn caida_scenario_resumes_byte_identically() {
+    // The CAIDA stream's skip_to feeds the resume path too.
+    let mut scenario = tiny_scenario(1.0, 15);
+    scenario.config.caida = Some(CaidaConfig {
+        total_rate: 20.0,
+        sources: 50,
+        ..CaidaConfig::default()
+    });
+    check_resume(&scenario, Algorithm::Quickg, 7);
+}
+
+#[test]
+fn resume_rejects_a_mismatched_algorithm() {
+    let scenario = tiny_scenario(1.0, 3);
+    let mut checkpoint = scenario
+        .fork_at(Algorithm::Quickg, 5)
+        .unwrap()
+        .into_checkpoint();
+    checkpoint.algorithm = "FULLG".to_string();
+    // FULLG resolves, but its state blob is QUICKG's — the restore must
+    // fail loudly, not silently mix states.
+    match scenario.resume_summary(&checkpoint) {
+        Err(ResumeError::State(_)) => {}
+        other => panic!("expected a state error, got {other:?}"),
+    }
+    checkpoint.algorithm = "NOSUCH".to_string();
+    assert!(matches!(
+        scenario.resume_summary(&checkpoint),
+        Err(ResumeError::UnknownAlgorithm(_))
+    ));
+}
+
+#[test]
+fn fork_outside_the_online_phase_errors() {
+    let scenario = tiny_scenario(1.0, 3);
+    let at = scenario.config.test_slots;
+    assert!(matches!(
+        scenario.fork_at(Algorithm::Quickg, at),
+        Err(ResumeError::State(StateError::Corrupt(_)))
+    ));
+}
+
+#[test]
+fn checkpointer_records_error_for_snapshotless_algorithms() {
+    // Algorithms that don't opt into snapshots don't kill the run; the
+    // checkpointer records the failure instead.
+    struct Opaque(vne_model::load::LoadLedger);
+    impl vne_olive::algorithm::OnlineAlgorithm for Opaque {
+        fn name(&self) -> &str {
+            "OPAQUE"
+        }
+        fn process_slot(
+            &mut self,
+            _t: Slot,
+            _departures: &[vne_model::request::Request],
+            arrivals: &[vne_model::request::Request],
+        ) -> vne_olive::algorithm::SlotOutcome {
+            vne_olive::algorithm::SlotOutcome {
+                rejected: arrivals.iter().map(|r| r.id).collect(),
+                ..Default::default()
+            }
+        }
+        fn loads(&self) -> &vne_model::load::LoadLedger {
+            &self.0
+        }
+    }
+    let base = tiny_scenario(1.0, 5);
+    let scenario = Scenario::builder(base.substrate.clone())
+        .apps(base.apps.clone())
+        .config(base.config.clone())
+        .algorithm("opaque", |ctx| {
+            BuiltAlgorithm::plain(Opaque(vne_model::load::LoadLedger::new(ctx.substrate())))
+        })
+        .build();
+    match scenario.fork_at("OPAQUE", 5) {
+        Err(ResumeError::State(StateError::Unsupported(what))) => {
+            assert!(what.contains("OPAQUE"), "{what}");
+        }
+        other => panic!("expected unsupported-state error, got {other:?}"),
+    }
+    // The periodic-checkpoint runner surfaces the same failure instead
+    // of returning Ok with zero checkpoints.
+    match scenario.run_summary_checkpointed("OPAQUE", 5, None) {
+        Err(ResumeError::State(StateError::Unsupported(what))) => {
+            assert!(what.contains("OPAQUE"), "{what}");
+        }
+        other => panic!("expected unsupported-state error, got {other:?}"),
+    }
+}
+
+#[test]
+fn run_summary_checkpointed_streams_periodic_checkpoints() {
+    use std::sync::{Arc, Mutex};
+    let scenario = tiny_scenario(1.0, 7);
+    let seen: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_seen = Arc::clone(&seen);
+    let (summary, latest) = scenario
+        .run_summary_checkpointed(
+            Algorithm::Quickg,
+            8,
+            Some(Box::new(move |cp: &EngineCheckpoint| {
+                sink_seen.lock().unwrap().push(cp.slot);
+            })),
+        )
+        .unwrap();
+    // 25 slots, every 8: checkpoints at slots 7, 15 and 23.
+    assert_eq!(*seen.lock().unwrap(), vec![7, 15, 23]);
+    let latest = latest.expect("at least one checkpoint");
+    assert_eq!(latest.slot, 23);
+    let resumed = scenario.resume_summary(&latest).unwrap();
+    assert_eq!(resumed.fingerprint(), summary.fingerprint());
+}
+
+#[test]
+fn corrupt_checkpoint_bytes_are_rejected() {
+    let scenario = tiny_scenario(1.0, 9);
+    let checkpoint = scenario
+        .fork_at(Algorithm::Quickg, 3)
+        .unwrap()
+        .into_checkpoint();
+    let bytes = checkpoint.to_bytes();
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        EngineCheckpoint::from_bytes(&bad),
+        Err(StateError::Corrupt(_))
+    ));
+    // Truncation.
+    assert!(EngineCheckpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    // Trailing garbage.
+    let mut long = bytes.clone();
+    long.push(0);
+    assert!(matches!(
+        EngineCheckpoint::from_bytes(&long),
+        Err(StateError::TrailingBytes { .. })
+    ));
+}
+
+#[test]
+fn simple_observer_snapshots_roundtrip() {
+    // The small observers compose into checkpoints too: NullObserver,
+    // StopAfter, Recorder, and Tees of them round-trip blob-equal.
+    let mut null = NullObserver;
+    let blob = null.snapshot();
+    assert!(blob.is_empty());
+    null.restore(&blob).unwrap();
+
+    let stop = StopAfter::new(9);
+    let stop_blob = stop.snapshot();
+    let mut stop2 = StopAfter::new(1);
+    stop2.restore(&stop_blob).unwrap();
+    assert_eq!(stop2.snapshot(), stop_blob);
+    assert_eq!(stop2.slots_seen(), stop.slots_seen());
+
+    // A recorder filled by a real (tiny) run.
+    let scenario = tiny_scenario(1.0, 13);
+    let registry = AlgorithmRegistry::builtins();
+    let mut built = registry
+        .build(&Algorithm::Quickg.into(), &BuildContext::new(&scenario))
+        .unwrap();
+    let mut recorder = Recorder::new();
+    let stats = run_stream(
+        built.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut recorder,
+    );
+    let rec_blob = recorder.snapshot();
+    let mut recorder2 = Recorder::new();
+    recorder2.restore(&rec_blob).unwrap();
+    assert_eq!(recorder2.snapshot(), rec_blob);
+    let a = recorder.finish("QUICKG", &stats);
+    let b = recorder2.finish("QUICKG", &stats);
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.slots, b.slots);
+
+    // Tee composition.
+    let tee = Tee(NullObserver, StopAfter::new(4));
+    let tee_blob = tee.snapshot();
+    let mut tee2 = Tee(NullObserver, StopAfter::new(1));
+    tee2.restore(&tee_blob).unwrap();
+    assert_eq!(tee2.snapshot(), tee_blob);
+}
+
+#[test]
+fn engine_resume_matches_midstream_state() {
+    // Drive the engine manually, checkpoint mid-stream via the observer
+    // API, and resume through run_stream_from with a NullObserver — the
+    // low-level API without the Scenario conveniences.
+    let scenario = tiny_scenario(1.0, 21);
+    let registry = AlgorithmRegistry::builtins();
+    let mk = || {
+        registry
+            .build(&Algorithm::Quickg.into(), &BuildContext::new(&scenario))
+            .unwrap()
+    };
+
+    let mut straight_alg = mk();
+    let mut straight_window =
+        WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    let straight_stats = run_stream(
+        straight_alg.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut straight_window,
+    );
+    let straight = straight_window.finish(&straight_stats);
+
+    let mut prefix_alg = mk();
+    let mut window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    let mut checkpointer = Checkpointer::every(6, &mut window);
+    let mut stop = StopAfter::new(6);
+    {
+        let mut observer = Tee(&mut checkpointer, &mut stop);
+        run_stream(
+            prefix_alg.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut observer,
+        );
+    }
+    let checkpoint = checkpointer.into_latest().unwrap();
+
+    let mut resume_alg = mk();
+    let mut resume_window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    let stats = run_stream_from(
+        &checkpoint,
+        resume_alg.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut resume_window,
+    )
+    .unwrap();
+    assert_eq!(stats.slots_run, straight_stats.slots_run);
+    assert_eq!(stats.arrivals, straight_stats.arrivals);
+    assert!(!stats.stopped_early);
+    let resumed = resume_window.finish(&stats);
+    assert_bitwise_equal("QUICKG", &straight, &resumed);
+
+    // Resuming with the wrong observer window is rejected.
+    let mut wrong_window =
+        WindowSummary::new((0, 1), RejectionPenalty::uniform(&scenario.apps, 1.0));
+    let mut wrong_alg = mk();
+    assert!(matches!(
+        run_stream_from(
+            &checkpoint,
+            wrong_alg.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut wrong_window,
+        ),
+        Err(StateError::Mismatch { .. })
+    ));
+}

@@ -42,9 +42,11 @@ fn scenario(seed: u64, mutate: impl FnOnce(&mut ScenarioConfig)) -> Scenario {
     Scenario::new(substrate, default_apps(seed), config)
 }
 
+type ConfigMutation = fn(&mut ScenarioConfig);
+
 #[test]
 fn exact_plans_match_prerefactor_fingerprints() {
-    let cases: [(u64, fn(&mut ScenarioConfig), u64); 4] = [
+    let cases: [(u64, ConfigMutation, u64); 4] = [
         (11, |_| {}, 0x6ddb1278c8af18ef),
         (12, |c| c.plan_utilization = Some(0.6), 0xda707c05c9f4bf2d),
         (13, |c| c.shift_plan_ingress = true, 0x7ca700b53140dd14),

@@ -118,6 +118,18 @@ impl<R: Rng> Iterator for CaidaStream<R> {
 
 impl<R: Rng> ExactSizeIterator for CaidaStream<R> {}
 
+impl<R: Rng> CaidaStream<R> {
+    /// Fast-forwards the stream so the next yielded event is `slot`
+    /// (clamped to the horizon) — the resume path of checkpointed runs.
+    /// Replays the RNG draws of the skipped slots (see
+    /// [`crate::tracegen::TraceStream::skip_to`]).
+    pub fn skip_to(&mut self, slot: Slot) {
+        while self.next_slot < slot.min(self.slots) {
+            let _ = self.next();
+        }
+    }
+}
+
 /// Creates a lazy CAIDA-like trace stream.
 ///
 /// Each arrival picks a source with Zipf weight (heavy-hitter sources
@@ -238,6 +250,19 @@ mod tests {
         let a = generate(&s, &apps, &small(), &mut SeededRng::new(5));
         let b = generate(&s, &apps, &small(), &mut SeededRng::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip_to_yields_the_tail_of_the_full_stream() {
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(4));
+        let config = small();
+        let full: Vec<_> = stream(&s, &apps, &config, SeededRng::new(7)).collect();
+        let mut skipped = stream(&s, &apps, &config, SeededRng::new(7));
+        skipped.skip_to(100);
+        let tail: Vec<_> = skipped.collect();
+        assert_eq!(tail.len(), 200);
+        assert_eq!(tail.as_slice(), &full[100..]);
     }
 
     #[test]

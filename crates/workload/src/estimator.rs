@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use vne_model::ids::ClassId;
 use vne_model::request::{Slot, SlotEvents};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 
 // Re-exported so downstream estimator impls need no direct `rand`
 // dependency to name the `finalize` RNG parameter.
@@ -83,6 +84,25 @@ pub trait DemandEstimator {
         for ev in events {
             self.observe_slot(&ev);
         }
+    }
+
+    /// Serializes the estimator's fold state for checkpointing (`None`
+    /// when unsupported — the default; [`ExactEstimator`] and
+    /// [`SketchEstimator`] implement [`Snapshot`] and forward to it),
+    /// so a long history fold can be interrupted and resumed.
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        None
+    }
+
+    /// Restores state produced by [`DemandEstimator::snapshot_state`]
+    /// into a freshly constructed estimator of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::Unsupported`] by default.
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let _ = blob;
+        Err(StateError::Unsupported("demand estimator".to_string()))
     }
 }
 
@@ -149,6 +169,35 @@ impl DemandEstimator for ExactEstimator {
     fn finalize(&mut self, rng: &mut dyn RngCore) -> BTreeMap<ClassId, f64> {
         self.series
             .expected_demands(self.config.alpha, self.config.bootstrap_replicates, rng)
+    }
+
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        Snapshot::restore(self, blob)
+    }
+}
+
+/// Checkpointing: the dense series plus the covered-slot cursor; the
+/// aggregation config is a construction input.
+impl Snapshot for ExactEstimator {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_u32(self.observed);
+        w.write_blob(&self.series.snapshot());
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let observed = r.read_u32()?;
+        let series_blob = r.read_blob()?;
+        r.finish()?;
+        self.series.restore(&series_blob)?;
+        self.observed = observed;
+        Ok(())
     }
 }
 
@@ -316,6 +365,81 @@ impl DemandEstimator for SketchEstimator {
             .iter()
             .map(|(&class, sketch)| (class, self.class_percentile(sketch)))
             .collect()
+    }
+
+    fn snapshot_state(&self) -> Option<StateBlob> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        Snapshot::restore(self, blob)
+    }
+}
+
+/// Checkpointing: the slot cursor, the per-class activity, the
+/// departure calendar (vector order preserved — it is release order)
+/// and every class's P² markers; `alpha` is validated through the
+/// nested sketch blobs.
+impl Snapshot for SketchEstimator {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_f64(self.alpha);
+        w.write_u32(self.observed);
+        w.write_usize(self.active.len());
+        for (class, activity) in &self.active {
+            w.write(class);
+            w.write_f64(activity.demand);
+            w.write_usize(activity.active);
+        }
+        w.write(&self.departures);
+        w.write_usize(self.sketches.len());
+        for (class, sketch) in &self.sketches {
+            w.write(class);
+            w.write_blob(&sketch.snapshot());
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let alpha = r.read_f64()?;
+        if alpha.to_bits() != self.alpha.to_bits() {
+            return Err(StateError::Mismatch {
+                expected: format!("sketch estimator for α={}", self.alpha),
+                found: format!("blob for α={alpha}"),
+            });
+        }
+        let observed = r.read_u32()?;
+        let active_len = r.read_usize()?;
+        let mut active = BTreeMap::new();
+        for _ in 0..active_len {
+            let class: ClassId = r.read()?;
+            let demand = r.read_f64()?;
+            let count = r.read_usize()?;
+            active.insert(
+                class,
+                ClassActivity {
+                    demand,
+                    active: count,
+                },
+            );
+        }
+        let departures: BTreeMap<Slot, Vec<(ClassId, f64)>> = r.read()?;
+        let sketch_len = r.read_usize()?;
+        let mut sketches = BTreeMap::new();
+        for _ in 0..sketch_len {
+            let class: ClassId = r.read()?;
+            let sketch_blob = r.read_blob()?;
+            let mut sketch = P2Quantile::new(self.alpha / 100.0);
+            sketch.restore(&sketch_blob)?;
+            sketches.insert(class, sketch);
+        }
+        r.finish()?;
+        self.observed = observed;
+        self.active = active;
+        self.departures = departures;
+        self.sketches = sketches;
+        Ok(())
     }
 }
 
@@ -519,6 +643,84 @@ mod tests {
         sketch.observe_all(events_of(&[], 10));
         assert!(exact.finalize(&mut SeededRng::new(1)).is_empty());
         assert!(sketch.finalize(&mut SeededRng::new(1)).is_empty());
+    }
+
+    #[test]
+    fn estimator_snapshots_resume_the_fold_exactly() {
+        // Fold half the history, checkpoint, restore into a fresh
+        // estimator, fold the rest into both: finalize must agree bit
+        // for bit (exact and sketch alike).
+        let requests = vec![
+            req(0, 0, 30, 1, 0, 2.0),
+            req(1, 5, 10, 1, 0, 4.5),
+            req(2, 12, 40, 2, 1, 1.25),
+            req(3, 33, 5, 1, 0, 7.0),
+        ];
+        let events = events_of(&requests, 60);
+        let make = |kind: &EstimatorKind| kind.build(60, &AggregationConfig::default());
+        for kind in [EstimatorKind::Exact, EstimatorKind::Sketch] {
+            let mut original = make(&kind);
+            for ev in &events[..30] {
+                original.observe_slot(ev);
+            }
+            let blob = original
+                .snapshot_state()
+                .expect("builtin supports snapshots");
+            let mut resumed = make(&kind);
+            resumed.restore_state(&blob).unwrap();
+            assert_eq!(
+                resumed.snapshot_state().unwrap(),
+                blob,
+                "{kind:?}: snapshot→restore→snapshot must be blob-equal"
+            );
+            for ev in &events[30..] {
+                original.observe_slot(ev);
+                resumed.observe_slot(ev);
+            }
+            let a = original.finalize(&mut SeededRng::new(9));
+            let b = resumed.finalize(&mut SeededRng::new(9));
+            assert_eq!(a.len(), b.len(), "{kind:?}");
+            for (class, value) in &a {
+                assert_eq!(value.to_bits(), b[class].to_bits(), "{kind:?} {class}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_snapshot_rejects_foreign_blobs() {
+        let mut exact = ExactEstimator::new(10, AggregationConfig::default());
+        let sketch = SketchEstimator::new(80.0);
+        // A sketch blob cannot restore into an exact estimator and vice
+        // versa (both decode fails and α/window mismatches count).
+        let sketch_blob = Snapshot::snapshot(&sketch);
+        assert!(Snapshot::restore(&mut exact, &sketch_blob).is_err());
+        let mut other_alpha = SketchEstimator::new(50.0);
+        assert!(Snapshot::restore(&mut other_alpha, &sketch_blob).is_err());
+        // An exact blob from a different history window is rejected,
+        // not silently reshaped into it.
+        let exact_blob = Snapshot::snapshot(&exact);
+        let mut other_window = ExactEstimator::new(20, AggregationConfig::default());
+        assert!(matches!(
+            Snapshot::restore(&mut other_window, &exact_blob),
+            Err(StateError::Mismatch { .. })
+        ));
+        // Custom estimators default to unsupported.
+        struct Null;
+        impl DemandEstimator for Null {
+            fn observe_slot(&mut self, _: &SlotEvents) {}
+            fn slots_observed(&self) -> Slot {
+                0
+            }
+            fn finalize(&mut self, _: &mut dyn RngCore) -> BTreeMap<ClassId, f64> {
+                BTreeMap::new()
+            }
+        }
+        let mut null = Null;
+        assert!(null.snapshot_state().is_none());
+        assert!(matches!(
+            null.restore_state(&sketch_blob),
+            Err(StateError::Unsupported(_))
+        ));
     }
 
     #[test]

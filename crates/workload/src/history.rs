@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use rand::Rng;
 use vne_model::ids::ClassId;
 use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 
 use crate::stats::{bootstrap_percentile, BootstrapEstimate, Ecdf};
 
@@ -179,6 +180,40 @@ impl ClassDemandSeries {
             return 1.0;
         }
         conforming as f64 / checked as f64
+    }
+}
+
+/// Checkpointing: the dense per-class series is the whole state
+/// (BTreeMap encoding is canonical, floats round-trip bit-exactly), so
+/// an interrupted history fold resumes mid-window. The window length is
+/// a construction input and is validated — a blob from a differently
+/// sized window must not silently reshape the receiver.
+impl Snapshot for ClassDemandSeries {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_u32(self.slots);
+        w.write(&self.series);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let slots = r.read_u32()?;
+        if slots != self.slots {
+            return Err(StateError::Mismatch {
+                expected: format!("{}-slot demand series", self.slots),
+                found: format!("blob for a {slots}-slot window"),
+            });
+        }
+        let series: BTreeMap<ClassId, Vec<f64>> = r.read()?;
+        r.finish()?;
+        if series.values().any(|v| v.len() != slots as usize) {
+            return Err(StateError::Corrupt(format!(
+                "class series length differs from the {slots}-slot window"
+            )));
+        }
+        self.series = series;
+        Ok(())
     }
 }
 

@@ -8,6 +8,8 @@
 //! the dense per-slot demand series, so the offline planning phase folds
 //! an arbitrarily long history in `O(classes)` memory.
 
+use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
+
 /// A P² estimator of the `p`-quantile of a stream.
 ///
 /// The first five observations are stored exactly; from the sixth on,
@@ -206,6 +208,60 @@ impl P2Quantile {
     }
 }
 
+/// Checkpointing: the five marker heights/positions, the desired
+/// positions, the initial sample buffer and the count are the complete
+/// sketch state; the target quantile is validated so a sketch cannot be
+/// restored into an estimator tracking a different percentile.
+impl Snapshot for P2Quantile {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write_f64(self.p);
+        for arr in [
+            &self.heights,
+            &self.positions,
+            &self.desired,
+            &self.increments,
+        ] {
+            for &x in arr {
+                w.write_f64(x);
+            }
+        }
+        w.write(&self.initial);
+        w.write_u64(self.count);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let p = r.read_f64()?;
+        if p.to_bits() != self.p.to_bits() {
+            return Err(StateError::Mismatch {
+                expected: format!("P² sketch for quantile {}", self.p),
+                found: format!("blob for quantile {p}"),
+            });
+        }
+        let mut arrays = [[0.0f64; 5]; 4];
+        for arr in &mut arrays {
+            for x in arr.iter_mut() {
+                *x = r.read_f64()?;
+            }
+        }
+        let initial: Vec<f64> = r.read()?;
+        let count = r.read_u64()?;
+        r.finish()?;
+        if initial.len() > 5 {
+            return Err(StateError::Corrupt(format!(
+                "P² initial buffer holds {} > 5 samples",
+                initial.len()
+            )));
+        }
+        [self.heights, self.positions, self.desired, self.increments] = arrays;
+        self.initial = initial;
+        self.count = count;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +357,33 @@ mod tests {
     #[should_panic(expected = "quantile must be in (0, 1)")]
     fn rejects_degenerate_quantile() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn snapshot_resumes_the_stream_exactly() {
+        // Feed half a stream, checkpoint, restore into a fresh sketch,
+        // feed the other half to both: estimates must agree bit for bit.
+        let mut rng = SeededRng::new(3);
+        let sample: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() * 50.0).collect();
+        let mut original = P2Quantile::new(0.8);
+        for &x in &sample[..1000] {
+            original.observe(x);
+        }
+        let blob = original.snapshot();
+        let mut resumed = P2Quantile::new(0.8);
+        resumed.restore(&blob).unwrap();
+        assert_eq!(resumed.snapshot(), blob);
+        for &x in &sample[1000..] {
+            original.observe(x);
+            resumed.observe(x);
+        }
+        assert_eq!(resumed, original);
+        assert_eq!(
+            resumed.estimate().unwrap().to_bits(),
+            original.estimate().unwrap().to_bits()
+        );
+        // A sketch for a different quantile rejects the blob.
+        let mut wrong = P2Quantile::new(0.5);
+        assert!(wrong.restore(&blob).is_err());
     }
 }

@@ -181,6 +181,22 @@ impl<R: Rng> Iterator for TraceStream<R> {
 
 impl<R: Rng> ExactSizeIterator for TraceStream<R> {}
 
+impl<R: Rng> TraceStream<R> {
+    /// Fast-forwards the stream so the next yielded event is `slot`
+    /// (clamped to the horizon) — the resume path of checkpointed runs,
+    /// which must *drop* the slots a checkpoint already consumed.
+    ///
+    /// Determinism requires replaying the per-slot RNG draws (a request
+    /// stream has no random access), so skipping costs the same samples
+    /// as yielding; what it skips is handing the requests to a consumer
+    /// that has already processed them.
+    pub fn skip_to(&mut self, slot: Slot) {
+        while self.next_slot < slot.min(self.slots) {
+            let _ = self.next();
+        }
+    }
+}
+
 /// Creates a lazy synthetic trace stream over the substrate's edge
 /// nodes.
 ///
@@ -406,6 +422,23 @@ mod tests {
         }
         let streamed: Vec<Request> = events.into_iter().flat_map(|ev| ev.arrivals).collect();
         assert_eq!(eager, streamed);
+    }
+
+    #[test]
+    fn skip_to_yields_the_tail_of_the_full_stream() {
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(8));
+        let config = small_config();
+        let full: Vec<_> = stream(&s, &apps, &config, SeededRng::new(3)).collect();
+        let mut skipped = stream(&s, &apps, &config, SeededRng::new(3));
+        skipped.skip_to(120);
+        let tail: Vec<_> = skipped.collect();
+        assert_eq!(tail.len(), 80);
+        assert_eq!(tail.as_slice(), &full[120..]);
+        // Skipping past the horizon leaves an empty stream.
+        let mut over = stream(&s, &apps, &config, SeededRng::new(3));
+        over.skip_to(10_000);
+        assert_eq!(over.next(), None);
     }
 
     #[test]

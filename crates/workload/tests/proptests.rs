@@ -214,3 +214,55 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Default config: `PROPTEST_CASES` scales this block (the nightly
+    // CI property job runs it at 1024 cases).
+
+    /// Resume determinism for the estimator fold: checkpoint either
+    /// builtin estimator at a random slot mid-history, restore into a
+    /// fresh instance, finish both — the finalized per-class demands
+    /// are byte-identical, and snapshot → restore → snapshot is
+    /// blob-equal.
+    #[test]
+    fn estimator_resume_is_byte_identical(
+        seed in 1u64..500,
+        slots in 80u32..160,
+        frac in 0.1f64..0.9,
+        use_sketch in any::<bool>(),
+    ) {
+        let (_, events) = generated_events(seed, slots);
+        let cut = ((frac * f64::from(slots)) as usize).clamp(1, slots as usize - 1);
+        let config = vne_workload::estimator::AggregationConfig {
+            alpha: 80.0,
+            bootstrap_replicates: 10,
+        };
+        let make = || -> Box<dyn DemandEstimator> {
+            if use_sketch {
+                Box::new(SketchEstimator::new(80.0))
+            } else {
+                Box::new(ExactEstimator::new(slots, config))
+            }
+        };
+        let mut original = make();
+        for ev in &events[..cut] {
+            original.observe_slot(ev);
+        }
+        let blob = original.snapshot_state().expect("builtin estimators snapshot");
+        let mut resumed = make();
+        resumed.restore_state(&blob).unwrap();
+        prop_assert_eq!(resumed.snapshot_state().unwrap(), blob);
+        for ev in &events[cut..] {
+            original.observe_slot(ev);
+            resumed.observe_slot(ev);
+        }
+        prop_assert_eq!(original.slots_observed(), slots);
+        prop_assert_eq!(resumed.slots_observed(), slots);
+        let a = original.finalize(&mut SeededRng::new(seed ^ 0xBEEF));
+        let b = resumed.finalize(&mut SeededRng::new(seed ^ 0xBEEF));
+        prop_assert_eq!(a.len(), b.len());
+        for (class, value) in &a {
+            prop_assert_eq!(value.to_bits(), b[class].to_bits());
+        }
+    }
+}

@@ -35,8 +35,18 @@ pub mod test_runner {
         /// 64 cases — smaller than upstream's 256 to keep the heavier
         /// pipeline properties fast; override per block with
         /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ///
+        /// Like upstream, the `PROPTEST_CASES` environment variable
+        /// overrides the default count (explicit `with_cases` configs
+        /// are untouched) — the scheduled CI property job runs the
+        /// default-config suites at 1024 cases this way.
         fn default() -> Self {
-            Self { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Self { cases }
         }
     }
 
