@@ -1,0 +1,65 @@
+//! Criterion bench: serial vs pipelined engine on the same stream.
+//!
+//! Drives one online phase (lazy trace generation, slot loop, window
+//! summary) through `run_stream` and `run_stream_pipelined` so the
+//! pipeline's overlap — and its channel overhead floor — are tracked
+//! per commit next to `engine_stream`. The two paths are byte-identical
+//! (pinned by the `pipeline_parity` suite); only wall-clock differs,
+//! and the pipelined gain scales with free cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vne_model::policy::PlacementPolicy;
+use vne_olive::olive::Olive;
+use vne_sim::engine::{run_stream, run_stream_pipelined, PipelineConfig};
+use vne_sim::observe::WindowSummary;
+use vne_sim::runner::default_apps;
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, TraceConfig};
+
+fn bench_engine_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_pipeline");
+    group.sample_size(10);
+    let slots = 300;
+    for substrate in [
+        vne_topology::zoo::iris().unwrap(),
+        vne_topology::random::hundred_n_150e().unwrap(),
+    ] {
+        let apps = default_apps(1);
+        let mut tc = TraceConfig::default().at_utilization(1.0, &substrate, &apps);
+        tc.slots = slots;
+        let total: usize = tracegen::stream(&substrate, &apps, &tc, SeededRng::new(5))
+            .map(|ev| ev.arrivals.len())
+            .sum();
+        group.throughput(Throughput::Elements(total as u64));
+
+        for (mode, pipelined) in [("serial", false), ("pipelined", true)] {
+            group.bench_with_input(BenchmarkId::new(mode, substrate.name()), &tc, |b, tc| {
+                b.iter(|| {
+                    let mut alg =
+                        Olive::quickg(substrate.clone(), apps.clone(), PlacementPolicy::default());
+                    let events = tracegen::stream(&substrate, &apps, tc, SeededRng::new(5));
+                    let mut observer = WindowSummary::new(
+                        (50, 250),
+                        vne_model::cost::RejectionPenalty::conservative(&apps, &substrate),
+                    );
+                    let stats = if pipelined {
+                        run_stream_pipelined(
+                            &mut alg,
+                            &substrate,
+                            events,
+                            &mut observer,
+                            &PipelineConfig::default(),
+                        )
+                    } else {
+                        run_stream(&mut alg, &substrate, events, &mut observer)
+                    };
+                    observer.finish(&stats)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_pipeline);
+criterion_main!(benches);

@@ -4,10 +4,18 @@
 //!
 //! The full OLIVE row and the "no plan" row bracket the design space:
 //! "no plan" with the greedy fallback only *is* QUICKG.
+//!
+//! All five OLIVE variants share one [`SweepContext`]: the ablation
+//! switches do not change the plan inputs, so the offline plan for each
+//! (utilization, seed) cell is derived **once** and reused across the
+//! variants — the sweep costs one planning pass instead of five.
+
+use std::sync::Arc;
 
 use vne_olive::olive::OliveConfig;
 use vne_sim::metrics::aggregate;
-use vne_sim::runner::{default_apps, run_seeds};
+use vne_sim::registry::AlgorithmRegistry;
+use vne_sim::runner::{default_apps, run_seeds_with, SweepContext};
 use vne_sim::scenario::Algorithm;
 
 use vne_bench::BenchOpts;
@@ -15,6 +23,8 @@ use vne_bench::BenchOpts;
 fn main() {
     let opts = BenchOpts::parse();
     let substrate = vne_topology::zoo::iris().expect("iris");
+    let ctx = Arc::new(SweepContext::new());
+    let registry = AlgorithmRegistry::builtins();
 
     let variants: Vec<(&str, OliveConfig)> = vec![
         ("full", OliveConfig::default()),
@@ -57,9 +67,11 @@ fn main() {
     );
     for util in [1.0, 1.4] {
         for (label, config) in &variants {
-            let (summaries, _) = run_seeds(
+            let (summaries, _) = run_seeds_with(
+                &ctx,
+                &registry,
                 &substrate,
-                Algorithm::Olive,
+                &Algorithm::Olive.into(),
                 &opts.seed_list(),
                 default_apps,
                 |seed| {
@@ -79,9 +91,11 @@ fn main() {
             );
         }
         // QUICKG reference.
-        let (summaries, _) = run_seeds(
+        let (summaries, _) = run_seeds_with(
+            &ctx,
+            &registry,
             &substrate,
-            Algorithm::Quickg,
+            &Algorithm::Quickg.into(),
             &opts.seed_list(),
             default_apps,
             |seed| opts.config(util).with_seed(seed),

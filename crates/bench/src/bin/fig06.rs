@@ -12,8 +12,12 @@
 //!
 //! ```text
 //! fig06 --topo citta --seeds 3 --checkpoint-every 100
-//! fig06 --resume-from checkpoints/ckpt-CittaStudi-OLIVE-u140-s2.bin
+//! fig06 --resume-from checkpoints/ckpt-CittaStudi-OLIVE-u140-c<fp>-s2.bin
 //! ```
+//!
+//! (`<fp>` is the cell's config fingerprint — the filename component
+//! that keeps differently-configured sweeps from overwriting each
+//! other's resume points; `ls checkpoints/` to pick the file.)
 
 use vne_bench::experiments::{print_rows, resume_from, sweep};
 use vne_bench::BenchOpts;

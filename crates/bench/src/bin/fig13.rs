@@ -4,16 +4,34 @@
 //!
 //! Expected shape (paper): OLIVE(60%) and OLIVE(100%) lose only a few
 //! points versus OLIVE(140%) and stay below QUICKG.
+//!
+//! All variants run through the sweep driver and share one
+//! [`SweepContext`], so per-seed application draws (and any coinciding
+//! plans) are derived once across the five variants.
+//! `--checkpoint-every N` checkpoints every per-seed run — the
+//! `plan_utilization` tweak is recorded inside the file — and
+//! `--resume-from FILE` finishes one such run faithfully against the
+//! tweaked scenario.
 
-use vne_sim::metrics::aggregate;
-use vne_sim::runner::{default_apps, run_seeds};
-use vne_sim::scenario::Algorithm;
+use std::sync::Arc;
 
+use vne_bench::experiments::{resume_from, sweep_shared};
 use vne_bench::BenchOpts;
+use vne_sim::runner::SweepContext;
+use vne_sim::scenario::Algorithm;
 
 fn main() {
     let opts = BenchOpts::parse();
+    if resume_from(&opts) {
+        return;
+    }
     let substrate = vne_topology::zoo::iris().expect("iris");
+    // Fig. 13 is a single-utilization figure: online demand at 140%.
+    let at_140 = BenchOpts {
+        utils: vec![1.4],
+        ..opts.clone()
+    };
+    let ctx = Arc::new(SweepContext::new());
 
     println!("# Fig. 13 — Iris @140% online demand, plan built for lower utilization");
     println!("{:>14} {:>12} {:>10}", "variant", "rejection", "±95ci");
@@ -23,33 +41,26 @@ fn main() {
         ("OLIVE(100%)", Some(1.0)),
         ("OLIVE(140%)", None),
     ] {
-        let (summaries, _) = run_seeds(
+        let rows = sweep_shared(
+            &ctx,
+            &at_140.registry,
             &substrate,
-            Algorithm::Olive,
-            &opts.seed_list(),
-            default_apps,
-            |seed| {
-                let mut c = opts.config(1.4).with_seed(seed);
-                c.plan_utilization = plan_util;
-                c
-            },
+            &[Algorithm::Olive],
+            &at_140,
+            |c| c.plan_utilization = plan_util,
         );
-        let agg = aggregate(&summaries);
         println!(
             "{:>14} {:>12.4} {:>10.4}",
-            label, agg.rejection_rate.0, agg.rejection_rate.1
+            label, rows[0].summary.rejection_rate.0, rows[0].summary.rejection_rate.1
         );
     }
     for alg in [Algorithm::Quickg, Algorithm::SlotOff] {
-        let (summaries, _) = run_seeds(&substrate, alg, &opts.seed_list(), default_apps, |seed| {
-            opts.config(1.4).with_seed(seed)
-        });
-        let agg = aggregate(&summaries);
+        let rows = sweep_shared(&ctx, &at_140.registry, &substrate, &[alg], &at_140, |_| {});
         println!(
             "{:>14} {:>12.4} {:>10.4}",
             alg.label(),
-            agg.rejection_rate.0,
-            agg.rejection_rate.1
+            rows[0].summary.rejection_rate.0,
+            rows[0].summary.rejection_rate.1
         );
     }
 }

@@ -3,21 +3,44 @@
 //!
 //! Expected shape (paper): even with a spatially wrong plan OLIVE's
 //! rejection rate stays at or below QUICKG's, at similar cost.
+//!
+//! Checkpointable and resumable: `--checkpoint-every N` records the
+//! `shift_plan_ingress` tweak inside every checkpoint file, and
+//! `--resume-from FILE` finishes such a run faithfully against the
+//! shifted-plan scenario. Both sweeps share one [`SweepContext`]: the
+//! unshifted reference reuses the shifted sweep's application draws,
+//! and OLIVE/QUICKG reference cells share the unshifted plans.
 
-use vne_bench::experiments::{print_rows, sweep};
+use std::sync::Arc;
+
+use vne_bench::experiments::{print_rows, resume_from, sweep_shared};
 use vne_bench::BenchOpts;
+use vne_sim::runner::SweepContext;
 use vne_sim::scenario::Algorithm;
 
 fn main() {
     let opts = BenchOpts::parse();
+    if resume_from(&opts) {
+        return;
+    }
     let substrate = vne_topology::zoo::iris().expect("iris");
+    let ctx = Arc::new(SweepContext::new());
 
     // OLIVE with shifted plan input.
-    let shifted = sweep(&substrate, &[Algorithm::Olive], &opts, |c| {
-        c.shift_plan_ingress = true;
-    });
+    let shifted = sweep_shared(
+        &ctx,
+        &opts.registry,
+        &substrate,
+        &[Algorithm::Olive],
+        &opts,
+        |c| {
+            c.shift_plan_ingress = true;
+        },
+    );
     // References: unshifted OLIVE and QUICKG.
-    let reference = sweep(
+    let reference = sweep_shared(
+        &ctx,
+        &opts.registry,
         &substrate,
         &[Algorithm::Olive, Algorithm::Quickg],
         &opts,

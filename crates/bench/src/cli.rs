@@ -103,9 +103,9 @@ pub struct BenchOpts {
     /// Resume a single checkpointed run from a file written by
     /// `--checkpoint-every` and report its final summary instead of
     /// sweeping (`--resume-from FILE`). Handled by binaries that call
-    /// [`crate::experiments::resume_from`] (fig06, fig07); sweep-driver
-    /// binaries that do not handle it fail loudly instead of silently
-    /// re-sweeping.
+    /// [`crate::experiments::resume_from`] (fig06, fig07, fig13,
+    /// fig14); sweep-driver binaries that do not handle it fail loudly
+    /// instead of silently re-sweeping.
     pub resume_from: Option<PathBuf>,
 }
 

@@ -273,6 +273,23 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     }
 }
 
+/// Marker: this observer is safe to run on the pipelined engine's
+/// observer stage ([`run_stream_pipelined`]).
+///
+/// The contract: the observer's [`SimObserver::on_slot_end`] does not
+/// inspect the `algorithm` argument beyond [`OnlineAlgorithm::name`]
+/// (the pipelined stage hands it a detached stub — the live algorithm
+/// is already processing a later slot on another thread), and its
+/// [`SimObserver::on_slot_committed`] uses the [`EngineView`] only
+/// through [`EngineView::checkpoint`] / the owned accessors (the live
+/// borrows return `None` there). All recording observers in
+/// [`crate::observe`] qualify; [`crate::observe::Inspect`] — whose whole
+/// point is the live algorithm — does not, and the compiler enforces
+/// that it never reaches the pipelined entry points.
+pub trait PipelineSafe: SimObserver {}
+
+impl<O: PipelineSafe + ?Sized> PipelineSafe for &mut O {}
+
 /// The engine's mutable state between slots: the `O(active)` working
 /// set ([`run_stream`] keeps nothing else). Factored out of the run
 /// loop so checkpoints can serialize it and [`run_stream_from`] can
@@ -367,21 +384,53 @@ impl Snapshot for EngineState {
     }
 }
 
-/// A borrowed, checkpointable view of the engine handed to
+/// The engine+algorithm state captured by the pipelined algorithm stage
+/// for slots where the observer stage may checkpoint (see
+/// [`PipelineConfig::capture_every`]).
+#[derive(Debug, Clone)]
+struct SlotCapture {
+    engine: StateBlob,
+    /// `None` when the algorithm does not support snapshots — the
+    /// observer-stage [`EngineView::checkpoint`] then reports the same
+    /// [`StateError::Unsupported`] the serial path would.
+    algorithm_state: Option<StateBlob>,
+}
+
+/// Where an [`EngineView`] gets its state from: a live borrow of the
+/// serial engine loop, or an owned capture shipped across the pipeline's
+/// record channel (the observer stage runs while the algorithm stage is
+/// already slots ahead, so it cannot borrow the live state).
+enum ViewSource<'a> {
+    Live {
+        state: &'a EngineState,
+        algorithm: &'a dyn OnlineAlgorithm,
+    },
+    Captured {
+        algorithm_name: &'a str,
+        capture: Option<&'a SlotCapture>,
+    },
+}
+
+/// A checkpointable view of the engine handed to
 /// [`SimObserver::on_slot_committed`] after every slot.
-#[derive(Clone, Copy)]
+///
+/// On the serial path it borrows the live engine and algorithm; on the
+/// pipelined path it wraps the owned state capture taken by the
+/// algorithm stage at this slot (if one was configured). Either way,
+/// [`EngineView::checkpoint`] produces the slot's [`EngineCheckpoint`].
 pub struct EngineView<'a> {
     slot: Slot,
-    state: &'a EngineState,
-    algorithm: &'a dyn OnlineAlgorithm,
+    stats: StreamStats,
+    active: usize,
+    source: ViewSource<'a>,
 }
 
 impl fmt::Debug for EngineView<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EngineView")
             .field("slot", &self.slot)
-            .field("algorithm", &self.algorithm.name())
-            .field("active", &self.state.active_count())
+            .field("algorithm", &self.algorithm_name())
+            .field("active", &self.active)
             .finish()
     }
 }
@@ -392,14 +441,40 @@ impl<'a> EngineView<'a> {
         self.slot
     }
 
-    /// The engine state after the slot.
-    pub fn state(&self) -> &'a EngineState {
-        self.state
+    /// The engine counters as of this slot.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
     }
 
-    /// The running algorithm (drill-down via [`OnlineAlgorithm::as_any`]).
-    pub fn algorithm(&self) -> &'a dyn OnlineAlgorithm {
-        self.algorithm
+    /// Number of active (accepted) requests after the slot.
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// The running algorithm's name.
+    pub fn algorithm_name(&self) -> &'a str {
+        match self.source {
+            ViewSource::Live { algorithm, .. } => algorithm.name(),
+            ViewSource::Captured { algorithm_name, .. } => algorithm_name,
+        }
+    }
+
+    /// The live engine state — `None` on the pipelined observer stage,
+    /// where the engine has already moved past this slot.
+    pub fn live_state(&self) -> Option<&'a EngineState> {
+        match self.source {
+            ViewSource::Live { state, .. } => Some(state),
+            ViewSource::Captured { .. } => None,
+        }
+    }
+
+    /// The live algorithm (drill-down via [`OnlineAlgorithm::as_any`]) —
+    /// `None` on the pipelined observer stage.
+    pub fn live_algorithm(&self) -> Option<&'a dyn OnlineAlgorithm> {
+        match self.source {
+            ViewSource::Live { algorithm, .. } => Some(algorithm),
+            ViewSource::Captured { .. } => None,
+        }
     }
 
     /// Serializes a full [`EngineCheckpoint`] at this slot. The caller
@@ -410,18 +485,47 @@ impl<'a> EngineView<'a> {
     /// # Errors
     ///
     /// Returns [`StateError::Unsupported`] when the running algorithm
-    /// does not implement [`OnlineAlgorithm::snapshot_state`].
+    /// does not implement [`OnlineAlgorithm::snapshot_state`], or when
+    /// this is a pipelined view of a slot the algorithm stage captured
+    /// no state for (set [`PipelineConfig::capture_every`] to the
+    /// checkpoint cadence).
     pub fn checkpoint(&self, observer_state: StateBlob) -> Result<EngineCheckpoint, StateError> {
-        let algorithm_state = self.algorithm.snapshot_state().ok_or_else(|| {
-            StateError::Unsupported(format!("algorithm {}", self.algorithm.name()))
-        })?;
-        Ok(EngineCheckpoint {
-            slot: self.slot,
-            algorithm: self.algorithm.name().to_string(),
-            engine: self.state.snapshot(),
-            algorithm_state,
-            observer_state,
-        })
+        match self.source {
+            ViewSource::Live { state, algorithm } => {
+                let algorithm_state = algorithm.snapshot_state().ok_or_else(|| {
+                    StateError::Unsupported(format!("algorithm {}", algorithm.name()))
+                })?;
+                Ok(EngineCheckpoint {
+                    slot: self.slot,
+                    algorithm: algorithm.name().to_string(),
+                    engine: state.snapshot(),
+                    algorithm_state,
+                    observer_state,
+                })
+            }
+            ViewSource::Captured {
+                algorithm_name,
+                capture,
+            } => {
+                let capture = capture.ok_or_else(|| {
+                    StateError::Unsupported(format!(
+                        "no engine capture at slot {}; pipelined runs capture state only at \
+                         the PipelineConfig::capture_every cadence",
+                        self.slot
+                    ))
+                })?;
+                let algorithm_state = capture.algorithm_state.clone().ok_or_else(|| {
+                    StateError::Unsupported(format!("algorithm {algorithm_name}"))
+                })?;
+                Ok(EngineCheckpoint {
+                    slot: self.slot,
+                    algorithm: algorithm_name.to_string(),
+                    engine: capture.engine.clone(),
+                    algorithm_state,
+                    observer_state,
+                })
+            }
+        }
     }
 }
 
@@ -573,7 +677,106 @@ where
     Ok(drive(&mut state, algorithm, substrate, remaining, observer))
 }
 
-/// The shared engine loop behind [`run_stream`] and [`run_stream_from`].
+/// Everything one slot produces for the observer side: the decided
+/// arrival outcomes (in processing order), the preemption outcomes (in
+/// the algorithm's eviction order) and the slot metrics. Shared by the
+/// serial and pipelined drivers so both compute bit-identical values.
+struct SlotStep {
+    arrivals: Vec<RequestOutcome>,
+    preemptions: Vec<RequestOutcome>,
+    metrics: SlotMetrics,
+}
+
+/// Advances the engine state through one slot: releases departures,
+/// runs the algorithm, applies acceptances/preemptions, and updates the
+/// counters (everything except observer dispatch and wall-clock).
+fn advance_slot(
+    state: &mut EngineState,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    event: SlotEvents,
+) -> SlotStep {
+    let t = event.slot;
+    assert!(
+        u64::from(t) >= state.next_min_slot,
+        "slot events must be strictly increasing (got slot {t} after {})",
+        state.next_min_slot - 1
+    );
+    state.next_min_slot = u64::from(t) + 1;
+
+    // Departures of accepted-and-still-alive requests, up to and
+    // including this slot (a sparse stream may skip quiet slots;
+    // departures falling into the gap are released now).
+    let mut departures: Vec<Request> = Vec::new();
+    while let Some(entry) = state.departures_at.first_entry() {
+        if *entry.key() > t {
+            break;
+        }
+        for id in entry.remove() {
+            if let Some(r) = state.alive.remove(&id) {
+                state.allocated_active -= r.demand;
+                departures.push(r);
+            }
+        }
+    }
+    while let Some(entry) = state.requested_drop.first_entry() {
+        if *entry.key() > t {
+            break;
+        }
+        state.requested_active -= entry.remove();
+    }
+
+    let arrivals = event.arrivals;
+    for r in &arrivals {
+        state.requested_active += r.demand;
+        *state.requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
+    }
+    let outcome = algorithm.process_slot(t, &departures, &arrivals);
+    state.stats.arrivals += arrivals.len();
+
+    let mut arrival_outcomes = Vec::with_capacity(arrivals.len());
+    for r in arrivals {
+        let accepted = outcome.accepted.contains(&r.id);
+        let status = if accepted {
+            RequestStatus::Accepted
+        } else {
+            RequestStatus::Rejected
+        };
+        arrival_outcomes.push(RequestOutcome::of(&r, status));
+        if accepted {
+            state.allocated_active += r.demand;
+            state
+                .departures_at
+                .entry(r.departure())
+                .or_default()
+                .push(r.id);
+            state.alive.insert(r.id, r);
+        }
+    }
+    state.stats.peak_active = state.stats.peak_active.max(state.alive.len());
+    let mut preemptions = Vec::new();
+    for &p in &outcome.preempted {
+        if let Some(r) = state.alive.remove(&p) {
+            state.allocated_active -= r.demand;
+            preemptions.push(RequestOutcome::of(&r, RequestStatus::Preempted(t)));
+        }
+    }
+
+    let metrics = SlotMetrics {
+        requested_demand: state.requested_active,
+        allocated_demand: state.allocated_active,
+        resource_cost: algorithm.loads().cost_per_slot(substrate),
+    };
+    state.stats.slots_run = t + 1;
+    SlotStep {
+        arrivals: arrival_outcomes,
+        preemptions,
+        metrics,
+    }
+}
+
+/// The shared serial engine loop behind [`run_stream`] and
+/// [`run_stream_from`].
 fn drive<E, O>(
     state: &mut EngineState,
     algorithm: &mut dyn OnlineAlgorithm,
@@ -590,85 +793,27 @@ where
     let started = Instant::now();
     for event in events {
         let t = event.slot;
-        assert!(
-            u64::from(t) >= state.next_min_slot,
-            "slot events must be strictly increasing (got slot {t} after {})",
-            state.next_min_slot - 1
-        );
-        state.next_min_slot = u64::from(t) + 1;
         observer.on_slot_start(t);
-
-        // Departures of accepted-and-still-alive requests, up to and
-        // including this slot (a sparse stream may skip quiet slots;
-        // departures falling into the gap are released now).
-        let mut departures: Vec<Request> = Vec::new();
-        while let Some(entry) = state.departures_at.first_entry() {
-            if *entry.key() > t {
-                break;
-            }
-            for id in entry.remove() {
-                if let Some(r) = state.alive.remove(&id) {
-                    state.allocated_active -= r.demand;
-                    departures.push(r);
-                }
-            }
+        let step = advance_slot(state, algorithm, substrate, event);
+        for outcome in &step.arrivals {
+            observer.on_arrival(outcome);
         }
-        while let Some(entry) = state.requested_drop.first_entry() {
-            if *entry.key() > t {
-                break;
-            }
-            state.requested_active -= entry.remove();
+        for outcome in &step.preemptions {
+            observer.on_preemption(outcome);
         }
-
-        let arrivals = event.arrivals;
-        for r in &arrivals {
-            state.requested_active += r.demand;
-            *state.requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
-        }
-        let outcome = algorithm.process_slot(t, &departures, &arrivals);
-        state.stats.arrivals += arrivals.len();
-
-        for r in arrivals {
-            let accepted = outcome.accepted.contains(&r.id);
-            let status = if accepted {
-                RequestStatus::Accepted
-            } else {
-                RequestStatus::Rejected
-            };
-            observer.on_arrival(&RequestOutcome::of(&r, status));
-            if accepted {
-                state.allocated_active += r.demand;
-                state
-                    .departures_at
-                    .entry(r.departure())
-                    .or_default()
-                    .push(r.id);
-                state.alive.insert(r.id, r);
-            }
-        }
-        state.stats.peak_active = state.stats.peak_active.max(state.alive.len());
-        for &p in &outcome.preempted {
-            if let Some(r) = state.alive.remove(&p) {
-                state.allocated_active -= r.demand;
-                observer.on_preemption(&RequestOutcome::of(&r, RequestStatus::Preempted(t)));
-            }
-        }
-
-        let metrics = SlotMetrics {
-            requested_demand: state.requested_active,
-            allocated_demand: state.allocated_active,
-            resource_cost: algorithm.loads().cost_per_slot(substrate),
-        };
-        state.stats.slots_run = t + 1;
-        let control = observer.on_slot_end(t, &metrics, algorithm);
+        let control = observer.on_slot_end(t, &step.metrics, algorithm);
         // The commit hook fires even when this slot's on_slot_end asked
         // to stop: a budgeted run must leave a checkpoint at its final
         // slot (the StopAfter-on-checkpoint-slot regression).
         state.stats.online_secs = base_secs + started.elapsed().as_secs_f64();
         observer.on_slot_committed(&EngineView {
             slot: t,
-            state: &*state,
-            algorithm: &*algorithm,
+            stats: state.stats,
+            active: state.active_count(),
+            source: ViewSource::Live {
+                state: &*state,
+                algorithm: &*algorithm,
+            },
         });
         if control == SimControl::Stop {
             state.stats.stopped_early = true;
@@ -677,6 +822,331 @@ where
     }
     state.stats.online_secs = base_secs + started.elapsed().as_secs_f64();
     state.stats
+}
+
+/// Configuration of the pipelined engine ([`run_stream_pipelined`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Bounded capacity of each inter-stage channel, in batches. Small
+    /// values keep the stages tightly coupled (less run-ahead after an
+    /// early stop); large values smooth out bursty slots.
+    pub buffer: usize,
+    /// Slots shipped per channel message. Batching amortizes the
+    /// per-message synchronization cost (a 30k-slot stream at batch 16
+    /// crosses each channel ~2k times instead of 30k); the maximum
+    /// run-ahead after an early stop is `2 × buffer × batch` slots.
+    pub batch: usize,
+    /// Capture the engine+algorithm state every N slots (the slots
+    /// `N-1, 2N-1, …` of a dense stream — the same cadence as
+    /// [`crate::observe::Checkpointer::every`]), so the observer stage
+    /// can serialize checkpoints there. `None` captures nothing;
+    /// a [`EngineView::checkpoint`] call on an uncaptured slot errors.
+    pub capture_every: Option<Slot>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            buffer: 4,
+            batch: 16,
+            capture_every: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A config capturing state every `every` slots (checkpointed runs).
+    pub fn capturing(every: Slot) -> Self {
+        Self {
+            capture_every: Some(every),
+            ..Self::default()
+        }
+    }
+}
+
+/// Whether the scenario-level runners should use the pipelined engine.
+///
+/// Resolution order: the `VNE_PIPELINE` environment variable (`0`,
+/// `off`, `false`, `serial`, `no` disable; anything else enables), then
+/// an adaptive default — pipelining pays only when at least one extra
+/// core is free, so it is on iff `available_parallelism() >= 2`. Both
+/// modes produce byte-identical summaries (pinned by the
+/// `pipeline_parity` suite); only wall-clock differs. Read once and
+/// cached for the process lifetime.
+pub fn pipeline_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("VNE_PIPELINE") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "serial" | "no"
+        ),
+        Err(_) => std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2),
+    })
+}
+
+/// One slot's worth of observer work, shipped from the algorithm stage
+/// to the observer stage over the bounded record channel.
+struct SlotRecord {
+    slot: Slot,
+    step: SlotStep,
+    /// The engine counters *after* this slot — what the serial path
+    /// would report had it stopped here (`online_secs` is the algorithm
+    /// stage's wall-clock; the pipelined run overwrites it with its own
+    /// at the end).
+    stats_after: StreamStats,
+    active: usize,
+    capture: Option<SlotCapture>,
+}
+
+/// The stand-in algorithm handed to [`SimObserver::on_slot_end`] on the
+/// pipelined observer stage: carries the real name and an empty load
+/// ledger, never processes a slot. [`PipelineSafe`] observers must not
+/// look further — the live algorithm is slots ahead on another thread.
+struct Detached {
+    name: String,
+    loads: vne_model::load::LoadLedger,
+}
+
+impl OnlineAlgorithm for Detached {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process_slot(
+        &mut self,
+        _t: Slot,
+        _departures: &[Request],
+        _arrivals: &[Request],
+    ) -> vne_olive::algorithm::SlotOutcome {
+        unreachable!("the detached observer-stage stub never processes slots")
+    }
+
+    fn loads(&self) -> &vne_model::load::LoadLedger {
+        &self.loads
+    }
+}
+
+/// [`run_stream`], pipelined across three stages on scoped threads:
+/// event production (the lazy trace generator), the algorithm step plus
+/// metric fold, and — on the calling thread — the observer fan-out.
+/// Slot `t+1`'s algorithm step proceeds while slot `t`'s observer work
+/// drains from a bounded channel; observers still see every event in
+/// slot order, and every value they see is computed by the same code as
+/// the serial path, so summaries are **byte-identical** to
+/// [`run_stream`] (pinned by the `pipeline_parity` proptest battery).
+///
+/// Early stop: when the observer returns [`SimControl::Stop`] the
+/// returned [`StreamStats`] are exactly the serial run's (the stop
+/// slot's counters), even though the algorithm stage may have run up to
+/// `2 × buffer` slots ahead before the channels unwind — the algorithm
+/// object's post-run state is therefore *not* meaningful after an early
+/// stop (checkpoint captures, taken at their slots, are).
+///
+/// Checkpointing: set [`PipelineConfig::capture_every`] to the
+/// [`crate::observe::Checkpointer`] cadence so the algorithm stage
+/// captures state on exactly the slots the checkpointer serializes.
+///
+/// # Panics
+///
+/// Panics like [`run_stream`] on non-increasing slots (the panic
+/// surfaces on the calling thread).
+pub fn run_stream_pipelined<E, O>(
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    config: &PipelineConfig,
+) -> StreamStats
+where
+    E: IntoIterator<Item = SlotEvents>,
+    E::IntoIter: Send,
+    O: PipelineSafe + ?Sized,
+{
+    let mut state = EngineState::fresh();
+    drive_pipelined(&mut state, algorithm, substrate, events, observer, config)
+}
+
+/// [`run_stream_from`], pipelined: restores the checkpoint like the
+/// serial resume, then finishes the run through the three-stage
+/// pipeline. Byte-identical to both the serial resume and the
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// Returns a [`StateError`] when the algorithm's name does not match
+/// the checkpoint or any blob fails to restore.
+pub fn run_stream_from_pipelined<E, O>(
+    checkpoint: &EngineCheckpoint,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    config: &PipelineConfig,
+) -> Result<StreamStats, StateError>
+where
+    E: IntoIterator<Item = SlotEvents>,
+    E::IntoIter: Send,
+    O: PipelineSafe + Snapshot + ?Sized,
+{
+    if algorithm.name() != checkpoint.algorithm {
+        return Err(StateError::Mismatch {
+            expected: format!("algorithm {}", checkpoint.algorithm),
+            found: format!("algorithm {}", algorithm.name()),
+        });
+    }
+    algorithm.restore_state(&checkpoint.algorithm_state)?;
+    observer.restore(&checkpoint.observer_state)?;
+    let mut state = EngineState::fresh();
+    state.restore(&checkpoint.engine)?;
+    // The resumed segment gets its own early-stop verdict.
+    state.stats.stopped_early = false;
+    let consumed = state.next_min_slot;
+    let remaining = events
+        .into_iter()
+        .skip_while(move |ev| u64::from(ev.slot) < consumed);
+    Ok(drive_pipelined(
+        &mut state, algorithm, substrate, remaining, observer, config,
+    ))
+}
+
+/// The pipelined engine loop: stage 0 (worker) pulls slot events from
+/// the lazy source, stage 1 (worker) advances the engine and algorithm
+/// through [`advance_slot`] — the exact code the serial loop runs — and
+/// stage 2 (the calling thread) replays the observer fan-out in slot
+/// order from owned [`SlotRecord`]s. Bounded channels couple the
+/// stages; dropping a receiver unwinds the upstream stages, which is how
+/// an observer's early stop propagates back.
+fn drive_pipelined<E, O>(
+    state: &mut EngineState,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    config: &PipelineConfig,
+) -> StreamStats
+where
+    E: IntoIterator<Item = SlotEvents>,
+    E::IntoIter: Send,
+    O: SimObserver + ?Sized,
+{
+    use std::sync::mpsc::sync_channel;
+
+    let base_secs = state.stats.online_secs;
+    let started = Instant::now();
+    let buffer = config.buffer.max(1);
+    let batch = config.batch.max(1);
+    let capture_every = config.capture_every;
+    let name = algorithm.name().to_string();
+    let stub = Detached {
+        name: name.clone(),
+        loads: vne_model::load::LoadLedger::new(substrate),
+    };
+    // If no slot is ever committed, the serial path would report the
+    // restored counters unchanged.
+    let mut final_stats = state.stats;
+    let events = events.into_iter();
+
+    std::thread::scope(|scope| {
+        let (event_tx, event_rx) = sync_channel::<Vec<SlotEvents>>(buffer);
+        let (record_tx, record_rx) = sync_channel::<Vec<SlotRecord>>(buffer);
+
+        // Stage 0: event production (the RNG-heavy trace generator).
+        let producer = scope.spawn(move || {
+            let mut chunk = Vec::with_capacity(batch);
+            for event in events {
+                chunk.push(event);
+                if chunk.len() == batch
+                    && event_tx
+                        .send(std::mem::replace(&mut chunk, Vec::with_capacity(batch)))
+                        .is_err()
+                {
+                    return; // downstream stopped early
+                }
+            }
+            if !chunk.is_empty() {
+                let _ = event_tx.send(chunk);
+            }
+        });
+
+        // Stage 1: algorithm step + metric fold + state captures.
+        let state = &mut *state;
+        let algorithm = &mut *algorithm;
+        let stepper = scope.spawn(move || {
+            let stage_base = base_secs;
+            let stage_started = Instant::now();
+            'stepping: for chunk in event_rx {
+                let mut records = Vec::with_capacity(chunk.len());
+                for event in chunk {
+                    let slot = event.slot;
+                    let step = advance_slot(state, algorithm, substrate, event);
+                    state.stats.online_secs = stage_base + stage_started.elapsed().as_secs_f64();
+                    let capture = match capture_every {
+                        Some(every) if (u64::from(slot) + 1) % u64::from(every) == 0 => {
+                            Some(SlotCapture {
+                                engine: state.snapshot(),
+                                algorithm_state: algorithm.snapshot_state(),
+                            })
+                        }
+                        _ => None,
+                    };
+                    records.push(SlotRecord {
+                        slot,
+                        step,
+                        stats_after: state.stats,
+                        active: state.active_count(),
+                        capture,
+                    });
+                }
+                if record_tx.send(records).is_err() {
+                    break 'stepping; // observer stopped early
+                }
+            }
+        });
+
+        // Stage 2 (this thread): observer fan-out, in slot order.
+        'observing: for chunk in record_rx {
+            for record in &chunk {
+                observer.on_slot_start(record.slot);
+                for outcome in &record.step.arrivals {
+                    observer.on_arrival(outcome);
+                }
+                for outcome in &record.step.preemptions {
+                    observer.on_preemption(outcome);
+                }
+                let control = observer.on_slot_end(record.slot, &record.step.metrics, &stub);
+                final_stats = record.stats_after;
+                observer.on_slot_committed(&EngineView {
+                    slot: record.slot,
+                    stats: record.stats_after,
+                    active: record.active,
+                    source: ViewSource::Captured {
+                        algorithm_name: &name,
+                        capture: record.capture.as_ref(),
+                    },
+                });
+                if control == SimControl::Stop {
+                    final_stats.stopped_early = true;
+                    break 'observing;
+                }
+            }
+        }
+        // The record receiver is dropped with the loop above, so stage
+        // 1's next send fails; stage 1 then drops the event receiver,
+        // unwinding stage 0. Join both explicitly so a worker panic
+        // (e.g. the strictly-increasing-slots assertion) re-raises its
+        // *original* payload on the calling thread instead of the
+        // scope's generic "a scoped thread panicked".
+        let stepper_result = stepper.join();
+        let producer_result = producer.join();
+        if let Err(payload) = stepper_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Err(payload) = producer_result {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    final_stats.online_secs = base_secs + started.elapsed().as_secs_f64();
+    final_stats
 }
 
 /// Adapts a pre-collected trace into the slot-event stream [`run_stream`]
@@ -862,6 +1332,8 @@ mod tests {
     }
 
     struct StopAt(Slot);
+    // StopAt never looks at the algorithm: pipeline-safe by contract.
+    impl crate::engine::PipelineSafe for StopAt {}
     impl SimObserver for StopAt {
         fn on_slot_end(
             &mut self,
@@ -922,6 +1394,127 @@ mod tests {
         let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
         let events = vec![SlotEvents::empty(5), SlotEvents::empty(5)];
         let _ = run_stream(&mut alg, &s, events, &mut crate::observe::NullObserver);
+    }
+
+    #[test]
+    fn pipelined_stream_matches_serial_bit_for_bit() {
+        let (s, apps) = world();
+        let trace = vec![req(0, 0, 3, 10.0), req(1, 1, 3, 10.0), req(2, 5, 2, 10.0)];
+        let run = |pipelined: bool| {
+            let mut alg = Olive::quickg(s.clone(), apps.clone(), PlacementPolicy::default());
+            let mut rec = crate::observe::Recorder::new();
+            let stats = if pipelined {
+                run_stream_pipelined(
+                    &mut alg,
+                    &s,
+                    slot_events(&trace, 10),
+                    &mut rec,
+                    &PipelineConfig::default(),
+                )
+            } else {
+                run_stream(&mut alg, &s, slot_events(&trace, 10), &mut rec)
+            };
+            (rec.finish("QUICKG", &stats), stats)
+        };
+        let (serial, serial_stats) = run(false);
+        let (piped, piped_stats) = run(true);
+        assert_eq!(serial.requests, piped.requests);
+        assert_eq!(serial.slots, piped.slots);
+        assert_eq!(serial_stats.slots_run, piped_stats.slots_run);
+        assert_eq!(serial_stats.arrivals, piped_stats.arrivals);
+        assert_eq!(serial_stats.peak_active, piped_stats.peak_active);
+        assert_eq!(serial_stats.stopped_early, piped_stats.stopped_early);
+    }
+
+    #[test]
+    fn pipelined_early_stop_reports_the_stop_slot_counters() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let mut observer = StopAt(3);
+        let stats = run_stream_pipelined(
+            &mut alg,
+            &s,
+            slot_events(&[], 100),
+            &mut observer,
+            &PipelineConfig::default(),
+        );
+        assert!(stats.stopped_early);
+        // The algorithm stage ran ahead, but the reported counters are
+        // the stop slot's — identical to the serial run.
+        assert_eq!(stats.slots_run, 4);
+    }
+
+    #[test]
+    fn pipelined_empty_stream_yields_default_stats() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let stats = run_stream_pipelined(
+            &mut alg,
+            &s,
+            std::iter::empty(),
+            &mut crate::observe::NullObserver,
+            &PipelineConfig::default(),
+        );
+        assert_eq!(stats.slots_run, 0);
+        assert_eq!(stats.arrivals, 0);
+        assert!(!stats.stopped_early);
+    }
+
+    #[test]
+    fn pipelined_checkpoint_requires_a_matching_capture_cadence() {
+        use crate::observe::{Checkpointer, WindowSummary};
+        let (s, apps) = world();
+        let penalty = vne_model::cost::RejectionPenalty::uniform(&apps, 1.0);
+        // Cadence configured: the capture is there and the checkpoint
+        // round-trips.
+        let mut alg = Olive::quickg(s.clone(), apps.clone(), PlacementPolicy::default());
+        let mut window = WindowSummary::new((0, 10), penalty.clone());
+        let mut checkpointer = Checkpointer::every(4, &mut window);
+        let trace = vec![req(0, 0, 3, 10.0)];
+        run_stream_pipelined(
+            &mut alg,
+            &s,
+            slot_events(&trace, 10),
+            &mut checkpointer,
+            &PipelineConfig::capturing(4),
+        );
+        assert!(checkpointer.last_error().is_none());
+        assert_eq!(checkpointer.checkpoints_taken(), 2); // slots 3 and 7
+        assert_eq!(checkpointer.latest().unwrap().slot, 7);
+
+        // Cadence missing: the checkpointer records a loud error
+        // instead of silently skipping the capture.
+        let mut alg = Olive::quickg(s.clone(), apps.clone(), PlacementPolicy::default());
+        let mut window = WindowSummary::new((0, 10), penalty);
+        let mut checkpointer = Checkpointer::every(4, &mut window);
+        run_stream_pipelined(
+            &mut alg,
+            &s,
+            slot_events(&trace, 10),
+            &mut checkpointer,
+            &PipelineConfig::default(),
+        );
+        match checkpointer.last_error() {
+            Some(StateError::Unsupported(what)) => {
+                assert!(what.contains("capture"), "{what}");
+            }
+            other => panic!("expected an unsupported-capture error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pipelined_out_of_order_slots_panic_on_the_caller() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let events = vec![SlotEvents::empty(5), SlotEvents::empty(5)];
+        let _ = run_stream_pipelined(
+            &mut alg,
+            &s,
+            events,
+            &mut crate::observe::NullObserver,
+            &PipelineConfig::default(),
+        );
     }
 
     #[test]

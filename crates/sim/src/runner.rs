@@ -1,4 +1,5 @@
-//! Multi-seed experiment runner with parallel execution.
+//! Multi-seed experiment runner with parallel execution and shared
+//! per-sweep artifacts.
 //!
 //! The paper executes every experiment 30 times and reports means with
 //! confidence intervals. [`run_seeds`] replays a scenario across seeds on
@@ -8,10 +9,32 @@
 //! materializes a trace or an outcome log. [`run_seeds_in`] is the same
 //! loop with an explicit [`AlgorithmRegistry`], which is how custom
 //! (non-builtin) algorithms join multi-seed sweeps.
+//!
+//! Two pieces make whole *sweeps* (many cells of algorithm ×
+//! utilization × seed) cheap:
+//!
+//! * [`SweepContext`] — a shared memo of per-seed application draws and
+//!   offline [`vne_olive::plan::Plan`]s, keyed by the scenario's
+//!   plan-input fingerprint. Cells with identical plan inputs (ablation
+//!   variants, repeated plan-based algorithms) derive the plan once;
+//!   the cached value is the identical `Plan`, so summaries stay
+//!   byte-identical to fresh derivations.
+//! * [`cell_map`] — the generalized worker pool behind [`seed_map`]:
+//!   *all* cells of a sweep feed one pool (instead of a fresh pool per
+//!   cell group), so workers stay busy across cell boundaries and plans
+//!   materialize in the shared context as the first cell needing them
+//!   runs.
+//!
+//! Workers collect into per-worker buffers (no shared result mutex); a
+//! panicking cell propagates its original panic payload after the
+//! surviving workers finish.
 
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use vne_model::app::AppSet;
 use vne_model::substrate::SubstrateNetwork;
+use vne_olive::plan::Plan;
 use vne_workload::appgen::{paper_mix, AppGenConfig};
 use vne_workload::rng::SeededRng;
 
@@ -130,7 +153,9 @@ where
 }
 
 /// [`run_seeds`] with an explicit algorithm registry — the entry point
-/// for sweeping algorithms registered outside `vne-sim`.
+/// for sweeping algorithms registered outside `vne-sim`. Creates a
+/// fresh [`SweepContext`] for the call; use [`run_seeds_with`] to share
+/// one across calls (ablation variants, multi-figure sweeps).
 ///
 /// # Panics
 ///
@@ -147,54 +172,244 @@ where
     FA: Fn(u64) -> AppSet + Sync,
     FC: Fn(u64) -> ScenarioConfig + Sync,
 {
+    run_seeds_with(
+        &Arc::new(SweepContext::new()),
+        registry,
+        substrate,
+        spec,
+        seeds,
+        make_apps,
+        configure,
+    )
+}
+
+/// [`run_seeds_in`] sharing an explicit [`SweepContext`]: per-seed
+/// application draws and offline plans memoized in `ctx` are reused
+/// instead of re-derived — across the seeds of this call *and* across
+/// any other call sharing the same context (the vne-bench sweep drivers
+/// share one per sweep). Byte-identical to [`run_seeds_in`].
+///
+/// # Panics
+///
+/// Panics when `spec` does not resolve in `registry`.
+pub fn run_seeds_with<FA, FC>(
+    ctx: &Arc<SweepContext>,
+    registry: &AlgorithmRegistry,
+    substrate: &SubstrateNetwork,
+    spec: &AlgorithmSpec,
+    seeds: &[u64],
+    make_apps: FA,
+    configure: FC,
+) -> (Vec<Summary>, AggregatedSummary)
+where
+    FA: Fn(u64) -> AppSet + Sync,
+    FC: Fn(u64) -> ScenarioConfig + Sync,
+{
     let summaries = seed_map(seeds, |seed| {
-        let apps = make_apps(seed);
+        let apps = ctx.apps(seed, &make_apps);
         let config = configure(seed);
-        let scenario =
-            Scenario::new(substrate.clone(), apps, config).with_registry(registry.clone());
+        let scenario = Scenario::new(substrate.clone(), apps, config)
+            .with_registry(registry.clone())
+            .with_sweep_context(Arc::clone(ctx));
         scenario.run_summary(spec).unwrap_or_else(|e| panic!("{e}"))
     });
     let agg = aggregate(&summaries);
     (summaries, agg)
 }
 
-/// Maps `f` over `seeds` on a worker pool (one task per seed, up to
-/// `available_parallelism` threads) and returns the results **in seed
-/// order** — the shared scaffolding of [`run_seeds_in`] and the
-/// checkpointing sweeps in `vne-bench`.
+/// Shared artifacts of one sweep: per-seed application draws and
+/// memoized offline plans.
+///
+/// The plan memo is keyed by
+/// [`crate::scenario::Scenario::plan_cache_key`] — a fingerprint of
+/// every plan input — so only cells that would derive bit-identical
+/// plans share an entry. Each entry is built exactly once (a per-key
+/// `OnceLock`; concurrent workers needing the same plan block on the
+/// first builder instead of duplicating the work). Application draws
+/// are keyed by seed and assume one app generator per context — which
+/// holds by construction, since a context lives inside a single sweep
+/// call with a fixed `make_apps`.
+pub struct SweepContext {
+    apps: Mutex<HashMap<u64, AppSet>>,
+    plans: Mutex<HashMap<u64, PlanSlot>>,
+}
+
+/// One memoized plan entry: `(plan, original build seconds)`, derived
+/// exactly once through the per-key `OnceLock`.
+type PlanSlot = Arc<OnceLock<(Plan, f64)>>;
+
+impl SweepContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self {
+            apps: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The application set for `seed`: drawn through `make` on first
+    /// use, cloned from the memo afterwards.
+    ///
+    /// **Contract:** every call on one context must pass the *same*
+    /// deterministic generator — the memo is keyed by seed alone (a
+    /// closure cannot be fingerprinted), so a second generator would
+    /// silently receive the first one's draws. Debug builds verify the
+    /// hit against a fresh draw and panic on mismatch; use one
+    /// `SweepContext` per app generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a cache hit does not match what
+    /// `make` draws — i.e. the context is being shared across
+    /// different app generators.
+    pub fn apps(&self, seed: u64, make: impl FnOnce(u64) -> AppSet) -> AppSet {
+        let apps = self.apps.lock().expect("sweep context apps mutex");
+        if let Some(cached) = apps.get(&seed) {
+            let cached = cached.clone();
+            drop(apps);
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                format!("{cached:?}"),
+                format!("{:?}", make(seed)),
+                "SweepContext::apps hit a draw from a different app generator; \
+                 use one SweepContext per generator"
+            );
+            return cached;
+        }
+        drop(apps); // draw outside the lock; drawing can be slow
+        let drawn = make(seed);
+        self.apps
+            .lock()
+            .expect("sweep context apps mutex")
+            .entry(seed)
+            .or_insert(drawn)
+            .clone()
+    }
+
+    /// The plan for cache key `key`: derived through `build` exactly
+    /// once, cloned from the memo afterwards. Returns `(plan,
+    /// build_secs)` where `build_secs` is the original derivation's
+    /// wall-clock (cache hits report the amortized cost, not zero).
+    pub fn plan_for(&self, key: u64, build: impl FnOnce() -> (Plan, f64)) -> (Plan, f64) {
+        let slot = {
+            let mut plans = self.plans.lock().expect("sweep context plan mutex");
+            Arc::clone(plans.entry(key).or_default())
+        };
+        slot.get_or_init(build).clone()
+    }
+
+    /// Number of memoized plans (diagnostics).
+    pub fn plans_cached(&self) -> usize {
+        self.plans.lock().expect("sweep context plan mutex").len()
+    }
+
+    /// Number of memoized application draws (diagnostics).
+    pub fn apps_cached(&self) -> usize {
+        self.apps.lock().expect("sweep context apps mutex").len()
+    }
+}
+
+impl Default for SweepContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SweepContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepContext")
+            .field("apps_cached", &self.apps_cached())
+            .field("plans_cached", &self.plans_cached())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Set inside [`cell_map`] worker threads so nested engine runs
+    /// know the pool is already saturated (see
+    /// `Scenario::use_pipeline`).
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is a [`cell_map`] / [`seed_map`] worker.
+pub(crate) fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(std::cell::Cell::get)
+}
+
+/// Maps `f` over `seeds` on a worker pool and returns the results **in
+/// seed order** — the seed-list form of [`cell_map`], kept for
+/// [`run_seeds_in`] and the checkpointing sweeps in `vne-bench`.
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (a panicking worker aborts the map).
+/// Propagates the original panic of a panicking `f` after the surviving
+/// workers finish their cells.
 pub fn seed_map<R, F>(seeds: &[u64], f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    cell_map(seeds, |&seed| f(seed))
+}
+
+/// Maps `f` over arbitrary sweep cells on a worker pool (one task per
+/// cell, up to `available_parallelism` threads) and returns the results
+/// **in cell order**. This is the pipelined sweep pool: *all* cells of
+/// a sweep feed one pool, so workers pull the next cell the moment they
+/// finish one — no idle tail between cell groups — and shared artifacts
+/// ([`SweepContext`] plans) become available to later cells as earlier
+/// ones derive them.
+///
+/// Each worker collects into its own buffer; there is no shared result
+/// mutex to poison. If a cell panics, the surviving workers finish
+/// their cells, and the map then re-raises the **original** panic
+/// payload (not a poisoned-mutex secondary panic).
+pub fn cell_map<T, R, F>(cells: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(seeds.len().max(1));
+        .min(cells.len().max(1));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= seeds.len() {
-                    break;
-                }
-                let result = f(seeds[idx]);
-                results
-                    .lock()
-                    .expect("runner mutex poisoned")
-                    .push((idx, result));
-            });
-        }
+    let worker_results: Vec<std::thread::Result<Vec<(usize, R)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= cells.len() {
+                            break;
+                        }
+                        local.push((idx, f(&cells[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Join every worker before leaving the scope: a second panic
+        // must not surface while the first is already unwinding (that
+        // would abort), and survivors get to finish their cells.
+        handles.into_iter().map(|h| h.join()).collect()
     });
 
-    let mut collected = results.into_inner().expect("runner mutex poisoned");
+    let mut collected = Vec::with_capacity(cells.len());
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for result in worker_results {
+        match result {
+            Ok(local) => collected.extend(local),
+            Err(payload) => panic = panic.or(Some(payload)),
+        }
+    }
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
     collected.sort_by_key(|(idx, _)| *idx);
     collected.into_iter().map(|(_, r)| r).collect()
 }
@@ -256,6 +471,48 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn utilization_rejects_nan() {
         let _ = Utilization::fraction_of(f64::NAN);
+    }
+
+    #[test]
+    fn seed_map_propagates_the_real_panic_message() {
+        // The regression: a panicking worker used to poison the shared
+        // results mutex, so the surviving workers died on a secondary
+        // "runner mutex poisoned" panic that masked the original one.
+        // With per-worker buffers the original payload must surface.
+        let result = std::panic::catch_unwind(|| {
+            seed_map(&[1u64, 2, 3, 4, 5], |seed| {
+                if seed == 3 {
+                    panic!("seed 3 exploded with code 42");
+                }
+                seed * 2
+            })
+        });
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string payload>");
+        assert!(
+            message.contains("seed 3 exploded with code 42"),
+            "the original panic was masked: {message:?}"
+        );
+    }
+
+    #[test]
+    fn cell_map_returns_results_in_cell_order() {
+        let cells: Vec<u32> = (0..37).collect();
+        let doubled = cell_map(&cells, |&c| c * 2);
+        assert_eq!(doubled, cells.iter().map(|c| c * 2).collect::<Vec<_>>());
+        let empty: Vec<u32> = cell_map(&[] as &[u32], |&c| c);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn workers_report_parallel_context() {
+        assert!(!in_parallel_worker(), "test thread is not a worker");
+        let flags = seed_map(&[1u64, 2], |_| in_parallel_worker());
+        assert_eq!(flags, vec![true, true]);
     }
 
     #[test]

@@ -32,7 +32,10 @@ use vne_workload::estimator::{DemandEstimator, EstimatorKind, ExactEstimator};
 use vne_workload::rng::SeededRng;
 use vne_workload::tracegen::{self, TraceConfig};
 
-use crate::engine::{run_stream, run_stream_from, EngineCheckpoint, RunResult, SimObserver};
+use crate::engine::{
+    pipeline_enabled, run_stream, run_stream_from, run_stream_from_pipelined, run_stream_pipelined,
+    EngineCheckpoint, PipelineConfig, PipelineSafe, RunResult, SimObserver,
+};
 use crate::metrics::{summarize, Summary};
 use crate::observe::{
     Checkpointer, Inspect, NullObserver, Recorder, StopAfter, Tee, WindowSummary,
@@ -225,6 +228,9 @@ pub struct Scenario {
     pub config: ScenarioConfig,
     /// Algorithms runnable by name (builtins unless overridden).
     registry: AlgorithmRegistry,
+    /// Shared per-sweep artifact cache (memoized offline plans); `None`
+    /// outside sweeps.
+    sweep: Option<std::sync::Arc<crate::runner::SweepContext>>,
 }
 
 impl Scenario {
@@ -237,6 +243,7 @@ impl Scenario {
             policy: PlacementPolicy::default(),
             config,
             registry: AlgorithmRegistry::builtins(),
+            sweep: None,
         }
     }
 
@@ -249,6 +256,21 @@ impl Scenario {
     /// Replaces the algorithm registry (builder style).
     pub fn with_registry(mut self, registry: AlgorithmRegistry) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Attaches a shared [`crate::runner::SweepContext`] (builder
+    /// style): [`Scenario::build_plan`] then memoizes the offline plan
+    /// under the scenario's plan-input key, so sweeps running the same
+    /// `(seed, plan inputs)` cell more than once (ablation variants,
+    /// multiple plan-based algorithms) derive it exactly once. Cached
+    /// plans are the identical `Plan` values a fresh derivation
+    /// produces, so summaries stay byte-identical.
+    pub fn with_sweep_context(
+        mut self,
+        sweep: std::sync::Arc<crate::runner::SweepContext>,
+    ) -> Self {
+        self.sweep = Some(sweep);
         self
     }
 
@@ -316,8 +338,9 @@ impl Scenario {
     /// The online phase as a lazy slot-event stream — what
     /// [`Scenario::run`] feeds the engine. Yields exactly
     /// `config.test_slots` events; memory is `O(edge nodes)` /
-    /// `O(sources)`, independent of the horizon.
-    pub fn online_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+    /// `O(sources)`, independent of the horizon. The stream is `Send`
+    /// so the pipelined engine can produce events on a worker thread.
+    pub fn online_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
         let rng = self.rng(2);
         match self.phase_trace(self.config.utilization, self.config.test_slots) {
             PhaseTrace::Synthetic(tc) => {
@@ -332,7 +355,10 @@ impl Scenario {
     /// its `skip_to` (replaying the RNG draws of the consumed slots, so
     /// the tail is identical to the tail of [`Scenario::online_events`])
     /// and yields events for slots `from_slot..test_slots` only.
-    pub fn online_events_from(&self, from_slot: Slot) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+    pub fn online_events_from(
+        &self,
+        from_slot: Slot,
+    ) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
         let rng = self.rng(2);
         match self.phase_trace(self.config.utilization, self.config.test_slots) {
             PhaseTrace::Synthetic(tc) => {
@@ -357,7 +383,9 @@ impl Scenario {
     }
 
     /// Generates the history (planning) trace, honoring the Fig. 13/14
-    /// distortions.
+    /// distortions. The Fig. 14 ingress shift draws from its own
+    /// derived RNG stream (independent of the trace RNG), which is what
+    /// lets [`Scenario::history_events`] apply it lazily.
     pub fn history_trace(&self) -> Vec<Request> {
         let mut rng = self.rng(1);
         let u = self
@@ -366,7 +394,8 @@ impl Scenario {
             .unwrap_or(self.config.utilization);
         let mut history = self.trace_at(u, self.config.history_slots, &mut rng);
         if self.config.shift_plan_ingress {
-            history = tracegen::shift_ingress(&history, &self.substrate, &mut rng);
+            let mut shift_rng = self.rng(5);
+            history = tracegen::shift_ingress(&history, &self.substrate, &mut shift_rng);
         }
         history
     }
@@ -377,29 +406,28 @@ impl Scenario {
     /// `O(edge nodes)` / `O(sources)`, independent of the horizon, and
     /// flattens to exactly [`Scenario::history_trace`].
     ///
-    /// The one exception is the Fig. 14 `shift_plan_ingress`
-    /// distortion: the batch shift draws its RNG *after* the whole
-    /// trace is generated, so reproducing it bit for bit requires
-    /// materializing — that explicitly-distorted path keeps the
-    /// `O(trace)` collect and is documented as such.
-    pub fn history_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + '_> {
+    /// That includes the Fig. 14 `shift_plan_ingress` distortion: the
+    /// shift draws from a dedicated derived RNG stream in request
+    /// order, so the lazy [`tracegen::shift_stream`] wrapper reproduces
+    /// the batch shift bit for bit without collecting the history.
+    pub fn history_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
         let u = self
             .config
             .plan_utilization
             .unwrap_or(self.config.utilization);
-        if self.config.shift_plan_ingress {
-            let history = self.history_trace();
-            return Box::new(crate::engine::slot_events(
-                &history,
-                self.config.history_slots,
-            ));
-        }
         let rng = self.rng(1);
-        match self.phase_trace(u, self.config.history_slots) {
+        let base: Box<dyn Iterator<Item = SlotEvents> + Send + '_> = match self
+            .phase_trace(u, self.config.history_slots)
+        {
             PhaseTrace::Synthetic(tc) => {
                 Box::new(tracegen::stream(&self.substrate, &self.apps, &tc, rng))
             }
             PhaseTrace::Caida(cc) => Box::new(caida::stream(&self.substrate, &self.apps, &cc, rng)),
+        };
+        if self.config.shift_plan_ingress {
+            Box::new(tracegen::shift_stream(base, &self.substrate, self.rng(5)))
+        } else {
+            base
         }
     }
 
@@ -434,7 +462,20 @@ impl Scenario {
     /// time and never materialized (planning memory is the estimator's:
     /// `O(classes × slots)` exact, `O(classes)` sketch). Returns the
     /// plan and the wall-clock seconds it took (fold + PLAN-VNE solve).
+    ///
+    /// When a [`crate::runner::SweepContext`] is attached
+    /// ([`Scenario::with_sweep_context`]) the derivation is memoized
+    /// under [`Scenario::plan_cache_key`]: cells sharing identical plan
+    /// inputs (e.g. OLIVE ablation variants on one seed) reuse the
+    /// first derivation — same `Plan` value, original build time.
     pub fn build_plan(&self) -> (Plan, f64) {
+        match (&self.sweep, self.plan_cache_key()) {
+            (Some(sweep), Some(key)) => sweep.plan_for(key, || self.build_plan_uncached()),
+            _ => self.build_plan_uncached(),
+        }
+    }
+
+    fn build_plan_uncached(&self) -> (Plan, f64) {
         let started = std::time::Instant::now();
         let mut estimator = self
             .config
@@ -451,6 +492,51 @@ impl Scenario {
             &self.plan_config(),
         );
         (plan, started.elapsed().as_secs_f64())
+    }
+
+    /// A fingerprint of every input the offline plan depends on: the
+    /// **full** substrate (nodes, capacities, links — two substrates
+    /// sharing a name but differing in capacity must not share plans),
+    /// application catalogue shape, placement policy, seed and the
+    /// planning-relevant configuration (history horizon, plan
+    /// utilization, Fig. 13/14 distortions, aggregation, estimator
+    /// kind, quantiles, trace/CAIDA parameters). Deliberately
+    /// *excludes* [`OliveConfig`] and the online phase — two scenarios
+    /// with equal keys derive bit-identical plans. Returns `None` for
+    /// [`EstimatorKind::Custom`] (an opaque factory cannot be
+    /// fingerprinted), which disables memoization for that scenario.
+    pub fn plan_cache_key(&self) -> Option<u64> {
+        let estimator_tag = match self.config.estimator {
+            EstimatorKind::Exact => "exact",
+            EstimatorKind::Sketch => "sketch",
+            EstimatorKind::Custom(_) => return None,
+        };
+        // Debug formatting is deterministic within a process and covers
+        // every field, including future additions to the structs.
+        let inputs = format!(
+            "{:?};{:?};{:?};{};{};{:?};{:?};{};{:?};{:?};{:?};{}",
+            self.substrate,
+            self.apps,
+            self.policy,
+            self.config.seed,
+            self.config.history_slots,
+            self.config.plan_utilization,
+            self.config.utilization,
+            self.config.shift_plan_ingress,
+            self.config.quantiles,
+            self.config.aggregation,
+            self.config.trace,
+            estimator_tag,
+        );
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in inputs
+            .bytes()
+            .chain(format!("{:?}", self.config.caida).bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Some(h)
     }
 
     /// Runs one algorithm through the online phase.
@@ -521,10 +607,43 @@ impl Scenario {
         })
     }
 
+    /// Whether this run should go through the pipelined engine: the
+    /// process-wide toggle ([`pipeline_enabled`]), unless the run is
+    /// already inside a [`crate::runner`] worker thread — a saturated
+    /// seed pool gains nothing from two more threads per run.
+    fn use_pipeline(&self) -> bool {
+        pipeline_enabled() && !crate::runner::in_parallel_worker()
+    }
+
+    /// Dispatches one engine run to the serial or pipelined loop (both
+    /// byte-identical; see the `pipeline_parity` suite).
+    fn dispatch_stream<O>(
+        &self,
+        algorithm: &mut dyn OnlineAlgorithm,
+        events: Box<dyn Iterator<Item = SlotEvents> + Send + '_>,
+        observer: &mut O,
+        capture_every: Option<Slot>,
+    ) -> crate::engine::StreamStats
+    where
+        O: PipelineSafe + ?Sized,
+    {
+        if self.use_pipeline() {
+            let config = PipelineConfig {
+                capture_every,
+                ..PipelineConfig::default()
+            };
+            run_stream_pipelined(algorithm, &self.substrate, events, observer, &config)
+        } else {
+            run_stream(algorithm, &self.substrate, events, observer)
+        }
+    }
+
     /// Runs one algorithm and returns only the window [`Summary`],
     /// computed incrementally by [`WindowSummary`] — `O(classes)`
     /// memory instead of a full outcome log, the pairing for multi-seed
-    /// sweeps and long horizons.
+    /// sweeps and long horizons. Uses the pipelined engine when enabled
+    /// (see [`pipeline_enabled`]); results are byte-identical either
+    /// way.
     ///
     /// # Errors
     ///
@@ -536,11 +655,11 @@ impl Scenario {
         let spec = algorithm.into();
         let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
         let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
-        let stats = run_stream(
+        let stats = self.dispatch_stream(
             built.algorithm.as_mut(),
-            &self.substrate,
             self.online_events(),
             &mut window,
+            None,
         );
         Ok(window.finish(&stats))
     }
@@ -579,11 +698,11 @@ impl Scenario {
         if let Some(sink) = sink {
             checkpointer = checkpointer.with_sink(sink);
         }
-        let stats = run_stream(
+        let stats = self.dispatch_stream(
             built.algorithm.as_mut(),
-            &self.substrate,
             self.online_events(),
             &mut checkpointer,
+            Some(every),
         );
         if let Some(error) = checkpointer.last_error() {
             return Err(ResumeError::State(error.clone()));
@@ -626,11 +745,11 @@ impl Scenario {
         let mut stop = StopAfter::new(at + 1);
         {
             let mut observer = Tee(&mut checkpointer, &mut stop);
-            run_stream(
+            self.dispatch_stream(
                 built.algorithm.as_mut(),
-                &self.substrate,
                 self.online_events(),
                 &mut observer,
+                Some(at + 1),
             );
         }
         if let Some(error) = checkpointer.last_error() {
@@ -663,13 +782,25 @@ impl Scenario {
         let spec = AlgorithmSpec::new(&checkpoint.algorithm);
         let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
         let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
-        let stats = run_stream_from(
-            checkpoint,
-            built.algorithm.as_mut(),
-            &self.substrate,
-            self.online_events_from(checkpoint.slot + 1),
-            &mut window,
-        )?;
+        let events = self.online_events_from(checkpoint.slot + 1);
+        let stats = if self.use_pipeline() {
+            run_stream_from_pipelined(
+                checkpoint,
+                built.algorithm.as_mut(),
+                &self.substrate,
+                events,
+                &mut window,
+                &PipelineConfig::default(),
+            )?
+        } else {
+            run_stream_from(
+                checkpoint,
+                built.algorithm.as_mut(),
+                &self.substrate,
+                events,
+                &mut window,
+            )?
+        };
         Ok(window.finish(&stats))
     }
 
@@ -871,6 +1002,7 @@ impl ScenarioBuilder {
             policy: self.policy,
             config,
             registry: self.registry,
+            sweep: None,
         }
     }
 }

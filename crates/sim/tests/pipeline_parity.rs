@@ -1,0 +1,377 @@
+//! Pipelined-engine parity: the tentpole guarantee of the parallel slot
+//! pipeline. [`run_stream_pipelined`] overlaps event production, the
+//! algorithm step and the observer fan-out on three stages, but every
+//! value an observer sees is computed by the same code as the serial
+//! loop — so window summaries, early-stopped runs and captured
+//! checkpoints must be **byte-identical** to [`run_stream`], for every
+//! builtin algorithm, both estimators driving OLIVE's plan, and
+//! proptest-randomized stop/checkpoint slots.
+//!
+//! Also pins the [`SweepContext`] memo: cached application draws and
+//! offline plans must equal fresh derivations exactly.
+
+use std::sync::Arc;
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::request::Slot;
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_sim::engine::{
+    run_stream, run_stream_from, run_stream_from_pipelined, run_stream_pipelined, PipelineConfig,
+};
+use vne_sim::metrics::Summary;
+use vne_sim::observe::{Checkpointer, StopAfter, Tee, WindowSummary};
+use vne_sim::registry::{AlgorithmRegistry, BuildContext};
+use vne_sim::runner::{default_apps, run_seeds_in, run_seeds_with, SweepContext};
+use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_workload::estimator::EstimatorKind;
+
+use proptest::prelude::*;
+
+/// `PROPTEST_CASES`-scalable case count (the scheduled CI property job
+/// raises it; the local default stays small because each case drives
+/// full simulations for all four algorithms).
+fn cases(default: u32) -> ProptestConfig {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(default);
+    ProptestConfig::with_cases(cases)
+}
+
+/// The tiny 4-node world of the checkpoint suite: small enough that the
+/// exact baselines stay fast in debug builds, loaded enough that OLIVE
+/// preempts at 140%.
+fn tiny_scenario(utilization: f64, seed: u64) -> Scenario {
+    let mut s = SubstrateNetwork::new("tiny");
+    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0).unwrap();
+    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0).unwrap();
+    let t = s.add_node("t", Tier::Transport, 900.0, 10.0).unwrap();
+    let c = s.add_node("c", Tier::Core, 2700.0, 1.0).unwrap();
+    s.add_link(e0, t, 1500.0, 1.0).unwrap();
+    s.add_link(e1, t, 1500.0, 1.0).unwrap();
+    s.add_link(t, c, 4500.0, 1.0).unwrap();
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps.push(
+        "tree",
+        AppShape::Tree,
+        shapes::two_branch_tree(3, 6.0, 2.0).unwrap(),
+    )
+    .unwrap();
+    let mut config = ScenarioConfig::small(utilization).with_seed(seed);
+    config.history_slots = 60;
+    config.test_slots = 25;
+    config.measure_window = (2, 22);
+    config.aggregation.bootstrap_replicates = 10;
+    Scenario::new(s, apps, config)
+}
+
+fn assert_bitwise_equal(label: &str, serial: &Summary, pipelined: &Summary) {
+    assert_eq!(serial.arrivals, pipelined.arrivals, "{label}: arrivals");
+    assert_eq!(serial.rejected, pipelined.rejected, "{label}: rejected");
+    assert_eq!(serial.preempted, pipelined.preempted, "{label}: preempted");
+    for (name, a, b) in [
+        (
+            "rejection_rate",
+            serial.rejection_rate,
+            pipelined.rejection_rate,
+        ),
+        (
+            "resource_cost",
+            serial.resource_cost,
+            pipelined.resource_cost,
+        ),
+        (
+            "rejection_cost",
+            serial.rejection_cost,
+            pipelined.rejection_cost,
+        ),
+        ("total_cost", serial.total_cost, pipelined.total_cost),
+        (
+            "balance_index",
+            serial.balance_index,
+            pipelined.balance_index,
+        ),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: {name}");
+    }
+    assert_eq!(
+        serial.fingerprint(),
+        pipelined.fingerprint(),
+        "{label}: fingerprint"
+    );
+}
+
+/// Serial vs pipelined for one algorithm of one scenario, with a random
+/// stop slot and a random checkpoint cadence: the plain summaries, the
+/// early-stopped partial summaries and stats, the captured checkpoint
+/// slots, and the summaries of runs resumed from the pipelined
+/// checkpoint must all agree bitwise.
+fn check_parity(scenario: &Scenario, alg: Algorithm, stop_at: Slot, every: Slot) {
+    let registry = AlgorithmRegistry::builtins();
+    let mk = || {
+        registry
+            .build(&alg.into(), &BuildContext::new(scenario))
+            .unwrap()
+    };
+    let window = || WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+
+    // Plain full-horizon run.
+    let mut serial_alg = mk();
+    let mut serial_window = window();
+    let serial_stats = run_stream(
+        serial_alg.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut serial_window,
+    );
+    let serial = serial_window.finish(&serial_stats);
+
+    let mut piped_alg = mk();
+    let mut piped_window = window();
+    let piped_stats = run_stream_pipelined(
+        piped_alg.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut piped_window,
+        &PipelineConfig::default(),
+    );
+    let piped = piped_window.finish(&piped_stats);
+    assert_eq!(serial_stats.slots_run, piped_stats.slots_run);
+    assert_eq!(serial_stats.arrivals, piped_stats.arrivals);
+    assert_eq!(serial_stats.peak_active, piped_stats.peak_active);
+    assert_eq!(serial_stats.stopped_early, piped_stats.stopped_early);
+    assert_bitwise_equal(alg.label(), &serial, &piped);
+
+    // Early-stopped + checkpointed run: StopAfter fires at `stop_at`
+    // slots, the checkpointer captures every `every` slots.
+    let run_stopped = |pipelined: bool| {
+        let mut built = mk();
+        let mut w = window();
+        let mut checkpointer = Checkpointer::every(every, &mut w);
+        let mut stop = StopAfter::new(stop_at);
+        let stats = {
+            let mut observer = Tee(&mut checkpointer, &mut stop);
+            if pipelined {
+                run_stream_pipelined(
+                    built.algorithm.as_mut(),
+                    &scenario.substrate,
+                    scenario.online_events(),
+                    &mut observer,
+                    &PipelineConfig::capturing(every),
+                )
+            } else {
+                run_stream(
+                    built.algorithm.as_mut(),
+                    &scenario.substrate,
+                    scenario.online_events(),
+                    &mut observer,
+                )
+            }
+        };
+        assert!(
+            checkpointer.last_error().is_none(),
+            "{alg}: {:?}",
+            checkpointer.last_error()
+        );
+        let taken = checkpointer.checkpoints_taken();
+        let latest = checkpointer.into_latest();
+        (w.finish(&stats), stats, latest, taken)
+    };
+    let (serial_part, serial_pstats, serial_ckpt, serial_taken) = run_stopped(false);
+    let (piped_part, piped_pstats, piped_ckpt, piped_taken) = run_stopped(true);
+    assert_eq!(serial_pstats.slots_run, piped_pstats.slots_run);
+    assert_eq!(serial_pstats.arrivals, piped_pstats.arrivals);
+    assert_eq!(serial_pstats.stopped_early, piped_pstats.stopped_early);
+    assert_eq!(serial_taken, piped_taken, "{alg}: checkpoints taken");
+    assert_bitwise_equal(alg.label(), &serial_part, &piped_part);
+    assert_eq!(
+        serial_ckpt.as_ref().map(|c| c.slot),
+        piped_ckpt.as_ref().map(|c| c.slot),
+        "{alg}: latest checkpoint slot"
+    );
+
+    // A checkpoint captured by the pipelined run resumes — serially and
+    // pipelined — to the exact full-horizon summary.
+    if let Some(checkpoint) = piped_ckpt {
+        let mut resume_alg = mk();
+        let mut resume_window = window();
+        let stats = run_stream_from(
+            &checkpoint,
+            resume_alg.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut resume_window,
+        )
+        .unwrap();
+        assert_bitwise_equal(alg.label(), &serial, &resume_window.finish(&stats));
+
+        let mut resume_alg = mk();
+        let mut resume_window = window();
+        let stats = run_stream_from_pipelined(
+            &checkpoint,
+            resume_alg.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut resume_window,
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert_bitwise_equal(alg.label(), &serial, &resume_window.finish(&stats));
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(6))]
+
+    /// The tentpole property: serial and pipelined engines agree
+    /// bitwise — all four builtin algorithms, both estimators driving
+    /// OLIVE's plan, random utilization (preemption at the high
+    /// levels), random stop slots and checkpoint cadences.
+    #[test]
+    fn pipelined_runs_are_byte_identical(
+        seed in 1u64..1000,
+        util_idx in 0usize..5,
+        stop_frac in 0.1f64..1.0,
+        every in 1u32..12,
+    ) {
+        let utilization = [0.6, 0.8, 1.0, 1.2, 1.4][util_idx];
+        let scenario = tiny_scenario(utilization, seed);
+        let slots = scenario.config.test_slots;
+        let stop_at = ((stop_frac * f64::from(slots)) as Slot).clamp(1, slots);
+        for alg in Algorithm::ALL {
+            check_parity(&scenario, alg, stop_at, every);
+        }
+        // OLIVE again with the sketch estimator planning the run.
+        let mut sketch = tiny_scenario(utilization, seed);
+        sketch.config.estimator = EstimatorKind::Sketch;
+        check_parity(&sketch, Algorithm::Olive, stop_at, every);
+    }
+}
+
+#[test]
+fn scenario_dispatch_matches_explicit_serial_run() {
+    // Whatever mode `Scenario::run_summary` dispatches to on this host
+    // (the VNE_PIPELINE toggle / core-count default), the result equals
+    // an explicit serial engine run.
+    let scenario = tiny_scenario(1.2, 11);
+    let auto = scenario.run_summary(Algorithm::Olive).unwrap();
+    let registry = AlgorithmRegistry::builtins();
+    let mut built = registry
+        .build(&Algorithm::Olive.into(), &BuildContext::new(&scenario))
+        .unwrap();
+    let mut window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    let stats = run_stream(
+        built.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut window,
+    );
+    assert_bitwise_equal("OLIVE", &window.finish(&stats), &auto);
+}
+
+#[test]
+fn sweep_context_caches_equal_fresh_derivations() {
+    // Cached application draws are the exact draw, cached plans the
+    // exact plan — and a context-backed multi-seed run is byte-identical
+    // to the context-free path.
+    let ctx = Arc::new(SweepContext::new());
+    let fresh_apps = default_apps(7);
+    let first = ctx.apps(7, default_apps);
+    let cached = ctx.apps(7, default_apps);
+    assert_eq!(format!("{first:?}"), format!("{fresh_apps:?}"));
+    assert_eq!(format!("{cached:?}"), format!("{fresh_apps:?}"));
+    assert_eq!(ctx.apps_cached(), 1, "second call must hit the memo");
+    // Sharing one context across *different* generators is a contract
+    // violation; debug builds trip on the mismatched draw.
+    let misuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.apps(7, |seed| default_apps(seed + 1))
+    }));
+    assert!(
+        misuse.is_err(),
+        "mixed-generator sharing must panic in debug builds"
+    );
+
+    let scenario = tiny_scenario(1.0, 9);
+    let (fresh_plan, _) = scenario.build_plan();
+    let key = scenario
+        .plan_cache_key()
+        .expect("exact estimator has a key");
+    let (first_plan, _) = ctx.plan_for(key, || scenario.build_plan());
+    let (cached_plan, _) = ctx.plan_for(key, || panic!("must hit the cache"));
+    assert_eq!(first_plan, fresh_plan);
+    assert_eq!(cached_plan, fresh_plan);
+    assert_eq!(ctx.plans_cached(), 1);
+
+    // Different plan inputs get different keys (no false sharing).
+    let mut distorted = tiny_scenario(1.0, 9);
+    distorted.config.plan_utilization = Some(0.6);
+    assert_ne!(distorted.plan_cache_key(), Some(key));
+    let mut other_seed = tiny_scenario(1.0, 10);
+    other_seed.config = other_seed.config.with_seed(10);
+    assert_ne!(other_seed.plan_cache_key(), Some(key));
+    // OLIVE ablation switches do NOT change the plan inputs: variants
+    // share one derivation.
+    let mut ablated = tiny_scenario(1.0, 9);
+    ablated.config.olive.borrowing = false;
+    assert_eq!(ablated.plan_cache_key(), Some(key));
+    // Custom estimators cannot be fingerprinted and bypass the cache.
+    let mut custom = tiny_scenario(1.0, 9);
+    custom.config.estimator = EstimatorKind::custom(|slots, config| {
+        Box::new(vne_workload::estimator::ExactEstimator::new(slots, *config))
+    });
+    assert_eq!(custom.plan_cache_key(), None);
+
+    // End to end: a shared-context sweep equals the context-free sweep.
+    let substrate = scenario.substrate.clone();
+    let configure = |seed: u64| {
+        let mut c = ScenarioConfig::small(1.2).with_seed(seed);
+        c.history_slots = 60;
+        c.test_slots = 25;
+        c.measure_window = (2, 22);
+        c.aggregation.bootstrap_replicates = 10;
+        c
+    };
+    let registry = AlgorithmRegistry::builtins();
+    let seeds = [1u64, 2];
+    let (plain, _) = run_seeds_in(
+        &registry,
+        &substrate,
+        &Algorithm::Olive.into(),
+        &seeds,
+        default_apps,
+        configure,
+    );
+    let shared = Arc::new(SweepContext::new());
+    let (with_ctx, _) = run_seeds_with(
+        &shared,
+        &registry,
+        &substrate,
+        &Algorithm::Olive.into(),
+        &seeds,
+        default_apps,
+        configure,
+    );
+    // Second pass over the same context: everything is a cache hit.
+    let (second_pass, _) = run_seeds_with(
+        &shared,
+        &registry,
+        &substrate,
+        &Algorithm::Olive.into(),
+        &seeds,
+        default_apps,
+        configure,
+    );
+    assert_eq!(shared.plans_cached(), seeds.len());
+    assert_eq!(shared.apps_cached(), seeds.len());
+    for ((a, b), c) in plain.iter().zip(&with_ctx).zip(&second_pass) {
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}

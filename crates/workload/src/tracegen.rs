@@ -278,6 +278,60 @@ pub fn shift_ingress<R: Rng + ?Sized>(
         .collect()
 }
 
+/// A lazy ingress-shifting adapter over a slot-event stream: every
+/// arrival's ingress is remapped to a uniformly random edge node, drawn
+/// in request order from a *dedicated* shift RNG.
+///
+/// This is the streaming form of [`shift_ingress`]: because requests
+/// flow through in arrival order, wrapping a stream with `shift_stream`
+/// produces bit-identical requests to collecting the stream and calling
+/// [`shift_ingress`] on it with the same RNG — which is what lets the
+/// Fig. 14 planning path stay `O(edge nodes)` instead of collecting the
+/// whole history.
+pub struct ShiftedStream<I, R: Rng> {
+    inner: I,
+    edge_nodes: Vec<NodeId>,
+    rng: R,
+}
+
+impl<I: Iterator<Item = SlotEvents>, R: Rng> Iterator for ShiftedStream<I, R> {
+    type Item = SlotEvents;
+
+    fn next(&mut self) -> Option<SlotEvents> {
+        let mut event = self.inner.next()?;
+        for r in &mut event.arrivals {
+            r.ingress = self.edge_nodes[self.rng.gen_range(0..self.edge_nodes.len())];
+        }
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: ExactSizeIterator<Item = SlotEvents>, R: Rng> ExactSizeIterator for ShiftedStream<I, R> {}
+
+/// Wraps a slot-event stream so every arrival's ingress is remapped to
+/// a random edge node of `substrate` (see [`ShiftedStream`]).
+///
+/// # Panics
+///
+/// Panics if the substrate has no edge nodes.
+pub fn shift_stream<I, R>(inner: I, substrate: &SubstrateNetwork, rng: R) -> ShiftedStream<I, R>
+where
+    I: Iterator<Item = SlotEvents>,
+    R: Rng,
+{
+    let edge_nodes = substrate.edge_nodes();
+    assert!(!edge_nodes.is_empty(), "substrate has no edge nodes");
+    ShiftedStream {
+        inner,
+        edge_nodes,
+        rng,
+    }
+}
+
 /// Splits a trace into history (`arrival < split`) and online
 /// (`arrival ≥ split`, shifted so the online part starts at slot 0).
 pub fn split_trace(requests: &[Request], split: Slot) -> (Vec<Request>, Vec<Request>) {
@@ -405,6 +459,37 @@ mod tests {
             }
         }
         assert!(moved > trace.len() / 2);
+    }
+
+    #[test]
+    fn shift_stream_matches_batch_shift_with_the_same_rng() {
+        // The lazy Fig. 14 path: wrapping the stream must reproduce the
+        // collect-then-shift result bit for bit when both use the same
+        // dedicated shift RNG.
+        let s = citta_studi().unwrap();
+        let apps = paper_mix(&AppGenConfig::default(), &mut SeededRng::new(8));
+        let config = small_config();
+        let trace = generate(&s, &apps, &config, &mut SeededRng::new(9));
+        let batch = shift_ingress(&trace, &s, &mut SeededRng::new(77));
+        let streamed: Vec<Request> = shift_stream(
+            stream(&s, &apps, &config, SeededRng::new(9)),
+            &s,
+            SeededRng::new(77),
+        )
+        .flat_map(|ev| ev.arrivals)
+        .collect();
+        assert_eq!(streamed, batch);
+        // Slot structure is preserved.
+        let events: Vec<_> = shift_stream(
+            stream(&s, &apps, &config, SeededRng::new(9)),
+            &s,
+            SeededRng::new(77),
+        )
+        .collect();
+        assert_eq!(events.len(), config.slots as usize);
+        for (t, ev) in events.iter().enumerate() {
+            assert_eq!(ev.slot, t as Slot);
+        }
     }
 
     #[test]

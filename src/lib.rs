@@ -52,10 +52,12 @@ pub mod prelude {
     pub use vne_olive::colgen::{solve_plan, PlanVneConfig};
     pub use vne_olive::olive::{Olive, OliveConfig};
     pub use vne_olive::plan::Plan;
-    pub use vne_sim::engine::{SimControl, SimObserver, StreamStats};
+    pub use vne_sim::engine::{PipelineConfig, PipelineSafe, SimControl, SimObserver, StreamStats};
     pub use vne_sim::observe::{NullObserver, Recorder, WindowSummary};
     pub use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
-    pub use vne_sim::runner::{default_apps, run_seeds, run_seeds_in, Utilization};
+    pub use vne_sim::runner::{
+        default_apps, run_seeds, run_seeds_in, run_seeds_with, SweepContext, Utilization,
+    };
     pub use vne_sim::scenario::{Algorithm, Outcome, Scenario, ScenarioBuilder, ScenarioConfig};
     pub use vne_workload::appgen::{paper_mix, AppGenConfig};
     pub use vne_workload::rng::SeededRng;
