@@ -1,0 +1,343 @@
+//! The adversarial & churn scenario suite with empirical
+//! competitive-ratio reporting (`fig_adversarial`).
+//!
+//! Every scenario of the matrix pairs one stressor — an
+//! [`AdversaryProfile`] workload or a [`ChurnProfile`] substrate
+//! schedule — with the per-scenario **offline LP revenue bound**
+//! ([`offline_revenue_bound`]): the fractional optimum
+//! an omniscient offline embedder could earn from the measurement
+//! window's arrivals. The empirical competitive ratio of an online
+//! algorithm is its window revenue divided by that bound — in `(0, 1]`
+//! whenever the run accepts anything, because the bound relaxes both
+//! integrality and every constraint churn tightens.
+//!
+//! The suite runs on the tiny `GoldenDiamond` world (the golden
+//! fingerprint world), where the LP stays exactly solvable and the
+//! adversaries genuinely bite.
+
+use vne_model::app::AppSet;
+use vne_model::cost::RejectionPenalty;
+use vne_model::request::Slot;
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::algorithm::OnlineAlgorithm;
+use vne_olive::bound::{offline_revenue_bound, OfflineBound};
+use vne_sim::engine::{RequestOutcome, SimControl, SimObserver, SlotMetrics};
+use vne_sim::metrics::Summary;
+use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_workload::adversary::{AdversaryProfile, ChurnProfile};
+
+/// One scenario of the suite: a stressor kind, its stable name, and the
+/// fully-tweaked scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioCell {
+    /// `"adversarial"` or `"churn"`.
+    pub kind: &'static str,
+    /// Stable scenario label (JSON key).
+    pub name: &'static str,
+    /// The complete configuration of the cell.
+    pub config: ScenarioConfig,
+}
+
+/// The builtin scenario matrix: all five adversarial workload profiles
+/// plus three substrate-churn schedules, derived from a base config.
+/// Churn periods are sized so every run crosses several outage windows.
+pub fn scenario_matrix(base: &ScenarioConfig) -> Vec<ScenarioCell> {
+    let mut cells = Vec::new();
+    for profile in AdversaryProfile::ALL {
+        let mut config = base.clone();
+        config.adversary = Some(profile);
+        cells.push(ScenarioCell {
+            kind: "adversarial",
+            name: profile.label(),
+            config,
+        });
+    }
+    let churn = [
+        ChurnProfile::LinkOutages {
+            period: 20,
+            len: 5,
+            count: 1,
+        },
+        ChurnProfile::NodeMaintenance { period: 25, len: 5 },
+        ChurnProfile::CapacityDrain {
+            period: 20,
+            len: 6,
+            factor: 0.5,
+        },
+    ];
+    for profile in churn {
+        let mut config = base.clone();
+        config.churn = Some(profile);
+        cells.push(ScenarioCell {
+            kind: "churn",
+            name: profile.label(),
+            config,
+        });
+    }
+    cells
+}
+
+/// Accumulates the online revenue earned from measurement-window
+/// arrivals: `ψ(app)·demand·duration` for every accepted request, taken
+/// back if the request is later preempted or churn-evicted — preempted
+/// embeddings earn nothing, matching the rejection-penalty convention.
+#[derive(Debug, Clone)]
+pub struct RevenueTracker {
+    window: (Slot, Slot),
+    penalty: RejectionPenalty,
+    revenue: f64,
+}
+
+impl RevenueTracker {
+    /// A tracker over `window`, pricing requests with `penalty`'s ψ.
+    pub fn new(window: (Slot, Slot), penalty: RejectionPenalty) -> Self {
+        Self {
+            window,
+            penalty,
+            revenue: 0.0,
+        }
+    }
+
+    /// Net window revenue observed so far.
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    fn value(&self, outcome: &RequestOutcome) -> f64 {
+        self.penalty.psi(outcome.class.app) * outcome.demand * f64::from(outcome.duration)
+    }
+
+    fn in_window(&self, arrival: Slot) -> bool {
+        arrival >= self.window.0 && arrival < self.window.1
+    }
+}
+
+impl SimObserver for RevenueTracker {
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        if self.in_window(outcome.arrival) && !outcome.status.is_denied() {
+            self.revenue += self.value(outcome);
+        }
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        // Only take back what on_arrival added: preemption outcomes
+        // carry the original arrival slot.
+        if self.in_window(outcome.arrival) {
+            self.revenue -= self.value(outcome);
+        }
+    }
+
+    fn on_slot_end(
+        &mut self,
+        _t: Slot,
+        _metrics: &SlotMetrics,
+        _algorithm: &dyn OnlineAlgorithm,
+    ) -> SimControl {
+        SimControl::Continue
+    }
+}
+
+/// One algorithm's row of a scenario report.
+#[derive(Debug, Clone)]
+pub struct AlgorithmRatio {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Net revenue earned from window arrivals.
+    pub online_revenue: f64,
+    /// `online_revenue / bound`, clamped to `(…, 1]`.
+    pub competitive_ratio: f64,
+    /// The run's window summary.
+    pub summary: Summary,
+}
+
+/// A full scenario report: the offline bound plus one row per
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// `"adversarial"` or `"churn"`.
+    pub kind: &'static str,
+    /// Stable scenario label.
+    pub name: &'static str,
+    /// The offline LP revenue bound of this scenario's window arrivals.
+    pub bound: OfflineBound,
+    /// Per-algorithm ratios, in [`Algorithm::ALL`] order.
+    pub rows: Vec<AlgorithmRatio>,
+}
+
+/// Runs one scenario cell for `algorithms` and reports competitive
+/// ratios against the cell's offline LP bound. The bound is computed
+/// once from the scenario's own online stream — the *same* arrival
+/// sequence every algorithm faces (adversarial generators are
+/// algorithm-independent by construction).
+///
+/// # Panics
+///
+/// Panics when an algorithm is unknown to the scenario's registry.
+pub fn competitive_report(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    cell: &ScenarioCell,
+    algorithms: &[Algorithm],
+) -> ScenarioReport {
+    let scenario = Scenario::new(substrate.clone(), apps.clone(), cell.config.clone());
+    let bound = offline_revenue_bound(
+        substrate,
+        apps,
+        &scenario.penalty(),
+        scenario.online_events().flat_map(|ev| ev.arrivals),
+        cell.config.measure_window,
+    );
+    let rows = algorithms
+        .iter()
+        .map(|&alg| {
+            let mut tracker = RevenueTracker::new(cell.config.measure_window, scenario.penalty());
+            let outcome = scenario.run_observed(alg, &mut tracker);
+            AlgorithmRatio {
+                algorithm: alg.label(),
+                online_revenue: tracker.revenue(),
+                competitive_ratio: bound.ratio(tracker.revenue()),
+                summary: outcome.summary,
+            }
+        })
+        .collect();
+    ScenarioReport {
+        kind: cell.kind,
+        name: cell.name,
+        bound,
+        rows,
+    }
+}
+
+/// Renders the suite's reports as the `BENCH_adversarial.json`
+/// document (hand-rolled JSON; the workspace carries no JSON crate).
+pub fn report_json(world: &str, base: &ScenarioConfig, reports: &[ScenarioReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"world\": \"{world}\",\n"));
+    out.push_str(&format!("  \"seed\": {},\n", base.seed));
+    out.push_str(&format!("  \"utilization\": {},\n", base.utilization));
+    out.push_str(&format!(
+        "  \"measure_window\": [{}, {}],\n",
+        base.measure_window.0, base.measure_window.1
+    ));
+    out.push_str(&format!("  \"test_slots\": {},\n", base.test_slots));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"kind\": \"{}\",\n", report.kind));
+        out.push_str(&format!("      \"name\": \"{}\",\n", report.name));
+        out.push_str(&format!(
+            "      \"offline_revenue_bound\": {:.6},\n",
+            report.bound.revenue_bound
+        ));
+        out.push_str(&format!(
+            "      \"total_window_revenue\": {:.6},\n",
+            report.bound.total_revenue
+        ));
+        out.push_str(&format!(
+            "      \"window_requests\": {},\n",
+            report.bound.requests
+        ));
+        out.push_str("      \"algorithms\": [\n");
+        for (j, row) in report.rows.iter().enumerate() {
+            let s = &row.summary;
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"name\": \"{}\",\n", row.algorithm));
+            out.push_str(&format!(
+                "          \"online_revenue\": {:.6},\n",
+                row.online_revenue
+            ));
+            out.push_str(&format!(
+                "          \"competitive_ratio\": {:.6},\n",
+                row.competitive_ratio
+            ));
+            out.push_str(&format!("          \"arrivals\": {},\n", s.arrivals));
+            out.push_str(&format!("          \"rejected\": {},\n", s.rejected));
+            out.push_str(&format!("          \"preempted\": {},\n", s.preempted));
+            out.push_str(&format!(
+                "          \"churn\": {{ \"events\": {}, \"stranded\": {}, \"evicted\": {}, \"reembedded\": {} }}\n",
+                s.churn.events, s.churn.stranded, s.churn.evicted, s.churn.reembedded
+            ));
+            out.push_str(if j + 1 < report.rows.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_topology::zoo::golden_diamond;
+
+    fn base_config() -> ScenarioConfig {
+        let mut config = ScenarioConfig::small(1.0).with_seed(11);
+        config.history_slots = 60;
+        config.test_slots = 25;
+        config.measure_window = (2, 22);
+        config.aggregation.bootstrap_replicates = 10;
+        config.trace.mean_rate_per_node = 2.0;
+        config
+    }
+
+    #[test]
+    fn matrix_covers_all_builtin_stressors() {
+        let cells = scenario_matrix(&base_config());
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells.iter().filter(|c| c.kind == "adversarial").count(), 5);
+        assert_eq!(cells.iter().filter(|c| c.kind == "churn").count(), 3);
+        let names: Vec<_> = cells.iter().map(|c| c.name).collect();
+        assert!(names.contains(&"revenue_burst"));
+        assert!(names.contains(&"capacity_drain"));
+    }
+
+    #[test]
+    fn ratios_stay_in_unit_interval_on_the_golden_world() {
+        let (substrate, apps) = golden_diamond().unwrap();
+        let base = base_config();
+        // One adversarial and one churn cell keep the unit test fast;
+        // the fig_adversarial bin (and its CI step) covers the matrix.
+        for cell in scenario_matrix(&base)
+            .into_iter()
+            .filter(|c| c.name == "revenue_burst" || c.name == "node_maintenance")
+        {
+            let report = competitive_report(&substrate, &apps, &cell, &Algorithm::ALL);
+            assert!(report.bound.revenue_bound > 0.0, "{}", cell.name);
+            for row in &report.rows {
+                assert!(
+                    row.competitive_ratio > 0.0 && row.competitive_ratio <= 1.0,
+                    "{}/{}: ratio {} out of (0, 1]",
+                    cell.name,
+                    row.algorithm,
+                    row.competitive_ratio
+                );
+                assert!(row.online_revenue <= report.bound.revenue_bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_is_syntactically_balanced() {
+        let (substrate, apps) = golden_diamond().unwrap();
+        let base = base_config();
+        let cell = &scenario_matrix(&base)[0];
+        let report = competitive_report(&substrate, &apps, cell, &[Algorithm::Quickg]);
+        let json = report_json("GoldenDiamond", &base, &[report]);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"competitive_ratio\""));
+    }
+}

@@ -31,10 +31,12 @@ use vne_model::state::{StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::olive::OliveConfig;
 use vne_sim::engine::EngineCheckpoint;
+use vne_sim::engine::ReembedKind;
 use vne_sim::metrics::{aggregate, AggregatedSummary, Summary};
 use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec};
 use vne_sim::runner::{cell_map, default_apps, seed_map, SweepContext};
 use vne_sim::scenario::{Scenario, ScenarioConfig};
+use vne_workload::adversary::{AdversaryProfile, ChurnProfile};
 use vne_workload::caida::CaidaConfig;
 use vne_workload::estimator::EstimatorKind;
 use vne_workload::tracegen::{ArrivalKind, TraceConfig};
@@ -320,9 +322,14 @@ pub struct BenchCheckpoint {
 /// Files with this magic are refused.
 const LEGACY_MAGIC_V1: [u8; 8] = *b"VNEBENC1";
 
+/// The pre-scenario-suite format: recorded the full config but not the
+/// adversary/churn/re-embed scenario fields, so an adversarial or
+/// churned cell would silently resume as a benign one. Refused.
+const LEGACY_MAGIC_V2: [u8; 8] = *b"VNEBENC2";
+
 impl BenchCheckpoint {
     /// Magic + version prefix of the file format.
-    pub const MAGIC: [u8; 8] = *b"VNEBENC2";
+    pub const MAGIC: [u8; 8] = *b"VNEBENC3";
 
     /// The run's seed (from the embedded config).
     pub fn seed(&self) -> u64 {
@@ -370,11 +377,22 @@ impl BenchCheckpoint {
         }
         if magic == LEGACY_MAGIC_V1 {
             return Err(StateError::Mismatch {
-                expected: "bench-checkpoint format VNEBENC2 (records the full scenario config)"
+                expected: "bench-checkpoint format VNEBENC3 (records the full scenario config)"
                     .to_string(),
                 found: "legacy VNEBENC1 file, which omits config tweaks (Fig. 13 \
                         plan_utilization, Fig. 14 ingress shift) and would resume the wrong \
-                        scenario; re-run the sweep to produce a v2 checkpoint"
+                        scenario; re-run the sweep to produce a v3 checkpoint"
+                    .to_string(),
+            });
+        }
+        if magic == LEGACY_MAGIC_V2 {
+            return Err(StateError::Mismatch {
+                expected: "bench-checkpoint format VNEBENC3 (records the scenario-suite \
+                           fields: adversary, churn, re-embed policy)"
+                    .to_string(),
+                found: "legacy VNEBENC2 file, which predates the scenario suite and would \
+                        silently resume an adversarial or churned cell as a benign one; \
+                        re-run the sweep to produce a v3 checkpoint"
                     .to_string(),
             });
         }
@@ -470,6 +488,44 @@ fn encode_config(config: &ScenarioConfig, w: &mut StateWriter) {
         None => w.write_bool(false),
     }
     w.write_u64(config.seed);
+    match config.adversary {
+        Some(profile) => {
+            w.write_bool(true);
+            w.write_str(profile.label());
+        }
+        None => w.write_bool(false),
+    }
+    match config.churn {
+        Some(ChurnProfile::LinkOutages { period, len, count }) => {
+            w.write_bool(true);
+            w.write_u8(0);
+            w.write_u32(period);
+            w.write_u32(len);
+            w.write_usize(count);
+        }
+        Some(ChurnProfile::NodeMaintenance { period, len }) => {
+            w.write_bool(true);
+            w.write_u8(1);
+            w.write_u32(period);
+            w.write_u32(len);
+        }
+        Some(ChurnProfile::CapacityDrain {
+            period,
+            len,
+            factor,
+        }) => {
+            w.write_bool(true);
+            w.write_u8(2);
+            w.write_u32(period);
+            w.write_u32(len);
+            w.write_f64(factor);
+        }
+        None => w.write_bool(false),
+    }
+    w.write_u8(match config.reembed {
+        ReembedKind::Reembed => 0,
+        ReembedKind::Evict => 1,
+    });
 }
 
 /// Parses a config serialized by [`encode_config`].
@@ -537,6 +593,48 @@ fn decode_config(r: &mut StateReader<'_>) -> Result<ScenarioConfig, StateError> 
         None
     };
     let seed = r.read_u64()?;
+    let adversary = if r.read_bool()? {
+        let label = r.read_str()?;
+        Some(AdversaryProfile::from_label(&label).ok_or_else(|| {
+            StateError::Corrupt(format!("unknown adversary profile label {label:?}"))
+        })?)
+    } else {
+        None
+    };
+    let churn = if r.read_bool()? {
+        Some(match r.read_u8()? {
+            0 => ChurnProfile::LinkOutages {
+                period: r.read_u32()?,
+                len: r.read_u32()?,
+                count: r.read_usize()?,
+            },
+            1 => ChurnProfile::NodeMaintenance {
+                period: r.read_u32()?,
+                len: r.read_u32()?,
+            },
+            2 => ChurnProfile::CapacityDrain {
+                period: r.read_u32()?,
+                len: r.read_u32()?,
+                factor: r.read_f64()?,
+            },
+            tag => {
+                return Err(StateError::Corrupt(format!(
+                    "invalid churn profile tag {tag}"
+                )))
+            }
+        })
+    } else {
+        None
+    };
+    let reembed = match r.read_u8()? {
+        0 => ReembedKind::Reembed,
+        1 => ReembedKind::Evict,
+        tag => {
+            return Err(StateError::Corrupt(format!(
+                "invalid re-embed policy tag {tag}"
+            )))
+        }
+    };
     Ok(ScenarioConfig {
         history_slots,
         test_slots,
@@ -550,6 +648,9 @@ fn decode_config(r: &mut StateReader<'_>) -> Result<ScenarioConfig, StateError> 
         estimator,
         trace,
         caida,
+        adversary,
+        churn,
+        reembed,
         seed,
     })
 }
@@ -700,6 +801,13 @@ mod tests {
             sources: 300,
             ..CaidaConfig::default()
         });
+        config.adversary = Some(AdversaryProfile::PlanAdversarial);
+        config.churn = Some(ChurnProfile::LinkOutages {
+            period: 25,
+            len: 6,
+            count: 2,
+        });
+        config.reembed = ReembedKind::Evict;
         let bench = BenchCheckpoint {
             topology: "CittaStudi".to_string(),
             config,
@@ -744,6 +852,25 @@ mod tests {
         match BenchCheckpoint::from_bytes(&bytes) {
             Err(StateError::Mismatch { found, .. }) => {
                 assert!(found.contains("VNEBENC1"), "{found}");
+            }
+            other => panic!("expected a legacy-format refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v2_checkpoint_files_are_refused() {
+        // A v2 file predates the scenario-suite fields (adversary,
+        // churn, re-embed policy); resuming an adversarial or churned
+        // cell through it would silently rebuild a benign scenario.
+        let mut w = StateWriter::new();
+        for b in *b"VNEBENC2" {
+            w.write_u8(b);
+        }
+        w.write_str("CittaStudi");
+        let bytes = w.finish().into_bytes();
+        match BenchCheckpoint::from_bytes(&bytes) {
+            Err(StateError::Mismatch { found, .. }) => {
+                assert!(found.contains("VNEBENC2"), "{found}");
             }
             other => panic!("expected a legacy-format refusal, got {other:?}"),
         }

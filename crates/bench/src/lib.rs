@@ -14,6 +14,7 @@
 //! Criterion benches (`benches/`) cover the runtime claims: LP solve
 //! times, plan construction, online throughput and mechanism ablations.
 
+pub mod adversarial;
 pub mod cli;
 pub mod experiments;
 

@@ -223,6 +223,7 @@ mod tests {
             .map(|t| SlotEvents {
                 slot: t,
                 arrivals: history.iter().filter(|r| r.arrival == t).cloned().collect(),
+                churn: Vec::new(),
             })
             .collect();
         let config = AggregationConfig::default();

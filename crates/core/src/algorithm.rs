@@ -6,6 +6,8 @@
 //! order, as required by ON-VNE), and receives the acceptance decisions
 //! plus any preemptions of previously accepted requests.
 
+use vne_model::churn::EffectiveCapacities;
+use vne_model::embedding::Footprint;
 use vne_model::ids::RequestId;
 use vne_model::load::LoadLedger;
 use vne_model::request::{Request, Slot};
@@ -67,6 +69,32 @@ pub trait OnlineAlgorithm: Send {
 
     /// The current substrate load ledger (used for cost accounting).
     fn loads(&self) -> &LoadLedger;
+
+    /// Applies substrate churn: replaces the algorithm's view of usable
+    /// capacities with externally computed effective capacities.
+    ///
+    /// Called by the engine at the start of a slot, before that slot's
+    /// departures/arrivals are handed to [`OnlineAlgorithm::process_slot`],
+    /// and again after a checkpoint restore (the capacities are absolute,
+    /// so re-application is idempotent). Loads are *not* touched here;
+    /// the engine evicts stranded requests through the regular departure
+    /// path. The default ignores churn (a static-substrate algorithm).
+    fn apply_churn(&mut self, effective: &EffectiveCapacities) {
+        let _ = effective;
+    }
+
+    /// The substrate footprint currently allocated to an active request,
+    /// or `None` when unknown.
+    ///
+    /// The engine uses this to find which requests are stranded by a
+    /// capacity loss. Algorithms that return `None` (the default)
+    /// self-heal instead: the engine skips eviction and relies on the
+    /// algorithm to restore feasibility on its next
+    /// [`OnlineAlgorithm::process_slot`].
+    fn footprint_of(&self, id: RequestId) -> Option<&Footprint> {
+        let _ = id;
+        None
+    }
 
     /// Serializes the algorithm's *mutable* state for checkpointing
     /// (construction inputs — substrate, applications, plan — are not

@@ -1,0 +1,245 @@
+//! Offline LP revenue bound for empirical competitive-ratio reporting.
+//!
+//! The scenario suite compares every online algorithm against an
+//! *offline* adversary that sees the whole request sequence up front.
+//! Computing the true offline optimum is NP-hard (it embeds VNE), so
+//! the suite uses a sound LP relaxation instead: fractional acceptance
+//! `x_r ∈ [0, 1]` with one aggregate node-capacity constraint per
+//! arrival slot,
+//!
+//! ```text
+//!   maximize   Σ_r v_r · x_r
+//!   subject to Σ_{r active at t} w_r · x_r ≤ C        for each arrival slot t
+//!              0 ≤ x_r ≤ 1
+//! ```
+//!
+//! where `v_r = ψ(a_r)·d_r·T_r` is the request's revenue (its rejection
+//! cost — what an online run forfeits by denying it), `w_r = d_r·Σ_i β_i`
+//! its minimum total node footprint (real embeddings use `η ≥ 1` times
+//! that), and `C` the total *unchurned* node capacity. Because request
+//! activity intervals are left-closed, total active footprint peaks at
+//! arrival slots, so constraining only those slots loses nothing.
+//!
+//! Every relaxation step only enlarges the feasible set — fractional
+//! acceptance, aggregated node capacity, ignored links, ignored
+//! placement constraints, nameplate capacity under churn — so the LP
+//! optimum is a certified upper bound on any online algorithm's
+//! revenue, including under preemption, churn and re-embedding (the
+//! never-denied accepted set is itself a feasible 0/1 point). The
+//! empirical competitive ratio `online revenue / bound` therefore lands
+//! in `(0, 1]`.
+
+use std::collections::BTreeSet;
+
+use vne_lp::{solve_lp, Problem, Relation};
+use vne_model::app::AppSet;
+use vne_model::cost::RejectionPenalty;
+use vne_model::request::{Request, Slot};
+use vne_model::substrate::SubstrateNetwork;
+
+/// The offline LP revenue bound over a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineBound {
+    /// The LP optimum: a certified upper bound on any online
+    /// algorithm's revenue from window arrivals.
+    pub revenue_bound: f64,
+    /// Σ of `v_r` over window arrivals (the revenue of accepting
+    /// everything; the bound never exceeds it).
+    pub total_revenue: f64,
+    /// Number of requests arriving inside the window.
+    pub requests: usize,
+}
+
+impl OfflineBound {
+    /// The empirical competitive ratio of an online run that earned
+    /// `online_revenue` from window arrivals. In `(0, 1]` for a sound
+    /// bound and a feasible online run (clamped against round-off at
+    /// the top).
+    pub fn ratio(&self, online_revenue: f64) -> f64 {
+        if self.revenue_bound <= 0.0 {
+            return 1.0;
+        }
+        (online_revenue / self.revenue_bound).min(1.0)
+    }
+}
+
+/// Computes the offline LP revenue bound for the requests of `events`
+/// arriving inside `window` (see the module docs for the relaxation).
+///
+/// The request sequence is consumed lazily; only window arrivals are
+/// materialized. `penalty` must be the same rejection-penalty table the
+/// online run is scored with, so `v_r` matches the rejection cost the
+/// online summary charges for denying `r`.
+///
+/// # Panics
+///
+/// Panics if the LP solver fails to find an optimum (the problem is
+/// always feasible — `x = 0` — and bounded — `x ≤ 1`).
+pub fn offline_revenue_bound<I>(
+    substrate: &SubstrateNetwork,
+    apps: &AppSet,
+    penalty: &RejectionPenalty,
+    requests: I,
+    window: (Slot, Slot),
+) -> OfflineBound
+where
+    I: IntoIterator<Item = Request>,
+{
+    let (from, to) = window;
+    let windowed: Vec<Request> = requests
+        .into_iter()
+        .filter(|r| r.arrival >= from && r.arrival < to)
+        .collect();
+    let total_capacity: f64 = substrate.nodes().map(|(_, n)| n.capacity).sum();
+
+    let mut problem = Problem::new();
+    let mut total_revenue = 0.0;
+    let vars: Vec<_> = windowed
+        .iter()
+        .map(|r| {
+            let revenue = penalty.psi(r.app) * r.demand * f64::from(r.duration);
+            total_revenue += revenue;
+            // Minimize the negated revenue = maximize the revenue.
+            problem.add_var(format!("x{}", r.id.0), -revenue, 0.0, 1.0)
+        })
+        .collect();
+
+    // One capacity row per distinct arrival slot: activity intervals
+    // are left-closed, so total active footprint peaks there.
+    let arrival_slots: BTreeSet<Slot> = windowed.iter().map(|r| r.arrival).collect();
+    for &t in &arrival_slots {
+        let row = problem.add_row(format!("cap{t}"), Relation::Le, total_capacity);
+        for (r, &var) in windowed.iter().zip(&vars) {
+            if r.arrival <= t && t < r.departure() {
+                let footprint = r.demand * apps.vnet(r.app).total_node_size();
+                problem.set_coeff(row, var, footprint);
+            }
+        }
+    }
+
+    let revenue_bound = if windowed.is_empty() {
+        0.0
+    } else {
+        let solution = solve_lp(&problem);
+        assert!(
+            solution.status.is_optimal(),
+            "offline bound LP must solve: {:?}",
+            solution.status
+        );
+        -solution.objective
+    };
+    OfflineBound {
+        revenue_bound,
+        total_revenue,
+        requests: windowed.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vne_model::app::{shapes, AppShape};
+    use vne_model::ids::{AppId, NodeId, RequestId};
+    use vne_model::substrate::Tier;
+
+    fn world() -> (SubstrateNetwork, AppSet) {
+        let mut s = SubstrateNetwork::new("t");
+        let e = s.add_node("e", Tier::Edge, 100.0, 1.0).unwrap();
+        let c = s.add_node("c", Tier::Core, 100.0, 1.0).unwrap();
+        s.add_link(e, c, 1000.0, 1.0).unwrap();
+        let mut apps = AppSet::new();
+        // One VNF of size 1: w_r = demand.
+        apps.push(
+            "a",
+            AppShape::Chain,
+            shapes::uniform_chain(1, 1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        (s, apps)
+    }
+
+    fn req(id: u64, arrival: Slot, duration: Slot, demand: f64) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival,
+            duration,
+            ingress: NodeId(0),
+            app: AppId(0),
+            demand,
+        }
+    }
+
+    #[test]
+    fn accepts_everything_that_fits() {
+        let (s, apps) = world();
+        let penalty = RejectionPenalty::uniform(&apps, 1.0);
+        // Two overlapping requests of 50 each: both fit in 200 total.
+        let bound = offline_revenue_bound(
+            &s,
+            &apps,
+            &penalty,
+            vec![req(0, 0, 10, 50.0), req(1, 5, 10, 50.0)],
+            (0, 100),
+        );
+        // v = 1·50·10 each.
+        assert!((bound.revenue_bound - 1000.0).abs() < 1e-6);
+        assert_eq!(bound.requests, 2);
+        assert!((bound.total_revenue - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_at_capacity_fractionally() {
+        let (s, apps) = world();
+        let penalty = RejectionPenalty::uniform(&apps, 1.0);
+        // Three concurrent requests of 100 each against 200 total:
+        // the fractional optimum accepts two's worth of footprint.
+        let bound = offline_revenue_bound(
+            &s,
+            &apps,
+            &penalty,
+            vec![
+                req(0, 3, 10, 100.0),
+                req(1, 3, 10, 100.0),
+                req(2, 3, 10, 100.0),
+            ],
+            (0, 100),
+        );
+        assert!((bound.revenue_bound - 2000.0).abs() < 1e-6);
+        assert!(bound.revenue_bound < bound.total_revenue);
+    }
+
+    #[test]
+    fn window_filters_arrivals() {
+        let (s, apps) = world();
+        let penalty = RejectionPenalty::uniform(&apps, 1.0);
+        let bound = offline_revenue_bound(
+            &s,
+            &apps,
+            &penalty,
+            vec![req(0, 0, 10, 50.0), req(1, 20, 10, 50.0)],
+            (10, 30),
+        );
+        assert_eq!(bound.requests, 1);
+        assert!((bound.revenue_bound - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_window_is_zero_with_unit_ratio() {
+        let (s, apps) = world();
+        let penalty = RejectionPenalty::uniform(&apps, 1.0);
+        let bound = offline_revenue_bound(&s, &apps, &penalty, vec![], (0, 10));
+        assert_eq!(bound.revenue_bound, 0.0);
+        assert_eq!(bound.ratio(0.0), 1.0);
+    }
+
+    #[test]
+    fn ratio_clamps_to_one() {
+        let b = OfflineBound {
+            revenue_bound: 100.0,
+            total_revenue: 100.0,
+            requests: 1,
+        };
+        assert_eq!(b.ratio(100.0 + 1e-9), 1.0);
+        assert!((b.ratio(50.0) - 0.5).abs() < 1e-12);
+    }
+}

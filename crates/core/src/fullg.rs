@@ -472,6 +472,14 @@ impl OnlineAlgorithm for FullG {
     fn loads(&self) -> &LoadLedger {
         &self.loads
     }
+
+    fn apply_churn(&mut self, effective: &vne_model::churn::EffectiveCapacities) {
+        self.loads.set_capacities(&effective.node, &effective.link);
+    }
+
+    fn footprint_of(&self, id: RequestId) -> Option<&Footprint> {
+        self.active.get(&id).map(|(_, fp)| fp)
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,7 @@
 
 pub mod aggregate;
 pub mod algorithm;
+pub mod bound;
 pub mod colgen;
 pub mod decompose;
 pub mod fullg;

@@ -250,6 +250,25 @@ impl OnlineAlgorithm for SlotOff {
     fn loads(&self) -> &LoadLedger {
         &self.loads
     }
+
+    /// SLOTOFF re-optimizes from scratch every slot, so churn is applied
+    /// by shrinking its private substrate copy: the next per-slot LP and
+    /// rounding pass see the reduced capacities and preempt whatever no
+    /// longer fits. [`OnlineAlgorithm::footprint_of`] stays `None` — the
+    /// engine leaves stranded-request eviction to this self-healing.
+    fn apply_churn(&mut self, effective: &vne_model::churn::EffectiveCapacities) {
+        for (i, &cap) in effective.node.iter().enumerate() {
+            self.substrate
+                .node_mut(vne_model::ids::NodeId::from_index(i))
+                .capacity = cap;
+        }
+        for (i, &cap) in effective.link.iter().enumerate() {
+            self.substrate
+                .link_mut(vne_model::ids::LinkId::from_index(i))
+                .capacity = cap;
+        }
+        self.loads.set_capacities(&effective.node, &effective.link);
+    }
 }
 
 #[cfg(test)]

@@ -394,6 +394,7 @@ mod tests {
             .map(|t| vne_model::request::SlotEvents {
                 slot: t,
                 arrivals: history.iter().filter(|r| r.arrival == t).cloned().collect(),
+                churn: Vec::new(),
             })
             .collect();
         let aggregation = AggregationConfig {

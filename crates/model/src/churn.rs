@@ -1,0 +1,378 @@
+//! Substrate churn: failures, repairs, drains and maintenance windows.
+//!
+//! The base model assumes a static substrate; production substrates are
+//! not static. A [`ChurnEvent`] announces a change to one substrate
+//! element's *usable* capacity at the start of a slot — a hard failure
+//! ([`ChurnEvent::NodeDown`] / [`ChurnEvent::LinkDown`]), a repair
+//! ([`ChurnEvent::NodeUp`] / [`ChurnEvent::LinkUp`]) or a partial drain
+//! to a fraction of nameplate capacity ([`ChurnEvent::NodeDrain`] /
+//! [`ChurnEvent::LinkDrain`]). Maintenance windows are expressed by the
+//! generator as a `Down` at the window start and an `Up` at its end.
+//!
+//! Events carry *absolute* factors (not deltas): applying the same event
+//! twice is idempotent, which keeps checkpoint/resume trivial — the
+//! engine snapshots the folded [`ChurnState`] and re-derives the
+//! effective capacities on restore instead of replaying event history.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LinkId, NodeId};
+use crate::state::{
+    Snapshot, StateBlob, StateDecode, StateEncode, StateError, StateReader, StateWriter,
+};
+use crate::substrate::SubstrateNetwork;
+
+/// One substrate capacity change, applied at the start of a slot before
+/// that slot's arrivals are processed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// Hard node failure: usable capacity drops to zero.
+    NodeDown(NodeId),
+    /// Node repair: usable capacity returns to nameplate.
+    NodeUp(NodeId),
+    /// Hard link failure: usable capacity drops to zero.
+    LinkDown(LinkId),
+    /// Link repair: usable capacity returns to nameplate.
+    LinkUp(LinkId),
+    /// Node drained to `factor · cap` (absolute, `0 ≤ factor ≤ 1`).
+    NodeDrain {
+        /// The drained node.
+        node: NodeId,
+        /// Fraction of nameplate capacity left usable.
+        factor: f64,
+    },
+    /// Link drained to `factor · cap` (absolute, `0 ≤ factor ≤ 1`).
+    LinkDrain {
+        /// The drained link.
+        link: LinkId,
+        /// Fraction of nameplate capacity left usable.
+        factor: f64,
+    },
+}
+
+impl StateEncode for ChurnEvent {
+    fn encode(&self, w: &mut StateWriter) {
+        match self {
+            ChurnEvent::NodeDown(n) => {
+                w.write_u8(0);
+                w.write(n);
+            }
+            ChurnEvent::NodeUp(n) => {
+                w.write_u8(1);
+                w.write(n);
+            }
+            ChurnEvent::LinkDown(l) => {
+                w.write_u8(2);
+                w.write(l);
+            }
+            ChurnEvent::LinkUp(l) => {
+                w.write_u8(3);
+                w.write(l);
+            }
+            ChurnEvent::NodeDrain { node, factor } => {
+                w.write_u8(4);
+                w.write(node);
+                w.write_f64(*factor);
+            }
+            ChurnEvent::LinkDrain { link, factor } => {
+                w.write_u8(5);
+                w.write(link);
+                w.write_f64(*factor);
+            }
+        }
+    }
+}
+
+impl StateDecode for ChurnEvent {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.read_u8()? {
+            0 => ChurnEvent::NodeDown(r.read()?),
+            1 => ChurnEvent::NodeUp(r.read()?),
+            2 => ChurnEvent::LinkDown(r.read()?),
+            3 => ChurnEvent::LinkUp(r.read()?),
+            4 => ChurnEvent::NodeDrain {
+                node: r.read()?,
+                factor: r.read_f64()?,
+            },
+            5 => ChurnEvent::LinkDrain {
+                link: r.read()?,
+                factor: r.read_f64()?,
+            },
+            tag => return Err(StateError::Corrupt(format!("invalid churn tag {tag}"))),
+        })
+    }
+}
+
+/// The usable capacities of every substrate element after churn:
+/// nameplate capacity times the element's current churn factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveCapacities {
+    /// Usable capacity per node, indexed by [`NodeId`].
+    pub node: Vec<f64>,
+    /// Usable capacity per link, indexed by [`LinkId`].
+    pub link: Vec<f64>,
+}
+
+/// The folded churn state of a substrate: one usable-capacity factor in
+/// `[0, 1]` per element (1.0 = pristine).
+///
+/// Because [`ChurnEvent`]s are absolute, this is a memoryless fold: the
+/// state after any event prefix is just the per-element latest factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnState {
+    node_factor: Vec<f64>,
+    link_factor: Vec<f64>,
+}
+
+impl ChurnState {
+    /// All factors at 1.0 (no churn yet) over the given substrate.
+    pub fn pristine(substrate: &SubstrateNetwork) -> Self {
+        Self {
+            node_factor: vec![1.0; substrate.node_count()],
+            link_factor: vec![1.0; substrate.link_count()],
+        }
+    }
+
+    /// Whether every factor is exactly 1.0.
+    pub fn is_pristine(&self) -> bool {
+        self.node_factor.iter().all(|&f| f == 1.0) && self.link_factor.iter().all(|&f| f == 1.0)
+    }
+
+    /// Current factor of node `n`.
+    pub fn node_factor(&self, n: NodeId) -> f64 {
+        self.node_factor[n.index()]
+    }
+
+    /// Current factor of link `l`.
+    pub fn link_factor(&self, l: LinkId) -> f64 {
+        self.link_factor[l.index()]
+    }
+
+    /// Applies one event (idempotent — factors are absolute).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event references an element outside this
+    /// substrate, or carries a factor outside `[0, 1]` — both indicate a
+    /// malformed churn stream, not a recoverable condition.
+    pub fn apply(&mut self, event: &ChurnEvent) {
+        let (node, link, factor) = match *event {
+            ChurnEvent::NodeDown(n) => (Some(n), None, 0.0),
+            ChurnEvent::NodeUp(n) => (Some(n), None, 1.0),
+            ChurnEvent::LinkDown(l) => (None, Some(l), 0.0),
+            ChurnEvent::LinkUp(l) => (None, Some(l), 1.0),
+            ChurnEvent::NodeDrain { node, factor } => (Some(node), None, factor),
+            ChurnEvent::LinkDrain { link, factor } => (None, Some(link), factor),
+        };
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "churn event {event:?} carries factor {factor} outside [0, 1]"
+        );
+        if let Some(n) = node {
+            assert!(
+                n.index() < self.node_factor.len(),
+                "churn event {event:?} references node {n} but the substrate has {} nodes",
+                self.node_factor.len()
+            );
+            self.node_factor[n.index()] = factor;
+        }
+        if let Some(l) = link {
+            assert!(
+                l.index() < self.link_factor.len(),
+                "churn event {event:?} references link {l} but the substrate has {} links",
+                self.link_factor.len()
+            );
+            self.link_factor[l.index()] = factor;
+        }
+    }
+
+    /// The usable capacities under the current factors (nameplate × factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `substrate` has different dimensions than the one
+    /// this state was created over.
+    pub fn effective(&self, substrate: &SubstrateNetwork) -> EffectiveCapacities {
+        assert_eq!(
+            (substrate.node_count(), substrate.link_count()),
+            (self.node_factor.len(), self.link_factor.len()),
+            "churn state dimensions do not match substrate"
+        );
+        EffectiveCapacities {
+            node: substrate
+                .nodes()
+                .map(|(id, n)| n.capacity * self.node_factor[id.index()])
+                .collect(),
+            link: substrate
+                .links()
+                .map(|(id, l)| l.capacity * self.link_factor[id.index()])
+                .collect(),
+        }
+    }
+}
+
+impl StateEncode for ChurnState {
+    fn encode(&self, w: &mut StateWriter) {
+        w.write(&self.node_factor);
+        w.write(&self.link_factor);
+    }
+}
+
+impl StateDecode for ChurnState {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            node_factor: r.read()?,
+            link_factor: r.read()?,
+        })
+    }
+}
+
+impl Snapshot for ChurnState {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = StateWriter::new();
+        w.write(self);
+        w.finish()
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StateError> {
+        let mut r = StateReader::new(blob);
+        let decoded: ChurnState = r.read()?;
+        r.finish()?;
+        if decoded.node_factor.len() != self.node_factor.len()
+            || decoded.link_factor.len() != self.link_factor.len()
+        {
+            return Err(StateError::Mismatch {
+                expected: format!(
+                    "churn state over {} nodes / {} links",
+                    self.node_factor.len(),
+                    self.link_factor.len()
+                ),
+                found: format!(
+                    "factors for {} nodes / {} links",
+                    decoded.node_factor.len(),
+                    decoded.link_factor.len()
+                ),
+            });
+        }
+        *self = decoded;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::Tier;
+
+    fn pair() -> (SubstrateNetwork, NodeId, NodeId, LinkId) {
+        let mut s = SubstrateNetwork::new("pair");
+        let a = s.add_node("a", Tier::Edge, 100.0, 1.0).unwrap();
+        let b = s.add_node("b", Tier::Core, 200.0, 1.0).unwrap();
+        let l = s.add_link(a, b, 50.0, 1.0).unwrap();
+        (s, a, b, l)
+    }
+
+    #[test]
+    fn events_fold_to_absolute_factors() {
+        let (s, a, b, l) = pair();
+        let mut churn = ChurnState::pristine(&s);
+        assert!(churn.is_pristine());
+        churn.apply(&ChurnEvent::NodeDown(a));
+        churn.apply(&ChurnEvent::LinkDrain {
+            link: l,
+            factor: 0.5,
+        });
+        assert!(!churn.is_pristine());
+        let eff = churn.effective(&s);
+        assert_eq!(eff.node[a.index()], 0.0);
+        assert_eq!(eff.node[b.index()], 200.0);
+        assert_eq!(eff.link[l.index()], 25.0);
+        // Idempotent: same event twice, same state.
+        let before = churn.clone();
+        churn.apply(&ChurnEvent::NodeDown(a));
+        assert_eq!(churn, before);
+        churn.apply(&ChurnEvent::NodeUp(a));
+        churn.apply(&ChurnEvent::LinkUp(l));
+        assert!(churn.is_pristine());
+    }
+
+    #[test]
+    #[should_panic(expected = "references node")]
+    fn out_of_range_node_panics() {
+        let (s, ..) = pair();
+        let mut churn = ChurnState::pristine(&s);
+        churn.apply(&ChurnEvent::NodeDown(NodeId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_factor_panics() {
+        let (s, a, ..) = pair();
+        let mut churn = ChurnState::pristine(&s);
+        churn.apply(&ChurnEvent::NodeDrain {
+            node: a,
+            factor: 1.5,
+        });
+    }
+
+    #[test]
+    fn events_and_state_roundtrip() {
+        let (s, a, _b, l) = pair();
+        let events = vec![
+            ChurnEvent::NodeDown(a),
+            ChurnEvent::NodeUp(a),
+            ChurnEvent::LinkDown(l),
+            ChurnEvent::LinkUp(l),
+            ChurnEvent::NodeDrain {
+                node: a,
+                factor: 0.25,
+            },
+            ChurnEvent::LinkDrain {
+                link: l,
+                factor: 0.75,
+            },
+        ];
+        let mut w = StateWriter::new();
+        w.write(&events);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob);
+        assert_eq!(r.read::<Vec<ChurnEvent>>().unwrap(), events);
+        r.finish().unwrap();
+
+        let mut churn = ChurnState::pristine(&s);
+        for ev in &events {
+            churn.apply(ev);
+        }
+        let blob = churn.snapshot();
+        let mut fresh = ChurnState::pristine(&s);
+        fresh.restore(&blob).unwrap();
+        assert_eq!(fresh, churn);
+        assert_eq!(fresh.snapshot(), blob);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_dimensions() {
+        let (s, ..) = pair();
+        let churn = ChurnState::pristine(&s);
+        let blob = churn.snapshot();
+        let mut solo = SubstrateNetwork::new("solo");
+        solo.add_node("x", Tier::Edge, 1.0, 1.0).unwrap();
+        let mut wrong = ChurnState::pristine(&solo);
+        assert!(matches!(
+            wrong.restore(&blob),
+            Err(StateError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        let mut w = StateWriter::new();
+        w.write_u8(9);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob);
+        assert!(matches!(
+            r.read::<ChurnEvent>(),
+            Err(StateError::Corrupt(_))
+        ));
+    }
+}

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod app;
+pub mod churn;
 pub mod cost;
 pub mod embedding;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod vnet;
 /// Commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use crate::app::{AppSet, AppShape, Application};
+    pub use crate::churn::{ChurnEvent, ChurnState, EffectiveCapacities};
     pub use crate::cost::RejectionPenalty;
     pub use crate::embedding::{Embedding, Footprint};
     pub use crate::error::{ModelError, ModelResult};

@@ -89,6 +89,25 @@ impl LoadLedger {
         self.link_load[l.index()]
     }
 
+    /// Replaces the capacity vectors with externally computed effective
+    /// capacities (substrate churn: failures, drains, maintenance).
+    ///
+    /// Loads are left untouched — the engine evicts stranded requests
+    /// separately — so loads may transiently exceed the new capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector dimensions do not match this ledger.
+    pub fn set_capacities(&mut self, node: &[f64], link: &[f64]) {
+        assert_eq!(
+            (node.len(), link.len()),
+            (self.node_capacity.len(), self.link_capacity.len()),
+            "effective capacities do not match ledger dimensions"
+        );
+        self.node_capacity.copy_from_slice(node);
+        self.link_capacity.copy_from_slice(link);
+    }
+
     /// Whether a footprint scaled by `demand` fits in the residual
     /// capacities (Eq. 18).
     pub fn fits(&self, footprint: &Footprint, demand: f64) -> bool {

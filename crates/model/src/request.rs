@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::churn::ChurnEvent;
 use crate::ids::{AppId, ClassId, NodeId, RequestId};
+use crate::state::{StateDecode, StateEncode, StateError, StateReader, StateWriter};
 
 /// A discrete time slot index (`t ∈ T`).
 pub type Slot = u32;
@@ -48,15 +50,37 @@ pub struct SlotEvents {
     pub slot: Slot,
     /// The requests arriving in this slot, in processing order.
     pub arrivals: Vec<Request>,
+    /// Substrate churn taking effect at the start of this slot, applied
+    /// before `arrivals` are offered (empty on a static substrate).
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl SlotEvents {
-    /// An empty slot (no arrivals).
+    /// An empty slot (no arrivals, no churn).
     pub fn empty(slot: Slot) -> Self {
         Self {
             slot,
             arrivals: Vec::new(),
+            churn: Vec::new(),
         }
+    }
+}
+
+impl StateEncode for SlotEvents {
+    fn encode(&self, w: &mut StateWriter) {
+        w.write_u32(self.slot);
+        w.write(&self.arrivals);
+        w.write(&self.churn);
+    }
+}
+
+impl StateDecode for SlotEvents {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Self {
+            slot: r.read_u32()?,
+            arrivals: r.read()?,
+            churn: r.read()?,
+        })
     }
 }
 

@@ -28,7 +28,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
 
-use vne_model::ids::{ClassId, RequestId};
+use vne_model::churn::{ChurnState, EffectiveCapacities};
+use vne_model::ids::{ClassId, LinkId, NodeId, RequestId};
 use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
 use vne_model::substrate::SubstrateNetwork;
@@ -200,6 +201,93 @@ pub struct StreamStats {
     pub stopped_early: bool,
 }
 
+/// Per-slot churn counters: how many churn events the slot carried and
+/// what happened to the requests they stranded.
+///
+/// All-zero on slots without churn (and for whole runs on a static
+/// substrate), so the pre-churn golden fingerprints are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Churn events applied.
+    pub events: usize,
+    /// Requests stranded by capacity losses (their allocation no longer
+    /// fit the effective capacities).
+    pub stranded: usize,
+    /// Stranded requests permanently lost: not selected for re-embedding
+    /// by the [`ReembedPolicy`], or re-offered and rejected.
+    pub evicted: usize,
+    /// Stranded requests successfully re-embedded in the same slot.
+    pub reembedded: usize,
+}
+
+impl ChurnStats {
+    /// Whether every counter is zero (no churn observed).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Adds another slot's counters into this cumulative tally.
+    pub fn absorb(&mut self, other: &ChurnStats) {
+        self.events += other.events;
+        self.stranded += other.stranded;
+        self.evicted += other.evicted;
+        self.reembedded += other.reembedded;
+    }
+}
+
+/// What to do with requests stranded by a churn capacity loss.
+///
+/// The engine releases every stranded request's resources through the
+/// regular departure path, then asks the policy which of them to
+/// *re-offer* to the algorithm in the same slot (same id, remaining
+/// duration). Re-offered requests the algorithm re-accepts keep their
+/// original accounting; everything else is reported as preempted.
+pub trait ReembedPolicy: Send {
+    /// Picks the subset of `stranded` (sorted by ascending id) to
+    /// re-offer at slot `t`. Ids not in the returned set are evicted.
+    fn reembed(&mut self, t: Slot, stranded: &[Request]) -> Vec<RequestId>;
+}
+
+/// Re-offer every stranded request (the default policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReembedAll;
+
+impl ReembedPolicy for ReembedAll {
+    fn reembed(&mut self, _t: Slot, stranded: &[Request]) -> Vec<RequestId> {
+        stranded.iter().map(|r| r.id).collect()
+    }
+}
+
+/// Evict every stranded request (no second chance).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictAll;
+
+impl ReembedPolicy for EvictAll {
+    fn reembed(&mut self, _t: Slot, _stranded: &[Request]) -> Vec<RequestId> {
+        Vec::new()
+    }
+}
+
+/// Config-level selector for the builtin [`ReembedPolicy`] impls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReembedKind {
+    /// Re-offer every stranded request ([`ReembedAll`]).
+    #[default]
+    Reembed,
+    /// Evict every stranded request ([`EvictAll`]).
+    Evict,
+}
+
+impl ReembedKind {
+    /// Instantiates the selected policy.
+    pub fn policy(self) -> Box<dyn ReembedPolicy> {
+        match self {
+            ReembedKind::Reembed => Box::new(ReembedAll),
+            ReembedKind::Evict => Box::new(EvictAll),
+        }
+    }
+}
+
 /// Observer verdict after each slot: keep going or stop the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimControl {
@@ -216,6 +304,12 @@ pub enum SimControl {
 pub trait SimObserver {
     /// A new slot begins (before departures are released).
     fn on_slot_start(&mut self, _t: Slot) {}
+
+    /// The slot carried substrate churn: `churn` holds this slot's
+    /// counters. Called after [`SimObserver::on_slot_start`] and before
+    /// the arrival/preemption callbacks, and only on slots whose
+    /// counters are non-zero.
+    fn on_churn(&mut self, _t: Slot, _churn: &ChurnStats) {}
 
     /// An arriving request was decided: `outcome.status` is
     /// [`RequestStatus::Accepted`] or [`RequestStatus::Rejected`].
@@ -253,6 +347,9 @@ pub trait SimObserver {
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     fn on_slot_start(&mut self, t: Slot) {
         (**self).on_slot_start(t);
+    }
+    fn on_churn(&mut self, t: Slot, churn: &ChurnStats) {
+        (**self).on_churn(t, churn);
     }
     fn on_arrival(&mut self, outcome: &RequestOutcome) {
         (**self).on_arrival(outcome);
@@ -310,6 +407,9 @@ pub struct EngineState {
     /// The lowest slot the next event may carry (slots strictly
     /// increase); after a resume this is `checkpoint slot + 1`.
     next_min_slot: u64,
+    /// Folded substrate churn, lazily created on the first churn event
+    /// (`None` on a static substrate, so churn-free runs cost nothing).
+    churn: Option<ChurnState>,
 }
 
 impl EngineState {
@@ -331,6 +431,11 @@ impl EngineState {
     /// The first slot the next event may carry.
     pub fn next_slot(&self) -> u64 {
         self.next_min_slot
+    }
+
+    /// The folded churn state, if any churn event has been applied.
+    pub fn churn_state(&self) -> Option<&ChurnState> {
+        self.churn.as_ref()
     }
 }
 
@@ -354,6 +459,7 @@ impl Snapshot for EngineState {
         w.write_f64(self.stats.online_secs);
         w.write_bool(self.stats.stopped_early);
         w.write_u64(self.next_min_slot);
+        w.write(&self.churn);
         w.finish()
     }
 
@@ -372,6 +478,7 @@ impl Snapshot for EngineState {
             stopped_early: r.read_bool()?,
         };
         let next_min_slot = r.read_u64()?;
+        let churn: Option<ChurnState> = r.read()?;
         r.finish()?;
         self.alive = alive_list.into_iter().map(|r| (r.id, r)).collect();
         self.departures_at = departures_at;
@@ -380,6 +487,7 @@ impl Snapshot for EngineState {
         self.allocated_active = allocated_active;
         self.stats = stats;
         self.next_min_slot = next_min_slot;
+        self.churn = churn;
         Ok(())
     }
 }
@@ -552,8 +660,12 @@ pub struct EngineCheckpoint {
 }
 
 impl EngineCheckpoint {
-    /// Magic + version prefix of the serialized form.
-    pub const MAGIC: [u8; 8] = *b"VNECKPT1";
+    /// Magic + version prefix of the serialized form. V2 added the
+    /// folded churn state to the engine blob.
+    pub const MAGIC: [u8; 8] = *b"VNECKPT2";
+
+    /// The pre-churn V1 magic, refused with a descriptive error.
+    pub const LEGACY_MAGIC_V1: [u8; 8] = *b"VNECKPT1";
 
     /// Serializes the checkpoint for storage.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -579,6 +691,13 @@ impl EngineCheckpoint {
         let mut magic = [0u8; 8];
         for b in &mut magic {
             *b = r.read_u8()?;
+        }
+        if magic == Self::LEGACY_MAGIC_V1 {
+            return Err(StateError::Corrupt(
+                "legacy V1 engine checkpoint: its engine state predates substrate churn \
+                 and cannot be resumed by this version; re-run from scratch"
+                    .into(),
+            ));
         }
         if magic != Self::MAGIC {
             return Err(StateError::Corrupt(format!(
@@ -622,8 +741,25 @@ where
     E: IntoIterator<Item = SlotEvents>,
     O: SimObserver + ?Sized,
 {
+    run_stream_with(algorithm, substrate, events, observer, &mut ReembedAll)
+}
+
+/// [`run_stream`] with an explicit [`ReembedPolicy`] deciding the fate
+/// of requests stranded by substrate churn. [`run_stream`] defaults to
+/// [`ReembedAll`]; churn-free streams never consult the policy.
+pub fn run_stream_with<E, O>(
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    policy: &mut dyn ReembedPolicy,
+) -> StreamStats
+where
+    E: IntoIterator<Item = SlotEvents>,
+    O: SimObserver + ?Sized,
+{
     let mut state = EngineState::fresh();
-    drive(&mut state, algorithm, substrate, events, observer)
+    drive(&mut state, algorithm, substrate, events, observer, policy)
 }
 
 /// Resumes a checkpointed run: restores the algorithm, the observer and
@@ -658,6 +794,31 @@ where
     E: IntoIterator<Item = SlotEvents>,
     O: SimObserver + Snapshot + ?Sized,
 {
+    run_stream_from_with(
+        checkpoint,
+        algorithm,
+        substrate,
+        events,
+        observer,
+        &mut ReembedAll,
+    )
+}
+
+/// [`run_stream_from`] with an explicit [`ReembedPolicy`] (the resumed
+/// segment must use the same policy as the checkpointed run to stay
+/// byte-identical).
+pub fn run_stream_from_with<E, O>(
+    checkpoint: &EngineCheckpoint,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    policy: &mut dyn ReembedPolicy,
+) -> Result<StreamStats, StateError>
+where
+    E: IntoIterator<Item = SlotEvents>,
+    O: SimObserver + Snapshot + ?Sized,
+{
     if algorithm.name() != checkpoint.algorithm {
         return Err(StateError::Mismatch {
             expected: format!("algorithm {}", checkpoint.algorithm),
@@ -668,13 +829,21 @@ where
     observer.restore(&checkpoint.observer_state)?;
     let mut state = EngineState::fresh();
     state.restore(&checkpoint.engine)?;
+    // The algorithm blob does not carry churned capacities (ledgers
+    // snapshot loads only); re-derive them from the folded churn state.
+    // Effective capacities are absolute, so this is idempotent.
+    if let Some(churn) = &state.churn {
+        algorithm.apply_churn(&churn.effective(substrate));
+    }
     // The resumed segment gets its own early-stop verdict.
     state.stats.stopped_early = false;
     let consumed = state.next_min_slot;
     let remaining = events
         .into_iter()
         .skip_while(move |ev| u64::from(ev.slot) < consumed);
-    Ok(drive(&mut state, algorithm, substrate, remaining, observer))
+    Ok(drive(
+        &mut state, algorithm, substrate, remaining, observer, policy,
+    ))
 }
 
 /// Everything one slot produces for the observer side: the decided
@@ -685,6 +854,86 @@ struct SlotStep {
     arrivals: Vec<RequestOutcome>,
     preemptions: Vec<RequestOutcome>,
     metrics: SlotMetrics,
+    churn: ChurnStats,
+}
+
+/// Finds the requests stranded by a capacity loss: with the slot's
+/// scheduled departures already discounted (the algorithm releases them
+/// inside `process_slot`, so its ledger still carries their loads),
+/// evicts alive requests newest-first until no element exceeds its
+/// effective capacity. Requests whose footprint the algorithm cannot
+/// report (`footprint_of` → `None`) are never selected — such
+/// algorithms self-heal on their next `process_slot`.
+///
+/// Returns the stranded requests sorted by ascending id.
+fn find_stranded(
+    state: &EngineState,
+    algorithm: &dyn OnlineAlgorithm,
+    departures: &[Request],
+    effective: &EffectiveCapacities,
+) -> Vec<Request> {
+    let loads = algorithm.loads();
+    let mut node_load: Vec<f64> = (0..effective.node.len())
+        .map(|i| loads.node_load(NodeId::from_index(i)))
+        .collect();
+    let mut link_load: Vec<f64> = (0..effective.link.len())
+        .map(|i| loads.link_load(LinkId::from_index(i)))
+        .collect();
+    for d in departures {
+        if let Some(fp) = algorithm.footprint_of(d.id) {
+            for &(n, x) in fp.nodes() {
+                node_load[n.index()] -= x * d.demand;
+            }
+            for &(l, x) in fp.links() {
+                link_load[l.index()] -= x * d.demand;
+            }
+        }
+    }
+    let tol = |cap: f64| vne_model::load::CAPACITY_EPS * cap.max(1.0);
+    let over_node = |load: &[f64], n: usize| load[n] > effective.node[n] + tol(effective.node[n]);
+    let over_link = |load: &[f64], l: usize| load[l] > effective.link[l] + tol(effective.link[l]);
+    let any_over = |node_load: &[f64], link_load: &[f64]| {
+        (0..node_load.len()).any(|n| over_node(node_load, n))
+            || (0..link_load.len()).any(|l| over_link(link_load, l))
+    };
+
+    let mut stranded = Vec::new();
+    if !any_over(&node_load, &link_load) {
+        return stranded;
+    }
+    // Newest-first (descending id): later acceptances yield to earlier
+    // ones, mirroring the seniority order of the arrival sequence.
+    let mut candidates: Vec<&Request> = state.alive.values().collect();
+    candidates.sort_unstable_by_key(|r| std::cmp::Reverse(r.id));
+    for r in candidates {
+        if !any_over(&node_load, &link_load) {
+            break;
+        }
+        let Some(fp) = algorithm.footprint_of(r.id) else {
+            continue;
+        };
+        // Skip requests whose allocation touches no overloaded element.
+        let contributes = fp
+            .nodes()
+            .iter()
+            .any(|&(n, x)| x * r.demand > 0.0 && over_node(&node_load, n.index()))
+            || fp
+                .links()
+                .iter()
+                .any(|&(l, x)| x * r.demand > 0.0 && over_link(&link_load, l.index()));
+        if !contributes {
+            continue;
+        }
+        for &(n, x) in fp.nodes() {
+            node_load[n.index()] -= x * r.demand;
+        }
+        for &(l, x) in fp.links() {
+            link_load[l.index()] -= x * r.demand;
+        }
+        stranded.push(r.clone());
+    }
+    stranded.sort_unstable_by_key(|r| r.id);
+    stranded
 }
 
 /// Advances the engine state through one slot: releases departures,
@@ -695,6 +944,7 @@ fn advance_slot(
     algorithm: &mut dyn OnlineAlgorithm,
     substrate: &SubstrateNetwork,
     event: SlotEvents,
+    policy: &mut dyn ReembedPolicy,
 ) -> SlotStep {
     let t = event.slot;
     assert!(
@@ -726,17 +976,92 @@ fn advance_slot(
         state.requested_active -= entry.remove();
     }
 
+    // Substrate churn takes effect before this slot's arrivals: fold
+    // the events, hand the algorithm its new effective capacities,
+    // detect stranded requests, and route them through the policy.
+    // Stranded requests are released via the regular departure path (the
+    // algorithm frees their resources inside `process_slot`); the subset
+    // the policy re-offers is prepended to the arrivals with the same id
+    // and the remaining duration — ids stay ascending because stranded
+    // requests predate every new arrival.
+    let mut churn_stats = ChurnStats::default();
+    let mut preemptions: Vec<RequestOutcome> = Vec::new();
+    let mut reoffer_originals: HashMap<RequestId, Request> = HashMap::new();
+    let mut offered: Vec<Request> = Vec::new();
+    if !event.churn.is_empty() {
+        churn_stats.events = event.churn.len();
+        let churn = state
+            .churn
+            .get_or_insert_with(|| ChurnState::pristine(substrate));
+        for ev in &event.churn {
+            churn.apply(ev);
+        }
+        let effective = churn.effective(substrate);
+        algorithm.apply_churn(&effective);
+
+        let stranded = find_stranded(state, algorithm, &departures, &effective);
+        churn_stats.stranded = stranded.len();
+        if !stranded.is_empty() {
+            let chosen = policy.reembed(t, &stranded);
+            for original in stranded {
+                let original = state
+                    .alive
+                    .remove(&original.id)
+                    .expect("stranded requests are alive");
+                state.allocated_active -= original.demand;
+                // The stale departure-calendar entry at the original
+                // departure slot stays; release checks `alive` first.
+                departures.push(original.clone());
+                if chosen.contains(&original.id) {
+                    // Remaining duration ≥ 1: alive means departure > t.
+                    offered.push(Request {
+                        id: original.id,
+                        arrival: t,
+                        duration: original.departure() - t,
+                        ingress: original.ingress,
+                        app: original.app,
+                        demand: original.demand,
+                    });
+                    reoffer_originals.insert(original.id, original);
+                } else {
+                    churn_stats.evicted += 1;
+                    preemptions.push(RequestOutcome::of(&original, RequestStatus::Preempted(t)));
+                }
+            }
+            offered.sort_unstable_by_key(|r| r.id);
+        }
+    }
+
     let arrivals = event.arrivals;
+    let new_arrivals = arrivals.len();
+    // Re-offers do not touch the requested curve: their original arrival
+    // already counted, and their departure slot is unchanged.
     for r in &arrivals {
         state.requested_active += r.demand;
         *state.requested_drop.entry(r.departure()).or_insert(0.0) += r.demand;
     }
-    let outcome = algorithm.process_slot(t, &departures, &arrivals);
-    state.stats.arrivals += arrivals.len();
+    offered.extend(arrivals);
+    let outcome = algorithm.process_slot(t, &departures, &offered);
+    state.stats.arrivals += new_arrivals;
 
-    let mut arrival_outcomes = Vec::with_capacity(arrivals.len());
-    for r in arrivals {
+    let mut arrival_outcomes = Vec::with_capacity(new_arrivals);
+    for r in offered {
         let accepted = outcome.accepted.contains(&r.id);
+        if let Some(original) = reoffer_originals.remove(&r.id) {
+            // A re-offered stranded request: re-accepted keeps its
+            // original accounting (no new arrival outcome — the id was
+            // reported accepted at its original arrival); rejected means
+            // it is preempted now.
+            if accepted {
+                churn_stats.reembedded += 1;
+                state.allocated_active += original.demand;
+                state.alive.insert(original.id, original);
+            } else {
+                churn_stats.evicted += 1;
+                preemptions.push(RequestOutcome::of(&original, RequestStatus::Preempted(t)));
+            }
+            continue;
+        }
         let status = if accepted {
             RequestStatus::Accepted
         } else {
@@ -754,7 +1079,6 @@ fn advance_slot(
         }
     }
     state.stats.peak_active = state.stats.peak_active.max(state.alive.len());
-    let mut preemptions = Vec::new();
     for &p in &outcome.preempted {
         if let Some(r) = state.alive.remove(&p) {
             state.allocated_active -= r.demand;
@@ -772,6 +1096,7 @@ fn advance_slot(
         arrivals: arrival_outcomes,
         preemptions,
         metrics,
+        churn: churn_stats,
     }
 }
 
@@ -783,6 +1108,7 @@ fn drive<E, O>(
     substrate: &SubstrateNetwork,
     events: E,
     observer: &mut O,
+    policy: &mut dyn ReembedPolicy,
 ) -> StreamStats
 where
     E: IntoIterator<Item = SlotEvents>,
@@ -794,7 +1120,10 @@ where
     for event in events {
         let t = event.slot;
         observer.on_slot_start(t);
-        let step = advance_slot(state, algorithm, substrate, event);
+        let step = advance_slot(state, algorithm, substrate, event, policy);
+        if !step.churn.is_empty() {
+            observer.on_churn(t, &step.churn);
+        }
         for outcome in &step.arrivals {
             observer.on_arrival(outcome);
         }
@@ -962,8 +1291,35 @@ where
     E::IntoIter: Send,
     O: PipelineSafe + ?Sized,
 {
+    run_stream_pipelined_with(
+        algorithm,
+        substrate,
+        events,
+        observer,
+        config,
+        &mut ReembedAll,
+    )
+}
+
+/// [`run_stream_pipelined`] with an explicit [`ReembedPolicy`] for
+/// streams that carry churn events.
+pub fn run_stream_pipelined_with<E, O>(
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    config: &PipelineConfig,
+    policy: &mut dyn ReembedPolicy,
+) -> StreamStats
+where
+    E: IntoIterator<Item = SlotEvents>,
+    E::IntoIter: Send,
+    O: PipelineSafe + ?Sized,
+{
     let mut state = EngineState::fresh();
-    drive_pipelined(&mut state, algorithm, substrate, events, observer, config)
+    drive_pipelined(
+        &mut state, algorithm, substrate, events, observer, config, policy,
+    )
 }
 
 /// [`run_stream_from`], pipelined: restores the checkpoint like the
@@ -988,6 +1344,38 @@ where
     E::IntoIter: Send,
     O: PipelineSafe + Snapshot + ?Sized,
 {
+    run_stream_from_pipelined_with(
+        checkpoint,
+        algorithm,
+        substrate,
+        events,
+        observer,
+        config,
+        &mut ReembedAll,
+    )
+}
+
+/// [`run_stream_from_pipelined`] with an explicit [`ReembedPolicy`] for
+/// streams that carry churn events.
+///
+/// # Errors
+///
+/// Returns a [`StateError`] when the algorithm's name does not match
+/// the checkpoint or any blob fails to restore.
+pub fn run_stream_from_pipelined_with<E, O>(
+    checkpoint: &EngineCheckpoint,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    events: E,
+    observer: &mut O,
+    config: &PipelineConfig,
+    policy: &mut dyn ReembedPolicy,
+) -> Result<StreamStats, StateError>
+where
+    E: IntoIterator<Item = SlotEvents>,
+    E::IntoIter: Send,
+    O: PipelineSafe + Snapshot + ?Sized,
+{
     if algorithm.name() != checkpoint.algorithm {
         return Err(StateError::Mismatch {
             expected: format!("algorithm {}", checkpoint.algorithm),
@@ -998,6 +1386,12 @@ where
     observer.restore(&checkpoint.observer_state)?;
     let mut state = EngineState::fresh();
     state.restore(&checkpoint.engine)?;
+    // Re-impose the checkpointed churn on the freshly restored
+    // algorithm: its snapshot stores loads but nameplate capacities,
+    // and `apply_churn` is idempotent on effective capacities.
+    if let Some(churn) = &state.churn {
+        algorithm.apply_churn(&churn.effective(substrate));
+    }
     // The resumed segment gets its own early-stop verdict.
     state.stats.stopped_early = false;
     let consumed = state.next_min_slot;
@@ -1005,7 +1399,7 @@ where
         .into_iter()
         .skip_while(move |ev| u64::from(ev.slot) < consumed);
     Ok(drive_pipelined(
-        &mut state, algorithm, substrate, remaining, observer, config,
+        &mut state, algorithm, substrate, remaining, observer, config, policy,
     ))
 }
 
@@ -1023,6 +1417,7 @@ fn drive_pipelined<E, O>(
     events: E,
     observer: &mut O,
     config: &PipelineConfig,
+    policy: &mut dyn ReembedPolicy,
 ) -> StreamStats
 where
     E: IntoIterator<Item = SlotEvents>,
@@ -1071,6 +1466,7 @@ where
         // Stage 1: algorithm step + metric fold + state captures.
         let state = &mut *state;
         let algorithm = &mut *algorithm;
+        let policy = &mut *policy;
         let stepper = scope.spawn(move || {
             let stage_base = base_secs;
             let stage_started = Instant::now();
@@ -1078,7 +1474,7 @@ where
                 let mut records = Vec::with_capacity(chunk.len());
                 for event in chunk {
                     let slot = event.slot;
-                    let step = advance_slot(state, algorithm, substrate, event);
+                    let step = advance_slot(state, algorithm, substrate, event, policy);
                     state.stats.online_secs = stage_base + stage_started.elapsed().as_secs_f64();
                     let capture = match capture_every {
                         Some(every) if (u64::from(slot) + 1) % u64::from(every) == 0 => {
@@ -1107,6 +1503,9 @@ where
         'observing: for chunk in record_rx {
             for record in &chunk {
                 observer.on_slot_start(record.slot);
+                if !record.step.churn.is_empty() {
+                    observer.on_churn(record.slot, &record.step.churn);
+                }
                 for outcome in &record.step.arrivals {
                     observer.on_arrival(outcome);
                 }
@@ -1173,6 +1572,7 @@ pub fn slot_events(trace: &[Request], slots: Slot) -> impl Iterator<Item = SlotE
         .map(|(t, arrivals)| SlotEvents {
             slot: t as Slot,
             arrivals,
+            churn: Vec::new(),
         })
 }
 
@@ -1370,10 +1770,12 @@ mod tests {
             SlotEvents {
                 slot: 0,
                 arrivals: vec![req(0, 0, 2, 10.0)],
+                churn: Vec::new(),
             },
             SlotEvents {
                 slot: 9,
                 arrivals: vec![req(1, 9, 2, 10.0)],
+                churn: Vec::new(),
             },
         ];
         let mut recorder = crate::observe::Recorder::new();

@@ -19,7 +19,7 @@ use vne_model::cost::RejectionPenalty;
 use vne_model::ids::{AppId, NodeId};
 use vne_model::request::Slot;
 
-use crate::engine::{RequestStatus, RunResult};
+use crate::engine::{ChurnStats, RequestStatus, RunResult};
 
 /// Kahan–Neumaier compensated summation.
 ///
@@ -90,6 +90,11 @@ pub struct Summary {
     pub balance_index: f64,
     /// Online-loop wall-clock seconds (whole run, not only the window).
     pub online_secs: f64,
+    /// Substrate-churn tallies over window slots. Always default for
+    /// the batch [`summarize`] path: the [`crate::observe::Recorder`]
+    /// sees per-request outcomes, not churn events — churn scenarios
+    /// pair the engine with [`crate::observe::WindowSummary`].
+    pub churn: ChurnStats,
 }
 
 impl Summary {
@@ -115,6 +120,15 @@ impl Summary {
         eat(&self.rejection_cost.to_bits().to_le_bytes());
         eat(&self.total_cost.to_bits().to_le_bytes());
         eat(&self.balance_index.to_bits().to_le_bytes());
+        // Churn tallies join the digest only when churn occurred, so
+        // every churn-free fingerprint (the pre-churn golden table)
+        // is unchanged.
+        if !self.churn.is_empty() {
+            eat(&(self.churn.events as u64).to_le_bytes());
+            eat(&(self.churn.stranded as u64).to_le_bytes());
+            eat(&(self.churn.evicted as u64).to_le_bytes());
+            eat(&(self.churn.reembedded as u64).to_le_bytes());
+        }
         h
     }
 }
@@ -178,6 +192,7 @@ pub fn summarize(result: &RunResult, penalty: &RejectionPenalty, window: (Slot, 
         total_cost: resource_cost + rejection_cost,
         balance_index: balance_index(result, window),
         online_secs: result.online_secs,
+        churn: ChurnStats::default(),
     }
 }
 

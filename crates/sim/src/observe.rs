@@ -30,8 +30,8 @@ use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter
 use vne_olive::algorithm::OnlineAlgorithm;
 
 use crate::engine::{
-    EngineCheckpoint, EngineView, PipelineSafe, RequestOutcome, RunResult, SimControl, SimObserver,
-    SlotMetrics, StreamStats,
+    ChurnStats, EngineCheckpoint, EngineView, PipelineSafe, RequestOutcome, RunResult, SimControl,
+    SimObserver, SlotMetrics, StreamStats,
 };
 use crate::metrics::{balance_from_counts, NeumaierSum, Summary};
 
@@ -178,6 +178,8 @@ pub struct WindowSummary {
     n_v: BTreeMap<NodeId, f64>,
     x_va: BTreeMap<(NodeId, AppId), f64>,
     apps: BTreeSet<AppId>,
+    /// Cumulative churn tallies over window slots.
+    churn: ChurnStats,
 }
 
 impl WindowSummary {
@@ -197,6 +199,7 @@ impl WindowSummary {
             n_v: BTreeMap::new(),
             x_va: BTreeMap::new(),
             apps: BTreeSet::new(),
+            churn: ChurnStats::default(),
         }
     }
 
@@ -240,6 +243,7 @@ impl WindowSummary {
             total_cost: self.resource_cost + rejection_cost,
             balance_index: balance_from_counts(&self.n_v, &self.x_va, &self.apps),
             online_secs: stats.online_secs,
+            churn: self.churn,
         }
     }
 }
@@ -260,6 +264,15 @@ impl SimObserver for WindowSummary {
                 .x_va
                 .entry((outcome.class.ingress, outcome.class.app))
                 .or_insert(0.0) += 1.0;
+        }
+    }
+
+    fn on_churn(&mut self, t: Slot, stats: &ChurnStats) {
+        // Churn is attributed to the slot it hits (the affected
+        // requests' arrival slots are already folded into the denial
+        // tallies via the preemption path).
+        if self.in_window(t) {
+            self.churn.absorb(stats);
         }
     }
 
@@ -326,6 +339,10 @@ impl Snapshot for WindowSummary {
         for app in &self.apps {
             w.write(app);
         }
+        w.write_usize(self.churn.events);
+        w.write_usize(self.churn.stranded);
+        w.write_usize(self.churn.evicted);
+        w.write_usize(self.churn.reembedded);
         w.finish()
     }
 
@@ -352,6 +369,12 @@ impl Snapshot for WindowSummary {
         for _ in 0..app_count {
             apps.insert(r.read::<AppId>()?);
         }
+        let churn = ChurnStats {
+            events: r.read_usize()?,
+            stranded: r.read_usize()?,
+            evicted: r.read_usize()?,
+            reembedded: r.read_usize()?,
+        };
         r.finish()?;
         self.arrivals = arrivals;
         self.rejected = rejected;
@@ -363,6 +386,7 @@ impl Snapshot for WindowSummary {
         self.n_v = n_v;
         self.x_va = x_va;
         self.apps = apps;
+        self.churn = churn;
         Ok(())
     }
 }
@@ -477,6 +501,11 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
     fn on_arrival(&mut self, outcome: &RequestOutcome) {
         self.0.on_arrival(outcome);
         self.1.on_arrival(outcome);
+    }
+
+    fn on_churn(&mut self, t: Slot, stats: &ChurnStats) {
+        self.0.on_churn(t, stats);
+        self.1.on_churn(t, stats);
     }
 
     fn on_preemption(&mut self, outcome: &RequestOutcome) {
@@ -634,6 +663,10 @@ impl<O: SimObserver + Snapshot> SimObserver for Checkpointer<O> {
 
     fn on_arrival(&mut self, outcome: &RequestOutcome) {
         self.inner.on_arrival(outcome);
+    }
+
+    fn on_churn(&mut self, t: Slot, stats: &ChurnStats) {
+        self.inner.on_churn(t, stats);
     }
 
     fn on_preemption(&mut self, outcome: &RequestOutcome) {

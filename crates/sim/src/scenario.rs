@@ -18,6 +18,7 @@ use std::str::FromStr;
 
 use vne_model::app::AppSet;
 use vne_model::cost::RejectionPenalty;
+use vne_model::ids::RequestId;
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::state::StateError;
@@ -27,14 +28,19 @@ use vne_olive::algorithm::OnlineAlgorithm;
 use vne_olive::colgen::{solve_plan, PlanVneConfig};
 use vne_olive::olive::{Olive, OliveConfig};
 use vne_olive::plan::Plan;
+use vne_workload::adversary::{
+    self, AdversaryProfile, ChurnProfile, ChurnSchedule, LifetimeCliffConfig, Modulation,
+    PlanAdversarialConfig, RevenueBurstConfig,
+};
 use vne_workload::caida::{self, CaidaConfig};
 use vne_workload::estimator::{DemandEstimator, EstimatorKind, ExactEstimator};
 use vne_workload::rng::SeededRng;
 use vne_workload::tracegen::{self, TraceConfig};
 
 use crate::engine::{
-    pipeline_enabled, run_stream, run_stream_from, run_stream_from_pipelined, run_stream_pipelined,
-    EngineCheckpoint, PipelineConfig, PipelineSafe, RunResult, SimObserver,
+    pipeline_enabled, run_stream_from_pipelined_with, run_stream_from_with,
+    run_stream_pipelined_with, run_stream_with, EngineCheckpoint, PipelineConfig, PipelineSafe,
+    ReembedKind, RunResult, SimObserver,
 };
 use crate::metrics::{summarize, Summary};
 use crate::observe::{
@@ -146,6 +152,19 @@ pub struct ScenarioConfig {
     pub trace: TraceConfig,
     /// Use the CAIDA-like trace instead of the synthetic one (Fig. 15).
     pub caida: Option<CaidaConfig>,
+    /// Adversarial online-workload profile (scenario suite). `None`
+    /// keeps the benign Table III trace; burst/cliff/plan-adversarial
+    /// profiles *replace* the online generator, flash-crowd/diurnal
+    /// profiles *modulate* it. The history (planning) phase is never
+    /// affected — the adversary attacks the plan, not its derivation.
+    pub adversary: Option<AdversaryProfile>,
+    /// Substrate-churn schedule injected into the online phase (link
+    /// outages, node maintenance, capacity drains). `None` keeps the
+    /// substrate static.
+    pub churn: Option<ChurnProfile>,
+    /// What the engine does with requests stranded by churn: re-offer
+    /// them to the algorithm (default) or evict them outright.
+    pub reembed: ReembedKind,
     /// Master seed of this scenario instance.
     pub seed: u64,
 }
@@ -172,6 +191,9 @@ impl ScenarioConfig {
                 ..TraceConfig::default()
             },
             caida: None,
+            adversary: None,
+            churn: None,
+            reembed: ReembedKind::default(),
             seed: 1,
         }
     }
@@ -340,14 +362,14 @@ impl Scenario {
     /// `config.test_slots` events; memory is `O(edge nodes)` /
     /// `O(sources)`, independent of the horizon. The stream is `Send`
     /// so the pipelined engine can produce events on a worker thread.
+    ///
+    /// The configured [`ScenarioConfig::adversary`] profile (if any)
+    /// replaces or modulates the benign generator, and the configured
+    /// [`ScenarioConfig::churn`] schedule injects its substrate events —
+    /// both lazily. Debug builds additionally wrap the stream in a
+    /// [`CheckedStream`] validator.
     pub fn online_events(&self) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
-        let rng = self.rng(2);
-        match self.phase_trace(self.config.utilization, self.config.test_slots) {
-            PhaseTrace::Synthetic(tc) => {
-                Box::new(tracegen::stream(&self.substrate, &self.apps, &tc, rng))
-            }
-            PhaseTrace::Caida(cc) => Box::new(caida::stream(&self.substrate, &self.apps, &cc, rng)),
-        }
+        self.online_stream(0)
     }
 
     /// The online phase from `from_slot` on — the resume path of
@@ -355,28 +377,124 @@ impl Scenario {
     /// its `skip_to` (replaying the RNG draws of the consumed slots, so
     /// the tail is identical to the tail of [`Scenario::online_events`])
     /// and yields events for slots `from_slot..test_slots` only.
+    /// Adversary modulators and churn schedules are stateless per-slot
+    /// maps, so they commute with the skip and the suffix stays
+    /// byte-identical.
     pub fn online_events_from(
         &self,
         from_slot: Slot,
     ) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
+        self.online_stream(from_slot)
+    }
+
+    /// The benign (non-adversarial) online trace stream, fast-forwarded
+    /// to `from`.
+    fn base_online_events(&self, from: Slot) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
         let rng = self.rng(2);
         match self.phase_trace(self.config.utilization, self.config.test_slots) {
             PhaseTrace::Synthetic(tc) => {
                 let mut stream = tracegen::stream(&self.substrate, &self.apps, &tc, rng);
-                stream.skip_to(from_slot);
+                stream.skip_to(from);
                 Box::new(stream)
             }
             PhaseTrace::Caida(cc) => {
                 let mut stream = caida::stream(&self.substrate, &self.apps, &cc, rng);
-                stream.skip_to(from_slot);
+                stream.skip_to(from);
                 Box::new(stream)
             }
         }
     }
 
-    /// Generates the online-phase trace eagerly (conformance checks and
-    /// offline analysis; the engine streams [`Scenario::online_events`]
-    /// instead).
+    /// One derived sub-seed per adversary component, mixed from the
+    /// scenario seed so adversarial scenarios still vary across seeds.
+    fn derived_seed(&self, salt: u64) -> u64 {
+        self.config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt
+    }
+
+    /// The single assembly point for every online stream (fresh and
+    /// resumed): base trace or adversarial generator, fast-forwarded to
+    /// `from`, optionally modulated, optionally churned, and — in debug
+    /// builds — validated by [`CheckedStream`].
+    fn online_stream(&self, from: Slot) -> Box<dyn Iterator<Item = SlotEvents> + Send + '_> {
+        let slots = self.config.test_slots;
+        let base: Box<dyn Iterator<Item = SlotEvents> + Send + '_> = match self.config.adversary {
+            None => self.base_online_events(from),
+            Some(AdversaryProfile::RevenueBurst) => {
+                let config = RevenueBurstConfig {
+                    slots,
+                    seed: self.derived_seed(0xADF5),
+                    ..RevenueBurstConfig::default()
+                };
+                let mut stream = adversary::revenue_burst(&self.substrate, &self.apps, &config);
+                stream.skip_to(from);
+                Box::new(stream)
+            }
+            Some(AdversaryProfile::LifetimeCliff) => {
+                let config = LifetimeCliffConfig {
+                    slots,
+                    seed: self.derived_seed(0xC11F),
+                    ..LifetimeCliffConfig::default()
+                };
+                let mut stream = adversary::lifetime_cliff(&self.substrate, &self.apps, &config);
+                stream.skip_to(from);
+                Box::new(stream)
+            }
+            Some(AdversaryProfile::PlanAdversarial) => {
+                // Rank classes by the scenario's own (deterministic)
+                // plan, so every algorithm faces the identical stream.
+                let (plan, _) = self.build_plan();
+                let shares = plan
+                    .iter()
+                    .map(|cp| (cp.class, cp.guaranteed_demand()))
+                    .collect();
+                let config = PlanAdversarialConfig {
+                    slots,
+                    seed: self.derived_seed(0x91A7),
+                    ..PlanAdversarialConfig::default()
+                };
+                let mut stream =
+                    adversary::plan_adversarial(&self.substrate, &self.apps, &shares, &config);
+                stream.skip_to(from);
+                Box::new(stream)
+            }
+            Some(AdversaryProfile::FlashCrowd) => Box::new(adversary::modulate(
+                self.base_online_events(from),
+                Modulation::FlashCrowd {
+                    period: 40,
+                    len: 8,
+                    base_keep: 0.25,
+                },
+                self.derived_seed(0xF1A5),
+            )),
+            Some(AdversaryProfile::Diurnal) => Box::new(adversary::modulate(
+                self.base_online_events(from),
+                Modulation::Diurnal {
+                    period: 60,
+                    low: 0.2,
+                    high: 1.0,
+                },
+                self.derived_seed(0xD1CE),
+            )),
+        };
+        let stream: Box<dyn Iterator<Item = SlotEvents> + Send + '_> = match self.config.churn {
+            Some(profile) => Box::new(adversary::with_churn(
+                base,
+                ChurnSchedule::new(profile, &self.substrate),
+            )),
+            None => base,
+        };
+        if cfg!(debug_assertions) {
+            Box::new(CheckedStream::new(stream))
+        } else {
+            stream
+        }
+    }
+
+    /// Generates the *benign* online-phase trace eagerly (conformance
+    /// checks and offline analysis; the engine streams
+    /// [`Scenario::online_events`] instead). Adversary and churn
+    /// configuration affect only the streamed events, not this batch
+    /// view.
     pub fn online_trace(&self) -> Vec<Request> {
         let mut rng = self.rng(2);
         self.trace_at(self.config.utilization, self.config.test_slots, &mut rng)
@@ -588,13 +706,15 @@ impl Scenario {
         let spec = algorithm.into();
         let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
         let mut recorder = Recorder::new();
+        let mut policy = self.config.reembed.policy();
         let stats = {
             let mut tee = Tee(&mut recorder, observer);
-            run_stream(
+            run_stream_with(
                 built.algorithm.as_mut(),
                 &self.substrate,
                 self.online_events(),
                 &mut tee,
+                policy.as_mut(),
             )
         };
         let result = recorder.finish(built.algorithm.name(), &stats);
@@ -616,7 +736,9 @@ impl Scenario {
     }
 
     /// Dispatches one engine run to the serial or pipelined loop (both
-    /// byte-identical; see the `pipeline_parity` suite).
+    /// byte-identical; see the `pipeline_parity` suite), with the
+    /// configured [`ScenarioConfig::reembed`] policy deciding the fate
+    /// of churn-stranded requests.
     fn dispatch_stream<O>(
         &self,
         algorithm: &mut dyn OnlineAlgorithm,
@@ -627,14 +749,28 @@ impl Scenario {
     where
         O: PipelineSafe + ?Sized,
     {
+        let mut policy = self.config.reembed.policy();
         if self.use_pipeline() {
             let config = PipelineConfig {
                 capture_every,
                 ..PipelineConfig::default()
             };
-            run_stream_pipelined(algorithm, &self.substrate, events, observer, &config)
+            run_stream_pipelined_with(
+                algorithm,
+                &self.substrate,
+                events,
+                observer,
+                &config,
+                policy.as_mut(),
+            )
         } else {
-            run_stream(algorithm, &self.substrate, events, observer)
+            run_stream_with(
+                algorithm,
+                &self.substrate,
+                events,
+                observer,
+                policy.as_mut(),
+            )
         }
     }
 
@@ -783,22 +919,25 @@ impl Scenario {
         let mut built = self.registry.build(&spec, &BuildContext::new(self))?;
         let mut window = WindowSummary::new(self.config.measure_window, self.penalty());
         let events = self.online_events_from(checkpoint.slot + 1);
+        let mut policy = self.config.reembed.policy();
         let stats = if self.use_pipeline() {
-            run_stream_from_pipelined(
+            run_stream_from_pipelined_with(
                 checkpoint,
                 built.algorithm.as_mut(),
                 &self.substrate,
                 events,
                 &mut window,
                 &PipelineConfig::default(),
+                policy.as_mut(),
             )?
         } else {
-            run_stream_from(
+            run_stream_from_with(
                 checkpoint,
                 built.algorithm.as_mut(),
                 &self.substrate,
                 events,
                 &mut window,
+                policy.as_mut(),
             )?
         };
         Ok(window.finish(&stats))
@@ -912,6 +1051,75 @@ impl Fork<'_> {
     /// Returns [`ResumeError`] when restore fails.
     pub fn resume(&self) -> Result<Summary, ResumeError> {
         self.scenario.resume_summary(&self.checkpoint)
+    }
+}
+
+/// Debug-mode slot-stream validator: asserts the contract every
+/// scenario stream must satisfy — slots contiguous relative to the
+/// first yielded slot (so resumed suffixes pass), each arrival stamped
+/// with its slot, and strictly ascending request ids across the whole
+/// stream. Panics with a message naming the offending slot and ids on
+/// the first violation.
+///
+/// [`Scenario::online_events`] wraps every online stream with this in
+/// debug builds; release builds skip the wrapper. (Sparse streams —
+/// slot gaps — are legal at the *engine* level, which is why this is a
+/// scenario-layer adapter and not an engine assertion: the scenario
+/// generators promise density, the engine does not require it.)
+#[derive(Debug, Clone)]
+pub struct CheckedStream<I> {
+    inner: I,
+    expected_slot: Option<Slot>,
+    last_id: Option<RequestId>,
+}
+
+impl<I: Iterator<Item = SlotEvents>> CheckedStream<I> {
+    /// Wraps a slot-event stream with the validator.
+    pub fn new(inner: I) -> Self {
+        Self {
+            inner,
+            expected_slot: None,
+            last_id: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = SlotEvents>> Iterator for CheckedStream<I> {
+    type Item = SlotEvents;
+
+    fn next(&mut self) -> Option<SlotEvents> {
+        let event = self.inner.next()?;
+        if let Some(expected) = self.expected_slot {
+            assert_eq!(
+                event.slot, expected,
+                "malformed slot stream: expected contiguous slot {expected}, got slot {}",
+                event.slot
+            );
+        }
+        self.expected_slot = Some(event.slot + 1);
+        for r in &event.arrivals {
+            assert_eq!(
+                r.arrival, event.slot,
+                "malformed slot stream: request {} stamped with arrival {} was yielded in slot {}",
+                r.id.0, r.arrival, event.slot
+            );
+            if let Some(last) = self.last_id {
+                assert!(
+                    r.id > last,
+                    "malformed slot stream: request ids must be strictly ascending, \
+                     got {} after {} (slot {})",
+                    r.id.0,
+                    last.0,
+                    event.slot
+                );
+            }
+            self.last_id = Some(r.id);
+        }
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
     }
 }
 
@@ -1296,6 +1504,158 @@ mod tests {
         let low = shifted.demand_conformance();
         assert!(base > 0.05, "base conformance {base}");
         assert!(low < base, "shifted {low} vs base {base}");
+    }
+
+    #[test]
+    fn adversarial_profiles_run_and_are_deterministic() {
+        for profile in AdversaryProfile::ALL {
+            let mut sc = scenario(1.0, 5);
+            sc.config.adversary = Some(profile);
+            let a = sc.run_summary(Algorithm::Quickg).unwrap();
+            let b = sc.run_summary(Algorithm::Quickg).unwrap();
+            assert!(a.arrivals > 0, "{profile:?} produced no arrivals");
+            assert_eq!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "{profile:?} is not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_stream_is_identical_across_algorithms() {
+        // Every algorithm must face the same request sequence — the
+        // plan-adversarial generator in particular derives its targets
+        // from the scenario's plan, not the running algorithm's.
+        let mut sc = scenario(1.0, 7);
+        sc.config.adversary = Some(AdversaryProfile::PlanAdversarial);
+        let olive = sc.run_summary(Algorithm::Olive).unwrap();
+        let quickg = sc.run_summary(Algorithm::Quickg).unwrap();
+        assert_eq!(olive.arrivals, quickg.arrivals);
+    }
+
+    #[test]
+    fn churn_scenario_counts_window_churn() {
+        let mut sc = scenario(1.0, 5);
+        sc.config.churn = Some(ChurnProfile::NodeMaintenance { period: 30, len: 5 });
+        let summary = sc.run_summary(Algorithm::Quickg).unwrap();
+        // Windows at t=30,60,90 fall inside the (20,100) measure
+        // window: a down and an up event each.
+        assert!(summary.churn.events > 0, "no churn events in window");
+    }
+
+    #[test]
+    fn evict_policy_never_reembeds() {
+        let mut sc = scenario(1.4, 11);
+        sc.config.churn = Some(ChurnProfile::CapacityDrain {
+            period: 30,
+            len: 5,
+            factor: 0.2,
+        });
+        sc.config.reembed = crate::engine::ReembedKind::Evict;
+        let evict = sc.run_summary(Algorithm::Quickg).unwrap();
+        assert!(evict.churn.stranded > 0, "drain must strand requests");
+        assert_eq!(evict.churn.reembedded, 0);
+        assert_eq!(evict.churn.evicted, evict.churn.stranded);
+
+        sc.config.reembed = crate::engine::ReembedKind::Reembed;
+        let reembed = sc.run_summary(Algorithm::Quickg).unwrap();
+        assert!(
+            reembed.churn.reembedded > 0,
+            "re-offering after a drain must succeed at least once"
+        );
+        assert_eq!(
+            reembed.churn.reembedded + reembed.churn.evicted,
+            reembed.churn.stranded
+        );
+    }
+
+    #[test]
+    fn churned_adversarial_run_resumes_byte_identically() {
+        let mut sc = scenario(1.2, 9);
+        sc.config.adversary = Some(AdversaryProfile::RevenueBurst);
+        sc.config.churn = Some(ChurnProfile::LinkOutages {
+            period: 25,
+            len: 6,
+            count: 2,
+        });
+        let full = sc.run_summary(Algorithm::Olive).unwrap();
+        // Fork inside the second outage window (slot 52 ∈ [50, 56)).
+        let fork = sc.fork_at(Algorithm::Olive, 52).unwrap();
+        let resumed = fork.resume().unwrap();
+        assert_eq!(full.fingerprint(), resumed.fingerprint());
+        assert_eq!(full.churn, resumed.churn);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected contiguous slot")]
+    fn checked_stream_panics_on_slot_gap() {
+        let events = vec![
+            SlotEvents {
+                slot: 0,
+                arrivals: vec![],
+                churn: vec![],
+            },
+            SlotEvents {
+                slot: 2,
+                arrivals: vec![],
+                churn: vec![],
+            },
+        ];
+        CheckedStream::new(events.into_iter()).count();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn checked_stream_panics_on_descending_ids() {
+        let req = |id: u64, slot: Slot| Request {
+            id: vne_model::ids::RequestId(id),
+            arrival: slot,
+            duration: 1,
+            ingress: vne_model::ids::NodeId(0),
+            app: vne_model::ids::AppId(0),
+            demand: 1.0,
+        };
+        let events = vec![
+            SlotEvents {
+                slot: 0,
+                arrivals: vec![req(5, 0)],
+                churn: vec![],
+            },
+            SlotEvents {
+                slot: 1,
+                arrivals: vec![req(3, 1)],
+                churn: vec![],
+            },
+        ];
+        CheckedStream::new(events.into_iter()).count();
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped with arrival")]
+    fn checked_stream_panics_on_misstamped_arrival() {
+        let events = vec![SlotEvents {
+            slot: 4,
+            arrivals: vec![Request {
+                id: vne_model::ids::RequestId(0),
+                arrival: 3,
+                duration: 1,
+                ingress: vne_model::ids::NodeId(0),
+                app: vne_model::ids::AppId(0),
+                demand: 1.0,
+            }],
+            churn: vec![],
+        }];
+        CheckedStream::new(events.into_iter()).count();
+    }
+
+    #[test]
+    fn checked_stream_accepts_resumed_suffixes() {
+        // Contiguity is relative to the first yielded slot, so a
+        // skipped (resume-path) stream passes.
+        let sc = scenario(1.0, 5);
+        let n = CheckedStream::new(sc.online_events_from(40)).count();
+        assert_eq!(n, (sc.config.test_slots - 40) as usize);
     }
 
     #[test]

@@ -15,11 +15,12 @@ use vne_model::cost::RejectionPenalty;
 use vne_model::request::Slot;
 use vne_model::state::{Snapshot, StateError};
 use vne_model::substrate::{SubstrateNetwork, Tier};
-use vne_sim::engine::{run_stream, run_stream_from, EngineCheckpoint, EngineState};
+use vne_sim::engine::{run_stream, run_stream_from, EngineCheckpoint, EngineState, ReembedKind};
 use vne_sim::metrics::Summary;
 use vne_sim::observe::{Checkpointer, NullObserver, Recorder, StopAfter, Tee, WindowSummary};
 use vne_sim::registry::{AlgorithmRegistry, BuildContext, BuiltAlgorithm};
 use vne_sim::scenario::{Algorithm, ResumeError, Scenario, ScenarioConfig};
+use vne_workload::adversary::{AdversaryProfile, ChurnProfile, ChurnSchedule};
 use vne_workload::caida::CaidaConfig;
 use vne_workload::estimator::EstimatorKind;
 
@@ -202,6 +203,68 @@ proptest! {
         let resumed = scenario.resume_summary(&parsed).unwrap();
         let straight = scenario.run_summary(alg).unwrap();
         prop_assert_eq!(resumed.fingerprint(), straight.fingerprint());
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(4))]
+
+    /// Resume under churn: the checkpoint slot is forced *inside* an
+    /// outage / maintenance / drain window, where the engine's churn
+    /// state, the algorithm's effective capacities and any stranded
+    /// bookkeeping are all live — and the resumed [`Summary`] (churn
+    /// counters included) must stay byte-identical for every builtin
+    /// algorithm under both re-embed policies. The pipelined twin of
+    /// this property lives in the `pipeline_parity` suite.
+    #[test]
+    fn churn_window_checkpoints_resume_byte_identically(
+        seed in 1u64..500,
+        profile_idx in 0usize..3,
+        window_idx in 0u32..3,
+        offset in 0u32..4,
+        evict in any::<bool>(),
+    ) {
+        let churn = [
+            ChurnProfile::LinkOutages { period: 10, len: 4, count: 2 },
+            ChurnProfile::NodeMaintenance { period: 10, len: 4 },
+            ChurnProfile::CapacityDrain { period: 10, len: 4, factor: 0.3 },
+        ][profile_idx];
+        let mut scenario = tiny_scenario(1.2, seed);
+        scenario.config.churn = Some(churn);
+        scenario.config.reembed = if evict {
+            ReembedKind::Evict
+        } else {
+            ReembedKind::Reembed
+        };
+        // The schedule opens windows [10w, 10w + 4); land inside one.
+        let at = window_idx * 10 + offset;
+        let schedule = ChurnSchedule::new(churn, &scenario.substrate);
+        prop_assert!(schedule.in_window(at), "slot {at} must be inside a churn window");
+        for alg in Algorithm::ALL {
+            let straight = scenario.run_summary(alg).unwrap();
+            let fork = scenario.fork_at(alg, at).unwrap();
+            let resumed = fork.resume().unwrap();
+            assert_bitwise_equal(alg.label(), &straight, &resumed);
+            prop_assert_eq!(straight.churn, resumed.churn, "{} churn counters", alg.label());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(4))]
+
+    /// Adversarial generators feed the resume path too: every profile's
+    /// `skip_to` (or stateless modulation over the base stream's) must
+    /// reproduce the exact suffix from an arbitrary fork slot.
+    #[test]
+    fn adversarial_runs_resume_byte_identically(
+        seed in 1u64..500,
+        profile_idx in 0usize..5,
+        at in 0u32..24,
+    ) {
+        let mut scenario = tiny_scenario(1.0, seed);
+        scenario.config.adversary = Some(AdversaryProfile::ALL[profile_idx]);
+        check_resume(&scenario, Algorithm::Quickg, at);
     }
 }
 

@@ -13,38 +13,22 @@
 //! GOLDEN_PRINT=1 cargo test -p vne-sim --test golden_fingerprints -- --nocapture
 //! ```
 
-use vne_model::app::{shapes, AppSet, AppShape};
-use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_model::request::Slot;
+use vne_olive::bound::offline_revenue_bound;
+use vne_sim::engine::{RequestOutcome, SimControl, SimObserver, SlotMetrics};
 use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_topology::zoo::golden_diamond;
+use vne_workload::adversary::{AdversaryProfile, ChurnProfile};
 
-/// A tiny 4-node world tuned so the utilization axis genuinely bites:
-/// unlike the parity suite's world (whose 2700-CU core swallows any
-/// edge-calibrated load and whose 10-unit VNFs pin the calibrated
-/// demand to the generator's 0.5 truncation floor), capacities here are
-/// uniform and the arrival rate is low, so per-request demand scales
-/// with utilization and the 140% level actually rejects.
+/// The tiny 4-node golden world ([`golden_diamond`]), tuned so the
+/// utilization axis genuinely bites: unlike the parity suite's world
+/// (whose 2700-CU core swallows any edge-calibrated load and whose
+/// 10-unit VNFs pin the calibrated demand to the generator's 0.5
+/// truncation floor), capacities there are uniform and the arrival rate
+/// here is low, so per-request demand scales with utilization and the
+/// 140% level actually rejects.
 fn golden_scenario(utilization: f64, seed: u64) -> Scenario {
-    let mut s = SubstrateNetwork::new("golden");
-    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0).unwrap();
-    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0).unwrap();
-    let t = s.add_node("t", Tier::Transport, 300.0, 10.0).unwrap();
-    let c = s.add_node("c", Tier::Core, 300.0, 1.0).unwrap();
-    s.add_link(e0, t, 1500.0, 1.0).unwrap();
-    s.add_link(e1, t, 1500.0, 1.0).unwrap();
-    s.add_link(t, c, 4500.0, 1.0).unwrap();
-    let mut apps = AppSet::new();
-    apps.push(
-        "chain",
-        AppShape::Chain,
-        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
-    )
-    .unwrap();
-    apps.push(
-        "tree",
-        AppShape::Tree,
-        shapes::two_branch_tree(3, 6.0, 2.0).unwrap(),
-    )
-    .unwrap();
+    let (s, apps) = golden_diamond().unwrap();
     let mut config = ScenarioConfig::small(utilization).with_seed(seed);
     config.history_slots = 60;
     config.test_slots = 25;
@@ -67,6 +51,123 @@ const GOLDEN: [(f64, Algorithm, u64); 8] = [
     (1.4, Algorithm::Fullg, 0x697b0fdad64bc7c5),
     (1.4, Algorithm::SlotOff, 0x4453efb519c7f990),
 ];
+
+/// Scenario-suite goldens: one adversarial and one churn cell per the
+/// matrix in `fig_adversarial`, pinning the whole stressor path —
+/// generator, churn schedule, re-embed policy, churn counters in the
+/// fingerprint — the same way the benign table above pins the engine.
+/// Re-capture with `GOLDEN_PRINT=1` after intentional changes.
+const SCENARIO_GOLDEN: [(Algorithm, u64); 2] = [
+    // adversarial revenue_burst at u=1.0: 240 arrivals, 222 rejected.
+    (Algorithm::Olive, 0xa3d3048b0c31b0ec),
+    // churn node_maintenance at u=1.4: 5 churn events, 13 stranded,
+    // 1 evicted, 12 re-embedded — the counters feed the fingerprint.
+    (Algorithm::Quickg, 0xed5bd96dc0e0353b),
+];
+
+#[test]
+fn scenario_suite_cells_match_golden_fingerprints() {
+    let print = std::env::var("GOLDEN_PRINT").is_ok();
+    let mut adversarial = golden_scenario(1.0, 11);
+    adversarial.config.adversary = Some(AdversaryProfile::RevenueBurst);
+    let mut churned = golden_scenario(1.4, 11);
+    churned.config.churn = Some(ChurnProfile::NodeMaintenance { period: 8, len: 3 });
+    for ((alg, expected), scenario) in SCENARIO_GOLDEN.into_iter().zip([adversarial, churned]) {
+        let summary = scenario.run_summary(alg).unwrap();
+        let got = summary.fingerprint();
+        if print {
+            println!(
+                "    (Algorithm::{alg:?}, {got:#018x}), // arrivals {} rejected {} churn {:?}",
+                summary.arrivals, summary.rejected, summary.churn
+            );
+            continue;
+        }
+        assert_eq!(
+            got, expected,
+            "scenario-suite summary drifted for {alg}: {got:#018x} != {expected:#018x} \
+             (arrivals {}, rejected {}, churn {:?})",
+            summary.arrivals, summary.rejected, summary.churn
+        );
+    }
+}
+
+/// Sums the revenue (`ψ·demand·duration`) of accepted window arrivals,
+/// refunded on preemption — the online side of the LP-bound inequality.
+struct RevenueProbe {
+    window: (Slot, Slot),
+    penalty: vne_model::cost::RejectionPenalty,
+    revenue: f64,
+}
+
+impl SimObserver for RevenueProbe {
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        if (self.window.0..self.window.1).contains(&outcome.arrival) && !outcome.status.is_denied()
+        {
+            self.revenue +=
+                self.penalty.psi(outcome.class.app) * outcome.demand * f64::from(outcome.duration);
+        }
+    }
+
+    fn on_preemption(&mut self, outcome: &RequestOutcome) {
+        if (self.window.0..self.window.1).contains(&outcome.arrival) {
+            self.revenue -=
+                self.penalty.psi(outcome.class.app) * outcome.demand * f64::from(outcome.duration);
+        }
+    }
+
+    fn on_slot_end(
+        &mut self,
+        _t: Slot,
+        _metrics: &SlotMetrics,
+        _algorithm: &dyn vne_olive::algorithm::OnlineAlgorithm,
+    ) -> SimControl {
+        SimControl::Continue
+    }
+}
+
+/// LP-bound sanity on the exactly-solvable golden world: the offline
+/// fractional optimum upper-bounds the revenue of every real online
+/// run, on the benign trace and on every adversarial/churn stressor.
+#[test]
+fn offline_bound_dominates_every_online_run() {
+    let stressors: [(Option<AdversaryProfile>, Option<ChurnProfile>); 3] = [
+        (None, None),
+        (Some(AdversaryProfile::RevenueBurst), None),
+        (
+            None,
+            Some(ChurnProfile::NodeMaintenance { period: 8, len: 3 }),
+        ),
+    ];
+    for (adversary, churn) in stressors {
+        let mut scenario = golden_scenario(1.4, 11);
+        scenario.config.adversary = adversary;
+        scenario.config.churn = churn;
+        let bound = offline_revenue_bound(
+            &scenario.substrate,
+            &scenario.apps,
+            &scenario.penalty(),
+            scenario.online_events().flat_map(|ev| ev.arrivals),
+            scenario.config.measure_window,
+        );
+        assert!(bound.revenue_bound > 0.0);
+        assert!(bound.revenue_bound <= bound.total_revenue + 1e-9);
+        for alg in Algorithm::ALL {
+            let mut probe = RevenueProbe {
+                window: scenario.config.measure_window,
+                penalty: scenario.penalty(),
+                revenue: 0.0,
+            };
+            scenario.run_observed(alg, &mut probe);
+            assert!(
+                probe.revenue <= bound.revenue_bound + 1e-6,
+                "{alg} (adversary {adversary:?}, churn {churn:?}): online revenue {} \
+                 exceeds the offline LP bound {}",
+                probe.revenue,
+                bound.revenue_bound
+            );
+        }
+    }
+}
 
 #[test]
 fn window_summaries_match_golden_fingerprints() {

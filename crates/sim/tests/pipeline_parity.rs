@@ -16,13 +16,16 @@ use vne_model::app::{shapes, AppSet, AppShape};
 use vne_model::request::Slot;
 use vne_model::substrate::{SubstrateNetwork, Tier};
 use vne_sim::engine::{
-    run_stream, run_stream_from, run_stream_from_pipelined, run_stream_pipelined, PipelineConfig,
+    run_stream, run_stream_from, run_stream_from_pipelined, run_stream_from_pipelined_with,
+    run_stream_from_with, run_stream_pipelined, run_stream_pipelined_with, run_stream_with,
+    PipelineConfig, ReembedKind,
 };
 use vne_sim::metrics::Summary;
 use vne_sim::observe::{Checkpointer, StopAfter, Tee, WindowSummary};
 use vne_sim::registry::{AlgorithmRegistry, BuildContext};
 use vne_sim::runner::{default_apps, run_seeds_in, run_seeds_with, SweepContext};
 use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_workload::adversary::{ChurnProfile, ChurnSchedule};
 use vne_workload::estimator::EstimatorKind;
 
 use proptest::prelude::*;
@@ -227,6 +230,130 @@ fn check_parity(scenario: &Scenario, alg: Algorithm, stop_at: Slot, every: Slot)
     }
 }
 
+/// Churn-window parity: capture a checkpoint exactly at slot `at`
+/// (inside a churn window) with the *pipelined* engine, then resume it
+/// both serially and pipelined — all three results must equal the
+/// serial straight-through reference bitwise, churn counters included.
+fn check_churn_window_parity(scenario: &Scenario, alg: Algorithm, at: Slot) {
+    let registry = AlgorithmRegistry::builtins();
+    let mk = || {
+        registry
+            .build(&alg.into(), &BuildContext::new(scenario))
+            .unwrap()
+    };
+    let window = || WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+    let policy = || scenario.config.reembed.policy();
+
+    // Serial straight-through reference.
+    let mut serial_alg = mk();
+    let mut serial_window = window();
+    let serial_stats = run_stream_with(
+        serial_alg.algorithm.as_mut(),
+        &scenario.substrate,
+        scenario.online_events(),
+        &mut serial_window,
+        policy().as_mut(),
+    );
+    let serial = serial_window.finish(&serial_stats);
+
+    // One checkpoint exactly at `at`, captured by the pipelined engine.
+    let mut built = mk();
+    let mut w = window();
+    let mut checkpointer = Checkpointer::every(at + 1, &mut w);
+    let mut stop = StopAfter::new(at + 1);
+    {
+        let mut observer = Tee(&mut checkpointer, &mut stop);
+        run_stream_pipelined_with(
+            built.algorithm.as_mut(),
+            &scenario.substrate,
+            scenario.online_events(),
+            &mut observer,
+            &PipelineConfig::capturing(at + 1),
+            policy().as_mut(),
+        );
+    }
+    assert!(
+        checkpointer.last_error().is_none(),
+        "{alg}: {:?}",
+        checkpointer.last_error()
+    );
+    let checkpoint = checkpointer
+        .into_latest()
+        .expect("checkpoint inside the churn window");
+    assert_eq!(checkpoint.slot, at, "{alg}: checkpoint slot");
+
+    // Resume serially and pipelined; both must match the reference.
+    for pipelined in [false, true] {
+        let mut resume_alg = mk();
+        let mut resume_window = window();
+        let stats = if pipelined {
+            run_stream_from_pipelined_with(
+                &checkpoint,
+                resume_alg.algorithm.as_mut(),
+                &scenario.substrate,
+                scenario.online_events(),
+                &mut resume_window,
+                &PipelineConfig::default(),
+                policy().as_mut(),
+            )
+            .unwrap()
+        } else {
+            run_stream_from_with(
+                &checkpoint,
+                resume_alg.algorithm.as_mut(),
+                &scenario.substrate,
+                scenario.online_events(),
+                &mut resume_window,
+                policy().as_mut(),
+            )
+            .unwrap()
+        };
+        let resumed = resume_window.finish(&stats);
+        assert_bitwise_equal(alg.label(), &serial, &resumed);
+        assert_eq!(
+            serial.churn, resumed.churn,
+            "{alg}: churn counters (pipelined resume = {pipelined})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(4))]
+
+    /// The pipelined twin of the checkpoint suite's churn battery:
+    /// proptest-random checkpoint slots land *inside* outage /
+    /// maintenance / drain windows, and the resumed window summaries
+    /// stay byte-identical through both engines under both re-embed
+    /// policies.
+    #[test]
+    fn churn_window_checkpoints_pipeline_parity(
+        seed in 1u64..500,
+        profile_idx in 0usize..3,
+        window_idx in 0u32..3,
+        offset in 0u32..4,
+        evict in any::<bool>(),
+    ) {
+        let churn = [
+            ChurnProfile::LinkOutages { period: 10, len: 4, count: 2 },
+            ChurnProfile::NodeMaintenance { period: 10, len: 4 },
+            ChurnProfile::CapacityDrain { period: 10, len: 4, factor: 0.3 },
+        ][profile_idx];
+        let mut scenario = tiny_scenario(1.2, seed);
+        scenario.config.churn = Some(churn);
+        scenario.config.reembed = if evict {
+            ReembedKind::Evict
+        } else {
+            ReembedKind::Reembed
+        };
+        let at = window_idx * 10 + offset;
+        let schedule = ChurnSchedule::new(churn, &scenario.substrate);
+        prop_assert!(schedule.in_window(at), "slot {at} must be inside a churn window");
+        for alg in [Algorithm::Olive, Algorithm::SlotOff] {
+            check_churn_window_parity(&scenario, alg, at);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(cases(6))]
 
@@ -289,14 +416,17 @@ fn sweep_context_caches_equal_fresh_derivations() {
     assert_eq!(format!("{cached:?}"), format!("{fresh_apps:?}"));
     assert_eq!(ctx.apps_cached(), 1, "second call must hit the memo");
     // Sharing one context across *different* generators is a contract
-    // violation; debug builds trip on the mismatched draw.
-    let misuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ctx.apps(7, |seed| default_apps(seed + 1))
-    }));
-    assert!(
-        misuse.is_err(),
-        "mixed-generator sharing must panic in debug builds"
-    );
+    // violation; debug builds trip on the mismatched draw (the check is
+    // compiled out in release, where the cache simply serves the memo).
+    if cfg!(debug_assertions) {
+        let misuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.apps(7, |seed| default_apps(seed + 1))
+        }));
+        assert!(
+            misuse.is_err(),
+            "mixed-generator sharing must panic in debug builds"
+        );
+    }
 
     let scenario = tiny_scenario(1.0, 9);
     let (fresh_plan, _) = scenario.build_plan();

@@ -135,6 +135,42 @@ pub fn citta_studi() -> ModelResult<SubstrateNetwork> {
     citta_studi_spec().build(&TierParams::paper(), DEFAULT_COST_SEED)
 }
 
+/// The tiny 4-node "golden" world shared by the golden-fingerprint
+/// regression suite and the adversarial scenario benchmark: two edge
+/// nodes, one transport, one core, all at 300 CUs with the paper's
+/// per-tier cost gradient, plus a 2-VNF chain and a 3-VNF two-branch
+/// tree application.
+///
+/// Unlike the parity suite's world (whose 2700-CU core swallows any
+/// edge-calibrated load), capacities here are uniform, so the
+/// utilization axis genuinely bites and high-load scenarios actually
+/// reject. The exact capacities, costs and app shapes are pinned by the
+/// golden fingerprints — change them only together with a golden
+/// re-capture.
+pub fn golden_diamond() -> ModelResult<(SubstrateNetwork, vne_model::app::AppSet)> {
+    use vne_model::app::{shapes, AppSet, AppShape};
+    let mut s = SubstrateNetwork::new("golden");
+    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0)?;
+    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0)?;
+    let t = s.add_node("t", Tier::Transport, 300.0, 10.0)?;
+    let c = s.add_node("c", Tier::Core, 300.0, 1.0)?;
+    s.add_link(e0, t, 1500.0, 1.0)?;
+    s.add_link(e1, t, 1500.0, 1.0)?;
+    s.add_link(t, c, 4500.0, 1.0)?;
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0)?,
+    )?;
+    apps.push(
+        "tree",
+        AppShape::Tree,
+        shapes::two_branch_tree(3, 6.0, 2.0)?,
+    )?;
+    Ok((s, apps))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

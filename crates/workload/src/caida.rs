@@ -107,7 +107,11 @@ impl<R: Rng> Iterator for CaidaStream<R> {
             });
             self.next_id += 1;
         }
-        Some(SlotEvents { slot: t, arrivals })
+        Some(SlotEvents {
+            slot: t,
+            arrivals,
+            churn: Vec::new(),
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

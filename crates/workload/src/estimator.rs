@@ -519,6 +519,7 @@ mod tests {
                     .filter(|r| r.arrival == t)
                     .cloned()
                     .collect(),
+                churn: Vec::new(),
             })
             .collect()
     }
@@ -733,6 +734,7 @@ mod tests {
         let ev = SlotEvents {
             slot: 0,
             arrivals: vec![req(0, 0, 3, 1, 0, 2.0)],
+            churn: Vec::new(),
         };
         for est in [&mut exact, &mut sketch, &mut custom_built] {
             est.observe_slot(&ev);

@@ -267,6 +267,7 @@ mod tests {
                     .filter(|r| r.arrival == t)
                     .cloned()
                     .collect(),
+                churn: Vec::new(),
             });
         }
         assert_eq!(fold, batch);

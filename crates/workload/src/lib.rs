@@ -11,6 +11,9 @@
 //! * [`tracegen`] — the synthetic MMPP trace with Zipf node popularity
 //!   and utilization calibration;
 //! * [`caida`] — the CAIDA-like heavy-tailed trace (Fig. 15);
+//! * [`adversary`] — adversarial workloads (revenue bursts, lifetime
+//!   cliffs, plan-adversarial mixes), arrival modulators and
+//!   substrate-churn schedules for the scenario suite;
 //! * [`stats`] — ECDF, percentiles, bootstrap estimation (Eq. 6);
 //! * [`sketch`] — the P² streaming quantile sketch;
 //! * [`history`] — per-class concurrent-demand series and the demand
@@ -38,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod adversary;
 pub mod appgen;
 pub mod arrival;
 pub mod caida;
@@ -51,6 +55,7 @@ pub mod tracegen;
 
 /// Commonly used types, re-exported for one-line imports.
 pub mod prelude {
+    pub use crate::adversary::{AdversaryProfile, ChurnProfile, ChurnSchedule, Modulation};
     pub use crate::appgen::{gpu_set, paper_mix, uniform_shape_set, AppGenConfig};
     pub use crate::arrival::{ArrivalProcess, Mmpp, PoissonArrivals};
     pub use crate::caida::CaidaConfig;

@@ -215,9 +215,255 @@ proptest! {
     }
 }
 
+/// The adversary-suite world: Citta Studi plus the paper application
+/// mix (a fixed draw — the properties quantify over stream seeds).
+fn adversary_world() -> (
+    vne_model::substrate::SubstrateNetwork,
+    vne_model::app::AppSet,
+) {
+    let substrate = vne_topology::zoo::citta_studi().unwrap();
+    let mut rng = SeededRng::new(0xA11CE);
+    let apps =
+        vne_workload::appgen::paper_mix(&vne_workload::appgen::AppGenConfig::default(), &mut rng);
+    (substrate, apps)
+}
+
+/// One of the three standalone adversarial generators, seeded.
+fn adversary_stream(
+    profile_idx: usize,
+    seed: u64,
+    slots: u32,
+    substrate: &vne_model::substrate::SubstrateNetwork,
+    apps: &vne_model::app::AppSet,
+) -> vne_workload::adversary::AdversaryStream {
+    use vne_workload::adversary::{
+        lifetime_cliff, plan_adversarial, revenue_burst, LifetimeCliffConfig,
+        PlanAdversarialConfig, RevenueBurstConfig,
+    };
+    match profile_idx {
+        0 => revenue_burst(
+            substrate,
+            apps,
+            &RevenueBurstConfig {
+                slots,
+                seed,
+                burst_period: 20,
+                burst_len: 5,
+                ..RevenueBurstConfig::default()
+            },
+        ),
+        1 => lifetime_cliff(
+            substrate,
+            apps,
+            &LifetimeCliffConfig {
+                slots,
+                seed,
+                cliff: 15,
+                ..LifetimeCliffConfig::default()
+            },
+        ),
+        _ => {
+            // A synthetic plan-share summary: a handful of planned
+            // classes, everything else implicitly zero.
+            let plan: std::collections::BTreeMap<vne_model::ids::ClassId, f64> = substrate
+                .edge_nodes()
+                .into_iter()
+                .take(5)
+                .enumerate()
+                .map(|(i, v)| {
+                    (
+                        vne_model::ids::ClassId::new(AppId::from_index(i % apps.len()), v),
+                        (i + 1) as f64,
+                    )
+                })
+                .collect();
+            plan_adversarial(
+                substrate,
+                apps,
+                &plan,
+                &PlanAdversarialConfig {
+                    slots,
+                    seed,
+                    ..PlanAdversarialConfig::default()
+                },
+            )
+        }
+    }
+}
+
+/// One of the three builtin churn profiles, with window < period.
+fn churn_profile(idx: usize) -> vne_workload::adversary::ChurnProfile {
+    use vne_workload::adversary::ChurnProfile;
+    [
+        ChurnProfile::LinkOutages {
+            period: 12,
+            len: 5,
+            count: 3,
+        },
+        ChurnProfile::NodeMaintenance { period: 9, len: 4 },
+        ChurnProfile::CapacityDrain {
+            period: 15,
+            len: 6,
+            factor: 0.25,
+        },
+    ][idx]
+}
+
 proptest! {
     // Default config: `PROPTEST_CASES` scales this block (the nightly
     // CI property job runs it at 1024 cases).
+
+    /// Generator well-formedness: every adversarial stream yields
+    /// exactly `slots` contiguous slots from 0, arrivals stamped with
+    /// their slot, dense strictly-ascending request ids, positive
+    /// demands, durations ≥ 1, edge-node ingresses and catalogued apps.
+    #[test]
+    fn adversary_streams_are_well_formed(
+        profile_idx in 0usize..3,
+        seed in any::<u64>(),
+        slots in 30u32..120,
+    ) {
+        let (substrate, apps) = adversary_world();
+        let edge: std::collections::BTreeSet<NodeId> =
+            substrate.edge_nodes().into_iter().collect();
+        let events: Vec<SlotEvents> =
+            adversary_stream(profile_idx, seed, slots, &substrate, &apps).collect();
+        prop_assert_eq!(events.len(), slots as usize);
+        let mut next_id = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            prop_assert_eq!(ev.slot, i as u32, "slots must be contiguous from 0");
+            prop_assert!(ev.churn.is_empty(), "bare generators carry no churn");
+            for r in &ev.arrivals {
+                prop_assert_eq!(r.arrival, ev.slot, "arrival stamped with its slot");
+                prop_assert_eq!(r.id.0, next_id, "ids must be dense and ascending");
+                next_id += 1;
+                prop_assert!(r.demand > 0.0);
+                prop_assert!(r.duration >= 1);
+                prop_assert!(edge.contains(&r.ingress), "ingress {:?} not an edge node", r.ingress);
+                prop_assert!(r.app.index() < apps.len());
+            }
+        }
+        prop_assert!(next_id > 0, "the stream must produce arrivals");
+    }
+
+    /// Resume determinism of the generators: a stream restarted via
+    /// `skip_to(cut)` is byte-identical to the suffix of a stream
+    /// consumed from slot 0.
+    #[test]
+    fn adversary_skip_to_yields_identical_suffix(
+        profile_idx in 0usize..3,
+        seed in any::<u64>(),
+        slots in 30u32..120,
+        frac in 0.0f64..1.0,
+    ) {
+        let (substrate, apps) = adversary_world();
+        let full: Vec<SlotEvents> =
+            adversary_stream(profile_idx, seed, slots, &substrate, &apps).collect();
+        let cut = ((frac * f64::from(slots)) as u32).min(slots);
+        let mut skipped = adversary_stream(profile_idx, seed, slots, &substrate, &apps);
+        skipped.skip_to(cut);
+        let suffix: Vec<SlotEvents> = skipped.collect();
+        prop_assert_eq!(&suffix[..], &full[cut as usize..]);
+    }
+
+    /// Modulators and churn wrappers are stateless per-slot maps: they
+    /// commute with `skip_to` on the stream below them (wrapping an
+    /// already-skipped stream equals the suffix of wrapping the full
+    /// stream), modulated arrivals are an ordered subset of the inner
+    /// ones, and churn events always reference live substrate elements
+    /// (folding them through a pristine [`ChurnState`] never panics).
+    #[test]
+    fn wrapped_streams_commute_with_skip_to(
+        mod_idx in 0usize..2,
+        churn_idx in 0usize..3,
+        seed in any::<u64>(),
+        slots in 30u32..100,
+        frac in 0.0f64..1.0,
+    ) {
+        use vne_workload::adversary::{modulate, with_churn, ChurnSchedule, Modulation};
+        let (substrate, apps) = adversary_world();
+        let modulation = [
+            Modulation::FlashCrowd { period: 20, len: 4, base_keep: 0.3 },
+            Modulation::Diurnal { period: 25, low: 0.1, high: 0.9 },
+        ][mod_idx];
+        let schedule = ChurnSchedule::new(churn_profile(churn_idx), &substrate);
+        let wrap = |inner: vne_workload::adversary::AdversaryStream| {
+            with_churn(modulate(inner, modulation, seed ^ 0x5A17), schedule.clone())
+        };
+
+        let full: Vec<SlotEvents> =
+            wrap(adversary_stream(0, seed, slots, &substrate, &apps)).collect();
+        let cut = ((frac * f64::from(slots)) as u32).min(slots);
+        let mut skipped = adversary_stream(0, seed, slots, &substrate, &apps);
+        skipped.skip_to(cut);
+        let suffix: Vec<SlotEvents> = wrap(skipped).collect();
+        prop_assert_eq!(&suffix[..], &full[cut as usize..]);
+
+        // Modulated arrivals ⊆ inner arrivals, order preserved; churn
+        // events reference live elements on every slot.
+        let inner: Vec<SlotEvents> =
+            adversary_stream(0, seed, slots, &substrate, &apps).collect();
+        let mut churn_state = vne_model::churn::ChurnState::pristine(&substrate);
+        for (wrapped, raw) in full.iter().zip(&inner) {
+            let inner_ids: Vec<u64> = raw.arrivals.iter().map(|r| r.id.0).collect();
+            let mut walk = inner_ids.iter();
+            for r in &wrapped.arrivals {
+                prop_assert!(
+                    walk.any(|&id| id == r.id.0),
+                    "modulated id {} not an ordered subset of the inner stream",
+                    r.id.0
+                );
+            }
+            prop_assert_eq!(&wrapped.churn, &schedule.events_at(wrapped.slot));
+            for ev in &wrapped.churn {
+                churn_state.apply(ev); // panics on out-of-range elements
+            }
+        }
+    }
+
+    /// Churn schedules are arithmetic in the slot number: events fire
+    /// exactly on window boundaries, reference in-range elements, and
+    /// `in_window` matches the boundary arithmetic.
+    #[test]
+    fn churn_schedules_are_well_formed(
+        churn_idx in 0usize..3,
+        slots in 40u32..200,
+    ) {
+        use vne_model::churn::ChurnEvent;
+        use vne_workload::adversary::{ChurnProfile, ChurnSchedule};
+        let (substrate, _) = adversary_world();
+        let profile = churn_profile(churn_idx);
+        let (period, len) = match profile {
+            ChurnProfile::LinkOutages { period, len, .. } => (period, len),
+            ChurnProfile::NodeMaintenance { period, len } => (period, len),
+            ChurnProfile::CapacityDrain { period, len, .. } => (period, len),
+        };
+        let schedule = ChurnSchedule::new(profile, &substrate);
+        for t in 0..slots {
+            let events = schedule.events_at(t);
+            let boundary = t % period == 0 || t % period == len;
+            prop_assert_eq!(!events.is_empty(), boundary, "events only on boundaries (t={})", t);
+            prop_assert_eq!(schedule.in_window(t), t % period < len);
+            for ev in &events {
+                match *ev {
+                    ChurnEvent::NodeDown(n) | ChurnEvent::NodeUp(n) => {
+                        prop_assert!(n.index() < substrate.node_count());
+                    }
+                    ChurnEvent::LinkDown(l) | ChurnEvent::LinkUp(l) => {
+                        prop_assert!(l.index() < substrate.link_count());
+                    }
+                    ChurnEvent::NodeDrain { node, factor } => {
+                        prop_assert!(node.index() < substrate.node_count());
+                        prop_assert!((0.0..=1.0).contains(&factor));
+                    }
+                    ChurnEvent::LinkDrain { link, factor } => {
+                        prop_assert!(link.index() < substrate.link_count());
+                        prop_assert!((0.0..=1.0).contains(&factor));
+                    }
+                }
+            }
+        }
+    }
 
     /// Resume determinism for the estimator fold: checkpoint either
     /// builtin estimator at a random slot mid-history, restore into a
