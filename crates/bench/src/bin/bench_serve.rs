@@ -1,0 +1,201 @@
+//! Serving-latency harness for the `vne-serve` engine actor: measures
+//! end-to-end decision latency (submit → decision at slot close) and
+//! the shed rate under offered load, per algorithm, and writes the rows
+//! to `BENCH_serve.json` (machine-readable, diff with `jq`, like
+//! `BENCH_pipeline.json`).
+//!
+//! Closed-loop in-process clients call [`ServeHandle::submit`] directly
+//! — no TCP in the measured path — so the numbers characterize the
+//! actor and the algorithm, not the socket stack. Each cell runs one
+//! daemon on a wall-clock tick; a client's next submission follows its
+//! previous decision, so offered load scales with the client count.
+//! The high-load cells oversubscribe the pending-queue watermark on
+//! purpose: the shed rate is part of the result, not noise.
+//!
+//! Run with: `cargo run --release --bin bench_serve [-- --quick]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use vne_model::ids::{AppId, NodeId};
+use vne_serve::actor::{ServeConfig, ServeHandle, TickMode};
+use vne_serve::{spawn, SubmitReply, SubmitSpec};
+use vne_sim::registry::{AlgorithmSpec, BuildContext};
+use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_workload::appgen::{paper_mix, AppGenConfig};
+use vne_workload::rng::SeededRng;
+
+const TICK_MS: u64 = 5;
+const WATERMARK: usize = 4;
+const CLIENT_COUNTS: [usize; 2] = [2, 8];
+const ALGORITHMS: [Algorithm; 2] = [Algorithm::Fullg, Algorithm::Quickg];
+
+struct Cell {
+    alg: &'static str,
+    clients: usize,
+    decided: u64,
+    shed: u64,
+    shed_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    slots: u64,
+    fingerprint: u64,
+}
+
+fn serving_world() -> Scenario {
+    let substrate = vne_topology::zoo::citta_studi().expect("build Citta Studi");
+    let mut rng = SeededRng::new(7);
+    let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+    Scenario::new(substrate, apps, ScenarioConfig::small(1.0).with_seed(7))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run_cell(scenario: &Scenario, alg: Algorithm, clients: usize, per_client: u64) -> Cell {
+    let built = scenario
+        .registry()
+        .build(&AlgorithmSpec::from(alg), &BuildContext::new(scenario))
+        .expect("builtin algorithm");
+    let runtime = spawn(
+        scenario.substrate.clone(),
+        built.algorithm,
+        scenario.penalty(),
+        scenario.config.measure_window,
+        scenario.apps.len(),
+        ServeConfig {
+            tick: TickMode::Interval(Duration::from_millis(TICK_MS)),
+            watermark: WATERMARK,
+            checkpoint: None,
+        },
+        None,
+    )
+    .expect("spawn engine actor");
+    let handle = runtime.handle();
+    let node_count = scenario.substrate.node_count();
+    let app_count = scenario.apps.len();
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let handle: ServeHandle = runtime.handle();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                let mut shed = 0u64;
+                let mut i = 0u64;
+                while latencies.len() < per_client as usize {
+                    let spec = SubmitSpec {
+                        ingress: NodeId(((c as u64 * 5 + i * 3) % node_count as u64) as u32),
+                        app: AppId(((c as u64 + i) % app_count as u64) as u32),
+                        demand: 1.0 + ((c as u64 * 7 + i) % 10) as f64,
+                        duration: 1 + ((c as u64 + i) % 4) as u32,
+                    };
+                    i += 1;
+                    let submitted_at = Instant::now();
+                    match handle.submit(spec).expect("actor alive") {
+                        SubmitReply::Decided { .. } => {
+                            latencies.push(submitted_at.elapsed().as_secs_f64() * 1e3);
+                        }
+                        SubmitReply::Shed => {
+                            shed += 1;
+                            // Back off one tick before re-offering, or a
+                            // shed burst busy-spins the whole cell.
+                            std::thread::sleep(Duration::from_millis(TICK_MS));
+                        }
+                        SubmitReply::Invalid(reason) => panic!("invalid spec: {reason}"),
+                    }
+                }
+                (latencies, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed_seen = 0u64;
+    for worker in workers {
+        let (lat, shed) = worker.join().expect("client thread");
+        latencies.extend(lat);
+        shed_seen += shed;
+    }
+    handle.shutdown().expect("graceful shutdown");
+    let report = runtime.join();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let decided = latencies.len() as u64;
+    assert_eq!(decided, clients as u64 * per_client);
+    assert_eq!(report.stats.shed, shed_seen, "shed tallies agree");
+    let offered = decided + shed_seen;
+    Cell {
+        alg: alg.label(),
+        clients,
+        decided,
+        shed: shed_seen,
+        shed_rate: shed_seen as f64 / offered as f64,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_ms: latencies.iter().sum::<f64>() / decided as f64,
+        slots: report.stats.slots_run,
+        fingerprint: report.stats.fingerprint,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_client: u64 = if quick { 10 } else { 50 };
+    let scenario = serving_world();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut cells = Vec::new();
+    for alg in ALGORITHMS {
+        for clients in CLIENT_COUNTS {
+            let cell = run_cell(&scenario, alg, clients, per_client);
+            println!(
+                "{:7} clients={} decided={} shed={} ({:.1}%) p50={:.2}ms p99={:.2}ms slots={}",
+                cell.alg,
+                cell.clients,
+                cell.decided,
+                cell.shed,
+                100.0 * cell.shed_rate,
+                cell.p50_ms,
+                cell.p99_ms,
+                cell.slots,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {parallelism},");
+    let _ = writeln!(
+        json,
+        "  \"tick_ms\": {TICK_MS}, \"watermark\": {WATERMARK}, \"requests_per_client\": {per_client},"
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, cell) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"alg\": \"{}\", \"clients\": {}, \"decided\": {}, \"shed\": {}, \
+             \"shed_rate\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \
+             \"slots\": {}, \"fingerprint\": \"{:016x}\"}}{}",
+            cell.alg,
+            cell.clients,
+            cell.decided,
+            cell.shed,
+            cell.shed_rate,
+            cell.p50_ms,
+            cell.p99_ms,
+            cell.mean_ms,
+            cell.slots,
+            cell.fingerprint,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ]\n}}");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -251,7 +251,8 @@ where
                         config: config.clone(),
                         checkpoint: cp.clone(),
                     };
-                    std::fs::write(&path, full.to_bytes()).expect("write checkpoint file");
+                    vne_sim::persist::write_bytes_atomic(&path, &full.to_bytes())
+                        .expect("write checkpoint file");
                 })),
             )
             .unwrap_or_else(|e| panic!("{e}"));

@@ -1,0 +1,140 @@
+//! Admission decisions for embedding-as-a-service.
+//!
+//! When the engine runs inside a serving daemon (`vne-serve`), every
+//! submitted request gets an explicit [`Decision`] back: admitted
+//! ([`Decision::Accept`]), denied by the algorithm
+//! ([`Decision::Reject`]), or never offered to the algorithm because
+//! the ingest queue was beyond its high-watermark
+//! ([`Decision::Shed`]). The type lives in the model crate so protocol
+//! encoders, the daemon and benchmarks all share one vocabulary.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::state::{StateDecode, StateEncode, StateError, StateReader, StateWriter};
+
+/// The outcome of one submitted embedding request, as reported to the
+/// client that submitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// The request was admitted and holds resources until departure.
+    Accept,
+    /// The algorithm declined the request at decision time.
+    Reject,
+    /// The serving front end dropped the request before the algorithm
+    /// ever saw it: the ingest queue was at its high-watermark
+    /// (load shedding). Shed requests consume no request id and leave
+    /// no trace in the engine.
+    Shed,
+}
+
+impl Decision {
+    /// Canonical wire label (`"ACCEPT"`, `"REJECT"`, `"SHED"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Decision::Accept => "ACCEPT",
+            Decision::Reject => "REJECT",
+            Decision::Shed => "SHED",
+        }
+    }
+
+    /// Whether the request holds resources after this decision.
+    pub fn is_admitted(self) -> bool {
+        matches!(self, Decision::Accept)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The error returned when a string is none of the decision labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDecisionError(pub String);
+
+impl fmt::Display for ParseDecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown decision {:?}; expected ACCEPT, REJECT or SHED",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDecisionError {}
+
+impl FromStr for Decision {
+    type Err = ParseDecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        [Decision::Accept, Decision::Reject, Decision::Shed]
+            .into_iter()
+            .find(|d| d.label().eq_ignore_ascii_case(trimmed))
+            .ok_or_else(|| ParseDecisionError(s.to_string()))
+    }
+}
+
+impl StateEncode for Decision {
+    fn encode(&self, w: &mut StateWriter) {
+        w.write_u8(match self {
+            Decision::Accept => 0,
+            Decision::Reject => 1,
+            Decision::Shed => 2,
+        });
+    }
+}
+
+impl StateDecode for Decision {
+    fn decode(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        match r.read_u8()? {
+            0 => Ok(Decision::Accept),
+            1 => Ok(Decision::Reject),
+            2 => Ok(Decision::Shed),
+            tag => Err(StateError::Corrupt(format!("invalid decision tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{StateReader, StateWriter};
+
+    #[test]
+    fn labels_roundtrip_through_display_and_fromstr() {
+        for d in [Decision::Accept, Decision::Reject, Decision::Shed] {
+            assert_eq!(d.to_string().parse::<Decision>().unwrap(), d);
+            assert_eq!(d.label().to_lowercase().parse::<Decision>().unwrap(), d);
+        }
+        assert_eq!(" shed ".parse::<Decision>().unwrap(), Decision::Shed);
+        let err = "maybe".parse::<Decision>().unwrap_err();
+        assert!(err.to_string().contains("maybe"));
+    }
+
+    #[test]
+    fn only_accept_admits() {
+        assert!(Decision::Accept.is_admitted());
+        assert!(!Decision::Reject.is_admitted());
+        assert!(!Decision::Shed.is_admitted());
+    }
+
+    #[test]
+    fn state_codec_roundtrips_and_rejects_bad_tags() {
+        for d in [Decision::Accept, Decision::Reject, Decision::Shed] {
+            let mut w = StateWriter::new();
+            w.write(&d);
+            let blob = w.finish();
+            let mut r = StateReader::new(&blob);
+            assert_eq!(r.read::<Decision>().unwrap(), d);
+        }
+        let mut w = StateWriter::new();
+        w.write_u8(9);
+        let blob = w.finish();
+        let mut r = StateReader::new(&blob);
+        assert!(r.read::<Decision>().is_err());
+    }
+}

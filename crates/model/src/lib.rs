@@ -17,6 +17,8 @@
 //!   footprints (Eq. 1);
 //! * [`load`] — residual capacity ledgers (`Res(S,t,x)`, Eq. 16);
 //! * [`cost`] — resource costs and rejection penalties (Eqs. 3–4);
+//! * [`decision`] — per-request admission decisions as reported by the
+//!   `vne-serve` daemon (accept / reject / shed);
 //! * [`state`] — the [`state::Snapshot`] checkpoint capability and the
 //!   deterministic binary codec behind checkpoint/resume.
 //!
@@ -51,6 +53,7 @@
 pub mod app;
 pub mod churn;
 pub mod cost;
+pub mod decision;
 pub mod embedding;
 pub mod error;
 pub mod ids;
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use crate::app::{AppSet, AppShape, Application};
     pub use crate::churn::{ChurnEvent, ChurnState, EffectiveCapacities};
     pub use crate::cost::RejectionPenalty;
+    pub use crate::decision::Decision;
     pub use crate::embedding::{Embedding, Footprint};
     pub use crate::error::{ModelError, ModelResult};
     pub use crate::ids::{AppId, ClassId, ElementId, LinkId, NodeId, RequestId, VlinkId, VnodeId};

@@ -1,0 +1,206 @@
+//! The embedding-as-a-service daemon.
+//!
+//! Builds a scenario world (topology, paper application mix, algorithm
+//! by name), spawns the engine actor, and serves the line protocol on a
+//! TCP socket until a `SHUTDOWN` command drains it. See the README's
+//! "Serving" section for the protocol reference.
+//!
+//! ```text
+//! vne-serve [--addr 127.0.0.1:7700] [--alg FULLG]
+//!           [--topology citta-studi|iris] [--utilization 1.0] [--seed 7]
+//!           [--tick-ms N | --manual]
+//!           [--watermark N]
+//!           [--checkpoint PATH] [--checkpoint-every N]
+//!           [--resume-from PATH]
+//! ```
+//!
+//! `--manual` (the default) closes slots only on `ADVANCE` commands —
+//! fully deterministic, what the tests script. `--tick-ms N` closes a
+//! slot every `N` ms of wall-clock time instead. With `--checkpoint`,
+//! state is written crash-safely every `--checkpoint-every` slots (and
+//! once more on shutdown); `--resume-from` restores such a file
+//! byte-identically before serving.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vne_serve::actor::{CheckpointConfig, ServeConfig, TickMode};
+use vne_serve::server::Server;
+use vne_sim::persist::read_checkpoint_file;
+use vne_sim::registry::{AlgorithmSpec, BuildContext};
+use vne_sim::scenario::{Scenario, ScenarioConfig};
+use vne_workload::appgen::{paper_mix, AppGenConfig};
+use vne_workload::rng::SeededRng;
+
+struct Options {
+    addr: String,
+    alg: String,
+    topology: String,
+    utilization: f64,
+    seed: u64,
+    tick: TickMode,
+    watermark: usize,
+    checkpoint: Option<std::path::PathBuf>,
+    checkpoint_every: u32,
+    resume_from: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7700".to_string(),
+            alg: "FULLG".to_string(),
+            topology: "citta-studi".to_string(),
+            utilization: 1.0,
+            seed: 7,
+            tick: TickMode::Manual,
+            watermark: 1024,
+            checkpoint: None,
+            checkpoint_every: 8,
+            resume_from: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--alg" => opts.alg = value("--alg")?,
+            "--topology" => opts.topology = value("--topology")?,
+            "--utilization" => {
+                opts.utilization = value("--utilization")?
+                    .parse()
+                    .map_err(|e| format!("bad --utilization: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--tick-ms" => {
+                let ms: u64 = value("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --tick-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--tick-ms must be at least 1".to_string());
+                }
+                opts.tick = TickMode::Interval(Duration::from_millis(ms));
+            }
+            "--manual" => opts.tick = TickMode::Manual,
+            "--watermark" => {
+                opts.watermark = value("--watermark")?
+                    .parse()
+                    .map_err(|e| format!("bad --watermark: {e}"))?;
+            }
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?.into()),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if opts.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+            }
+            "--resume-from" => opts.resume_from = Some(value("--resume-from")?.into()),
+            "--help" | "-h" => {
+                println!(
+                    "vne-serve: embedding-as-a-service daemon\n\
+                     flags: --addr --alg --topology --utilization --seed \
+                     --tick-ms|--manual --watermark --checkpoint \
+                     --checkpoint-every --resume-from"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let substrate = match opts.topology.as_str() {
+        "citta-studi" | "citta_studi" => {
+            vne_topology::zoo::citta_studi().map_err(|e| e.to_string())?
+        }
+        "iris" => vne_topology::zoo::iris().map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown topology {other:?} (citta-studi or iris)")),
+    };
+    let mut rng = SeededRng::new(opts.seed);
+    let apps = paper_mix(&AppGenConfig::default(), &mut rng);
+    let scenario = Scenario::new(
+        substrate,
+        apps,
+        ScenarioConfig::small(opts.utilization).with_seed(opts.seed),
+    );
+    let spec = AlgorithmSpec::new(&opts.alg);
+    let built = scenario
+        .registry()
+        .build(&spec, &BuildContext::new(&scenario))
+        .map_err(|e| e.to_string())?;
+    let penalty = scenario.penalty();
+    let window = scenario.config.measure_window;
+    let app_count = scenario.apps.len();
+
+    let resume = match &opts.resume_from {
+        Some(path) => Some(read_checkpoint_file(path).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let config = ServeConfig {
+        tick: opts.tick,
+        watermark: opts.watermark,
+        checkpoint: opts.checkpoint.as_ref().map(|path| CheckpointConfig {
+            path: path.clone(),
+            every: opts.checkpoint_every,
+        }),
+    };
+    let runtime = vne_serve::actor::spawn(
+        scenario.substrate.clone(),
+        built.algorithm,
+        penalty,
+        window,
+        app_count,
+        config,
+        resume.as_ref(),
+    )
+    .map_err(|e| format!("resume failed: {e}"))?;
+
+    let server = Server::bind(opts.addr.as_str(), runtime.handle()).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Parsed by tests and supervisors — keep this line first and stable.
+    println!(
+        "vne-serve listening on {addr} alg={spec} topology={}",
+        opts.topology
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().map_err(|e| e.to_string())?;
+
+    let report = runtime.join();
+    println!(
+        "vne-serve drained: slots={} submitted={} accepted={} rejected={} shed={} \
+         checkpoints={} fingerprint={:016x}",
+        report.stats.slots_run,
+        report.stats.submitted,
+        report.stats.accepted,
+        report.stats.rejected,
+        report.stats.shed,
+        report.stats.checkpoints,
+        report.stats.fingerprint,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vne-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The line-delimited text protocol spoken on the daemon's TCP port.
+//!
+//! Every message is one UTF-8 line terminated by `\n` (a trailing `\r`
+//! is tolerated). Clients send [`Command`]s, the daemon answers each
+//! with exactly one [`Reply`] line, in order. The full grammar:
+//!
+//! ```text
+//! SUBMIT <ingress> <app> <demand> <duration>   request an embedding
+//! DEPART <id>                                  probe a request's status
+//! ADVANCE [n]                                  close n logical slots (default 1)
+//! STATS                                        serving counters + fingerprint
+//! CHECKPOINT                                   force a durable checkpoint now
+//! SHUTDOWN                                     graceful drain + final checkpoint
+//! ```
+//!
+//! Replies are `OK ...` or `ERR <reason>`:
+//!
+//! ```text
+//! OK SUBMITTED <id> <slot> <ACCEPT|REJECT>     decision at slot commit
+//! OK SHED                                      dropped before the algorithm
+//! OK DEPARTED <id> | OK ACTIVE <id>            DEPART probe answer
+//! OK ADVANCED <slot>                           slots committed so far
+//! OK STATS <k>=<v> ...                         see [`crate::actor::ServeStats`]
+//! OK CHECKPOINT <slot>                         checkpoint written at slot
+//! OK BYE                                       shutdown acknowledged
+//! ```
+//!
+//! [`LineFramer`] turns the byte stream into frames, tolerating
+//! arbitrary read fragmentation and refusing oversized frames before
+//! they can buffer unboundedly. [`parse_command`] / [`Command::encode`]
+//! and [`parse_reply`] / [`Reply::encode`] are exact inverses (pinned
+//! by proptest round-trips), so the example client and the tests parse
+//! real daemon output rather than pattern-matching strings.
+
+use std::fmt;
+
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::prelude::Decision;
+use vne_model::request::Slot;
+
+/// Hard cap on one protocol line (bytes, excluding the terminator). A
+/// frame longer than this is a protocol error — the connection handler
+/// reports it and drops the connection instead of buffering without
+/// bound.
+pub const MAX_FRAME: usize = 1024;
+
+/// A client-to-daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Request an embedding: ingress node index, application index,
+    /// demand size and duration in slots.
+    Submit {
+        /// Ingress substrate node `v(r)` (node index).
+        ingress: NodeId,
+        /// Application `a(r)` (index into the catalogue).
+        app: AppId,
+        /// Demand size `d(r) > 0`.
+        demand: f64,
+        /// Duration `T(r) ≥ 1` in slots.
+        duration: Slot,
+    },
+    /// Probe whether an admitted request is still holding resources.
+    Depart {
+        /// The id returned by the `SUBMIT` reply.
+        id: RequestId,
+    },
+    /// Close `slots` logical slots (decide everything pending).
+    Advance {
+        /// Number of slots to commit (≥ 1).
+        slots: u32,
+    },
+    /// Ask for the serving counters.
+    Stats,
+    /// Force a durable checkpoint now.
+    Checkpoint,
+    /// Drain, take a final checkpoint and exit.
+    Shutdown,
+}
+
+impl Command {
+    /// The canonical wire form (no terminator).
+    pub fn encode(&self) -> String {
+        match self {
+            Command::Submit {
+                ingress,
+                app,
+                demand,
+                duration,
+            } => {
+                format!(
+                    "SUBMIT {} {} {} {}",
+                    ingress.index(),
+                    app.index(),
+                    demand,
+                    duration
+                )
+            }
+            Command::Depart { id } => format!("DEPART {}", id.0),
+            Command::Advance { slots } => format!("ADVANCE {slots}"),
+            Command::Stats => "STATS".to_string(),
+            Command::Checkpoint => "CHECKPOINT".to_string(),
+            Command::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// A daemon-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The decision for a submitted request, made when its slot
+    /// committed. `decision` is never [`Decision::Shed`] here — shed
+    /// submissions answer with [`Reply::Shed`] and consume no id.
+    Submitted {
+        /// The id assigned to the request (use it for `DEPART`).
+        id: RequestId,
+        /// The slot the request was decided in.
+        slot: Slot,
+        /// Accept or reject.
+        decision: Decision,
+    },
+    /// The submission was dropped by load shedding before the
+    /// algorithm saw it.
+    Shed,
+    /// `DEPART` probe answer: still holding resources?
+    Departure {
+        /// The probed id.
+        id: RequestId,
+        /// `true` while the request holds resources.
+        active: bool,
+    },
+    /// `ADVANCE` acknowledged; `slot` slots are committed in total.
+    Advanced {
+        /// Total committed slots.
+        slot: u64,
+    },
+    /// Serving counters, as `key=value` pairs (see
+    /// [`crate::actor::ServeStats`]).
+    Stats(Vec<(String, String)>),
+    /// A forced checkpoint was written at `slot`.
+    Checkpointed {
+        /// The last committed slot the checkpoint captures.
+        slot: Slot,
+    },
+    /// Shutdown acknowledged; the connection closes after this line.
+    Bye,
+    /// The command failed; the reason never contains a newline.
+    Err(String),
+}
+
+impl Reply {
+    /// The canonical wire form (no terminator).
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Submitted { id, slot, decision } => {
+                format!("OK SUBMITTED {} {} {}", id.0, slot, decision)
+            }
+            Reply::Shed => "OK SHED".to_string(),
+            Reply::Departure { id, active } => {
+                if *active {
+                    format!("OK ACTIVE {}", id.0)
+                } else {
+                    format!("OK DEPARTED {}", id.0)
+                }
+            }
+            Reply::Advanced { slot } => format!("OK ADVANCED {slot}"),
+            Reply::Stats(pairs) => {
+                let mut line = "OK STATS".to_string();
+                for (k, v) in pairs {
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(v);
+                }
+                line
+            }
+            Reply::Checkpointed { slot } => format!("OK CHECKPOINT {slot}"),
+            Reply::Bye => "OK BYE".to_string(),
+            Reply::Err(reason) => format!("ERR {}", reason.replace('\n', " ")),
+        }
+    }
+}
+
+/// Why a line could not be parsed (or framed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line is not a well-formed command/reply; the message says
+    /// what was expected.
+    Malformed(String),
+    /// A frame exceeded [`MAX_FRAME`] bytes before its terminator.
+    Oversized {
+        /// Bytes buffered when the limit tripped.
+        length: usize,
+    },
+    /// The byte stream is not UTF-8.
+    NotUtf8,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed(what) => write!(f, "malformed line: {what}"),
+            ProtocolError::Oversized { length } => write!(
+                f,
+                "frame exceeds {MAX_FRAME} bytes ({length} buffered without a terminator)"
+            ),
+            ProtocolError::NotUtf8 => f.write_str("frame is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn field<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+    line: &str,
+) -> Result<&'a str, ProtocolError> {
+    parts
+        .next()
+        .ok_or_else(|| ProtocolError::Malformed(format!("missing {what} in {line:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, ProtocolError> {
+    raw.parse()
+        .map_err(|_| ProtocolError::Malformed(format!("bad {what} {raw:?}")))
+}
+
+fn reject_trailing<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    line: &str,
+) -> Result<(), ProtocolError> {
+    match parts.next() {
+        None => Ok(()),
+        Some(extra) => Err(ProtocolError::Malformed(format!(
+            "unexpected trailing {extra:?} in {line:?}"
+        ))),
+    }
+}
+
+/// Parses one client line into a [`Command`]. Keywords are
+/// case-insensitive; fields are whitespace-separated.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] on an unknown keyword, a
+/// missing/invalid field, or trailing garbage.
+pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
+    let line = line.trim();
+    let mut parts = line.split_ascii_whitespace();
+    let keyword = field(&mut parts, "command", line)?.to_ascii_uppercase();
+    let command = match keyword.as_str() {
+        "SUBMIT" => {
+            let ingress: u32 = parse_num(field(&mut parts, "ingress", line)?, "ingress")?;
+            let app: u32 = parse_num(field(&mut parts, "app", line)?, "app")?;
+            let demand: f64 = parse_num(field(&mut parts, "demand", line)?, "demand")?;
+            let duration: Slot = parse_num(field(&mut parts, "duration", line)?, "duration")?;
+            if !demand.is_finite() || demand <= 0.0 {
+                return Err(ProtocolError::Malformed(format!(
+                    "demand must be positive and finite, got {demand}"
+                )));
+            }
+            if duration == 0 {
+                return Err(ProtocolError::Malformed(
+                    "duration must be at least 1 slot".to_string(),
+                ));
+            }
+            Command::Submit {
+                ingress: NodeId(ingress),
+                app: AppId(app),
+                demand,
+                duration,
+            }
+        }
+        "DEPART" => Command::Depart {
+            id: RequestId(parse_num(field(&mut parts, "id", line)?, "id")?),
+        },
+        "ADVANCE" => {
+            let slots = match parts.next() {
+                None => 1,
+                Some(raw) => {
+                    let n: u32 = parse_num(raw, "slot count")?;
+                    if n == 0 {
+                        return Err(ProtocolError::Malformed(
+                            "ADVANCE needs at least 1 slot".to_string(),
+                        ));
+                    }
+                    n
+                }
+            };
+            Command::Advance { slots }
+        }
+        "STATS" => Command::Stats,
+        "CHECKPOINT" => Command::Checkpoint,
+        "SHUTDOWN" => Command::Shutdown,
+        other => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown command {other:?}"
+            )))
+        }
+    };
+    reject_trailing(parts, line)?;
+    Ok(command)
+}
+
+/// Parses one daemon line into a [`Reply`] — the client-side inverse of
+/// [`Reply::encode`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] if the line is not a valid
+/// reply.
+pub fn parse_reply(line: &str) -> Result<Reply, ProtocolError> {
+    let line = line.trim();
+    if let Some(reason) = line.strip_prefix("ERR ") {
+        return Ok(Reply::Err(reason.to_string()));
+    }
+    if line == "ERR" {
+        return Ok(Reply::Err(String::new()));
+    }
+    let body = line
+        .strip_prefix("OK")
+        .ok_or_else(|| ProtocolError::Malformed(format!("reply must start with OK/ERR: {line:?}")))?
+        .trim_start();
+    let mut parts = body.split_ascii_whitespace();
+    let kind = field(&mut parts, "reply kind", line)?;
+    let reply = match kind {
+        "SUBMITTED" => {
+            let id = RequestId(parse_num(field(&mut parts, "id", line)?, "id")?);
+            let slot: Slot = parse_num(field(&mut parts, "slot", line)?, "slot")?;
+            let decision: Decision = field(&mut parts, "decision", line)?
+                .parse()
+                .map_err(|e| ProtocolError::Malformed(format!("{e}")))?;
+            if decision == Decision::Shed {
+                return Err(ProtocolError::Malformed(
+                    "shed submissions use the OK SHED reply".to_string(),
+                ));
+            }
+            Reply::Submitted { id, slot, decision }
+        }
+        "SHED" => Reply::Shed,
+        "ACTIVE" => Reply::Departure {
+            id: RequestId(parse_num(field(&mut parts, "id", line)?, "id")?),
+            active: true,
+        },
+        "DEPARTED" => Reply::Departure {
+            id: RequestId(parse_num(field(&mut parts, "id", line)?, "id")?),
+            active: false,
+        },
+        "ADVANCED" => Reply::Advanced {
+            slot: parse_num(field(&mut parts, "slot", line)?, "slot")?,
+        },
+        "STATS" => {
+            let mut pairs = Vec::new();
+            for pair in parts.by_ref() {
+                let (k, v) = pair.split_once('=').ok_or_else(|| {
+                    ProtocolError::Malformed(format!("stats field {pair:?} is not key=value"))
+                })?;
+                pairs.push((k.to_string(), v.to_string()));
+            }
+            return Ok(Reply::Stats(pairs));
+        }
+        "CHECKPOINT" => Reply::Checkpointed {
+            slot: parse_num(field(&mut parts, "slot", line)?, "slot")?,
+        },
+        "BYE" => Reply::Bye,
+        other => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown reply kind {other:?}"
+            )))
+        }
+    };
+    reject_trailing(parts, line)?;
+    Ok(reply)
+}
+
+/// Incremental line framer: feed it raw reads, pop complete frames.
+///
+/// Handles arbitrary fragmentation (a frame may arrive over many reads,
+/// or many frames in one read) and enforces [`MAX_FRAME`]: once the
+/// buffered prefix exceeds the cap without a `\n`, every pop reports
+/// [`ProtocolError::Oversized`] until the connection is dropped.
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buffer: Vec<u8>,
+    poisoned: bool,
+}
+
+impl LineFramer {
+    /// An empty framer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one read's worth of bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buffer.extend_from_slice(bytes);
+        }
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Oversized`] when the unterminated prefix
+    /// exceeds [`MAX_FRAME`]; [`ProtocolError::NotUtf8`] when a frame
+    /// is not UTF-8. Both poison the framer (the protocol cannot
+    /// resynchronize mid-stream).
+    pub fn pop(&mut self) -> Result<Option<String>, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::Oversized {
+                length: self.buffer.len(),
+            });
+        }
+        match self.buffer.iter().position(|&b| b == b'\n') {
+            Some(end) => {
+                let rest = self.buffer.split_off(end + 1);
+                let mut frame = std::mem::replace(&mut self.buffer, rest);
+                frame.pop(); // the \n
+                if frame.last() == Some(&b'\r') {
+                    frame.pop();
+                }
+                if frame.len() > MAX_FRAME {
+                    self.poisoned = true;
+                    return Err(ProtocolError::Oversized {
+                        length: frame.len(),
+                    });
+                }
+                match String::from_utf8(frame) {
+                    Ok(line) => Ok(Some(line)),
+                    Err(_) => {
+                        self.poisoned = true;
+                        Err(ProtocolError::NotUtf8)
+                    }
+                }
+            }
+            None if self.buffer.len() > MAX_FRAME => {
+                self.poisoned = true;
+                Err(ProtocolError::Oversized {
+                    length: self.buffer.len(),
+                })
+            }
+            None => Ok(None),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The TCP front end: line protocol over per-connection threads.
+//!
+//! [`Server::bind`] owns the listening socket; [`Server::serve`] runs
+//! the accept loop, spawning one handler thread per connection. Each
+//! handler frames the byte stream with
+//! [`crate::protocol::LineFramer`], parses [`crate::protocol::Command`]
+//! lines and calls the engine actor through its [`ServeHandle`] —
+//! decisions block only that connection's thread, never the engine.
+//!
+//! ## Shutdown
+//!
+//! A `SHUTDOWN` command (from any connection) is the graceful exit
+//! path: the handler first asks the actor to shut down — the actor
+//! flushes pending submissions into one final slot (so every in-flight
+//! `SUBMIT` gets its decision), takes a final checkpoint and stops —
+//! then raises the shared shutdown flag and wakes the accept loop.
+//! Handler threads notice the flag within their read-timeout tick,
+//! close their connections, and [`Server::serve`] joins them all before
+//! returning. The workspace forbids `unsafe`, so there is no signal
+//! handler: supervisors should send `SHUTDOWN` over the control socket
+//! instead of `SIGTERM` (a `SIGKILL`-style crash is what checkpoints
+//! are for — see the kill-and-recover test).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::actor::{ServeError, ServeHandle, SubmitReply, SubmitSpec};
+use crate::protocol::{parse_command, Command, LineFramer, ProtocolError, Reply};
+
+/// How often idle handler threads wake to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// The daemon's TCP front end.
+pub struct Server {
+    listener: TcpListener,
+    handle: ServeHandle,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listening socket (e.g. `127.0.0.1:0` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, handle: ServeHandle) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            handle,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a `SHUTDOWN` command stops it, then
+    /// joins every connection handler. Returns once the daemon is fully
+    /// drained (the engine actor has already stopped by then).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failure to query the bound address; individual
+    /// accept errors are tolerated.
+    pub fn serve(self) -> io::Result<()> {
+        let local = self.listener.local_addr()?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            handlers.retain(|h| !h.is_finished());
+            let handle = self.handle.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name("vne-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &handle, &shutdown, local))
+                    .expect("spawn connection handler"),
+            );
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF, a fatal protocol error, or
+/// shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    handle: &ServeHandle,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    let mut framer = LineFramer::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // Serve every complete frame already buffered.
+        loop {
+            match framer.pop() {
+                Ok(Some(line)) => {
+                    let (reply, quit) = respond(&line, handle, shutdown, local);
+                    if write_line(&mut stream, &reply).is_err() || quit {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Oversized / non-UTF-8: the stream cannot be
+                    // resynchronized — answer and drop the connection.
+                    let _ = write_line(&mut stream, &Reply::Err(e.to_string()));
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => framer.push(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    let mut line = reply.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Executes one command line; returns the reply and whether the
+/// connection should close afterwards.
+fn respond(
+    line: &str,
+    handle: &ServeHandle,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> (Reply, bool) {
+    let command = match parse_command(line) {
+        Ok(command) => command,
+        Err(ProtocolError::Malformed(what)) => return (Reply::Err(what), false),
+        Err(other) => return (Reply::Err(other.to_string()), true),
+    };
+    let closed = |_: ServeError| Reply::Err("daemon is shutting down".to_string());
+    match command {
+        Command::Submit {
+            ingress,
+            app,
+            demand,
+            duration,
+        } => {
+            let spec = SubmitSpec {
+                ingress,
+                app,
+                demand,
+                duration,
+            };
+            let reply = match handle.submit(spec) {
+                Ok(SubmitReply::Decided { id, slot, decision }) => {
+                    Reply::Submitted { id, slot, decision }
+                }
+                Ok(SubmitReply::Shed) => Reply::Shed,
+                Ok(SubmitReply::Invalid(reason)) => Reply::Err(reason),
+                Err(e) => closed(e),
+            };
+            (reply, false)
+        }
+        Command::Depart { id } => {
+            let reply = match handle.depart(id) {
+                Ok(active) => Reply::Departure { id, active },
+                Err(e) => closed(e),
+            };
+            (reply, false)
+        }
+        Command::Advance { slots } => {
+            let reply = match handle.advance(slots) {
+                Ok(slot) => Reply::Advanced { slot },
+                Err(e) => closed(e),
+            };
+            (reply, false)
+        }
+        Command::Stats => {
+            let reply = match handle.stats() {
+                Ok(stats) => Reply::Stats(stats.pairs()),
+                Err(e) => closed(e),
+            };
+            (reply, false)
+        }
+        Command::Checkpoint => {
+            let reply = match handle.checkpoint() {
+                Ok(Ok(slot)) => Reply::Checkpointed { slot },
+                Ok(Err(reason)) => Reply::Err(reason),
+                Err(e) => closed(e),
+            };
+            (reply, false)
+        }
+        Command::Shutdown => {
+            // Drain the actor first (pending submissions get their
+            // decisions, the final checkpoint lands), then stop the
+            // accept loop and wake it with a throwaway connection.
+            let _ = handle.shutdown();
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(local);
+            (Reply::Bye, true)
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Protocol parser coverage: malformed lines, oversized frames,
+//! partial reads across every buffer boundary, and proptest round-trips
+//! pinning [`Command::encode`]/[`parse_command`] and
+//! [`Reply::encode`]/[`parse_reply`] as exact inverses.
+//!
+//! The property blocks read `PROPTEST_CASES` like the rest of the
+//! workspace's property suites.
+
+use proptest::prelude::*;
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::prelude::Decision;
+use vne_serve::protocol::{
+    parse_command, parse_reply, Command, LineFramer, ProtocolError, Reply, MAX_FRAME,
+};
+
+fn cases(default: u32) -> ProptestConfig {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(default);
+    ProptestConfig::with_cases(cases)
+}
+
+// ---------------------------------------------------------------------
+// Malformed lines
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_commands_are_rejected_with_malformed_errors() {
+    let bad = [
+        "",                       // empty
+        "   ",                    // whitespace only
+        "FROBNICATE",             // unknown keyword
+        "SUBMIT",                 // missing everything
+        "SUBMIT 0",               // missing app/demand/duration
+        "SUBMIT 0 0 1.0",         // missing duration
+        "SUBMIT x 0 1.0 5",       // non-numeric ingress
+        "SUBMIT 0 y 1.0 5",       // non-numeric app
+        "SUBMIT 0 0 lots 5",      // non-numeric demand
+        "SUBMIT 0 0 1.0 soon",    // non-numeric duration
+        "SUBMIT -1 0 1.0 5",      // negative ingress
+        "SUBMIT 0 0 0.0 5",       // zero demand
+        "SUBMIT 0 0 -3.5 5",      // negative demand
+        "SUBMIT 0 0 NaN 5",       // non-finite demand
+        "SUBMIT 0 0 inf 5",       // non-finite demand
+        "SUBMIT 0 0 1.0 0",       // zero duration
+        "SUBMIT 0 0 1.0 5 extra", // trailing garbage
+        "DEPART",                 // missing id
+        "DEPART twelve",          // non-numeric id
+        "DEPART 3 4",             // trailing garbage
+        "ADVANCE 0",              // zero slots
+        "ADVANCE -2",             // negative slots
+        "ADVANCE 1 1",            // trailing garbage
+        "STATS now",              // trailing garbage
+        "CHECKPOINT please",      // trailing garbage
+        "SHUTDOWN --force",       // trailing garbage
+    ];
+    for line in bad {
+        match parse_command(line) {
+            Err(ProtocolError::Malformed(_)) => {}
+            other => panic!("{line:?}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn command_keywords_are_case_insensitive_and_tolerate_whitespace() {
+    assert_eq!(
+        parse_command("submit 2 1 4.5 9").unwrap(),
+        Command::Submit {
+            ingress: NodeId(2),
+            app: AppId(1),
+            demand: 4.5,
+            duration: 9,
+        }
+    );
+    assert_eq!(
+        parse_command("  Advance   3  \r").unwrap(),
+        Command::Advance { slots: 3 }
+    );
+    assert_eq!(
+        parse_command("ADVANCE").unwrap(),
+        Command::Advance { slots: 1 }
+    );
+    assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+    assert_eq!(parse_command("Shutdown").unwrap(), Command::Shutdown);
+}
+
+#[test]
+fn malformed_replies_are_rejected() {
+    let bad = [
+        "",
+        "YES",
+        "OK",                        // no kind
+        "OK WAT",                    // unknown kind
+        "OK SUBMITTED",              // missing fields
+        "OK SUBMITTED 1 2",          // missing decision
+        "OK SUBMITTED 1 2 MAYBE",    // bad decision
+        "OK SUBMITTED 1 2 SHED",     // shed never rides SUBMITTED
+        "OK SUBMITTED 1 2 ACCEPT x", // trailing garbage
+        "OK ACTIVE",                 // missing id
+        "OK DEPARTED x",             // bad id
+        "OK ADVANCED",               // missing slot
+        "OK CHECKPOINT soon",        // bad slot
+        "OK STATS slots",            // pair without '='
+        "OK BYE bye",                // trailing garbage
+    ];
+    for line in bad {
+        match parse_reply(line) {
+            Err(ProtocolError::Malformed(_)) => {}
+            other => panic!("{line:?}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn err_replies_preserve_their_reason() {
+    assert_eq!(
+        parse_reply("ERR unknown command \"FROB\"").unwrap(),
+        Reply::Err("unknown command \"FROB\"".to_string())
+    );
+    assert_eq!(parse_reply("ERR").unwrap(), Reply::Err(String::new()));
+}
+
+// ---------------------------------------------------------------------
+// Oversized frames
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_terminated_frame_is_refused_and_poisons_the_framer() {
+    let mut framer = LineFramer::new();
+    let mut line = vec![b'A'; MAX_FRAME + 1];
+    line.push(b'\n');
+    line.extend_from_slice(b"STATS\n");
+    framer.push(&line);
+    assert!(matches!(
+        framer.pop(),
+        Err(ProtocolError::Oversized { length }) if length == MAX_FRAME + 1
+    ));
+    // Poisoned: even the valid frame behind it is never surfaced — the
+    // stream cannot be trusted after a framing violation.
+    assert!(framer.pop().is_err());
+    framer.push(b"STATS\n");
+    assert!(framer.pop().is_err());
+}
+
+#[test]
+fn oversized_unterminated_prefix_is_refused_before_buffering_unboundedly() {
+    let mut framer = LineFramer::new();
+    // No terminator ever arrives; the framer must trip as soon as the
+    // buffered prefix exceeds the cap rather than buffering forever.
+    framer.push(&vec![b'B'; MAX_FRAME]);
+    assert_eq!(
+        framer.pop().unwrap(),
+        None,
+        "exactly MAX_FRAME is still fine"
+    );
+    framer.push(b"BB");
+    assert!(matches!(framer.pop(), Err(ProtocolError::Oversized { .. })));
+}
+
+#[test]
+fn frame_of_exactly_max_frame_bytes_is_accepted() {
+    let mut framer = LineFramer::new();
+    let payload = "C".repeat(MAX_FRAME);
+    framer.push(payload.as_bytes());
+    framer.push(b"\n");
+    assert_eq!(framer.pop().unwrap(), Some(payload));
+}
+
+#[test]
+fn non_utf8_frame_is_refused() {
+    let mut framer = LineFramer::new();
+    framer.push(&[0xff, 0xfe, b'\n']);
+    assert!(matches!(framer.pop(), Err(ProtocolError::NotUtf8)));
+    framer.push(b"STATS\n");
+    assert!(framer.pop().is_err(), "poisoned after a non-UTF-8 frame");
+}
+
+// ---------------------------------------------------------------------
+// Partial reads across buffer boundaries
+// ---------------------------------------------------------------------
+
+/// Collects every frame the framer yields for `bytes` delivered in the
+/// given chunks.
+fn frames_via_chunks(bytes: &[u8], chunk: usize) -> Vec<String> {
+    let mut framer = LineFramer::new();
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        framer.push(piece);
+        while let Some(frame) = framer.pop().expect("no framing error") {
+            frames.push(frame);
+        }
+    }
+    frames
+}
+
+#[test]
+fn framing_is_invariant_under_read_fragmentation() {
+    let stream = b"STATS\nSUBMIT 0 1 2.5 7\r\nADVANCE 2\nDEPART 4\nSHUTDOWN\n";
+    let whole = frames_via_chunks(stream, stream.len());
+    assert_eq!(
+        whole,
+        vec![
+            "STATS".to_string(),
+            "SUBMIT 0 1 2.5 7".to_string(),
+            "ADVANCE 2".to_string(),
+            "DEPART 4".to_string(),
+            "SHUTDOWN".to_string(),
+        ]
+    );
+    // Every chunk size — including byte-by-byte — yields the identical
+    // frame sequence, so no command can be lost or merged at a read
+    // boundary.
+    for chunk in 1..stream.len() {
+        assert_eq!(
+            frames_via_chunks(stream, chunk),
+            whole,
+            "chunk size {chunk}"
+        );
+    }
+}
+
+#[test]
+fn split_at_every_boundary_of_a_single_frame() {
+    let line = b"SUBMIT 12 3 456.75 89\n";
+    for split in 0..line.len() {
+        let mut framer = LineFramer::new();
+        framer.push(&line[..split]);
+        if split < line.len() - 1 {
+            assert_eq!(framer.pop().unwrap(), None, "split {split}: incomplete");
+        }
+        framer.push(&line[split..]);
+        let frame = framer.pop().unwrap().expect("complete after second half");
+        assert_eq!(frame, "SUBMIT 12 3 456.75 89", "split {split}");
+        assert_eq!(framer.pop().unwrap(), None, "split {split}: drained");
+    }
+}
+
+#[test]
+fn many_frames_in_one_read_pop_in_order() {
+    let mut framer = LineFramer::new();
+    framer.push(b"ADVANCE 1\nADVANCE 2\nADVANCE 3\n");
+    for expected in ["ADVANCE 1", "ADVANCE 2", "ADVANCE 3"] {
+        assert_eq!(framer.pop().unwrap().as_deref(), Some(expected));
+    }
+    assert_eq!(framer.pop().unwrap(), None);
+}
+
+// ---------------------------------------------------------------------
+// Proptest round-trips: encode → parse is the identity
+// ---------------------------------------------------------------------
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    (
+        0u32..6,
+        (any::<u32>(), any::<u32>()),
+        1u32..=10_000,
+        0.0625f64..1e9,
+        any::<u64>(),
+        1u32..=1_000_000,
+    )
+        .prop_map(
+            |(kind, (ingress, app), duration, demand, id, slots)| match kind {
+                0 => Command::Submit {
+                    ingress: NodeId(ingress),
+                    app: AppId(app),
+                    demand,
+                    duration,
+                },
+                1 => Command::Depart { id: RequestId(id) },
+                2 => Command::Advance { slots },
+                3 => Command::Stats,
+                4 => Command::Checkpoint,
+                _ => Command::Shutdown,
+            },
+        )
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    let stats_pairs = collection::vec((0u32..1000, any::<u64>()), 0..6).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (k, v))| (format!("k{i}_{k}"), v.to_string()))
+            .collect::<Vec<_>>()
+    });
+    (
+        0u32..8,
+        (any::<u64>(), any::<u32>()),
+        (any::<bool>(), any::<bool>()),
+        stats_pairs,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(kind, (id, slot), (accept, active), pairs, word)| match kind {
+                0 => Reply::Submitted {
+                    id: RequestId(id),
+                    slot,
+                    decision: if accept {
+                        Decision::Accept
+                    } else {
+                        Decision::Reject
+                    },
+                },
+                1 => Reply::Shed,
+                2 => Reply::Departure {
+                    id: RequestId(id),
+                    active,
+                },
+                3 => Reply::Advanced {
+                    slot: u64::from(slot),
+                },
+                4 => Reply::Stats(pairs),
+                5 => Reply::Checkpointed { slot },
+                6 => Reply::Bye,
+                _ => Reply::Err(format!("reason {word:#x} with spaces")),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(cases(256))]
+
+    /// Any encodable command parses back to itself — including the
+    /// `demand: f64` field, whose strategy spans nine orders of
+    /// magnitude of positive finite values.
+    #[test]
+    fn command_encode_parse_roundtrip(command in arb_command()) {
+        let line = command.encode();
+        prop_assert!(line.len() <= MAX_FRAME, "canonical encoding fits a frame");
+        let parsed = parse_command(&line).expect("canonical encoding parses");
+        prop_assert_eq!(parsed, command);
+    }
+
+    /// Any encodable reply parses back to itself (the [`Decision`]
+    /// round-trip the ISSUE asks for rides in `Reply::Submitted`).
+    #[test]
+    fn reply_encode_parse_roundtrip(reply in arb_reply()) {
+        let line = reply.encode();
+        prop_assert!(line.len() <= MAX_FRAME, "canonical encoding fits a frame");
+        let parsed = parse_reply(&line).expect("canonical encoding parses");
+        prop_assert_eq!(parsed, reply);
+    }
+
+    /// Round-trips survive the framer at any fragmentation.
+    #[test]
+    fn framed_command_roundtrip(command in arb_command(), chunk in 1usize..32) {
+        let mut wire = command.encode().into_bytes();
+        wire.push(b'\n');
+        let frames = frames_via_chunks(&wire, chunk);
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(parse_command(&frames[0]).unwrap(), command);
+    }
+}

@@ -437,6 +437,93 @@ impl EngineState {
     pub fn churn_state(&self) -> Option<&ChurnState> {
         self.churn.as_ref()
     }
+
+    /// Whether a request admitted earlier is still active (holding
+    /// resources) at the current slot boundary.
+    pub fn is_active(&self, id: RequestId) -> bool {
+        self.alive.contains_key(&id)
+    }
+
+    /// Overwrites the wall-clock counter [`StreamStats::online_secs`].
+    /// External drivers own wall-clock accounting (see
+    /// [`EngineState::step`]); [`crate::metrics::Summary::fingerprint`]
+    /// ignores this field, so it never perturbs determinism checks.
+    pub fn set_online_secs(&mut self, secs: f64) {
+        self.stats.online_secs = secs;
+    }
+
+    /// Advances the engine through exactly one slot — the public
+    /// single-slot seam used by external drivers such as the
+    /// `vne-serve` actor. This is the *identical* per-slot code path
+    /// [`run_stream`] executes (slot assertion, departures, churn,
+    /// algorithm step, counter fold, observer fan-out up to
+    /// [`SimObserver::on_slot_end`]); `N` calls over the same slot
+    /// events produce byte-identical observer state and stats to one
+    /// `run_stream` over those events (pinned by the `actor_seam`
+    /// parity test).
+    ///
+    /// What the caller still owns, mirroring the tail of the engine
+    /// loop: updating [`StreamStats::online_secs`] (wall-clock is the
+    /// driver's), emitting [`SimObserver::on_slot_committed`] with
+    /// [`EngineState::view`] (checkpoint cadence), and honoring the
+    /// returned [`SimControl`] (setting
+    /// [`StreamStats::stopped_early`] if it stops).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_stream`] if `event.slot` is not strictly
+    /// greater than every slot stepped before.
+    pub fn step<O>(
+        &mut self,
+        algorithm: &mut dyn OnlineAlgorithm,
+        substrate: &SubstrateNetwork,
+        event: SlotEvents,
+        observer: &mut O,
+        policy: &mut dyn ReembedPolicy,
+    ) -> (SlotStep, SimControl)
+    where
+        O: SimObserver + ?Sized,
+    {
+        let t = event.slot;
+        observer.on_slot_start(t);
+        let step = advance_slot(self, algorithm, substrate, event, policy);
+        if !step.churn.is_empty() {
+            observer.on_churn(t, &step.churn);
+        }
+        for outcome in &step.arrivals {
+            observer.on_arrival(outcome);
+        }
+        for outcome in &step.preemptions {
+            observer.on_preemption(outcome);
+        }
+        let control = observer.on_slot_end(t, &step.metrics, algorithm);
+        (step, control)
+    }
+
+    /// A live, checkpointable [`EngineView`] of the engine after the
+    /// most recently stepped slot — what external drivers hand to
+    /// [`SimObserver::on_slot_committed`] (and through it to a
+    /// [`crate::observe::Checkpointer`]) after each [`EngineState::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot has been stepped yet (there is no committed
+    /// slot to view).
+    pub fn view<'a>(&'a self, algorithm: &'a dyn OnlineAlgorithm) -> EngineView<'a> {
+        assert!(
+            self.next_min_slot > 0,
+            "EngineState::view requires at least one stepped slot"
+        );
+        EngineView {
+            slot: (self.next_min_slot - 1) as Slot,
+            stats: self.stats,
+            active: self.active_count(),
+            source: ViewSource::Live {
+                state: self,
+                algorithm,
+            },
+        }
+    }
 }
 
 /// Checkpointing: everything [`run_stream`] keeps between slots. The
@@ -819,6 +906,43 @@ where
     E: IntoIterator<Item = SlotEvents>,
     O: SimObserver + Snapshot + ?Sized,
 {
+    let mut state = restore_engine(checkpoint, algorithm, substrate, observer)?;
+    let consumed = state.next_min_slot;
+    let remaining = events
+        .into_iter()
+        .skip_while(move |ev| u64::from(ev.slot) < consumed);
+    Ok(drive(
+        &mut state, algorithm, substrate, remaining, observer, policy,
+    ))
+}
+
+/// Restores a checkpoint into a live [`EngineState`] without driving
+/// any events — the shared first half of [`run_stream_from`] and the
+/// entry point for external drivers (the `vne-serve` daemon) that step
+/// the engine themselves via [`EngineState::step`].
+///
+/// Restores, in order: the algorithm's state blob (after checking its
+/// [`OnlineAlgorithm::name`] against the checkpoint), the observer, the
+/// engine counters/calendar, and — if the checkpoint carries folded
+/// churn — re-imposes the effective capacities on the algorithm
+/// (idempotent: effective capacities are absolute). The returned
+/// state's `stopped_early` flag is cleared so the resumed segment gets
+/// its own early-stop verdict; its [`EngineState::next_slot`] tells the
+/// caller which slots the checkpoint already consumed.
+///
+/// # Errors
+///
+/// Returns a [`StateError`] when the algorithm's name does not match
+/// the checkpoint or any blob fails to restore.
+pub fn restore_engine<O>(
+    checkpoint: &EngineCheckpoint,
+    algorithm: &mut dyn OnlineAlgorithm,
+    substrate: &SubstrateNetwork,
+    observer: &mut O,
+) -> Result<EngineState, StateError>
+where
+    O: Snapshot + ?Sized,
+{
     if algorithm.name() != checkpoint.algorithm {
         return Err(StateError::Mismatch {
             expected: format!("algorithm {}", checkpoint.algorithm),
@@ -837,24 +961,28 @@ where
     }
     // The resumed segment gets its own early-stop verdict.
     state.stats.stopped_early = false;
-    let consumed = state.next_min_slot;
-    let remaining = events
-        .into_iter()
-        .skip_while(move |ev| u64::from(ev.slot) < consumed);
-    Ok(drive(
-        &mut state, algorithm, substrate, remaining, observer, policy,
-    ))
+    Ok(state)
 }
 
 /// Everything one slot produces for the observer side: the decided
 /// arrival outcomes (in processing order), the preemption outcomes (in
 /// the algorithm's eviction order) and the slot metrics. Shared by the
-/// serial and pipelined drivers so both compute bit-identical values.
-struct SlotStep {
-    arrivals: Vec<RequestOutcome>,
-    preemptions: Vec<RequestOutcome>,
-    metrics: SlotMetrics,
-    churn: ChurnStats,
+/// serial and pipelined drivers so both compute bit-identical values,
+/// and returned by [`EngineState::step`] so external drivers (the
+/// `vne-serve` actor) can route per-request decisions without a private
+/// copy of the slot loop.
+#[derive(Debug, Clone)]
+pub struct SlotStep {
+    /// Decided arrival outcomes, in processing order (`Accepted` or
+    /// `Rejected`).
+    pub arrivals: Vec<RequestOutcome>,
+    /// Preemption outcomes: churn evictions first, then the algorithm's
+    /// own evictions in its order.
+    pub preemptions: Vec<RequestOutcome>,
+    /// Aggregate metrics after the slot.
+    pub metrics: SlotMetrics,
+    /// The slot's churn counters (all-zero without churn).
+    pub churn: ChurnStats,
 }
 
 /// Finds the requests stranded by a capacity loss: with the slot's
@@ -1118,32 +1246,12 @@ where
     let base_secs = state.stats.online_secs;
     let started = Instant::now();
     for event in events {
-        let t = event.slot;
-        observer.on_slot_start(t);
-        let step = advance_slot(state, algorithm, substrate, event, policy);
-        if !step.churn.is_empty() {
-            observer.on_churn(t, &step.churn);
-        }
-        for outcome in &step.arrivals {
-            observer.on_arrival(outcome);
-        }
-        for outcome in &step.preemptions {
-            observer.on_preemption(outcome);
-        }
-        let control = observer.on_slot_end(t, &step.metrics, algorithm);
+        let (_step, control) = state.step(algorithm, substrate, event, observer, policy);
         // The commit hook fires even when this slot's on_slot_end asked
         // to stop: a budgeted run must leave a checkpoint at its final
         // slot (the StopAfter-on-checkpoint-slot regression).
         state.stats.online_secs = base_secs + started.elapsed().as_secs_f64();
-        observer.on_slot_committed(&EngineView {
-            slot: t,
-            stats: state.stats,
-            active: state.active_count(),
-            source: ViewSource::Live {
-                state: &*state,
-                algorithm: &*algorithm,
-            },
-        });
+        observer.on_slot_committed(&state.view(&*algorithm));
         if control == SimControl::Stop {
             state.stats.stopped_early = true;
             break;
@@ -1376,24 +1484,7 @@ where
     E::IntoIter: Send,
     O: PipelineSafe + Snapshot + ?Sized,
 {
-    if algorithm.name() != checkpoint.algorithm {
-        return Err(StateError::Mismatch {
-            expected: format!("algorithm {}", checkpoint.algorithm),
-            found: format!("algorithm {}", algorithm.name()),
-        });
-    }
-    algorithm.restore_state(&checkpoint.algorithm_state)?;
-    observer.restore(&checkpoint.observer_state)?;
-    let mut state = EngineState::fresh();
-    state.restore(&checkpoint.engine)?;
-    // Re-impose the checkpointed churn on the freshly restored
-    // algorithm: its snapshot stores loads but nameplate capacities,
-    // and `apply_churn` is idempotent on effective capacities.
-    if let Some(churn) = &state.churn {
-        algorithm.apply_churn(&churn.effective(substrate));
-    }
-    // The resumed segment gets its own early-stop verdict.
-    state.stats.stopped_early = false;
+    let mut state = restore_engine(checkpoint, algorithm, substrate, observer)?;
     let consumed = state.next_min_slot;
     let remaining = events
         .into_iter()

@@ -12,6 +12,8 @@
 //!   [`observe::WindowSummary`], a periodic [`observe::Checkpointer`]
 //!   (checkpoint/resume for long-horizon runs), closure inspection and
 //!   a tee;
+//! * [`persist`] writes checkpoint files crash-safely (temp file +
+//!   fsync + atomic rename) and refuses truncated blobs on read;
 //! * the [`registry`] constructs algorithms by name
 //!   (`Box<dyn OnlineAlgorithm>`): the paper's four are built in and
 //!   third-party algorithms register without touching this crate;
@@ -46,15 +48,18 @@
 pub mod engine;
 pub mod metrics;
 pub mod observe;
+pub mod persist;
 pub mod registry;
 pub mod runner;
 pub mod scenario;
 
 pub use engine::{
-    EngineCheckpoint, RequestStatus, RunResult, SimControl, SimObserver, StreamStats,
+    restore_engine, EngineCheckpoint, EngineState, RequestStatus, RunResult, SimControl,
+    SimObserver, SlotStep, StreamStats,
 };
 pub use metrics::{aggregate, summarize, AggregatedSummary, Summary};
 pub use observe::{Checkpointer, NullObserver, Recorder, WindowSummary};
+pub use persist::{read_checkpoint_file, write_bytes_atomic, write_checkpoint_file, PersistError};
 pub use registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
 pub use runner::{default_apps, run_seeds, run_seeds_in, Utilization};
 pub use scenario::{

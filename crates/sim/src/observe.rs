@@ -637,6 +637,14 @@ impl<O> Checkpointer<O> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped observer, for owners that fold
+    /// their own facts into it between slots (the `vne-serve` actor
+    /// keeps its durable serving counters inside the wrapped tee so
+    /// they ride in every checkpoint).
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
     /// Consumes the checkpointer into the wrapped observer.
     pub fn into_inner(self) -> O {
         self.inner

@@ -1,0 +1,107 @@
+//! A minimal client for the `vne-serve` daemon: submit → decision →
+//! depart over the line protocol.
+//!
+//! Start a daemon first (the wall-clock tick decides submissions
+//! without any manual `ADVANCE`):
+//!
+//! ```text
+//! cargo run --release --bin vne-serve -- --addr 127.0.0.1:7700 --tick-ms 25
+//! ```
+//!
+//! then run the client against it:
+//!
+//! ```text
+//! cargo run --release --example serve_client -- 127.0.0.1:7700
+//! ```
+//!
+//! Pass `--shutdown` as the final argument to also drain the daemon
+//! gracefully at the end (what the CI smoke test does).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use vne::serve::protocol::{parse_reply, Command, Reply};
+use vne_model::ids::{AppId, NodeId};
+
+fn send(reader: &mut BufReader<TcpStream>, command: &Command) -> Reply {
+    let mut line = command.encode();
+    println!(">> {line}");
+    line.push('\n');
+    reader
+        .get_mut()
+        .write_all(line.as_bytes())
+        .expect("write command");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    let reply = parse_reply(&reply).expect("daemon reply parses");
+    println!("<< {}", reply.encode());
+    reply
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shutdown = args.last().is_some_and(|a| a == "--shutdown");
+    if shutdown {
+        args.pop();
+    }
+    let addr = args
+        .first()
+        .map_or("127.0.0.1:7700".to_string(), Clone::clone);
+
+    let stream = TcpStream::connect(&addr)?;
+    stream.set_nodelay(true)?;
+    let mut conn = BufReader::new(stream);
+    println!("connected to vne-serve at {addr}");
+
+    // Where are we? (slots served so far, acceptance counters, the
+    // run fingerprint.)
+    send(&mut conn, &Command::Stats);
+
+    // Submit one request: ingress datacenter 0, application 0 of the
+    // daemon's catalogue, demand 5.0, holding resources for 3 slots.
+    // The call blocks until the daemon's current slot closes — under
+    // `--tick-ms` that is at most one tick away.
+    let submit = Command::Submit {
+        ingress: NodeId(0),
+        app: AppId(0),
+        demand: 5.0,
+        duration: 3,
+    };
+    let id = match send(&mut conn, &submit) {
+        Reply::Submitted { id, slot, decision } => {
+            println!("decision: {decision} (request {} in slot {slot})", id.0);
+            Some(id)
+        }
+        Reply::Shed => {
+            println!("the daemon is overloaded and shed the submission");
+            None
+        }
+        other => return Err(format!("unexpected reply {other:?}").into()),
+    };
+
+    // Probe the request's lifetime: it holds resources (if accepted)
+    // until its 3-slot duration elapses.
+    if let Some(id) = id {
+        match send(&mut conn, &Command::Depart { id }) {
+            Reply::Departure { active, .. } => {
+                println!(
+                    "request {} is {}",
+                    id.0,
+                    if active { "active" } else { "departed" }
+                );
+            }
+            other => return Err(format!("unexpected reply {other:?}").into()),
+        }
+    }
+
+    // Counters after the decision.
+    send(&mut conn, &Command::Stats);
+
+    if shutdown {
+        match send(&mut conn, &Command::Shutdown) {
+            Reply::Bye => println!("daemon drained (final checkpoint written if configured)"),
+            other => return Err(format!("unexpected reply {other:?}").into()),
+        }
+    }
+    Ok(())
+}

@@ -12,7 +12,9 @@
 //! * [`workload`] — MMPP/Zipf/CAIDA-like traces and bootstrap statistics;
 //! * [`olive`] — time-aggregation, PLAN-VNE, OLIVE and the baselines;
 //! * [`sim`] — the streaming event-driven simulator: engine, observers,
-//!   algorithm registry, metrics and multi-seed runner.
+//!   algorithm registry, metrics and multi-seed runner;
+//! * [`serve`] — the embedding-as-a-service daemon: engine actor, line
+//!   protocol, TCP server, durable serving state.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use vne_lp as lp;
 pub use vne_model as model;
 pub use vne_olive as olive;
+pub use vne_serve as serve;
 pub use vne_sim as sim;
 pub use vne_topology as topology;
 pub use vne_workload as workload;
