@@ -1,0 +1,331 @@
+//! Shard-count scaling macro-harness: partitions one large synthetic
+//! substrate into `k ∈ {1, 4, 16, 64}` shards, runs the same online
+//! trace through a [`ShardCoordinator`] per `k`, and writes the scaling
+//! curve to `BENCH_shard.json` — a machine-readable snapshot tracking
+//! the sharding PR's perf trajectory across commits (diff with `jq`,
+//! like `BENCH_pipeline.json`).
+//!
+//! Three legs:
+//!
+//! 1. **The unsharded reference** — the plain serial engine over the
+//!    full substrate. The `k = 1` coordinator row must reproduce its
+//!    window-summary fingerprint *byte-identically* (asserted in-bin:
+//!    the single-shard path is a pass-through, not an approximation).
+//!    The reference also replays through the pipelined engine with a
+//!    [`PipelineConfig::autosized`] geometry derived from the `k = 1`
+//!    coordinator's measured per-slot cost, asserting parity again.
+//! 2. **The scaling sweep** — per `k`: greedy edge-cut partition
+//!    (cut-link count and partition wall time recorded), QUICKG per
+//!    shard, full trace replay, spanning counters, wall time.
+//! 3. **The planning demo** — per-shard demand estimation and PLAN-VNE
+//!    solves on a moderate world, recording how many demand classes
+//!    each shard holds versus the unsharded total (the
+//!    `O(classes per shard)` memory claim, measured).
+//!
+//! Run with: `cargo run --release --bin bench_shard [-- --tiny] [--out PATH]`
+//!
+//! `--tiny` shrinks the world to CI-smoke size (seconds); the default
+//! full mode runs the 100 000-node substrate in minutes.
+//!
+//! [`ShardCoordinator`]: vne_shard::ShardCoordinator
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::cost::RejectionPenalty;
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::SlotEvents;
+use vne_model::shard::ShardedSubstrate;
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::aggregate::AggregateDemand;
+use vne_olive::colgen::PlanVneConfig;
+use vne_olive::olive::Olive;
+use vne_shard::{shard_demands, shard_plans, ShardCoordinator};
+use vne_sim::engine::{run_stream, run_stream_pipelined, PipelineConfig};
+use vne_sim::observe::WindowSummary;
+use vne_topology::partition::{large_synthetic, GreedyEdgeCut, Partitioner};
+use vne_workload::estimator::{AggregationConfig, ExactEstimator};
+use vne_workload::rng::SeededRng;
+use vne_workload::tracegen::{self, ArrivalKind, TraceConfig};
+
+const WORLD_SEED: u64 = 7;
+const TRACE_SEED: u64 = 42;
+
+fn shard_apps() -> AppSet {
+    let mut apps = AppSet::new();
+    for (name, len) in [("chain2", 2), ("chain3", 3)] {
+        apps.push(
+            name,
+            AppShape::Chain,
+            shapes::uniform_chain(len, 10.0, 1.0).unwrap(),
+        )
+        .unwrap();
+    }
+    apps
+}
+
+/// The online trace: a low per-node rate — arrivals scale with the edge
+/// tier (~60% of a `large_synthetic` world), so the 100k-node full mode
+/// still sees thousands of requests over the horizon.
+fn trace_config(slots: u32, mean_rate_per_node: f64) -> TraceConfig {
+    TraceConfig {
+        slots,
+        mean_rate_per_node,
+        demand_mean: 1.0,
+        demand_std: 0.2,
+        duration_mean: 5.0,
+        arrivals: ArrivalKind::Poisson,
+        ..TraceConfig::default()
+    }
+}
+
+struct ScalingRow {
+    k: usize,
+    cut_links: usize,
+    partition_secs: f64,
+    run_secs: f64,
+    mean_step_us: f64,
+    fingerprint: u64,
+    arrivals: usize,
+    rejected: usize,
+    peak_active: usize,
+    span_candidates: usize,
+    span_granted: usize,
+    span_denied: usize,
+}
+
+/// One coordinator run of `events` over `s` cut into `k` shards.
+fn run_sharded(
+    s: &SubstrateNetwork,
+    apps: &AppSet,
+    events: &[SlotEvents],
+    window_bounds: (u32, u32),
+    k: usize,
+) -> (ScalingRow, Option<f64>) {
+    let started = Instant::now();
+    let assignment = GreedyEdgeCut { seed: WORLD_SEED }
+        .partition(s, k)
+        .expect("partition");
+    let sharded = ShardedSubstrate::new(s, &assignment).expect("sharded view");
+    let partition_secs = started.elapsed().as_secs_f64();
+
+    let mut coordinator = ShardCoordinator::new(sharded, |_, local| {
+        Box::new(Olive::quickg(
+            local.clone(),
+            apps.clone(),
+            PlacementPolicy::default(),
+        ))
+    });
+    let mut window = WindowSummary::new(window_bounds, RejectionPenalty::uniform(apps, 1.0));
+    let started = Instant::now();
+    let stats = coordinator.run(events.iter().cloned(), &mut window);
+    let run_secs = started.elapsed().as_secs_f64();
+    let mean_step = coordinator.mean_step_secs();
+    let summary = window.finish(&stats);
+    let span = coordinator.spanning_stats();
+    let row = ScalingRow {
+        k,
+        cut_links: coordinator.sharded().cut_count(),
+        partition_secs,
+        run_secs,
+        mean_step_us: mean_step.unwrap_or(0.0) * 1e6,
+        fingerprint: summary.fingerprint(),
+        arrivals: summary.arrivals,
+        rejected: summary.rejected,
+        peak_active: stats.peak_active,
+        span_candidates: span.candidates,
+        span_granted: span.granted,
+        span_denied: span.denied,
+    };
+    (row, mean_step)
+}
+
+/// The planning demo: per-shard exact estimation + PLAN-VNE solves.
+/// Returns a JSON object string.
+fn plan_leg(tiny: bool) -> String {
+    let (n, k, history_slots) = if tiny { (120, 4, 80u32) } else { (400, 8, 200) };
+    let s = large_synthetic(n, 21).expect("plan world");
+    let apps = shard_apps();
+    let tc = trace_config(history_slots, 0.3);
+    let assignment = GreedyEdgeCut { seed: 21 }
+        .partition(&s, k)
+        .expect("plan partition");
+    let sharded = ShardedSubstrate::new(&s, &assignment).expect("plan sharded view");
+
+    let mut rng = SeededRng::new(9);
+    let started = Instant::now();
+    let demands = shard_demands(
+        &sharded,
+        tracegen::stream(&s, &apps, &tc, SeededRng::new(77)),
+        || {
+            Box::new(ExactEstimator::new(
+                history_slots,
+                AggregationConfig::default(),
+            ))
+        },
+        &mut rng,
+    );
+    let plans = shard_plans(
+        &sharded,
+        &apps,
+        &PlacementPolicy::default(),
+        &demands,
+        &PlanVneConfig::new(50.0),
+    );
+    let secs = started.elapsed().as_secs_f64();
+
+    // Classes partition exactly by home shard, so the unsharded
+    // estimator's footprint is the sum and the sharded peak is the max.
+    let total_classes: usize = demands.iter().map(AggregateDemand::len).sum();
+    let widest_shard = demands.iter().map(AggregateDemand::len).max().unwrap_or(0);
+    let columns: usize = plans.iter().map(|(_, st)| st.columns).sum();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{ \"nodes\": {n}, \"shards\": {k}, \"history_slots\": {history_slots}, \
+         \"total_classes\": {total_classes}, \"widest_shard_classes\": {widest_shard}, \
+         \"columns\": {columns}, \"secs\": {secs:.3} }}"
+    );
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+
+    let (nodes, slots, rate, ks): (usize, u32, f64, &[usize]) = if tiny {
+        (400, 36, 0.05, &[1, 4])
+    } else {
+        (100_000, 60, 0.002, &[1, 4, 16, 64])
+    };
+    let window_bounds = (slots / 10, slots - slots / 10);
+
+    let started = Instant::now();
+    let s = large_synthetic(nodes, WORLD_SEED).expect("large synthetic world");
+    let build_secs = started.elapsed().as_secs_f64();
+    let apps = shard_apps();
+    let tc = trace_config(slots, rate);
+    let events: Vec<SlotEvents> =
+        tracegen::stream(&s, &apps, &tc, SeededRng::new(TRACE_SEED)).collect();
+    let total_arrivals: usize = events.iter().map(|e| e.arrivals.len()).sum();
+    println!(
+        "world    {nodes} nodes / {} links (built in {build_secs:.2}s), \
+         {total_arrivals} arrivals over {slots} slots",
+        s.link_count()
+    );
+
+    // --- 1. The unsharded serial reference.
+    let mut alg = Olive::quickg(s.clone(), apps.clone(), PlacementPolicy::default());
+    let mut window = WindowSummary::new(window_bounds, RejectionPenalty::uniform(&apps, 1.0));
+    let started = Instant::now();
+    let stats = run_stream(&mut alg, &s, events.iter().cloned(), &mut window);
+    let reference_secs = started.elapsed().as_secs_f64();
+    let reference_fp = window.finish(&stats).fingerprint();
+    println!("unsharded serial reference: {reference_secs:.2}s, fingerprint {reference_fp:#018x}");
+
+    // --- 2. The scaling sweep.
+    let mut rows = Vec::new();
+    let mut k1_step_secs = None;
+    for &k in ks {
+        let (row, mean_step) = run_sharded(&s, &apps, &events, window_bounds, k);
+        if k == 1 {
+            k1_step_secs = mean_step;
+            assert_eq!(
+                row.fingerprint, reference_fp,
+                "k=1 sharded run drifted from the unsharded engine"
+            );
+        }
+        println!(
+            "k={:<3} cut {:>6} links, partition {:.2}s, run {:.2}s \
+             ({:.0}µs/slot), span {}/{} granted, fingerprint {:#018x}",
+            row.k,
+            row.cut_links,
+            row.partition_secs,
+            row.run_secs,
+            row.mean_step_us,
+            row.span_granted,
+            row.span_candidates,
+            row.fingerprint,
+        );
+        rows.push(row);
+    }
+    let monotone = rows.windows(2).all(|w| w[1].run_secs <= w[0].run_secs);
+
+    // --- 3. The autosized pipelined reference, geometry from the k=1
+    // coordinator's measured per-slot cost (the sizing probe).
+    let per_slot = Duration::from_secs_f64(k1_step_secs.expect("k=1 ran").max(1e-9));
+    let idle = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(1);
+    let pipe = PipelineConfig::autosized(per_slot, idle);
+    let mut alg = Olive::quickg(s.clone(), apps.clone(), PlacementPolicy::default());
+    let mut window = WindowSummary::new(window_bounds, RejectionPenalty::uniform(&apps, 1.0));
+    let started = Instant::now();
+    let stats = run_stream_pipelined(&mut alg, &s, events.iter().cloned(), &mut window, &pipe);
+    let pipelined_secs = started.elapsed().as_secs_f64();
+    let pipelined_fp = window.finish(&stats).fingerprint();
+    assert_eq!(
+        pipelined_fp, reference_fp,
+        "autosized pipelined engine drifted from the serial reference"
+    );
+    println!(
+        "autosized pipeline (buffer {}, batch {}): {pipelined_secs:.2}s, identical",
+        pipe.buffer, pipe.batch
+    );
+
+    // --- 4. The planning demo.
+    let plan_json = plan_leg(tiny);
+
+    let mut json = String::from("{\n  \"bench\": \"shard\",\n");
+    let _ = writeln!(json, "  \"tiny\": {tiny},");
+    let _ = writeln!(
+        json,
+        "  \"world\": {{ \"nodes\": {nodes}, \"links\": {}, \"slots\": {slots}, \
+         \"arrivals\": {total_arrivals}, \"build_secs\": {build_secs:.3} }},",
+        s.link_count()
+    );
+    let _ = writeln!(
+        json,
+        "  \"reference\": {{ \"serial_secs\": {reference_secs:.3}, \
+         \"autosized_secs\": {pipelined_secs:.3}, \"buffer\": {}, \"batch\": {}, \
+         \"fingerprint\": \"{reference_fp:#018x}\", \"identical\": true }},",
+        pipe.buffer, pipe.batch
+    );
+    let _ = writeln!(json, "  \"scaling\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"cut_links\": {}, \"partition_secs\": {:.3}, \
+             \"run_secs\": {:.3}, \"mean_step_us\": {:.1}, \"arrivals\": {}, \
+             \"rejected\": {}, \"peak_active\": {}, \
+             \"spanning\": {{ \"candidates\": {}, \"granted\": {}, \"denied\": {} }}, \
+             \"fingerprint\": \"{:#018x}\" }}{comma}",
+            r.k,
+            r.cut_links,
+            r.partition_secs,
+            r.run_secs,
+            r.mean_step_us,
+            r.arrivals,
+            r.rejected,
+            r.peak_active,
+            r.span_candidates,
+            r.span_granted,
+            r.span_denied,
+            r.fingerprint,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"monotone_decreasing_run_secs\": {monotone},");
+    let _ = writeln!(json, "  \"k1_matches_unsharded\": true,");
+    let _ = writeln!(json, "  \"plan\": {plan_json}\n}}");
+    std::fs::write(&out, &json).expect("write BENCH_shard.json");
+    println!("wrote {out}");
+}

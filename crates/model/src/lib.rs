@@ -20,7 +20,9 @@
 //! * [`decision`] — per-request admission decisions as reported by the
 //!   `vne-serve` daemon (accept / reject / shed);
 //! * [`state`] — the [`state::Snapshot`] checkpoint capability and the
-//!   deterministic binary codec behind checkpoint/resume.
+//!   deterministic binary codec behind checkpoint/resume;
+//! * [`shard`] — partitioned-substrate views: global ↔ (shard, local)
+//!   id maps and cut-edge bookkeeping for the `vne-shard` coordinator.
 //!
 //! Higher layers build on this crate: `vne-topology` constructs substrate
 //! instances, `vne-workload` generates requests, `vne-olive` implements
@@ -60,6 +62,7 @@ pub mod ids;
 pub mod load;
 pub mod policy;
 pub mod request;
+pub mod shard;
 pub mod state;
 pub mod substrate;
 pub mod vnet;
@@ -76,6 +79,7 @@ pub mod prelude {
     pub use crate::load::LoadLedger;
     pub use crate::policy::PlacementPolicy;
     pub use crate::request::{Request, Slot, SlotEvents};
+    pub use crate::shard::{PartitionAssignment, ShardId, ShardedSubstrate};
     pub use crate::state::{Snapshot, StateBlob, StateError};
     pub use crate::substrate::{SubstrateNetwork, Tier};
     pub use crate::vnet::{VirtualNetwork, VnfKind};

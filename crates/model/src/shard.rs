@@ -1,0 +1,532 @@
+//! Sharded substrate views: a partition of one [`SubstrateNetwork`]
+//! into `k` disjoint shards with global ↔ (shard, local-id) mapping and
+//! cut-edge bookkeeping.
+//!
+//! A [`PartitionAssignment`] names the shard of every substrate node
+//! (partitioners live in `vne-topology`; this module only defines the
+//! partition *vocabulary*, so the coordinator crate can depend on it
+//! without pulling in topology generation). A [`ShardedSubstrate`] is
+//! the materialized view: one self-contained [`SubstrateNetwork`] per
+//! shard — local node/link ids dense, in global-id order, names, tiers,
+//! capacities and costs copied verbatim — plus the two-way id maps and
+//! the [`CutLink`] table for links whose endpoints live in different
+//! shards. With `k = 1` the single shard is an exact copy of the source
+//! substrate (same ids, same element order), which is what lets a
+//! one-shard coordinator replay byte-identically against the unsharded
+//! engine.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{ModelError, ModelResult};
+use crate::ids::{LinkId, NodeId};
+use crate::substrate::SubstrateNetwork;
+
+/// Identifier of one shard of a partitioned substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// Creates an id from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("shard index fits u32"))
+    }
+
+    /// The dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A node addressed by its shard and its shard-local id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardNodeRef {
+    /// The shard owning the node.
+    pub shard: ShardId,
+    /// The node's dense id *inside* that shard's local substrate.
+    pub local: NodeId,
+}
+
+/// A substrate link whose endpoints live in two different shards.
+///
+/// Cut links are not part of any shard-local substrate; the coordinator
+/// uses them as gateways when it re-routes a spanning request into a
+/// neighboring shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutLink {
+    /// The link's id in the source (global) substrate.
+    pub global: LinkId,
+    /// The endpoint in the lower-numbered shard (`a.shard < b.shard`).
+    pub a: ShardNodeRef,
+    /// The endpoint in the higher-numbered shard.
+    pub b: ShardNodeRef,
+    /// The link's capacity (copied from the source substrate).
+    pub capacity: f64,
+    /// The link's per-CU cost (copied from the source substrate).
+    pub cost: f64,
+}
+
+impl CutLink {
+    /// The endpoint of this cut link that lies in `shard`, if any.
+    pub fn endpoint_in(&self, shard: ShardId) -> Option<ShardNodeRef> {
+        if self.a.shard == shard {
+            Some(self.a)
+        } else if self.b.shard == shard {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+}
+
+/// Where a global link ended up in the sharded view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHome {
+    /// Both endpoints share a shard; the link exists there locally.
+    Internal {
+        /// The owning shard.
+        shard: ShardId,
+        /// The link's id inside that shard's local substrate.
+        local: LinkId,
+    },
+    /// The endpoints live in different shards.
+    Cut {
+        /// Index into [`ShardedSubstrate::cut_links`].
+        index: usize,
+    },
+}
+
+/// A shard assignment for every node of a substrate: the output of a
+/// partitioner, the input of [`ShardedSubstrate::new`].
+///
+/// Shard ids must be *dense*: with `k` shards every id in `0..k`
+/// appears at least once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionAssignment {
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl PartitionAssignment {
+    /// Wraps a per-node shard vector (index = global node index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] when the vector is empty
+    /// or the shard ids are not dense (some id in `0..=max` is unused).
+    pub fn new(shard_of: Vec<u32>) -> ModelResult<Self> {
+        if shard_of.is_empty() {
+            return Err(ModelError::InvalidQuantity {
+                what: "partition size",
+                value: 0.0,
+            });
+        }
+        let shards = shard_of.iter().copied().max().unwrap_or(0) + 1;
+        let mut seen = vec![false; shards as usize];
+        for &s in &shard_of {
+            seen[s as usize] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ModelError::InvalidQuantity {
+                what: "partition shard id density",
+                value: missing as f64,
+            });
+        }
+        Ok(Self { shard_of, shards })
+    }
+
+    /// The trivial single-shard assignment over `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `nodes` is zero.
+    pub fn single(nodes: usize) -> ModelResult<Self> {
+        Self::new(vec![0; nodes])
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Whether the assignment covers no nodes (never true for a
+    /// constructed assignment).
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// The shard of a global node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is outside the assignment.
+    pub fn shard_of(&self, node: NodeId) -> ShardId {
+        ShardId(self.shard_of[node.index()])
+    }
+
+    /// The raw per-node shard vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.shard_of
+    }
+}
+
+/// A substrate partitioned into `k` self-contained shard substrates.
+///
+/// Construction walks the source substrate once in global id order, so
+/// shard-local ids are dense and ordered by global id — the property
+/// the `k = 1` byte-parity guarantee rests on. The source substrate is
+/// retained (shared reference workloads, gateway costs, the unsharded
+/// baseline of benchmarks all need it).
+#[derive(Debug, Clone)]
+pub struct ShardedSubstrate {
+    source: SubstrateNetwork,
+    shards: Vec<SubstrateNetwork>,
+    node_home: Vec<ShardNodeRef>,
+    global_node: Vec<Vec<NodeId>>,
+    link_home: Vec<LinkHome>,
+    global_link: Vec<Vec<LinkId>>,
+    cut_links: Vec<CutLink>,
+    neighbors: Vec<Vec<ShardId>>,
+    gateways: BTreeMap<(ShardId, ShardId), ShardNodeRef>,
+}
+
+impl ShardedSubstrate {
+    /// Materializes the sharded view of `substrate` under `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownNode`] when the assignment length
+    /// does not match the substrate, propagates local construction
+    /// errors, and returns [`ModelError::DisconnectedSubstrate`] when a
+    /// shard's local substrate is not connected (partitioners must grow
+    /// connected regions).
+    pub fn new(
+        substrate: &SubstrateNetwork,
+        assignment: &PartitionAssignment,
+    ) -> ModelResult<Self> {
+        if assignment.len() != substrate.node_count() {
+            return Err(ModelError::UnknownNode(NodeId::from_index(
+                assignment.len().min(substrate.node_count()),
+            )));
+        }
+        let k = assignment.shard_count();
+        let mut shards: Vec<SubstrateNetwork> = (0..k)
+            .map(|s| SubstrateNetwork::new(format!("{}/s{s}", substrate.name())))
+            .collect();
+        let mut node_home = Vec::with_capacity(substrate.node_count());
+        let mut global_node = vec![Vec::new(); k];
+        // Nodes, in global id order: local ids come out dense and ordered.
+        for (gid, node) in substrate.nodes() {
+            let shard = assignment.shard_of(gid);
+            let local = shards[shard.index()].add_node(
+                node.name.clone(),
+                node.tier,
+                node.capacity,
+                node.cost,
+            )?;
+            shards[shard.index()].node_mut(local).gpu = node.gpu;
+            node_home.push(ShardNodeRef { shard, local });
+            global_node[shard.index()].push(gid);
+        }
+        // Links, in global id order: internal links keep relative order
+        // inside their shard; cross-shard links become cut links.
+        let mut link_home = Vec::with_capacity(substrate.link_count());
+        let mut global_link = vec![Vec::new(); k];
+        let mut cut_links = Vec::new();
+        for (gid, link) in substrate.links() {
+            let a = node_home[link.a.index()];
+            let b = node_home[link.b.index()];
+            if a.shard == b.shard {
+                let local =
+                    shards[a.shard.index()].add_link(a.local, b.local, link.capacity, link.cost)?;
+                link_home.push(LinkHome::Internal {
+                    shard: a.shard,
+                    local,
+                });
+                global_link[a.shard.index()].push(gid);
+            } else {
+                let (lo, hi) = if a.shard < b.shard { (a, b) } else { (b, a) };
+                link_home.push(LinkHome::Cut {
+                    index: cut_links.len(),
+                });
+                cut_links.push(CutLink {
+                    global: gid,
+                    a: lo,
+                    b: hi,
+                    capacity: link.capacity,
+                    cost: link.cost,
+                });
+            }
+        }
+        for shard in &shards {
+            shard.validate()?;
+        }
+        // Cut-adjacency and gateways: for every ordered shard pair the
+        // gateway is the far endpoint of the cheapest cut link between
+        // them (ties broken by lowest global link id — `cut_links` is in
+        // global id order, so first-wins is exactly that tie-break).
+        let mut neighbors = vec![Vec::new(); k];
+        let mut gateways: BTreeMap<(ShardId, ShardId), (f64, ShardNodeRef)> = BTreeMap::new();
+        for cut in &cut_links {
+            for (from, to) in [(cut.a, cut.b), (cut.b, cut.a)] {
+                if !neighbors[from.shard.index()].contains(&to.shard) {
+                    neighbors[from.shard.index()].push(to.shard);
+                }
+                let entry = gateways.entry((from.shard, to.shard));
+                match entry {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((cut.cost, to));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        if cut.cost < o.get().0 {
+                            o.insert((cut.cost, to));
+                        }
+                    }
+                }
+            }
+        }
+        for n in &mut neighbors {
+            n.sort_unstable();
+        }
+        Ok(Self {
+            source: substrate.clone(),
+            shards,
+            node_home,
+            global_node,
+            link_home,
+            global_link,
+            cut_links,
+            neighbors,
+            gateways: gateways.into_iter().map(|(k, (_, g))| (k, g)).collect(),
+        })
+    }
+
+    /// The source (global) substrate.
+    pub fn source(&self) -> &SubstrateNetwork {
+        &self.source
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's self-contained local substrate.
+    pub fn shard(&self, shard: ShardId) -> &SubstrateNetwork {
+        &self.shards[shard.index()]
+    }
+
+    /// Iterates `(shard id, local substrate)` in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = (ShardId, &SubstrateNetwork)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ShardId::from_index(i), s))
+    }
+
+    /// The shard and shard-local id of a global node.
+    pub fn home_of(&self, node: NodeId) -> ShardNodeRef {
+        self.node_home[node.index()]
+    }
+
+    /// The global id of a shard-local node.
+    pub fn global_node(&self, shard: ShardId, local: NodeId) -> NodeId {
+        self.global_node[shard.index()][local.index()]
+    }
+
+    /// Where a global link lives in the sharded view.
+    pub fn link_home(&self, link: LinkId) -> LinkHome {
+        self.link_home[link.index()]
+    }
+
+    /// The global id of a shard-local link.
+    pub fn global_link(&self, shard: ShardId, local: LinkId) -> LinkId {
+        self.global_link[shard.index()][local.index()]
+    }
+
+    /// All cut links, in global link-id order.
+    pub fn cut_links(&self) -> &[CutLink] {
+        &self.cut_links
+    }
+
+    /// Number of cut links (the edge-cut size of the partition).
+    pub fn cut_count(&self) -> usize {
+        self.cut_links.len()
+    }
+
+    /// The shards reachable from `shard` over at least one cut link,
+    /// in ascending shard-id order (the coordinator's deterministic
+    /// re-route order).
+    pub fn neighbors(&self, shard: ShardId) -> &[ShardId] {
+        &self.neighbors[shard.index()]
+    }
+
+    /// The gateway node used when re-routing a request from shard
+    /// `from` into shard `to`: the `to`-side endpoint of the cheapest
+    /// cut link between them (ties broken by lowest global link id).
+    /// `None` when the shards share no cut link.
+    pub fn gateway(&self, from: ShardId, to: ShardId) -> Option<ShardNodeRef> {
+        self.gateways.get(&(from, to)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::Tier;
+
+    /// A 6-node path with one extra chord: 0-1-2-3-4-5 plus 1-4.
+    fn path_world() -> SubstrateNetwork {
+        let mut s = SubstrateNetwork::new("path");
+        let n: Vec<NodeId> = (0..6)
+            .map(|i| {
+                s.add_node(format!("n{i}"), Tier::Edge, 100.0, 1.0 + i as f64)
+                    .unwrap()
+            })
+            .collect();
+        for w in n.windows(2) {
+            s.add_link(w[0], w[1], 50.0, 1.0).unwrap();
+        }
+        s.add_link(n[1], n[4], 10.0, 9.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn dense_assignment_required() {
+        assert!(PartitionAssignment::new(vec![]).is_err());
+        assert!(PartitionAssignment::new(vec![0, 2]).is_err(), "gap at 1");
+        let a = PartitionAssignment::new(vec![1, 0, 1]).unwrap();
+        assert_eq!(a.shard_count(), 2);
+        assert_eq!(a.shard_of(NodeId(0)), ShardId(1));
+    }
+
+    #[test]
+    fn single_shard_copies_the_substrate() {
+        let s = path_world();
+        let sharded =
+            ShardedSubstrate::new(&s, &PartitionAssignment::single(s.node_count()).unwrap())
+                .unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.cut_count(), 0);
+        let local = sharded.shard(ShardId(0));
+        assert_eq!(local.node_count(), s.node_count());
+        assert_eq!(local.link_count(), s.link_count());
+        for (id, node) in s.nodes() {
+            assert_eq!(
+                sharded.home_of(id),
+                ShardNodeRef {
+                    shard: ShardId(0),
+                    local: id,
+                }
+            );
+            let l = local.node(id);
+            assert_eq!((l.name.as_str(), l.tier), (node.name.as_str(), node.tier));
+            assert_eq!(l.capacity.to_bits(), node.capacity.to_bits());
+            assert_eq!(l.cost.to_bits(), node.cost.to_bits());
+        }
+        for (id, link) in s.links() {
+            assert_eq!(
+                sharded.link_home(id),
+                LinkHome::Internal {
+                    shard: ShardId(0),
+                    local: id,
+                }
+            );
+            let l = local.link(id);
+            assert_eq!((l.a, l.b), (link.a, link.b));
+        }
+    }
+
+    #[test]
+    fn cut_links_record_both_endpoints() {
+        let s = path_world();
+        // Nodes 0-2 → shard 0, nodes 3-5 → shard 1: cuts are 2-3 and 1-4.
+        let a = PartitionAssignment::new(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let sharded = ShardedSubstrate::new(&s, &a).unwrap();
+        assert_eq!(sharded.cut_count(), 2);
+        for cut in sharded.cut_links() {
+            assert!(cut.a.shard < cut.b.shard);
+            let ga = sharded.global_node(cut.a.shard, cut.a.local);
+            let gb = sharded.global_node(cut.b.shard, cut.b.local);
+            let link = s.link(cut.global);
+            assert_eq!(
+                (ga.min(gb), ga.max(gb)),
+                (link.a.min(link.b), link.a.max(link.b))
+            );
+            assert_eq!(cut.endpoint_in(cut.a.shard), Some(cut.a));
+            assert_eq!(cut.endpoint_in(ShardId(7)), None);
+        }
+        assert_eq!(sharded.neighbors(ShardId(0)), &[ShardId(1)]);
+        assert_eq!(sharded.neighbors(ShardId(1)), &[ShardId(0)]);
+    }
+
+    #[test]
+    fn gateway_prefers_the_cheapest_cut() {
+        let s = path_world();
+        let a = PartitionAssignment::new(vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let sharded = ShardedSubstrate::new(&s, &a).unwrap();
+        // Cuts: 2-3 (cost 1) and 1-4 (cost 9) → gateway into shard 1 is
+        // node 3, gateway into shard 0 is node 2.
+        let g01 = sharded.gateway(ShardId(0), ShardId(1)).unwrap();
+        assert_eq!(sharded.global_node(g01.shard, g01.local), NodeId(3));
+        let g10 = sharded.gateway(ShardId(1), ShardId(0)).unwrap();
+        assert_eq!(sharded.global_node(g10.shard, g10.local), NodeId(2));
+        assert_eq!(sharded.gateway(ShardId(0), ShardId(0)), None);
+    }
+
+    #[test]
+    fn disconnected_shard_is_rejected() {
+        let s = path_world();
+        // Shard 0 = {0, 5}: not connected inside the shard.
+        let a = PartitionAssignment::new(vec![0, 1, 1, 1, 1, 0]).unwrap();
+        assert_eq!(
+            ShardedSubstrate::new(&s, &a).unwrap_err(),
+            ModelError::DisconnectedSubstrate
+        );
+    }
+
+    #[test]
+    fn assignment_length_must_match() {
+        let s = path_world();
+        let a = PartitionAssignment::new(vec![0, 0]).unwrap();
+        assert!(ShardedSubstrate::new(&s, &a).is_err());
+    }
+
+    #[test]
+    fn local_ids_are_dense_and_ordered() {
+        let s = path_world();
+        let a = PartitionAssignment::new(vec![0, 1, 0, 1, 1, 1]).unwrap();
+        // Shard 0 = {0, 2}: not adjacent → disconnected. Use a valid cut.
+        assert!(ShardedSubstrate::new(&s, &a).is_err());
+        let a = PartitionAssignment::new(vec![0, 0, 1, 1, 1, 1]).unwrap();
+        let sharded = ShardedSubstrate::new(&s, &a).unwrap();
+        for (sid, local) in sharded.shards() {
+            let mut last = None;
+            for lid in local.node_ids() {
+                let gid = sharded.global_node(sid, lid);
+                assert_eq!(
+                    sharded.home_of(gid),
+                    ShardNodeRef {
+                        shard: sid,
+                        local: lid,
+                    }
+                );
+                if let Some(prev) = last {
+                    assert!(gid > prev, "global order preserved");
+                }
+                last = Some(gid);
+            }
+        }
+    }
+}

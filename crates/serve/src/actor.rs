@@ -302,8 +302,10 @@ impl ServeHandle {
         self.call(|tx| Msg::Submit(spec, tx))
     }
 
-    /// Whether request `id` still holds resources (departures happen by
-    /// duration at slot boundaries).
+    /// Requests early release of `id`: if it still holds resources, its
+    /// departure is scheduled for the next slot close (ahead of its
+    /// natural duration) and `true` is returned; an unknown or already
+    /// departed id returns `false` and changes nothing.
     ///
     /// # Errors
     ///
@@ -531,7 +533,7 @@ impl Actor {
                 }
             }
             Msg::Depart(id, reply) => {
-                let _ = reply.send(self.state.is_active(id));
+                let _ = reply.send(self.state.release_early(id));
             }
             Msg::Advance(slots, reply) => {
                 for _ in 0..slots {

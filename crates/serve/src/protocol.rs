@@ -59,7 +59,10 @@ pub enum Command {
         /// Duration `T(r) ≥ 1` in slots.
         duration: Slot,
     },
-    /// Probe whether an admitted request is still holding resources.
+    /// Release an admitted request early: if it still holds resources,
+    /// its departure is scheduled for the next slot close, ahead of its
+    /// natural duration. Idempotent — an unknown or already departed id
+    /// is a no-op.
     Depart {
         /// The id returned by the `SUBMIT` reply.
         id: RequestId,
@@ -121,11 +124,13 @@ pub enum Reply {
     /// The submission was dropped by load shedding before the
     /// algorithm saw it.
     Shed,
-    /// `DEPART` probe answer: still holding resources?
+    /// `DEPART` answer: was the request still holding resources?
     Departure {
-        /// The probed id.
+        /// The released id.
         id: RequestId,
-        /// `true` while the request holds resources.
+        /// `true` if the request was active — its early release is now
+        /// scheduled for the next slot close. `false` means it was
+        /// unknown or had already departed (nothing changed).
         active: bool,
     },
     /// `ADVANCE` acknowledged; `slot` slots are committed in total.

@@ -441,6 +441,91 @@ fn depart_probe_tracks_resource_lifetime() {
     runtime.join();
 }
 
+#[test]
+fn depart_releases_capacity_for_readmission() {
+    let scenario = tiny_scenario();
+    let runtime = spawn(
+        scenario.substrate.clone(),
+        build_algorithm(&scenario, Algorithm::Fullg),
+        scenario.penalty(),
+        scenario.config.measure_window,
+        scenario.apps.len(),
+        ServeConfig::default(),
+        None,
+    )
+    .unwrap();
+    let handle = runtime.handle();
+
+    // Submits `n` identical requests into one slot, closes it, and
+    // returns the (accepted, rejected) id partitions.
+    let slot_batch = |n: usize| {
+        let waiters: Vec<_> = (0..n)
+            .map(|_| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    handle
+                        .submit(SubmitSpec {
+                            ingress: NodeId(0),
+                            app: AppId(0),
+                            demand: 30.0,
+                            duration: 100,
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (handle.stats().unwrap().pending as usize) < n {
+            assert!(Instant::now() < deadline, "submissions never queued");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.advance(1).unwrap();
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        for w in waiters {
+            match w.join().unwrap() {
+                SubmitReply::Decided { id, decision, .. } => match decision {
+                    Decision::Accept => accepted.push(id),
+                    Decision::Reject => rejected.push(id),
+                    Decision::Shed => panic!("no shedding below the watermark"),
+                },
+                other => panic!("expected a decision, got {other:?}"),
+            }
+        }
+        (accepted, rejected)
+    };
+
+    // Eight demand-30 chains oversubscribe the tiny world: some are
+    // admitted, at least one is rejected for lack of capacity.
+    let (accepted, rejected) = slot_batch(8);
+    assert!(!accepted.is_empty(), "some requests must fit");
+    assert!(!rejected.is_empty(), "8 × demand-30 must oversubscribe");
+
+    // DEPART every admitted request (duration 100 — nowhere near
+    // expiring). Each reports it was active; rejected ids are no-ops.
+    for &id in &accepted {
+        assert!(handle.depart(id).unwrap(), "{id:?} held resources");
+    }
+    assert!(!handle.depart(rejected[0]).unwrap(), "rejects hold nothing");
+    // The releases take effect at the next slot close.
+    handle.advance(1).unwrap();
+    for &id in &accepted {
+        assert!(!handle.depart(id).unwrap(), "{id:?} released early");
+    }
+
+    // Re-admission: with everything released the same batch fits at
+    // least as well as before.
+    let (readmitted, _) = slot_batch(accepted.len());
+    assert_eq!(
+        readmitted.len(),
+        accepted.len(),
+        "freed capacity re-admits the same load"
+    );
+
+    handle.shutdown().unwrap();
+    runtime.join();
+}
+
 // ---------------------------------------------------------------------
 // Process-level: graceful shutdown + byte-identical resume (S2),
 // SIGKILL crash recovery from the last durable checkpoint

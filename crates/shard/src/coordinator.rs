@@ -1,0 +1,537 @@
+//! The cross-shard coordinator: per-shard engines behind one stream.
+//!
+//! [`ShardCoordinator`] drives one [`vne_sim::EngineState`] + algorithm
+//! instance per shard through the engine's public single-slot seam
+//! ([`EngineState::step`]) and presents them to an observer as a single
+//! run. Per slot:
+//!
+//! 1. **Route** — every arrival goes to the shard owning its ingress
+//!    (its class set), with the ingress remapped to the shard-local id;
+//!    churn events are routed the same way (churn on *cut* links is
+//!    unsupported and panics).
+//! 2. **Reserve** — shards with arrivals run a *trial* step on a clone
+//!    of their engine state and a scratch copy of their algorithm
+//!    (restored from a state snapshot, so the live algorithm is never
+//!    touched). Arrivals the home shard would reject become *spanning
+//!    candidates*.
+//! 3. **Span** — candidates are offered to neighboring shards in
+//!    deterministic tie-break order (candidates by ascending request
+//!    id, neighbors by ascending shard id), entering through the
+//!    cheapest cut-link gateway. The first neighbor whose trial accepts
+//!    adopts the request; candidates nobody adopts stay home and are
+//!    rejected there for real.
+//! 4. **Commit** — every shard steps its live engine exactly once with
+//!    its final arrival list. Commit is authoritative: the reserve
+//!    phase only *routes*, it reserves no resources, so a non-monotone
+//!    algorithm may in principle decide differently at commit time (the
+//!    builtins are deterministic in (state, slot events), so their
+//!    commit replays the trial exactly).
+//! 5. **Report** — the coordinator synthesizes the global observer
+//!    dispatch: one `on_slot_start`, merged churn counters, arrival
+//!    outcomes in original stream order with classes mapped back to
+//!    global ids, preemptions in (shard, local-order), then one
+//!    `on_slot_end` with summed [`SlotMetrics`].
+//!
+//! With `k = 1` the coordinator collapses to a pass-through of the
+//! unsharded engine — same state transitions, same observer dispatch —
+//! so a single-shard run is fingerprint-identical to [`run_stream`]
+//! (pinned by the golden parity suite).
+//!
+//! Trials and commits across shards run on [`cell_map`]'s scoped worker
+//! pool (the shard pool). Stranded-by-churn requests are always
+//! re-offered ([`ReembedAll`]); checkpointing of sharded runs
+//! (`on_slot_committed`) is only wired for `k = 1` — both are recorded
+//! follow-ups in the ROADMAP.
+//!
+//! [`run_stream`]: vne_sim::engine::run_stream
+//! [`cell_map`]: vne_sim::runner::cell_map
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vne_model::churn::ChurnEvent;
+use vne_model::ids::{ClassId, NodeId, RequestId};
+use vne_model::load::LoadLedger;
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::shard::{LinkHome, ShardId, ShardedSubstrate};
+use vne_model::substrate::SubstrateNetwork;
+use vne_olive::algorithm::{OnlineAlgorithm, SlotOutcome};
+use vne_sim::engine::{
+    ReembedAll, RequestOutcome, RequestStatus, SimControl, SimObserver, SlotMetrics, SlotStep,
+    StreamStats,
+};
+use vne_sim::runner::cell_map;
+use vne_sim::{EngineState, NullObserver};
+
+/// Counters for the two-phase reserve/commit spanning protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanningStats {
+    /// Arrivals the home shard's reserve trial rejected (spanning
+    /// candidates).
+    pub candidates: usize,
+    /// Neighbor-shard trial steps run for candidates.
+    pub attempts: usize,
+    /// Candidates adopted by a neighboring shard.
+    pub granted: usize,
+    /// Candidates no neighbor adopted (rejected at home for real).
+    pub denied: usize,
+}
+
+/// One shard's planning/admission island: the engine state plus the
+/// live algorithm, and a scratch algorithm instance for reserve trials.
+struct ShardEngine {
+    state: EngineState,
+    primary: Box<dyn OnlineAlgorithm>,
+    /// Same configuration as `primary`; overwritten from a `primary`
+    /// snapshot before every trial. `None` when the algorithm does not
+    /// support snapshots — spanning is then disabled (home-only mode).
+    scratch: Option<Box<dyn OnlineAlgorithm>>,
+}
+
+/// Coordinates per-shard engines over a partitioned substrate — see the
+/// [module docs](self) for the slot protocol.
+pub struct ShardCoordinator {
+    sharded: ShardedSubstrate,
+    engines: Vec<Mutex<ShardEngine>>,
+    stats: StreamStats,
+    spanning: SpanningStats,
+    /// Original global ingress of requests adopted by a foreign shard,
+    /// for mapping their outcome classes back to global ids (bounded by
+    /// the number of spanning grants).
+    rerouted: HashMap<RequestId, NodeId>,
+    /// Name + an all-zero ledger handed to `on_slot_end` for `k > 1`
+    /// (per-shard ledgers cannot be merged through the trait).
+    stub: StubAlgorithm,
+    /// Cumulative wall-clock spent in [`ShardCoordinator::step`] and
+    /// the number of steps — the measured per-slot cost probe that
+    /// sizes the pipeline when the shard pool leaves cores idle.
+    step_secs: f64,
+    steps: u32,
+}
+
+impl ShardCoordinator {
+    /// Builds one engine per shard, calling `build` with each shard id
+    /// and its local substrate (twice per shard when the algorithm
+    /// supports state snapshots — the second instance is the reserve
+    /// trial scratch).
+    pub fn new(
+        sharded: ShardedSubstrate,
+        mut build: impl FnMut(ShardId, &SubstrateNetwork) -> Box<dyn OnlineAlgorithm>,
+    ) -> Self {
+        let mut engines = Vec::with_capacity(sharded.shard_count());
+        let mut name = String::new();
+        for (sid, local) in sharded.shards() {
+            let primary = build(sid, local);
+            if name.is_empty() {
+                name = primary.name().to_string();
+            }
+            let scratch = primary
+                .snapshot_state()
+                .is_some()
+                .then(|| build(sid, local));
+            engines.push(Mutex::new(ShardEngine {
+                state: EngineState::fresh(),
+                primary,
+                scratch,
+            }));
+        }
+        let stub = StubAlgorithm {
+            name,
+            loads: LoadLedger::new(sharded.source()),
+        };
+        Self {
+            sharded,
+            engines,
+            stats: StreamStats::default(),
+            spanning: SpanningStats::default(),
+            rerouted: HashMap::new(),
+            stub,
+            step_secs: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// The partitioned substrate this coordinator runs on.
+    pub fn sharded(&self) -> &ShardedSubstrate {
+        &self.sharded
+    }
+
+    /// Merged run counters so far (what a [`run`](Self::run) returns).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Spanning-protocol counters so far.
+    pub fn spanning_stats(&self) -> SpanningStats {
+        self.spanning
+    }
+
+    /// Currently active requests summed over all shards.
+    pub fn active_count(&self) -> usize {
+        self.engines
+            .iter()
+            .map(|e| e.lock().unwrap().state.active_count())
+            .sum()
+    }
+
+    /// Measured mean wall-clock per coordinated slot (the pipeline
+    /// sizing probe), or `None` before the first step.
+    pub fn mean_step_secs(&self) -> Option<f64> {
+        (self.steps > 0).then(|| self.step_secs / f64::from(self.steps))
+    }
+
+    /// Runs the coordinator over a whole event stream, honoring early
+    /// stops, and returns the merged stats. Wall-clock is folded into
+    /// [`StreamStats::online_secs`] like the unsharded engine loop.
+    pub fn run<O>(
+        &mut self,
+        events: impl IntoIterator<Item = SlotEvents>,
+        observer: &mut O,
+    ) -> StreamStats
+    where
+        O: SimObserver + ?Sized,
+    {
+        let start = Instant::now();
+        for event in events {
+            let control = self.step(event, observer);
+            self.stats.online_secs = start.elapsed().as_secs_f64();
+            if control == SimControl::Stop {
+                self.stats.stopped_early = true;
+                break;
+            }
+        }
+        self.stats
+    }
+
+    /// Advances every shard through exactly one slot (the protocol in
+    /// the [module docs](self)) and fans the merged result out to
+    /// `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`EngineState::step`] on non-increasing slots, and
+    /// on churn events targeting cut links (unsupported).
+    pub fn step<O>(&mut self, event: SlotEvents, observer: &mut O) -> SimControl
+    where
+        O: SimObserver + ?Sized,
+    {
+        let started = Instant::now();
+        let control = if self.engines.len() == 1 {
+            self.step_single(event, observer)
+        } else {
+            self.step_sharded(event, observer)
+        };
+        self.step_secs += started.elapsed().as_secs_f64();
+        self.steps += 1;
+        control
+    }
+
+    /// `k = 1` pass-through: the local substrate is a bit-exact copy of
+    /// the source with identical ids, so stepping the one engine with
+    /// the unmodified event replays the unsharded engine byte for byte.
+    fn step_single<O>(&mut self, event: SlotEvents, observer: &mut O) -> SimControl
+    where
+        O: SimObserver + ?Sized,
+    {
+        let engine = self.engines[0].get_mut().unwrap();
+        let ShardEngine { state, primary, .. } = engine;
+        let (_, control) = state.step(
+            &mut **primary,
+            self.sharded.shard(ShardId(0)),
+            event,
+            observer,
+            &mut ReembedAll,
+        );
+        let (online, stopped) = (self.stats.online_secs, self.stats.stopped_early);
+        self.stats = state.stats();
+        self.stats.online_secs = online;
+        self.stats.stopped_early = stopped;
+        observer.on_slot_committed(&state.view(&**primary));
+        control
+    }
+
+    fn step_sharded<O>(&mut self, event: SlotEvents, observer: &mut O) -> SimControl
+    where
+        O: SimObserver + ?Sized,
+    {
+        let t = event.slot;
+        let k = self.engines.len();
+        // Original stream position of each arrival: outcomes are
+        // reported back in this order.
+        let position: HashMap<RequestId, usize> = event
+            .arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect();
+
+        // 1. Route arrivals and churn to their home shards.
+        let mut arrivals: Vec<Vec<Request>> = vec![Vec::new(); k];
+        for r in &event.arrivals {
+            let home = self.sharded.home_of(r.ingress);
+            let mut local = r.clone();
+            local.ingress = home.local;
+            arrivals[home.shard.index()].push(local);
+        }
+        let churn = self.route_churn(&event.churn);
+
+        // 2. Reserve: trial-step shards that have arrivals; their
+        // rejects become spanning candidates (skipped entirely when the
+        // algorithm cannot snapshot — home-only mode).
+        let spanning_enabled = self.engines[0].lock().unwrap().scratch.is_some();
+        let mut candidates: Vec<(ShardId, Request)> = Vec::new();
+        if spanning_enabled {
+            let busy: Vec<usize> = (0..k).filter(|&s| !arrivals[s].is_empty()).collect();
+            let rejected: Vec<Vec<RequestId>> = cell_map(&busy, |&s| {
+                self.trial(ShardId::from_index(s), t, &arrivals[s], &churn[s])
+                    .rejected
+            });
+            for (&s, ids) in busy.iter().zip(rejected) {
+                for id in ids {
+                    let i = arrivals[s].iter().position(|r| r.id == id).unwrap();
+                    candidates.push((ShardId::from_index(s), arrivals[s][i].clone()));
+                }
+            }
+            // Deterministic tie-break: candidates by ascending id.
+            candidates.sort_by_key(|(_, r)| r.id);
+        }
+
+        // 3. Span: offer each candidate to neighbors (ascending shard
+        // id) through the cheapest-cut gateway; first trial-accept
+        // adopts. Sequential so each trial sees earlier adoptions.
+        for (home, r) in candidates {
+            self.spanning.candidates += 1;
+            let mut adopted = None;
+            for &nb in self.sharded.neighbors(home) {
+                let gw = self
+                    .sharded
+                    .gateway(home, nb)
+                    .expect("neighboring shards share a cut link");
+                let mut moved = r.clone();
+                moved.ingress = gw.local;
+                self.spanning.attempts += 1;
+                let mut offer = arrivals[nb.index()].clone();
+                offer.push(moved.clone());
+                let outcome = self.trial(nb, t, &offer, &churn[nb.index()]);
+                if outcome.accepted.contains(&r.id) {
+                    adopted = Some((nb, moved));
+                    break;
+                }
+            }
+            match adopted {
+                Some((nb, moved)) => {
+                    self.spanning.granted += 1;
+                    // The home engine never sees the request; the
+                    // original global ingress is kept for reporting.
+                    arrivals[home.index()].retain(|a| a.id != r.id);
+                    arrivals[nb.index()].push(moved);
+                    let global = self.sharded.global_node(home, r.ingress);
+                    self.rerouted.insert(r.id, global);
+                }
+                None => self.spanning.denied += 1,
+            }
+        }
+
+        // 4. Commit: every shard steps its live engine exactly once.
+        let all: Vec<usize> = (0..k).collect();
+        let steps: Vec<SlotStep> = cell_map(&all, |&s| {
+            let mut engine = self.engines[s].lock().unwrap();
+            let ShardEngine { state, primary, .. } = &mut *engine;
+            let ev = SlotEvents {
+                slot: t,
+                arrivals: arrivals[s].clone(),
+                churn: churn[s].clone(),
+            };
+            let (step, _) = state.step(
+                &mut **primary,
+                self.sharded.shard(ShardId::from_index(s)),
+                ev,
+                &mut NullObserver,
+                &mut ReembedAll,
+            );
+            step
+        });
+
+        // 5. Report: synthesize the global observer dispatch.
+        observer.on_slot_start(t);
+        let mut merged_churn = vne_sim::engine::ChurnStats::default();
+        for step in &steps {
+            merged_churn.absorb(&step.churn);
+        }
+        if !merged_churn.is_empty() {
+            observer.on_churn(t, &merged_churn);
+        }
+        let mut outcomes: Vec<(usize, RequestOutcome)> = Vec::new();
+        for (s, step) in steps.iter().enumerate() {
+            for o in &step.arrivals {
+                let global = self.globalize(ShardId::from_index(s), o);
+                outcomes.push((position[&o.id], global));
+            }
+        }
+        outcomes.sort_by_key(|&(pos, _)| pos);
+        for (_, outcome) in &outcomes {
+            observer.on_arrival(outcome);
+        }
+        let mut metrics = SlotMetrics::default();
+        for (s, step) in steps.iter().enumerate() {
+            for o in &step.preemptions {
+                observer.on_preemption(&self.globalize(ShardId::from_index(s), o));
+            }
+            metrics.requested_demand += step.metrics.requested_demand;
+            metrics.allocated_demand += step.metrics.allocated_demand;
+            metrics.resource_cost += step.metrics.resource_cost;
+        }
+        let control = observer.on_slot_end(t, &metrics, &self.stub);
+
+        // Merge run counters. `on_slot_committed` is not emitted for
+        // k > 1 — sharded checkpointing is a recorded follow-up.
+        self.stats.slots_run = t + 1;
+        self.stats.arrivals += event.arrivals.len();
+        let active: usize = self
+            .engines
+            .iter_mut()
+            .map(|e| e.get_mut().unwrap().state.active_count())
+            .sum();
+        self.stats.peak_active = self.stats.peak_active.max(active);
+        control
+    }
+
+    /// Runs one reserve trial for `shard`: clones the engine state,
+    /// restores the live algorithm's snapshot into the scratch
+    /// instance, and steps the clone — the live engine is untouched.
+    fn trial(
+        &self,
+        shard: ShardId,
+        t: Slot,
+        arrivals: &[Request],
+        churn: &[ChurnEvent],
+    ) -> SlotOutcome {
+        let mut engine = self.engines[shard.index()].lock().unwrap();
+        let ShardEngine {
+            state,
+            primary,
+            scratch,
+        } = &mut *engine;
+        let scratch = scratch.as_mut().expect("trial requires a scratch instance");
+        let blob = primary
+            .snapshot_state()
+            .expect("scratch exists only for snapshot-capable algorithms");
+        scratch
+            .restore_state(&blob)
+            .expect("snapshot round-trips into the same configuration");
+        let mut trial_state = state.clone();
+        let ev = SlotEvents {
+            slot: t,
+            arrivals: arrivals.to_vec(),
+            churn: churn.to_vec(),
+        };
+        let (step, _) = trial_state.step(
+            &mut **scratch,
+            self.sharded.shard(shard),
+            ev,
+            &mut NullObserver,
+            &mut ReembedAll,
+        );
+        let mut outcome = SlotOutcome::default();
+        for o in &step.arrivals {
+            match o.status {
+                RequestStatus::Accepted => outcome.accepted.push(o.id),
+                _ => outcome.rejected.push(o.id),
+            }
+        }
+        outcome
+    }
+
+    /// Routes global churn events to per-shard local events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on events targeting cut links: a cut link belongs to no
+    /// shard engine, so its capacity change cannot be applied locally.
+    fn route_churn(&self, churn: &[ChurnEvent]) -> Vec<Vec<ChurnEvent>> {
+        let mut routed: Vec<Vec<ChurnEvent>> = vec![Vec::new(); self.engines.len()];
+        for ev in churn {
+            let (shard, local) = match ev {
+                ChurnEvent::NodeDown(n)
+                | ChurnEvent::NodeUp(n)
+                | ChurnEvent::NodeDrain { node: n, .. } => {
+                    let home = self.sharded.home_of(*n);
+                    let local = match ev {
+                        ChurnEvent::NodeDown(_) => ChurnEvent::NodeDown(home.local),
+                        ChurnEvent::NodeUp(_) => ChurnEvent::NodeUp(home.local),
+                        ChurnEvent::NodeDrain { factor, .. } => ChurnEvent::NodeDrain {
+                            node: home.local,
+                            factor: *factor,
+                        },
+                        _ => unreachable!(),
+                    };
+                    (home.shard, local)
+                }
+                ChurnEvent::LinkDown(l)
+                | ChurnEvent::LinkUp(l)
+                | ChurnEvent::LinkDrain { link: l, .. } => match self.sharded.link_home(*l) {
+                    LinkHome::Internal { shard, local } => {
+                        let mapped = match ev {
+                            ChurnEvent::LinkDown(_) => ChurnEvent::LinkDown(local),
+                            ChurnEvent::LinkUp(_) => ChurnEvent::LinkUp(local),
+                            ChurnEvent::LinkDrain { factor, .. } => ChurnEvent::LinkDrain {
+                                link: local,
+                                factor: *factor,
+                            },
+                            _ => unreachable!(),
+                        };
+                        (shard, mapped)
+                    }
+                    LinkHome::Cut { .. } => {
+                        panic!("churn on cut link {l:?} is unsupported in sharded runs")
+                    }
+                },
+            };
+            routed[shard.index()].push(local);
+        }
+        routed
+    }
+
+    /// Maps a shard-local outcome back to global ids: the class ingress
+    /// becomes the request's original global ingress.
+    fn globalize(&self, shard: ShardId, o: &RequestOutcome) -> RequestOutcome {
+        let ingress = match self.rerouted.get(&o.id) {
+            Some(&original) => original,
+            None => self.sharded.global_node(shard, o.class.ingress),
+        };
+        let mut out = o.clone();
+        out.class = ClassId::new(o.class.app, ingress);
+        out
+    }
+}
+
+/// Stands in for "the algorithm" in `on_slot_end` when `k > 1`: the
+/// real algorithms are per-shard and their ledgers cannot be merged
+/// through the trait, so observers get the shared name and an all-zero
+/// ledger over the *source* substrate. Observers needing drill-down
+/// ([`OnlineAlgorithm::as_any`]) see `None`, same as the pipelined
+/// engine's detached stub.
+struct StubAlgorithm {
+    name: String,
+    loads: LoadLedger,
+}
+
+impl OnlineAlgorithm for StubAlgorithm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process_slot(
+        &mut self,
+        _t: Slot,
+        _departures: &[Request],
+        _arrivals: &[Request],
+    ) -> SlotOutcome {
+        unreachable!("the coordinator stub never processes slots")
+    }
+
+    fn loads(&self) -> &LoadLedger {
+        &self.loads
+    }
+}

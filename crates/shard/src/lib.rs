@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # vne-shard — partitioned substrates behind one coordinator
+//!
+//! The paper's evaluation stops at topology-zoo scale because every
+//! algorithm sees one monolithic substrate. This crate takes the
+//! decomposition that is already latent in the planning layer — pricing
+//! subproblems are per-region and embarrassingly parallel — to its
+//! operational conclusion: partition the substrate into `k` shards, run
+//! one engine + algorithm instance per shard, and coordinate admission
+//! across them.
+//!
+//! * [`coordinator`] — the [`ShardCoordinator`]: routes each arriving
+//!   request to the shard owning its classes, trial-steps shards for
+//!   would-be rejects (reserve), offers them to neighboring shards in
+//!   deterministic order (span), then commits every shard through the
+//!   engine's public single-slot seam. A `k = 1` run replays the
+//!   unsharded engine byte-identically.
+//! * [`plan`] — per-shard PLAN-VNE: [`shard_demands`] routes the
+//!   history stream into one [`DemandEstimator`] per shard (planning
+//!   memory `O(classes per shard)`), [`shard_plans`] solves the shard
+//!   LPs in parallel.
+//!
+//! The partitioners that feed this crate live in `vne-topology`
+//! (`Partitioner`, `RegionGrow`, `GreedyEdgeCut`, `large_synthetic`);
+//! the partitioned-substrate view ([`ShardedSubstrate`]) lives in
+//! `vne-model`.
+//!
+//! ## Example
+//!
+//! ```
+//! use vne_model::prelude::*;
+//! use vne_shard::{ShardCoordinator, SpanningStats};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4-node ring split into 2 shards of 2 nodes each.
+//! let mut s = SubstrateNetwork::new("ring");
+//! let n: Vec<_> = (0..4)
+//!     .map(|i| s.add_node(format!("n{i}"), Tier::Edge, 100.0, 1.0).unwrap())
+//!     .collect();
+//! for i in 0..4 {
+//!     s.add_link(n[i], n[(i + 1) % 4], 100.0, 1.0)?;
+//! }
+//! let assignment = PartitionAssignment::new(vec![0, 0, 1, 1])?;
+//! let sharded = ShardedSubstrate::new(&s, &assignment)?;
+//! assert_eq!(sharded.shard_count(), 2);
+//! assert_eq!(sharded.cut_count(), 2); // the two ring edges crossing
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`DemandEstimator`]: vne_workload::estimator::DemandEstimator
+//! [`ShardedSubstrate`]: vne_model::shard::ShardedSubstrate
+
+pub mod coordinator;
+pub mod plan;
+
+pub use coordinator::{ShardCoordinator, SpanningStats};
+pub use plan::{shard_demands, shard_plans};

@@ -1,0 +1,83 @@
+//! Per-shard plan builds through the [`DemandEstimator`] seam.
+//!
+//! The unsharded planning pipeline observes the whole history stream
+//! into one estimator and solves one PLAN-VNE over the full substrate —
+//! `O(total classes)` memory and one big LP. Sharded planning splits
+//! both axes: [`shard_demands`] routes the history stream so each
+//! shard's estimator only ever sees the classes homed on it (planning
+//! memory stays `O(classes per shard)`), and [`shard_plans`] solves one
+//! independent PLAN-VNE per shard-local substrate on the
+//! [`cell_map`](vne_sim::runner::cell_map) worker pool.
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+use vne_model::app::AppSet;
+use vne_model::ids::ClassId;
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::SlotEvents;
+use vne_model::shard::ShardedSubstrate;
+use vne_olive::aggregate::AggregateDemand;
+use vne_olive::colgen::{solve_plan, PlanSolveStats, PlanVneConfig};
+use vne_olive::plan::Plan;
+use vne_workload::estimator::DemandEstimator;
+
+/// Routes a history stream through one [`DemandEstimator`] per shard
+/// and finalizes each into a shard-local [`AggregateDemand`].
+///
+/// Each arrival is observed only by the estimator of the shard owning
+/// its ingress, with the class ingress remapped to the shard-local node
+/// id (so the demands feed [`shard_plans`] directly). Every estimator
+/// observes every slot — possibly empty — so per-slot rate windows stay
+/// consistent across shards. Estimators are finalized in ascending
+/// shard order against the single shared `rng`, making the whole
+/// routine deterministic in `(stream, estimators, rng)`.
+pub fn shard_demands(
+    sharded: &ShardedSubstrate,
+    history: impl IntoIterator<Item = SlotEvents>,
+    mut make: impl FnMut() -> Box<dyn DemandEstimator>,
+    rng: &mut dyn RngCore,
+) -> Vec<AggregateDemand> {
+    let k = sharded.shard_count();
+    let mut estimators: Vec<Box<dyn DemandEstimator>> = (0..k).map(|_| make()).collect();
+    for event in history {
+        let mut routed: Vec<SlotEvents> = (0..k).map(|_| SlotEvents::empty(event.slot)).collect();
+        for r in &event.arrivals {
+            let home = sharded.home_of(r.ingress);
+            let mut local = r.clone();
+            local.ingress = home.local;
+            routed[home.shard.index()].arrivals.push(local);
+        }
+        for (estimator, ev) in estimators.iter_mut().zip(&routed) {
+            estimator.observe_slot(ev);
+        }
+    }
+    estimators
+        .iter_mut()
+        .map(|estimator| {
+            let demands: BTreeMap<ClassId, f64> = estimator.finalize(rng);
+            AggregateDemand::from_demands(&demands)
+        })
+        .collect()
+}
+
+/// Solves one PLAN-VNE per shard over its local substrate and demand,
+/// in parallel on the shard pool. Results are in shard order.
+pub fn shard_plans(
+    sharded: &ShardedSubstrate,
+    apps: &AppSet,
+    policy: &PlacementPolicy,
+    demands: &[AggregateDemand],
+    config: &PlanVneConfig,
+) -> Vec<(Plan, PlanSolveStats)> {
+    assert_eq!(
+        demands.len(),
+        sharded.shard_count(),
+        "one demand per shard required"
+    );
+    let cells: Vec<usize> = (0..sharded.shard_count()).collect();
+    vne_sim::runner::cell_map(&cells, |&s| {
+        let local = sharded.shard(vne_model::shard::ShardId::from_index(s));
+        solve_plan(local, apps, policy, &demands[s], config)
+    })
+}

@@ -1,0 +1,70 @@
+//! k=1 sharding parity: a single-shard [`ShardCoordinator`] run over
+//! the golden-diamond world must produce a window summary
+//! *fingerprint-identical* to the unsharded engine
+//! ([`Scenario::run_summary`]) for all four builtin algorithms — the
+//! coordinator's `k = 1` path is a byte-level pass-through of
+//! [`EngineState::step`], not an approximation of it.
+//!
+//! [`EngineState::step`]: vne_sim::EngineState::step
+
+use vne_model::shard::{PartitionAssignment, ShardedSubstrate};
+use vne_shard::ShardCoordinator;
+use vne_sim::observe::WindowSummary;
+use vne_sim::registry::{AlgorithmSpec, BuildContext};
+use vne_sim::scenario::{Algorithm, Scenario, ScenarioConfig};
+use vne_topology::zoo::golden_diamond;
+
+/// The `golden_fingerprints` fixture: the tiny 4-node golden world with
+/// the seed-11 configuration whose fingerprints are pinned in
+/// `vne-sim`'s golden table.
+fn golden_scenario(utilization: f64) -> Scenario {
+    let (s, apps) = golden_diamond().unwrap();
+    let mut config = ScenarioConfig::small(utilization).with_seed(11);
+    config.history_slots = 60;
+    config.test_slots = 25;
+    config.measure_window = (2, 22);
+    config.aggregation.bootstrap_replicates = 10;
+    config.trace.mean_rate_per_node = 2.0;
+    Scenario::new(s, apps, config)
+}
+
+#[test]
+fn single_shard_run_matches_unsharded_fingerprint_for_all_builtins() {
+    for utilization in [1.0, 1.4] {
+        let scenario = golden_scenario(utilization);
+        let assignment = PartitionAssignment::single(scenario.substrate.node_count()).unwrap();
+        let sharded = ShardedSubstrate::new(&scenario.substrate, &assignment).unwrap();
+        for alg in Algorithm::ALL {
+            let expected = scenario.run_summary(alg).unwrap();
+
+            // The k=1 local substrate is a bit-exact copy of the
+            // source, so the registry-built algorithm (constructed
+            // against the source) is the per-shard instance.
+            let mut coordinator = ShardCoordinator::new(sharded.clone(), |_, _| {
+                scenario
+                    .registry()
+                    .build(&AlgorithmSpec::from(alg), &BuildContext::new(&scenario))
+                    .unwrap()
+                    .algorithm
+            });
+            let mut window = WindowSummary::new(scenario.config.measure_window, scenario.penalty());
+            let stats = coordinator.run(scenario.online_events(), &mut window);
+            let got = window.finish(&stats);
+
+            assert_eq!(
+                got.fingerprint(),
+                expected.fingerprint(),
+                "{alg} at u={utilization}: k=1 sharded fingerprint {:#018x} != unsharded {:#018x} \
+                 (arrivals {}/{}, rejected {}/{})",
+                got.fingerprint(),
+                expected.fingerprint(),
+                got.arrivals,
+                expected.arrivals,
+                got.rejected,
+                expected.rejected,
+            );
+            // No spanning machinery may even engage at k=1.
+            assert_eq!(coordinator.spanning_stats(), Default::default());
+        }
+    }
+}

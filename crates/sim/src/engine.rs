@@ -452,6 +452,28 @@ impl EngineState {
         self.stats.online_secs = secs;
     }
 
+    /// Schedules an active request to depart at the next stepped slot,
+    /// ahead of its natural expiry — the `DEPART`-initiated early
+    /// release used by the `vne-serve` daemon. Returns whether the
+    /// request was active (and is now scheduled); an unknown or already
+    /// departed id returns `false` and changes nothing.
+    ///
+    /// The request's resources are freed through the regular departure
+    /// path when the next slot is stepped, so the algorithm sees an
+    /// ordinary departure. Its original calendar entry becomes stale,
+    /// which is harmless: the drain releases only ids still alive (the
+    /// same property the churn eviction path relies on). The
+    /// *requested*-demand curve keeps the original duration — early
+    /// release frees capacity, it does not rewrite what was asked for.
+    pub fn release_early(&mut self, id: RequestId) -> bool {
+        if !self.alive.contains_key(&id) {
+            return false;
+        }
+        let slot = Slot::try_from(self.next_min_slot).unwrap_or(Slot::MAX);
+        self.departures_at.entry(slot).or_default().push(id);
+        true
+    }
+
     /// Advances the engine through exactly one slot — the public
     /// single-slot seam used by external drivers such as the
     /// `vne-serve` actor. This is the *identical* per-slot code path
@@ -1299,6 +1321,27 @@ impl PipelineConfig {
             ..Self::default()
         }
     }
+
+    /// Sizes the stage-1 batch and buffer from a *measured* per-slot
+    /// cost instead of the default constants — used when another worker
+    /// pool (e.g. the shard pool) leaves `idle_cores` cores to the
+    /// pipeline. The batch targets ~1 ms of algorithm work per channel
+    /// message (cheap slots batch up to 256, expensive slots ship one
+    /// by one); the buffer grants one in-flight batch per idle core,
+    /// capped at 8. Batching affects only scheduling granularity, never
+    /// results — any sizing replays the same stream byte-identically
+    /// (pinned by the pipeline parity suite).
+    pub fn autosized(per_slot: std::time::Duration, idle_cores: usize) -> Self {
+        const TARGET_BATCH_SECS: f64 = 1e-3;
+        let per = per_slot.as_secs_f64().max(1e-9);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let batch = ((TARGET_BATCH_SECS / per).round() as usize).clamp(1, 256);
+        Self {
+            buffer: idle_cores.clamp(1, 8),
+            batch,
+            capture_every: None,
+        }
+    }
 }
 
 /// Whether the scenario-level runners should use the pipelined engine.
@@ -2021,5 +2064,68 @@ mod tests {
         let result = run(boxed.as_mut(), &s, &trace, 5, no_inspection);
         assert_eq!(result.requests.len(), 1);
         assert_eq!(result.algorithm, "QUICKG");
+    }
+
+    #[test]
+    fn release_early_frees_capacity_at_the_next_slot() {
+        let (s, apps) = world();
+        let mut alg = Olive::quickg(s.clone(), apps, PlacementPolicy::default());
+        let mut state = EngineState::fresh();
+        let mut obs = crate::observe::NullObserver;
+        // Slot 0: three demand-10 requests fill the 300 CU substrate.
+        let ev = SlotEvents {
+            slot: 0,
+            arrivals: (0..3).map(|i| req(i, 0, 100, 10.0)).collect(),
+            churn: vec![],
+        };
+        let (step, _) = state.step(&mut alg, &s, ev, &mut obs, &mut ReembedAll);
+        assert!(step
+            .arrivals
+            .iter()
+            .all(|o| o.status == RequestStatus::Accepted));
+        // Slot 1: full, so a fourth request is rejected.
+        let ev = SlotEvents {
+            slot: 1,
+            arrivals: vec![req(3, 1, 5, 10.0)],
+            churn: vec![],
+        };
+        let (step, _) = state.step(&mut alg, &s, ev, &mut obs, &mut ReembedAll);
+        assert_eq!(step.arrivals[0].status, RequestStatus::Rejected);
+        // Early-release one request; unknown ids are no-ops.
+        assert!(state.release_early(RequestId(0)));
+        assert!(!state.release_early(RequestId(99)));
+        // Slot 2: the release drains first, so an identical request is
+        // re-admitted in the same slot.
+        let ev = SlotEvents {
+            slot: 2,
+            arrivals: vec![req(4, 2, 5, 10.0)],
+            churn: vec![],
+        };
+        let (step, _) = state.step(&mut alg, &s, ev, &mut obs, &mut ReembedAll);
+        assert_eq!(step.arrivals[0].status, RequestStatus::Accepted);
+        assert!(!state.is_active(RequestId(0)));
+        // Releasing an already departed request reports inactive.
+        assert!(!state.release_early(RequestId(0)));
+        // The stale original calendar entry (slot 100) stays harmless.
+        let ev = SlotEvents::empty(100);
+        let (step, _) = state.step(&mut alg, &s, ev, &mut obs, &mut ReembedAll);
+        assert!(step.arrivals.is_empty());
+        assert_eq!(state.active_count(), 0);
+    }
+
+    #[test]
+    fn autosized_pipeline_stays_within_bounds() {
+        use std::time::Duration;
+        // Cheap slots batch up to the cap; buffer follows idle cores.
+        let cheap = PipelineConfig::autosized(Duration::from_micros(1), 4);
+        assert_eq!((cheap.batch, cheap.buffer), (256, 4));
+        // Expensive slots ship one at a time; zero idle cores still get
+        // one in-flight batch.
+        let costly = PipelineConfig::autosized(Duration::from_millis(50), 0);
+        assert_eq!((costly.batch, costly.buffer), (1, 1));
+        // ~250 µs slots target ~1 ms per message; buffer caps at 8.
+        let mid = PipelineConfig::autosized(Duration::from_micros(250), 64);
+        assert_eq!((mid.batch, mid.buffer), (4, 8));
+        assert!(mid.capture_every.is_none());
     }
 }

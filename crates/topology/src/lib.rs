@@ -31,6 +31,7 @@ pub mod builder;
 pub mod gen5g;
 pub mod gpu;
 pub mod params;
+pub mod partition;
 pub mod random;
 pub mod stats;
 pub mod zoo;

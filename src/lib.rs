@@ -14,7 +14,9 @@
 //! * [`sim`] — the streaming event-driven simulator: engine, observers,
 //!   algorithm registry, metrics and multi-seed runner;
 //! * [`serve`] — the embedding-as-a-service daemon: engine actor, line
-//!   protocol, TCP server, durable serving state.
+//!   protocol, TCP server, durable serving state;
+//! * [`shard`] — partitioned substrates: per-shard planning and
+//!   admission behind a cross-shard coordinator.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use vne_lp as lp;
 pub use vne_model as model;
 pub use vne_olive as olive;
 pub use vne_serve as serve;
+pub use vne_shard as shard;
 pub use vne_sim as sim;
 pub use vne_topology as topology;
 pub use vne_workload as workload;
@@ -55,6 +58,7 @@ pub mod prelude {
     pub use vne_olive::colgen::{solve_plan, PlanVneConfig};
     pub use vne_olive::olive::{Olive, OliveConfig};
     pub use vne_olive::plan::Plan;
+    pub use vne_shard::{ShardCoordinator, SpanningStats};
     pub use vne_sim::engine::{PipelineConfig, PipelineSafe, SimControl, SimObserver, StreamStats};
     pub use vne_sim::observe::{NullObserver, Recorder, WindowSummary};
     pub use vne_sim::registry::{AlgorithmRegistry, AlgorithmSpec, BuildContext, BuiltAlgorithm};
@@ -62,6 +66,7 @@ pub mod prelude {
         default_apps, run_seeds, run_seeds_in, run_seeds_with, SweepContext, Utilization,
     };
     pub use vne_sim::scenario::{Algorithm, Outcome, Scenario, ScenarioBuilder, ScenarioConfig};
+    pub use vne_topology::partition::{GreedyEdgeCut, Partitioner, RegionGrow};
     pub use vne_workload::appgen::{paper_mix, AppGenConfig};
     pub use vne_workload::rng::SeededRng;
     pub use vne_workload::tracegen::TraceConfig;
