@@ -17,17 +17,27 @@
 //! 2. **The scaling sweep** — per `k`: greedy edge-cut partition
 //!    (cut-link count and partition wall time recorded), QUICKG per
 //!    shard, full trace replay, spanning counters, wall time.
-//! 3. **The planning demo** — per-shard demand estimation and PLAN-VNE
+//! 3. **The checkpoint leg** — the top-`k` run replayed under a
+//!    [`Checkpointer`] firing every `--checkpoint-every N` slots
+//!    (default 12, `0` disables): asserts the checkpointed run and the
+//!    resumed tail are both fingerprint-identical to the plain run,
+//!    records the checkpoint-overhead-per-slot, and optionally writes
+//!    the checkpoint file (`--checkpoint PATH`) or resumes from an
+//!    existing one (`--resume-from PATH`) for cross-process round
+//!    trips.
+//! 4. **The planning demo** — per-shard demand estimation and PLAN-VNE
 //!    solves on a moderate world, recording how many demand classes
 //!    each shard holds versus the unsharded total (the
 //!    `O(classes per shard)` memory claim, measured).
 //!
-//! Run with: `cargo run --release --bin bench_shard [-- --tiny] [--out PATH]`
+//! Run with: `cargo run --release --bin bench_shard [-- --tiny] [--out PATH]
+//! [--checkpoint-every N] [--checkpoint PATH] [--resume-from PATH]`
 //!
 //! `--tiny` shrinks the world to CI-smoke size (seconds); the default
 //! full mode runs the 100 000-node substrate in minutes.
 //!
 //! [`ShardCoordinator`]: vne_shard::ShardCoordinator
+//! [`Checkpointer`]: vne_sim::observe::Checkpointer
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -39,11 +49,12 @@ use vne_model::request::SlotEvents;
 use vne_model::shard::ShardedSubstrate;
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::aggregate::AggregateDemand;
+use vne_olive::algorithm::OnlineAlgorithm;
 use vne_olive::colgen::PlanVneConfig;
 use vne_olive::olive::Olive;
 use vne_shard::{shard_demands, shard_plans, ShardCoordinator};
-use vne_sim::engine::{run_stream, run_stream_pipelined, PipelineConfig};
-use vne_sim::observe::WindowSummary;
+use vne_sim::engine::{run_stream, run_stream_pipelined, EngineCheckpoint, PipelineConfig};
+use vne_sim::observe::{Checkpointer, WindowSummary};
 use vne_topology::partition::{large_synthetic, GreedyEdgeCut, Partitioner};
 use vne_workload::estimator::{AggregationConfig, ExactEstimator};
 use vne_workload::rng::SeededRng;
@@ -141,6 +152,121 @@ fn run_sharded(
     (row, mean_step)
 }
 
+struct CheckpointLeg {
+    every: u32,
+    k: usize,
+    slot: u32,
+    bytes: usize,
+    taken: usize,
+    run_secs: f64,
+    overhead_us_per_slot: f64,
+    resumed_from_file: bool,
+}
+
+/// The checkpoint/resume leg: replays the top-`k` run under a
+/// [`Checkpointer`], asserts the checkpointed run and the resumed tail
+/// both reproduce `reference_fp`, and measures the per-slot
+/// checkpointing overhead against the plain run's `plain_secs`.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_leg(
+    s: &SubstrateNetwork,
+    apps: &AppSet,
+    events: &[SlotEvents],
+    window_bounds: (u32, u32),
+    k: usize,
+    every: u32,
+    plain_secs: f64,
+    reference_fp: u64,
+    checkpoint_path: Option<&str>,
+    resume_from: Option<&str>,
+) -> CheckpointLeg {
+    let assignment = GreedyEdgeCut { seed: WORLD_SEED }
+        .partition(s, k)
+        .expect("partition");
+    let sharded = ShardedSubstrate::new(s, &assignment).expect("sharded view");
+    let build = || {
+        let apps = apps.clone();
+        move |_: vne_model::shard::ShardId, local: &SubstrateNetwork| {
+            Box::new(Olive::quickg(
+                local.clone(),
+                apps.clone(),
+                PlacementPolicy::default(),
+            )) as Box<dyn OnlineAlgorithm>
+        }
+    };
+    let window = || WindowSummary::new(window_bounds, RejectionPenalty::uniform(apps, 1.0));
+
+    // The checkpointed replay must not perturb the run. The sink keeps
+    // the first checkpoint past the horizon's midpoint, so the resume
+    // below replays a real tail rather than an empty one.
+    let midpoint = events.len() as u32 / 2;
+    let kept = std::sync::Arc::new(std::sync::Mutex::new(None::<EngineCheckpoint>));
+    let sink = std::sync::Arc::clone(&kept);
+    let mut coordinator = ShardCoordinator::new(sharded.clone(), build());
+    let mut cp = Checkpointer::every(every, window()).with_sink(move |checkpoint| {
+        let mut kept = sink.lock().unwrap();
+        if kept.is_none() && checkpoint.slot >= midpoint {
+            *kept = Some(checkpoint.clone());
+        }
+    });
+    let started = Instant::now();
+    let stats = coordinator.run(events.iter().cloned(), &mut cp);
+    let run_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        cp.inner().finish(&stats).fingerprint(),
+        reference_fp,
+        "checkpointing perturbed the sharded run"
+    );
+    let taken = cp.checkpoints_taken();
+    assert!(taken > 0, "no checkpoint fired: {:?}", cp.last_error());
+    let latest = kept
+        .lock()
+        .unwrap()
+        .take()
+        .or_else(|| cp.into_latest())
+        .expect("a checkpoint was taken");
+    if let Some(path) = checkpoint_path {
+        std::fs::write(path, latest.to_bytes()).expect("write checkpoint file");
+        println!("checkpoint (slot {}) written to {path}", latest.slot);
+    }
+
+    // Resume — from the file when asked (cross-process round trip),
+    // from the in-memory checkpoint otherwise.
+    let checkpoint = match resume_from {
+        Some(path) => {
+            let bytes = std::fs::read(path).expect("read checkpoint file");
+            EngineCheckpoint::from_bytes(&bytes).expect("parse checkpoint file")
+        }
+        None => latest,
+    };
+    let bytes = checkpoint.to_bytes().len();
+    let mut w = window();
+    let mut resumed = ShardCoordinator::resume_from(sharded, build(), &checkpoint, &mut w)
+        .expect("resume from checkpoint");
+    let next = resumed.next_slot();
+    let stats = resumed.run(
+        events.iter().filter(|e| u64::from(e.slot) >= next).cloned(),
+        &mut w,
+    );
+    assert_eq!(
+        w.finish(&stats).fingerprint(),
+        reference_fp,
+        "resumed run drifted from the uninterrupted one"
+    );
+
+    let slots = events.len().max(1) as f64;
+    CheckpointLeg {
+        every,
+        k,
+        slot: checkpoint.slot,
+        bytes,
+        taken,
+        run_secs,
+        overhead_us_per_slot: ((run_secs - plain_secs) / slots).max(0.0) * 1e6,
+        resumed_from_file: resume_from.is_some(),
+    }
+}
+
 /// The planning demo: per-shard exact estimation + PLAN-VNE solves.
 /// Returns a JSON object string.
 fn plan_leg(tiny: bool) -> String {
@@ -199,6 +325,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let checkpoint_every: u32 = args
+        .iter()
+        .position(|a| a == "--checkpoint-every")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--checkpoint-every takes a slot count"))
+        .unwrap_or(12);
+    let checkpoint_path = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let resume_from = args
+        .iter()
+        .position(|a| a == "--resume-from")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let (nodes, slots, rate, ks): (usize, u32, f64, &[usize]) = if tiny {
         (400, 36, 0.05, &[1, 4])
@@ -258,7 +400,30 @@ fn main() {
     }
     let monotone = rows.windows(2).all(|w| w[1].run_secs <= w[0].run_secs);
 
-    // --- 3. The autosized pipelined reference, geometry from the k=1
+    // --- 3. The checkpoint/resume leg on the top-k run.
+    let checkpoint = (checkpoint_every > 0).then(|| {
+        let top = rows.last().expect("at least one k ran");
+        let leg = checkpoint_leg(
+            &s,
+            &apps,
+            &events,
+            window_bounds,
+            top.k,
+            checkpoint_every,
+            top.run_secs,
+            top.fingerprint,
+            checkpoint_path.as_deref(),
+            resume_from.as_deref(),
+        );
+        println!(
+            "checkpoint k={} every {} slots: {} taken ({} bytes at slot {}), \
+             {:.1}µs/slot overhead, resume identical",
+            leg.k, leg.every, leg.taken, leg.bytes, leg.slot, leg.overhead_us_per_slot,
+        );
+        leg
+    });
+
+    // --- 4. The autosized pipelined reference, geometry from the k=1
     // coordinator's measured per-slot cost (the sizing probe).
     let per_slot = Duration::from_secs_f64(k1_step_secs.expect("k=1 ran").max(1e-9));
     let idle = std::thread::available_parallelism()
@@ -280,7 +445,7 @@ fn main() {
         pipe.buffer, pipe.batch
     );
 
-    // --- 4. The planning demo.
+    // --- 5. The planning demo.
     let plan_json = plan_leg(tiny);
 
     let mut json = String::from("{\n  \"bench\": \"shard\",\n");
@@ -323,6 +488,28 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    match &checkpoint {
+        Some(leg) => {
+            let _ = writeln!(
+                json,
+                "  \"checkpoint\": {{ \"every\": {}, \"k\": {}, \"slot\": {}, \
+                 \"bytes\": {}, \"taken\": {}, \"run_secs\": {:.3}, \
+                 \"overhead_us_per_slot\": {:.1}, \"resumed_from_file\": {}, \
+                 \"resume_identical\": true }},",
+                leg.every,
+                leg.k,
+                leg.slot,
+                leg.bytes,
+                leg.taken,
+                leg.run_secs,
+                leg.overhead_us_per_slot,
+                leg.resumed_from_file,
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"checkpoint\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"monotone_decreasing_run_secs\": {monotone},");
     let _ = writeln!(json, "  \"k1_matches_unsharded\": true,");
     let _ = writeln!(json, "  \"plan\": {plan_json}\n}}");

@@ -198,7 +198,11 @@ pub struct ShardedSubstrate {
     global_link: Vec<Vec<LinkId>>,
     cut_links: Vec<CutLink>,
     neighbors: Vec<Vec<ShardId>>,
-    gateways: BTreeMap<(ShardId, ShardId), ShardNodeRef>,
+    /// Per ordered shard pair: the indices of all cut links between the
+    /// two shards, sorted by ascending `(cost, global link id)` — the
+    /// explicit total order behind [`ShardedSubstrate::gateway`]'s
+    /// cheapest-cut pick and its tie-break.
+    pair_cuts: BTreeMap<(ShardId, ShardId), Vec<usize>>,
 }
 
 impl ShardedSubstrate {
@@ -272,29 +276,27 @@ impl ShardedSubstrate {
         for shard in &shards {
             shard.validate()?;
         }
-        // Cut-adjacency and gateways: for every ordered shard pair the
-        // gateway is the far endpoint of the cheapest cut link between
-        // them (ties broken by lowest global link id — `cut_links` is in
-        // global id order, so first-wins is exactly that tie-break).
+        // Cut-adjacency and gateways: for every ordered shard pair,
+        // all cut links between the two shards sorted by the explicit
+        // total order (cost, global link id) — `total_cmp` on the cost
+        // so the order cannot flap across platforms on equal or odd
+        // floats, global id as the deterministic tie-break. The gateway
+        // is the far endpoint of the first entry.
         let mut neighbors = vec![Vec::new(); k];
-        let mut gateways: BTreeMap<(ShardId, ShardId), (f64, ShardNodeRef)> = BTreeMap::new();
-        for cut in &cut_links {
+        let mut pair_cuts: BTreeMap<(ShardId, ShardId), Vec<usize>> = BTreeMap::new();
+        for (i, cut) in cut_links.iter().enumerate() {
             for (from, to) in [(cut.a, cut.b), (cut.b, cut.a)] {
                 if !neighbors[from.shard.index()].contains(&to.shard) {
                     neighbors[from.shard.index()].push(to.shard);
                 }
-                let entry = gateways.entry((from.shard, to.shard));
-                match entry {
-                    std::collections::btree_map::Entry::Vacant(v) => {
-                        v.insert((cut.cost, to));
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut o) => {
-                        if cut.cost < o.get().0 {
-                            o.insert((cut.cost, to));
-                        }
-                    }
-                }
+                pair_cuts.entry((from.shard, to.shard)).or_default().push(i);
             }
+        }
+        for indices in pair_cuts.values_mut() {
+            indices.sort_by(|&x, &y| {
+                let (a, b) = (&cut_links[x], &cut_links[y]);
+                a.cost.total_cmp(&b.cost).then(a.global.cmp(&b.global))
+            });
         }
         for n in &mut neighbors {
             n.sort_unstable();
@@ -308,7 +310,7 @@ impl ShardedSubstrate {
             global_link,
             cut_links,
             neighbors,
-            gateways: gateways.into_iter().map(|(k, (_, g))| (k, g)).collect(),
+            pair_cuts,
         })
     }
 
@@ -374,10 +376,26 @@ impl ShardedSubstrate {
 
     /// The gateway node used when re-routing a request from shard
     /// `from` into shard `to`: the `to`-side endpoint of the cheapest
-    /// cut link between them (ties broken by lowest global link id).
-    /// `None` when the shards share no cut link.
+    /// cut link between them, ties broken by lowest global link id
+    /// (the explicit `(cost, global id)` total order — pinned by the
+    /// gateway-determinism test). `None` when the shards share no cut
+    /// link.
     pub fn gateway(&self, from: ShardId, to: ShardId) -> Option<ShardNodeRef> {
-        self.gateways.get(&(from, to)).copied()
+        let &first = self.pair_cuts.get(&(from, to))?.first()?;
+        self.cut_links[first].endpoint_in(to)
+    }
+
+    /// The indices (into [`ShardedSubstrate::cut_links`]) of every cut
+    /// link between `from` and `to`, sorted by ascending `(cost, global
+    /// link id)` — the same order [`ShardedSubstrate::gateway`] picks
+    /// from, so a coordinator overlaying link liveness can fall back to
+    /// the next-cheapest cut deterministically. Empty when the shards
+    /// share no cut link.
+    pub fn cut_indices_between(&self, from: ShardId, to: ShardId) -> &[usize] {
+        self.pair_cuts
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -483,6 +501,41 @@ mod tests {
         let g10 = sharded.gateway(ShardId(1), ShardId(0)).unwrap();
         assert_eq!(sharded.global_node(g10.shard, g10.local), NodeId(2));
         assert_eq!(sharded.gateway(ShardId(0), ShardId(0)), None);
+    }
+
+    #[test]
+    fn gateway_ties_break_by_global_link_id() {
+        // Two shards joined by three cut links: costs 2.0, 2.0, 1.0 in
+        // global id order. The cheapest (cost 1.0) wins outright; with
+        // it removed, the two equal-cost cuts must tie-break on the
+        // lower global link id, not on insertion or float quirks.
+        let mut s = SubstrateNetwork::new("ties");
+        let n: Vec<NodeId> = (0..4)
+            .map(|i| s.add_node(format!("n{i}"), Tier::Edge, 100.0, 1.0).unwrap())
+            .collect();
+        s.add_link(n[0], n[1], 50.0, 1.0).unwrap(); // internal, shard 0
+        s.add_link(n[2], n[3], 50.0, 1.0).unwrap(); // internal, shard 1
+        let cut_eq_a = s.add_link(n[0], n[2], 50.0, 2.0).unwrap();
+        let cut_eq_b = s.add_link(n[0], n[3], 50.0, 2.0).unwrap();
+        let cut_cheap = s.add_link(n[1], n[3], 50.0, 1.0).unwrap();
+        let a = PartitionAssignment::new(vec![0, 0, 1, 1]).unwrap();
+        let sharded = ShardedSubstrate::new(&s, &a).unwrap();
+
+        let order: Vec<LinkId> = sharded
+            .cut_indices_between(ShardId(0), ShardId(1))
+            .iter()
+            .map(|&i| sharded.cut_links()[i].global)
+            .collect();
+        assert_eq!(
+            order,
+            vec![cut_cheap, cut_eq_a, cut_eq_b],
+            "cuts must sort by (cost, global link id)"
+        );
+        // The gateway is the far endpoint of the first entry, both ways.
+        let g01 = sharded.gateway(ShardId(0), ShardId(1)).unwrap();
+        assert_eq!(sharded.global_node(g01.shard, g01.local), n[3]);
+        let g10 = sharded.gateway(ShardId(1), ShardId(0)).unwrap();
+        assert_eq!(sharded.global_node(g10.shard, g10.local), n[1]);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! run. Per slot:
 //!
 //! 1. **Route** — every arrival goes to the shard owning its ingress
-//!    (its class set), with the ingress remapped to the shard-local id;
-//!    churn events are routed the same way (churn on *cut* links is
-//!    unsupported and panics).
+//!    (its class set), with the ingress remapped to the shard-local id.
+//!    Churn events on internal nodes/links route the same way; churn on
+//!    a *cut* link is translated into capacity drains applied
+//!    idempotently to both gateway-endpoint nodes (see
+//!    [Cut-link churn](#cut-link-churn) below).
 //! 2. **Reserve** — shards with arrivals run a *trial* step on a clone
 //!    of their engine state and a scratch copy of their algorithm
 //!    (restored from a state snapshot, so the live algorithm is never
@@ -17,9 +19,10 @@
 //! 3. **Span** — candidates are offered to neighboring shards in
 //!    deterministic tie-break order (candidates by ascending request
 //!    id, neighbors by ascending shard id), entering through the
-//!    cheapest cut-link gateway. The first neighbor whose trial accepts
-//!    adopts the request; candidates nobody adopts stay home and are
-//!    rejected there for real.
+//!    cheapest *live* cut-link gateway (cuts churned down to factor 0
+//!    are skipped; ties break by global link id). The first neighbor
+//!    whose trial accepts adopts the request; candidates nobody adopts
+//!    stay home and are rejected there for real.
 //! 4. **Commit** — every shard steps its live engine exactly once with
 //!    its final arrival list. Commit is authoritative: the reserve
 //!    phase only *routes*, it reserves no resources, so a non-monotone
@@ -30,21 +33,51 @@
 //!    dispatch: one `on_slot_start`, merged churn counters, arrival
 //!    outcomes in original stream order with classes mapped back to
 //!    global ids, preemptions in (shard, local-order), then one
-//!    `on_slot_end` with summed [`SlotMetrics`].
+//!    `on_slot_end` with summed [`SlotMetrics`], and finally one
+//!    `on_slot_committed` carrying a deferred [`EngineView`]: its
+//!    capture — every shard's engine + algorithm snapshot plus the
+//!    coordinator's cursors, packed as a [`ShardCheckpoint`] — is
+//!    materialized only if an observer actually checkpoints the slot,
+//!    so a [`Checkpointer`] works unmodified at any cadence and
+//!    un-checkpointed slots pay nothing.
 //!
 //! With `k = 1` the coordinator collapses to a pass-through of the
-//! unsharded engine — same state transitions, same observer dispatch —
-//! so a single-shard run is fingerprint-identical to [`run_stream`]
-//! (pinned by the golden parity suite).
+//! unsharded engine — same state transitions, same observer dispatch,
+//! same (monolithic) checkpoint bytes — so a single-shard run is
+//! fingerprint-identical to [`run_stream`] (pinned by the golden parity
+//! suite) and its checkpoints are interchangeable with monolithic
+//! [`EngineCheckpoint`] resumes.
+//!
+//! # Cut-link churn
+//!
+//! A cut link belongs to no shard engine, so its capacity change cannot
+//! be applied locally as a link event. Instead, Down/Up/Drain on a cut
+//! link updates the coordinator's per-cut factor and is applied as a
+//! [`ChurnEvent::NodeDrain`] on *both* gateway-endpoint nodes, with the
+//! effective factor of an endpoint node being the minimum of its own
+//! node-churn factor and the factors of all its incident cut links (the
+//! tightest constraint governs; node events targeting endpoint nodes
+//! are translated the same way so a later `NodeUp` cannot erase a cut
+//! drain). Factors are absolute, so the translation is idempotent like
+//! the engine's own churn folding. Requests stranded by the drain —
+//! including spanning embeddings that entered through the gateway — go
+//! through the configured [`ReembedPolicy`] inside each shard engine's
+//! regular churn machinery, and dead cuts (factor 0) are skipped by the
+//! spanning gateway selection until churned back up.
 //!
 //! Trials and commits across shards run on [`cell_map`]'s scoped worker
-//! pool (the shard pool). Stranded-by-churn requests are always
-//! re-offered ([`ReembedAll`]); checkpointing of sharded runs
-//! (`on_slot_committed`) is only wired for `k = 1` — both are recorded
-//! follow-ups in the ROADMAP.
+//! pool (the shard pool). Stranded-by-churn requests go through the
+//! configured [`ReembedKind`] policy
+//! ([`ShardCoordinator::with_reembed`]; re-embed-all by default, like
+//! the unsharded engine).
 //!
 //! [`run_stream`]: vne_sim::engine::run_stream
 //! [`cell_map`]: vne_sim::runner::cell_map
+//! [`Checkpointer`]: vne_sim::observe::Checkpointer
+//! [`ChurnEvent::NodeDrain`]: vne_model::churn::ChurnEvent::NodeDrain
+//! [`ShardCheckpoint`]: vne_model::state::ShardCheckpoint
+//! [`EngineCheckpoint`]: vne_sim::engine::EngineCheckpoint
+//! [`ReembedPolicy`]: vne_sim::engine::ReembedPolicy
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -54,15 +87,18 @@ use vne_model::churn::ChurnEvent;
 use vne_model::ids::{ClassId, NodeId, RequestId};
 use vne_model::load::LoadLedger;
 use vne_model::request::{Request, Slot, SlotEvents};
-use vne_model::shard::{LinkHome, ShardId, ShardedSubstrate};
+use vne_model::shard::{LinkHome, ShardId, ShardNodeRef, ShardedSubstrate};
+use vne_model::state::{ShardCheckpoint, Snapshot, StateBlob, StateError};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::algorithm::{OnlineAlgorithm, SlotOutcome};
 use vne_sim::engine::{
-    ReembedAll, RequestOutcome, RequestStatus, SimControl, SimObserver, SlotMetrics, SlotStep,
-    StreamStats,
+    restore_engine, EngineCapture, EngineCheckpoint, EngineView, ReembedKind, RequestOutcome,
+    RequestStatus, SimControl, SimObserver, SlotMetrics, SlotStep, StreamStats,
 };
 use vne_sim::runner::cell_map;
 use vne_sim::{EngineState, NullObserver};
+
+use crate::checkpoint::CoordinatorCursors;
 
 /// Counters for the two-phase reserve/commit spanning protocol.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,12 +136,27 @@ pub struct ShardCoordinator {
     /// for mapping their outcome classes back to global ids (bounded by
     /// the number of spanning grants).
     rerouted: HashMap<RequestId, NodeId>,
+    /// The policy deciding the fate of churn-stranded requests, in
+    /// every shard engine and every trial.
+    reembed: ReembedKind,
+    /// Churn factor per cut link (absolute, 1.0 = pristine) — the
+    /// coordinator-side fold of cut-link churn events.
+    cut_factor: Vec<f64>,
+    /// Own node-churn factor of cut-endpoint nodes (global ids),
+    /// tracked so node and cut constraints compose by minimum. Nodes
+    /// not incident to a cut are never tracked (their events pass
+    /// through untranslated).
+    node_factor: HashMap<NodeId, f64>,
+    /// Global endpoint node → indices of its incident cut links.
+    /// Derived from `sharded` at construction, not checkpointed.
+    incident_cuts: HashMap<NodeId, Vec<usize>>,
     /// Name + an all-zero ledger handed to `on_slot_end` for `k > 1`
     /// (per-shard ledgers cannot be merged through the trait).
     stub: StubAlgorithm,
     /// Cumulative wall-clock spent in [`ShardCoordinator::step`] and
     /// the number of steps — the measured per-slot cost probe that
     /// sizes the pipeline when the shard pool leaves cores idle.
+    /// Not checkpointed: a resumed run re-probes from scratch.
     step_secs: f64,
     steps: u32,
 }
@@ -140,16 +191,42 @@ impl ShardCoordinator {
             name,
             loads: LoadLedger::new(sharded.source()),
         };
+        let mut incident_cuts: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, cut) in sharded.cut_links().iter().enumerate() {
+            for end in [cut.a, cut.b] {
+                let global = sharded.global_node(end.shard, end.local);
+                incident_cuts.entry(global).or_default().push(i);
+            }
+        }
+        let cut_factor = vec![1.0; sharded.cut_count()];
         Self {
             sharded,
             engines,
             stats: StreamStats::default(),
             spanning: SpanningStats::default(),
             rerouted: HashMap::new(),
+            reembed: ReembedKind::default(),
+            cut_factor,
+            node_factor: HashMap::new(),
+            incident_cuts,
             stub,
             step_secs: 0.0,
             steps: 0,
         }
+    }
+
+    /// Selects the [`ReembedKind`] policy for churn-stranded requests
+    /// (builder style; re-embed-all by default). A resumed run must use
+    /// the same policy as the checkpointed one to stay byte-identical,
+    /// same as the unsharded engine's resume contract.
+    pub fn with_reembed(mut self, kind: ReembedKind) -> Self {
+        self.reembed = kind;
+        self
+    }
+
+    /// The configured re-embed policy kind.
+    pub fn reembed_kind(&self) -> ReembedKind {
+        self.reembed
     }
 
     /// The partitioned substrate this coordinator runs on.
@@ -173,6 +250,18 @@ impl ShardCoordinator {
             .iter()
             .map(|e| e.lock().unwrap().state.active_count())
             .sum()
+    }
+
+    /// The next slot this coordinator will accept: 0 when fresh, the
+    /// checkpoint slot + 1 after [`ShardCoordinator::resume_from`]. A
+    /// resume feeds `run` the original stream with slots below this
+    /// filtered out.
+    pub fn next_slot(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.lock().unwrap().state.next_slot())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Measured mean wall-clock per coordinated slot (the pipeline
@@ -210,8 +299,7 @@ impl ShardCoordinator {
     ///
     /// # Panics
     ///
-    /// Panics like [`EngineState::step`] on non-increasing slots, and
-    /// on churn events targeting cut links (unsupported).
+    /// Panics like [`EngineState::step`] on non-increasing slots.
     pub fn step<O>(&mut self, event: SlotEvents, observer: &mut O) -> SimControl
     where
         O: SimObserver + ?Sized,
@@ -227,6 +315,176 @@ impl ShardCoordinator {
         control
     }
 
+    /// Resumes a checkpointed sharded run: rebuilds the coordinator
+    /// from the same deterministic configuration (`sharded`, `build`,
+    /// the caller re-applies [`ShardCoordinator::with_reembed`]), then
+    /// restores every shard's engine + algorithm state, the
+    /// coordinator's cursors, and `observer` from `checkpoint`.
+    /// Feeding [`run`](Self::run) the original stream with slots below
+    /// [`next_slot`](Self::next_slot) filtered out then finishes the
+    /// run **byte-identically** to the uninterrupted one — the
+    /// guarantee pinned by the sharded resume proptest battery.
+    ///
+    /// The checkpoint is the [`EngineCheckpoint`] envelope a
+    /// [`Checkpointer`] produced over this coordinator: for `k > 1` its
+    /// blobs carry a packed [`ShardCheckpoint`]; for `k = 1` they carry
+    /// plain monolithic engine state, so single-shard coordinators and
+    /// [`run_stream_from`] accept each other's checkpoints
+    /// interchangeably. Use [`crate::checkpoint::engine_checkpoint`] to
+    /// resume from a typed [`ShardCheckpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the checkpoint's shape does not
+    /// match this coordinator (shard count, partition map, algorithm
+    /// name, cut count) or any blob fails to restore.
+    ///
+    /// [`Checkpointer`]: vne_sim::observe::Checkpointer
+    /// [`run_stream_from`]: vne_sim::engine::run_stream_from
+    pub fn resume_from<O>(
+        sharded: ShardedSubstrate,
+        build: impl FnMut(ShardId, &SubstrateNetwork) -> Box<dyn OnlineAlgorithm>,
+        checkpoint: &EngineCheckpoint,
+        observer: &mut O,
+    ) -> Result<Self, StateError>
+    where
+        O: Snapshot + ?Sized,
+    {
+        let mut this = Self::new(sharded, build);
+        if this.engines.len() == 1 {
+            if ShardCheckpoint::is_packed(&checkpoint.engine) {
+                return Err(StateError::Mismatch {
+                    expected: "a monolithic engine checkpoint for k = 1".into(),
+                    found: "a packed multi-shard checkpoint".into(),
+                });
+            }
+            let engine = this.engines[0].get_mut().unwrap();
+            engine.state = restore_engine(
+                checkpoint,
+                &mut *engine.primary,
+                this.sharded.shard(ShardId(0)),
+                observer,
+            )?;
+            this.stats = engine.state.stats();
+            return Ok(this);
+        }
+        let shard = ShardCheckpoint::unpack(
+            checkpoint.slot,
+            &checkpoint.algorithm,
+            &checkpoint.engine,
+            &checkpoint.algorithm_state,
+            checkpoint.observer_state.clone(),
+        )?;
+        this.restore_sharded(&shard)?;
+        observer.restore(&checkpoint.observer_state)?;
+        Ok(this)
+    }
+
+    /// Restores per-shard engines, algorithms and coordinator cursors
+    /// from an unpacked `k > 1` checkpoint (everything except the
+    /// observer, which [`resume_from`](Self::resume_from) owns).
+    fn restore_sharded(&mut self, checkpoint: &ShardCheckpoint) -> Result<(), StateError> {
+        let k = self.engines.len();
+        if checkpoint.shard_count() != k {
+            return Err(StateError::Mismatch {
+                expected: format!("{k} shards"),
+                found: format!("{}", checkpoint.shard_count()),
+            });
+        }
+        let nodes = self.sharded.source().node_count();
+        let same_partition = checkpoint.partition.len() == nodes
+            && checkpoint
+                .partition
+                .iter()
+                .enumerate()
+                .all(|(i, &s)| self.sharded.home_of(NodeId::from_index(i)).shard == ShardId(s));
+        if !same_partition {
+            return Err(StateError::Mismatch {
+                expected: "the coordinator's partition map".into(),
+                found: "a checkpoint cut under a different partition".into(),
+            });
+        }
+        for (s, engine) in self.engines.iter_mut().enumerate() {
+            let engine = engine.get_mut().unwrap();
+            if engine.primary.name() != checkpoint.algorithm {
+                return Err(StateError::Mismatch {
+                    expected: format!("algorithm {}", checkpoint.algorithm),
+                    found: format!("algorithm {}", engine.primary.name()),
+                });
+            }
+            engine.primary.restore_state(&checkpoint.algorithms[s])?;
+            engine.state.restore(&checkpoint.engines[s])?;
+            engine.state.reapply_churn(
+                &mut *engine.primary,
+                self.sharded.shard(ShardId::from_index(s)),
+            );
+        }
+        let cursors = CoordinatorCursors::decode(&checkpoint.coordinator)?;
+        if cursors.cut_factor.len() != self.cut_factor.len() {
+            return Err(StateError::Mismatch {
+                expected: format!("{} cut-link factors", self.cut_factor.len()),
+                found: format!("{}", cursors.cut_factor.len()),
+            });
+        }
+        self.stats = cursors.stats;
+        // The resumed segment gets its own early-stop verdict.
+        self.stats.stopped_early = false;
+        self.spanning = cursors.spanning;
+        self.rerouted = cursors.rerouted.into_iter().collect();
+        self.cut_factor = cursors.cut_factor;
+        self.node_factor = cursors.node_factor.into_iter().collect();
+        Ok(())
+    }
+
+    /// Materializes the deferred capture: every shard's engine +
+    /// algorithm snapshot plus the coordinator cursors, packed as a
+    /// [`ShardCheckpoint`] into the engine-checkpoint blob pair.
+    fn capture(&self) -> Result<EngineCapture, StateError> {
+        let mut engines = Vec::with_capacity(self.engines.len());
+        let mut algorithms = Vec::with_capacity(self.engines.len());
+        for e in &self.engines {
+            let engine = e.lock().unwrap();
+            let blob = engine.primary.snapshot_state().ok_or_else(|| {
+                StateError::Unsupported(format!("algorithm {}", engine.primary.name()))
+            })?;
+            engines.push(engine.state.snapshot());
+            algorithms.push(blob);
+        }
+        let nodes = self.sharded.source().node_count();
+        let partition: Vec<u32> = (0..nodes)
+            .map(|i| self.sharded.home_of(NodeId::from_index(i)).shard.0)
+            .collect();
+        let mut rerouted: Vec<(RequestId, NodeId)> =
+            self.rerouted.iter().map(|(&k, &v)| (k, v)).collect();
+        rerouted.sort_unstable_by_key(|&(id, _)| id);
+        let mut node_factor: Vec<(NodeId, f64)> =
+            self.node_factor.iter().map(|(&k, &v)| (k, v)).collect();
+        node_factor.sort_unstable_by_key(|&(n, _)| n);
+        let cursors = CoordinatorCursors {
+            stats: self.stats,
+            spanning: self.spanning,
+            rerouted,
+            cut_factor: self.cut_factor.clone(),
+            node_factor,
+        };
+        let checkpoint = ShardCheckpoint {
+            // Slot and observer state belong to the envelope the
+            // Checkpointer assembles around this capture.
+            slot: 0,
+            algorithm: self.stub.name.clone(),
+            partition,
+            engines,
+            algorithms,
+            coordinator: cursors.encode(),
+            observer_state: StateBlob::default(),
+        };
+        let (engine, algorithm_state) = checkpoint.pack();
+        Ok(EngineCapture {
+            engine,
+            algorithm_state: Some(algorithm_state),
+        })
+    }
+
     /// `k = 1` pass-through: the local substrate is a bit-exact copy of
     /// the source with identical ids, so stepping the one engine with
     /// the unmodified event replays the unsharded engine byte for byte.
@@ -234,6 +492,7 @@ impl ShardCoordinator {
     where
         O: SimObserver + ?Sized,
     {
+        let mut policy = self.reembed.policy();
         let engine = self.engines[0].get_mut().unwrap();
         let ShardEngine { state, primary, .. } = engine;
         let (_, control) = state.step(
@@ -241,7 +500,7 @@ impl ShardCoordinator {
             self.sharded.shard(ShardId(0)),
             event,
             observer,
-            &mut ReembedAll,
+            &mut *policy,
         );
         let (online, stopped) = (self.stats.online_secs, self.stats.stopped_early);
         self.stats = state.stats();
@@ -298,16 +557,17 @@ impl ShardCoordinator {
         }
 
         // 3. Span: offer each candidate to neighbors (ascending shard
-        // id) through the cheapest-cut gateway; first trial-accept
-        // adopts. Sequential so each trial sees earlier adoptions.
+        // id) through the cheapest live cut-link gateway; first
+        // trial-accept adopts. Sequential so each trial sees earlier
+        // adoptions.
         for (home, r) in candidates {
             self.spanning.candidates += 1;
             let mut adopted = None;
             for &nb in self.sharded.neighbors(home) {
-                let gw = self
-                    .sharded
-                    .gateway(home, nb)
-                    .expect("neighboring shards share a cut link");
+                let Some(gw) = self.live_gateway(home, nb) else {
+                    // Every cut to this neighbor is churned down.
+                    continue;
+                };
                 let mut moved = r.clone();
                 moved.ingress = gw.local;
                 self.spanning.attempts += 1;
@@ -335,6 +595,7 @@ impl ShardCoordinator {
 
         // 4. Commit: every shard steps its live engine exactly once.
         let all: Vec<usize> = (0..k).collect();
+        let reembed = self.reembed;
         let steps: Vec<SlotStep> = cell_map(&all, |&s| {
             let mut engine = self.engines[s].lock().unwrap();
             let ShardEngine { state, primary, .. } = &mut *engine;
@@ -343,12 +604,13 @@ impl ShardCoordinator {
                 arrivals: arrivals[s].clone(),
                 churn: churn[s].clone(),
             };
+            let mut policy = reembed.policy();
             let (step, _) = state.step(
                 &mut **primary,
                 self.sharded.shard(ShardId::from_index(s)),
                 ev,
                 &mut NullObserver,
-                &mut ReembedAll,
+                &mut *policy,
             );
             step
         });
@@ -384,8 +646,9 @@ impl ShardCoordinator {
         }
         let control = observer.on_slot_end(t, &metrics, &self.stub);
 
-        // Merge run counters. `on_slot_committed` is not emitted for
-        // k > 1 — sharded checkpointing is a recorded follow-up.
+        // Merge run counters, then emit the commit hook with a deferred
+        // view: the multi-shard capture is assembled only if an
+        // observer actually checkpoints this slot.
         self.stats.slots_run = t + 1;
         self.stats.arrivals += event.arrivals.len();
         let active: usize = self
@@ -394,6 +657,9 @@ impl ShardCoordinator {
             .map(|e| e.get_mut().unwrap().state.active_count())
             .sum();
         self.stats.peak_active = self.stats.peak_active.max(active);
+        let produce = || self.capture();
+        let view = EngineView::deferred(t, self.stats, active, &self.stub.name, &produce);
+        observer.on_slot_committed(&view);
         control
     }
 
@@ -426,12 +692,13 @@ impl ShardCoordinator {
             arrivals: arrivals.to_vec(),
             churn: churn.to_vec(),
         };
+        let mut policy = self.reembed.policy();
         let (step, _) = trial_state.step(
             &mut **scratch,
             self.sharded.shard(shard),
             ev,
             &mut NullObserver,
-            &mut ReembedAll,
+            &mut *policy,
         );
         let mut outcome = SlotOutcome::default();
         for o in &step.arrivals {
@@ -443,20 +710,62 @@ impl ShardCoordinator {
         outcome
     }
 
+    /// The `to`-side endpoint of the cheapest cut link between `from`
+    /// and `to` whose churn factor is non-zero, ties broken by global
+    /// link id — [`ShardedSubstrate::gateway`] overlaid with the
+    /// coordinator's cut-link churn fold. `None` when every cut between
+    /// the pair is down.
+    fn live_gateway(&self, from: ShardId, to: ShardId) -> Option<ShardNodeRef> {
+        self.sharded
+            .cut_indices_between(from, to)
+            .iter()
+            .find(|&&i| self.cut_factor[i] > 0.0)
+            .and_then(|&i| self.sharded.cut_links()[i].endpoint_in(to))
+    }
+
+    /// The effective drain factor of cut-endpoint node `global`: the
+    /// minimum of its own node-churn factor and all incident cut-link
+    /// factors (the tightest constraint governs).
+    fn endpoint_factor(&self, global: NodeId) -> f64 {
+        let own = self.node_factor.get(&global).copied().unwrap_or(1.0);
+        let cuts = self.incident_cuts[&global]
+            .iter()
+            .map(|&i| self.cut_factor[i])
+            .fold(1.0, f64::min);
+        own.min(cuts)
+    }
+
     /// Routes global churn events to per-shard local events.
     ///
-    /// # Panics
-    ///
-    /// Panics on events targeting cut links: a cut link belongs to no
-    /// shard engine, so its capacity change cannot be applied locally.
-    fn route_churn(&self, churn: &[ChurnEvent]) -> Vec<Vec<ChurnEvent>> {
+    /// Internal node/link events map 1:1 onto their home shard. Events
+    /// touching the cut — a cut-link event, or a node event on a
+    /// cut-endpoint node — update the coordinator's absolute factor
+    /// fold and are emitted as [`ChurnEvent::NodeDrain`]s carrying the
+    /// combined endpoint factor (see the [module docs](self)), one per
+    /// affected endpoint: two for a cut-link event (both gateway
+    /// shards), one for an endpoint-node event.
+    fn route_churn(&mut self, churn: &[ChurnEvent]) -> Vec<Vec<ChurnEvent>> {
         let mut routed: Vec<Vec<ChurnEvent>> = vec![Vec::new(); self.engines.len()];
         for ev in churn {
-            let (shard, local) = match ev {
+            match ev {
                 ChurnEvent::NodeDown(n)
                 | ChurnEvent::NodeUp(n)
                 | ChurnEvent::NodeDrain { node: n, .. } => {
                     let home = self.sharded.home_of(*n);
+                    if self.incident_cuts.contains_key(n) {
+                        let factor = match ev {
+                            ChurnEvent::NodeDown(_) => 0.0,
+                            ChurnEvent::NodeUp(_) => 1.0,
+                            ChurnEvent::NodeDrain { factor, .. } => *factor,
+                            _ => unreachable!(),
+                        };
+                        self.node_factor.insert(*n, factor);
+                        routed[home.shard.index()].push(ChurnEvent::NodeDrain {
+                            node: home.local,
+                            factor: self.endpoint_factor(*n),
+                        });
+                        continue;
+                    }
                     let local = match ev {
                         ChurnEvent::NodeDown(_) => ChurnEvent::NodeDown(home.local),
                         ChurnEvent::NodeUp(_) => ChurnEvent::NodeUp(home.local),
@@ -466,7 +775,7 @@ impl ShardCoordinator {
                         },
                         _ => unreachable!(),
                     };
-                    (home.shard, local)
+                    routed[home.shard.index()].push(local);
                 }
                 ChurnEvent::LinkDown(l)
                 | ChurnEvent::LinkUp(l)
@@ -481,14 +790,27 @@ impl ShardCoordinator {
                             },
                             _ => unreachable!(),
                         };
-                        (shard, mapped)
+                        routed[shard.index()].push(mapped);
                     }
-                    LinkHome::Cut { .. } => {
-                        panic!("churn on cut link {l:?} is unsupported in sharded runs")
+                    LinkHome::Cut { index } => {
+                        let factor = match ev {
+                            ChurnEvent::LinkDown(_) => 0.0,
+                            ChurnEvent::LinkUp(_) => 1.0,
+                            ChurnEvent::LinkDrain { factor, .. } => *factor,
+                            _ => unreachable!(),
+                        };
+                        self.cut_factor[index] = factor;
+                        let cut = self.sharded.cut_links()[index];
+                        for end in [cut.a, cut.b] {
+                            let global = self.sharded.global_node(end.shard, end.local);
+                            routed[end.shard.index()].push(ChurnEvent::NodeDrain {
+                                node: end.local,
+                                factor: self.endpoint_factor(global),
+                            });
+                        }
                     }
                 },
-            };
-            routed[shard.index()].push(local);
+            }
         }
         routed
     }

@@ -14,7 +14,15 @@
 //!   would-be rejects (reserve), offers them to neighboring shards in
 //!   deterministic order (span), then commits every shard through the
 //!   engine's public single-slot seam. A `k = 1` run replays the
-//!   unsharded engine byte-identically.
+//!   unsharded engine byte-identically. Commit hooks fire for every
+//!   `k`, so a [`Checkpointer`] checkpoints sharded runs unmodified,
+//!   and [`ShardCoordinator::resume_from`] continues them
+//!   byte-identically; churn on cut links is applied as idempotent
+//!   endpoint drains on both gateway shards.
+//! * [`checkpoint`] — the typed sharded-checkpoint semantics:
+//!   [`shard_checkpoint`] / [`engine_checkpoint`] convert between the
+//!   [`Checkpointer`]'s envelope and the typed
+//!   [`ShardCheckpoint`](vne_model::state::ShardCheckpoint).
 //! * [`plan`] — per-shard PLAN-VNE: [`shard_demands`] routes the
 //!   history stream into one [`DemandEstimator`] per shard (planning
 //!   memory `O(classes per shard)`), [`shard_plans`] solves the shard
@@ -50,9 +58,12 @@
 //!
 //! [`DemandEstimator`]: vne_workload::estimator::DemandEstimator
 //! [`ShardedSubstrate`]: vne_model::shard::ShardedSubstrate
+//! [`Checkpointer`]: vne_sim::observe::Checkpointer
 
+pub mod checkpoint;
 pub mod coordinator;
 pub mod plan;
 
+pub use checkpoint::{engine_checkpoint, shard_checkpoint};
 pub use coordinator::{ShardCoordinator, SpanningStats};
 pub use plan::{shard_demands, shard_plans};

@@ -1,0 +1,271 @@
+//! Checkpoint interchangeability at the `k = 1` seam, pinned
+//! deterministically: a single-shard coordinator and the monolithic
+//! engine produce and accept each other's checkpoints, while a
+//! multi-shard checkpoint is refused by both with a typed error (and
+//! round-trips through the typed [`ShardCheckpoint`] instead).
+//!
+//! [`ShardCheckpoint`]: vne_model::state::ShardCheckpoint
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::churn::ChurnEvent;
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::shard::{PartitionAssignment, ShardedSubstrate};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::fullg::FullG;
+use vne_shard::{engine_checkpoint, shard_checkpoint, ShardCoordinator};
+use vne_sim::engine::{run_stream, run_stream_from};
+use vne_sim::observe::{Checkpointer, WindowSummary};
+
+const HORIZON: Slot = 10;
+const CHECKPOINT_SLOT: Slot = 4;
+
+fn apps() -> AppSet {
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps
+}
+
+fn fullg(s: &SubstrateNetwork) -> FullG {
+    FullG::new(s.clone(), apps(), PlacementPolicy::default())
+}
+
+/// The span topology: a starved 2-node region and a roomy 2-node
+/// region joined by one link (the cut under the 2-shard partition).
+fn world() -> (SubstrateNetwork, [NodeId; 4]) {
+    let mut s = SubstrateNetwork::new("span");
+    let a0 = s.add_node("a0", Tier::Edge, 30.0, 1.0).unwrap();
+    let a1 = s.add_node("a1", Tier::Edge, 30.0, 1.0).unwrap();
+    let b0 = s.add_node("b0", Tier::Edge, 1000.0, 1.0).unwrap();
+    let b1 = s.add_node("b1", Tier::Edge, 1000.0, 1.0).unwrap();
+    s.add_link(a0, a1, 500.0, 1.0).unwrap();
+    s.add_link(a1, b0, 500.0, 1.0).unwrap();
+    s.add_link(b0, b1, 500.0, 1.0).unwrap();
+    (s, [a0, a1, b0, b1])
+}
+
+/// A mixed workload with a churn window straddling the checkpoint slot.
+fn events(nodes: &[NodeId; 4]) -> Vec<SlotEvents> {
+    let mut events: Vec<SlotEvents> = (0..HORIZON)
+        .map(|t| SlotEvents {
+            slot: t,
+            arrivals: vec![],
+            churn: vec![],
+        })
+        .collect();
+    for (id, (t, ingress, demand, duration)) in [
+        (0, nodes[0], 1.0, 6),
+        (1, nodes[2], 2.0, 4),
+        (2, nodes[0], 5.0, 3),
+        (5, nodes[3], 1.5, 4),
+        (6, nodes[1], 1.0, 2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        events[t as usize].arrivals.push(Request {
+            id: RequestId(id as u64),
+            arrival: t,
+            duration,
+            ingress,
+            app: AppId(0),
+            demand,
+        });
+    }
+    events[3].churn.push(ChurnEvent::NodeDrain {
+        node: nodes[2],
+        factor: 0.5,
+    });
+    events[7].churn.push(ChurnEvent::NodeUp(nodes[2]));
+    events
+}
+
+fn window(s: &SubstrateNetwork) -> WindowSummary {
+    WindowSummary::new(
+        (0, HORIZON),
+        vne_model::cost::RejectionPenalty::conservative(&apps(), s),
+    )
+}
+
+fn sharded_k(s: &SubstrateNetwork, k: usize) -> ShardedSubstrate {
+    let assignment = match k {
+        1 => PartitionAssignment::single(s.node_count()).unwrap(),
+        _ => PartitionAssignment::new(vec![0, 0, 1, 1]).unwrap(),
+    };
+    ShardedSubstrate::new(s, &assignment).unwrap()
+}
+
+/// The monolithic reference fingerprint for the shared scenario.
+fn monolithic_reference(s: &SubstrateNetwork, ev: &[SlotEvents]) -> u64 {
+    let mut algorithm = fullg(s);
+    let mut w = window(s);
+    let stats = run_stream(&mut algorithm, s, ev.iter().cloned(), &mut w);
+    w.finish(&stats).fingerprint()
+}
+
+/// A checkpoint taken at `CHECKPOINT_SLOT` by a monolithic run.
+fn monolithic_checkpoint(
+    s: &SubstrateNetwork,
+    ev: &[SlotEvents],
+) -> vne_sim::engine::EngineCheckpoint {
+    let mut algorithm = fullg(s);
+    let mut cp = Checkpointer::every(CHECKPOINT_SLOT + 1, window(s));
+    run_stream(
+        &mut algorithm,
+        s,
+        ev.iter().take(CHECKPOINT_SLOT as usize + 1).cloned(),
+        &mut cp,
+    );
+    assert_eq!(cp.checkpoints_taken(), 1, "{:?}", cp.last_error());
+    cp.into_latest().unwrap()
+}
+
+/// A checkpoint taken at `CHECKPOINT_SLOT` by a `k`-shard coordinator.
+fn sharded_checkpoint(
+    s: &SubstrateNetwork,
+    ev: &[SlotEvents],
+    k: usize,
+) -> vne_sim::engine::EngineCheckpoint {
+    let sharded = sharded_k(s, k);
+    let apps = apps();
+    let mut coordinator = ShardCoordinator::new(sharded, move |_, local| {
+        Box::new(FullG::new(
+            local.clone(),
+            apps.clone(),
+            PlacementPolicy::default(),
+        ))
+    });
+    let mut cp = Checkpointer::every(CHECKPOINT_SLOT + 1, window(s));
+    coordinator.run(
+        ev.iter().take(CHECKPOINT_SLOT as usize + 1).cloned(),
+        &mut cp,
+    );
+    assert_eq!(cp.checkpoints_taken(), 1, "{:?}", cp.last_error());
+    cp.into_latest().unwrap()
+}
+
+#[test]
+fn monolithic_checkpoint_resumes_into_a_single_shard_coordinator() {
+    let (s, nodes) = world();
+    let ev = events(&nodes);
+    let reference = monolithic_reference(&s, &ev);
+    let checkpoint = monolithic_checkpoint(&s, &ev);
+
+    let apps = apps();
+    let mut w = window(&s);
+    let mut resumed = ShardCoordinator::resume_from(
+        sharded_k(&s, 1),
+        move |_, local| {
+            Box::new(FullG::new(
+                local.clone(),
+                apps.clone(),
+                PlacementPolicy::default(),
+            ))
+        },
+        &checkpoint,
+        &mut w,
+    )
+    .unwrap();
+    assert_eq!(resumed.next_slot(), u64::from(CHECKPOINT_SLOT) + 1);
+    let stats = resumed.run(
+        ev.iter()
+            .filter(|e| u64::from(e.slot) > u64::from(CHECKPOINT_SLOT))
+            .cloned(),
+        &mut w,
+    );
+    assert_eq!(
+        w.finish(&stats).fingerprint(),
+        reference,
+        "a k = 1 coordinator must finish a monolithic checkpoint byte-identically"
+    );
+}
+
+#[test]
+fn single_shard_checkpoint_resumes_into_the_monolithic_engine() {
+    let (s, nodes) = world();
+    let ev = events(&nodes);
+    let reference = monolithic_reference(&s, &ev);
+    let checkpoint = sharded_checkpoint(&s, &ev, 1);
+
+    let mut algorithm = fullg(&s);
+    let mut w = window(&s);
+    let stats =
+        run_stream_from(&checkpoint, &mut algorithm, &s, ev.iter().cloned(), &mut w).unwrap();
+    assert_eq!(
+        w.finish(&stats).fingerprint(),
+        reference,
+        "the monolithic engine must finish a k = 1 coordinator checkpoint byte-identically"
+    );
+}
+
+#[test]
+fn multi_shard_checkpoint_is_refused_outside_its_shape() {
+    let (s, nodes) = world();
+    let ev = events(&nodes);
+    let checkpoint = sharded_checkpoint(&s, &ev, 2);
+
+    // The monolithic engine refuses the packed composite.
+    let mut algorithm = fullg(&s);
+    let mut w = window(&s);
+    assert!(
+        run_stream_from(&checkpoint, &mut algorithm, &s, ev.iter().cloned(), &mut w).is_err(),
+        "a packed multi-shard checkpoint must not restore into one engine"
+    );
+
+    // A k = 1 coordinator refuses it too.
+    let single_apps = apps();
+    let mut w = window(&s);
+    assert!(
+        ShardCoordinator::resume_from(
+            sharded_k(&s, 1),
+            move |_, local| {
+                Box::new(FullG::new(
+                    local.clone(),
+                    single_apps.clone(),
+                    PlacementPolicy::default(),
+                ))
+            },
+            &checkpoint,
+            &mut w,
+        )
+        .is_err(),
+        "a packed multi-shard checkpoint must not restore into k = 1"
+    );
+
+    // It lifts to the typed form, round-trips, and resumes at k = 2.
+    let typed = shard_checkpoint(&checkpoint).unwrap();
+    assert_eq!(typed.shard_count(), 2);
+    assert_eq!(typed.slot, CHECKPOINT_SLOT);
+    let envelope = engine_checkpoint(&typed);
+
+    let sharded = sharded_k(&s, 2);
+    let shared_apps = apps();
+    let build = move |_: vne_model::shard::ShardId, local: &SubstrateNetwork| {
+        Box::new(FullG::new(
+            local.clone(),
+            shared_apps.clone(),
+            PlacementPolicy::default(),
+        )) as Box<dyn vne_olive::algorithm::OnlineAlgorithm>
+    };
+    // Uninterrupted sharded reference.
+    let mut coordinator = ShardCoordinator::new(sharded.clone(), build.clone());
+    let mut w = window(&s);
+    let stats = coordinator.run(ev.iter().cloned(), &mut w);
+    let reference = w.finish(&stats).fingerprint();
+
+    let mut w = window(&s);
+    let mut resumed = ShardCoordinator::resume_from(sharded, build, &envelope, &mut w).unwrap();
+    let stats = resumed.run(
+        ev.iter()
+            .filter(|e| u64::from(e.slot) > u64::from(CHECKPOINT_SLOT))
+            .cloned(),
+        &mut w,
+    );
+    assert_eq!(w.finish(&stats).fingerprint(), reference);
+}

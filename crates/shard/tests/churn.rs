@@ -1,0 +1,234 @@
+//! Sharded churn semantics: cut-link churn applied as idempotent
+//! endpoint drains (no more panics), dead cuts skipped by the spanning
+//! gateway, and the configured re-embed policy governing stranded
+//! requests in every shard engine.
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::churn::ChurnEvent;
+use vne_model::ids::{AppId, LinkId, NodeId, RequestId};
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::shard::{PartitionAssignment, ShardedSubstrate};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::fullg::FullG;
+use vne_shard::ShardCoordinator;
+use vne_sim::engine::{ChurnStats, ReembedKind, RequestOutcome, RequestStatus, SimObserver};
+
+fn apps(chain: usize) -> AppSet {
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(chain, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    apps
+}
+
+fn fullg_coordinator(sharded: &ShardedSubstrate, chain: usize) -> ShardCoordinator {
+    let apps = apps(chain);
+    ShardCoordinator::new(sharded.clone(), move |_, local| {
+        Box::new(FullG::new(
+            local.clone(),
+            apps.clone(),
+            PlacementPolicy::default(),
+        ))
+    })
+}
+
+fn request(id: u64, arrival: Slot, duration: Slot, ingress: NodeId, demand: f64) -> Request {
+    Request {
+        id: RequestId(id),
+        arrival,
+        duration,
+        ingress,
+        app: AppId(0),
+        demand,
+    }
+}
+
+/// Merges per-slot churn counters and records arrival outcomes.
+#[derive(Default)]
+struct ChurnProbe {
+    churn: ChurnStats,
+    churn_slots: Vec<Slot>,
+    outcomes: Vec<(RequestId, RequestStatus)>,
+}
+
+impl SimObserver for ChurnProbe {
+    fn on_churn(&mut self, t: Slot, churn: &ChurnStats) {
+        self.churn.absorb(churn);
+        self.churn_slots.push(t);
+    }
+
+    fn on_arrival(&mut self, outcome: &RequestOutcome) {
+        self.outcomes.push((outcome.id, outcome.status));
+    }
+}
+
+/// The span topology from the proptests, with the cut link captured: a
+/// starved 2-node home shard (30 CU) and a roomy 2-node neighbor
+/// (1000 CU), joined by one cut link.
+fn span_world() -> (SubstrateNetwork, ShardedSubstrate, [NodeId; 4], LinkId) {
+    let mut s = SubstrateNetwork::new("span");
+    let a0 = s.add_node("a0", Tier::Edge, 30.0, 1.0).unwrap();
+    let a1 = s.add_node("a1", Tier::Edge, 30.0, 1.0).unwrap();
+    let b0 = s.add_node("b0", Tier::Edge, 1000.0, 1.0).unwrap();
+    let b1 = s.add_node("b1", Tier::Edge, 1000.0, 1.0).unwrap();
+    s.add_link(a0, a1, 500.0, 1.0).unwrap();
+    let cut = s.add_link(a1, b0, 500.0, 1.0).unwrap();
+    s.add_link(b0, b1, 500.0, 1.0).unwrap();
+    let assignment = PartitionAssignment::new(vec![0, 0, 1, 1]).unwrap();
+    let sharded = ShardedSubstrate::new(&s, &assignment).unwrap();
+    (s, sharded, [a0, a1, b0, b1], cut)
+}
+
+/// Churn on a cut link no longer panics: Down drains both gateway
+/// endpoints (stranding the spanning embedding hosted there), a dead
+/// cut is skipped by the spanning gateway (the overflow is denied), and
+/// Up restores spanning.
+#[test]
+fn cut_link_churn_drains_gateways_and_recovers() {
+    let (_s, sharded, [a0, ..], cut) = span_world();
+    let mut coordinator = fullg_coordinator(&sharded, 2);
+    let mut probe = ChurnProbe::default();
+
+    let mut events: Vec<SlotEvents> = (0..6)
+        .map(|t| SlotEvents {
+            slot: t,
+            arrivals: vec![],
+            churn: vec![],
+        })
+        .collect();
+    // Overflows home, adopted by the neighbor through the cut gateway.
+    events[0].arrivals.push(request(0, 0, 2, a0, 5.0));
+    // The cut goes down: both gateway endpoints drain to factor 0.
+    events[1].churn.push(ChurnEvent::LinkDown(cut));
+    // Overflows home while the cut is dead: nobody can adopt it.
+    events[2].arrivals.push(request(1, 2, 1, a0, 5.0));
+    // The cut comes back: endpoints restore to factor 1.
+    events[3].churn.push(ChurnEvent::LinkUp(cut));
+    // Overflows home again: spanning works again.
+    events[4].arrivals.push(request(2, 4, 1, a0, 5.0));
+
+    coordinator.run(events, &mut probe);
+
+    let span = coordinator.spanning_stats();
+    assert_eq!(span.candidates, 3, "all three arrivals overflow home");
+    assert_eq!(span.granted, 2, "spanning works before and after churn");
+    assert_eq!(span.denied, 1, "the dead cut blocks the middle arrival");
+    assert_eq!(
+        probe.outcomes,
+        vec![
+            (RequestId(0), RequestStatus::Accepted),
+            (RequestId(1), RequestStatus::Rejected),
+            (RequestId(2), RequestStatus::Accepted),
+        ]
+    );
+    // One NodeDrain lands on each endpoint shard per cut event.
+    assert_eq!(
+        probe.churn_slots,
+        vec![1, 3],
+        "churn reported on both cut events"
+    );
+    assert_eq!(probe.churn.events, 4, "two endpoint drains per cut event");
+    assert_eq!(
+        probe.churn.stranded, 1,
+        "the adopted embedding at the gateway is stranded by the Down"
+    );
+    assert_eq!(
+        probe.churn.evicted + probe.churn.reembedded,
+        probe.churn.stranded,
+        "every stranded request is resolved by the policy"
+    );
+}
+
+/// Repeating the same cut-link event changes nothing: factors are
+/// absolute, so the drain is idempotent.
+#[test]
+fn cut_link_churn_is_idempotent() {
+    let (_s, sharded, [a0, ..], cut) = span_world();
+
+    let run = |repeat: usize| {
+        let mut coordinator = fullg_coordinator(&sharded, 2);
+        let mut probe = ChurnProbe::default();
+        let mut events: Vec<SlotEvents> = (0..3)
+            .map(|t| SlotEvents {
+                slot: t,
+                arrivals: vec![],
+                churn: vec![],
+            })
+            .collect();
+        events[0].arrivals.push(request(0, 0, 3, a0, 5.0));
+        for _ in 0..repeat {
+            events[1].churn.push(ChurnEvent::LinkDown(cut));
+        }
+        events[2].arrivals.push(request(1, 2, 1, a0, 5.0));
+        coordinator.run(events, &mut probe);
+        (
+            coordinator.spanning_stats(),
+            probe.churn.stranded,
+            probe.outcomes,
+        )
+    };
+
+    let (span_once, stranded_once, outcomes_once) = run(1);
+    let (span_thrice, stranded_thrice, outcomes_thrice) = run(3);
+    assert_eq!(span_once, span_thrice);
+    assert_eq!(stranded_once, stranded_thrice);
+    assert_eq!(outcomes_once, outcomes_thrice);
+}
+
+/// Satellite: the configured [`ReembedKind`] governs stranded requests
+/// in the shard engines — the same drain re-embeds under `Reembed` and
+/// evicts under `Evict`, visible in the churn counters.
+#[test]
+fn reembed_policy_decides_stranded_fate() {
+    let run = |kind: ReembedKind| {
+        let mut s = SubstrateNetwork::new("drain");
+        let a0 = s.add_node("a0", Tier::Edge, 1000.0, 1.0).unwrap();
+        let a1 = s.add_node("a1", Tier::Edge, 1000.0, 1.0).unwrap();
+        let b0 = s.add_node("b0", Tier::Edge, 1000.0, 1.0).unwrap();
+        let b1 = s.add_node("b1", Tier::Edge, 1000.0, 1.0).unwrap();
+        s.add_link(a0, a1, 500.0, 1.0).unwrap();
+        s.add_link(a1, b0, 500.0, 1.0).unwrap();
+        s.add_link(b0, b1, 500.0, 1.0).unwrap();
+        let assignment = PartitionAssignment::new(vec![0, 0, 1, 1]).unwrap();
+        let sharded = ShardedSubstrate::new(&s, &assignment).unwrap();
+        // Single-vnode app: a stranded request always fits the other
+        // (pristine) node, so `Reembed` must succeed.
+        let mut coordinator = fullg_coordinator(&sharded, 1).with_reembed(kind);
+        assert_eq!(coordinator.reembed_kind(), kind);
+        let mut probe = ChurnProbe::default();
+        let mut events: Vec<SlotEvents> = (0..3)
+            .map(|t| SlotEvents {
+                slot: t,
+                arrivals: vec![],
+                churn: vec![],
+            })
+            .collect();
+        events[0].arrivals.push(request(0, 0, 5, a0, 5.0));
+        // An internal node event on shard A; a0 hosts the embedding.
+        events[1].churn.push(ChurnEvent::NodeDown(a0));
+        coordinator.run(events, &mut probe);
+        assert_eq!(
+            probe.outcomes,
+            vec![(RequestId(0), RequestStatus::Accepted)]
+        );
+        assert_eq!(probe.churn.stranded, 1, "the host node went down");
+        probe.churn
+    };
+
+    let reembed = run(ReembedKind::Reembed);
+    assert_eq!(
+        (reembed.reembedded, reembed.evicted),
+        (1, 0),
+        "Reembed must move the stranded request to the pristine node"
+    );
+    let evict = run(ReembedKind::Evict);
+    assert_eq!(
+        (evict.reembedded, evict.evicted),
+        (0, 1),
+        "Evict must drop the stranded request without re-offering it"
+    );
+}

@@ -8,21 +8,33 @@
 //!   shard id) leaves nothing to scheduling.
 //! * **Conservation** — every arrival is decided exactly once, and the
 //!   spanning counters are internally consistent.
+//! * **Checkpoint/resume** — for `k ∈ {1, 4}` × all four builtin
+//!   algorithms × churn landing inside the run, killing the run at a
+//!   random slot, resuming from the [`Checkpointer`]'s checkpoint, and
+//!   finishing produces a summary fingerprint (churn counters included)
+//!   byte-identical to the uninterrupted run.
 //!
 //! Plus a pinned deterministic case where a request overflows its tiny
 //! home shard and must be adopted by the neighbor.
+//!
+//! [`Checkpointer`]: vne_sim::observe::Checkpointer
 
 use proptest::prelude::*;
 use vne_model::app::{shapes, AppSet, AppShape};
-use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::churn::ChurnEvent;
+use vne_model::ids::{AppId, LinkId, NodeId, RequestId};
 use vne_model::policy::PlacementPolicy;
 use vne_model::request::{Request, Slot, SlotEvents};
-use vne_model::shard::{PartitionAssignment, ShardedSubstrate};
+use vne_model::shard::{PartitionAssignment, ShardId, ShardedSubstrate};
 use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::algorithm::OnlineAlgorithm;
+use vne_olive::colgen::PlanVneConfig;
 use vne_olive::fullg::FullG;
+use vne_olive::slotoff::SlotOff;
+use vne_olive::{Olive, OliveConfig, Plan};
 use vne_shard::{ShardCoordinator, SpanningStats};
 use vne_sim::engine::{RequestOutcome, RequestStatus, SimObserver};
-use vne_sim::observe::WindowSummary;
+use vne_sim::observe::{Checkpointer, WindowSummary};
 use vne_topology::params::TierParams;
 use vne_topology::partition::{GreedyEdgeCut, Partitioner};
 use vne_topology::random::{erdos_renyi_spec, TierFractions};
@@ -63,6 +75,60 @@ fn fullg_coordinator(sharded: &ShardedSubstrate) -> ShardCoordinator {
             PlacementPolicy::default(),
         ))
     })
+}
+
+/// A per-shard builder for the `alg`-th builtin (OLIVE runs an empty
+/// plan — the plan is configuration, and identical configuration on
+/// both sides is all resume determinism needs).
+fn builtin_builder(
+    alg: usize,
+) -> impl FnMut(ShardId, &SubstrateNetwork) -> Box<dyn OnlineAlgorithm> {
+    let apps = apps();
+    move |_, local| {
+        let policy = PlacementPolicy::default();
+        match alg {
+            0 => Box::new(Olive::new(
+                local.clone(),
+                apps.clone(),
+                policy,
+                Plan::empty(),
+                OliveConfig::default(),
+            )),
+            1 => Box::new(Olive::quickg(local.clone(), apps.clone(), policy)),
+            2 => Box::new(FullG::new(local.clone(), apps.clone(), policy)),
+            _ => Box::new(SlotOff::new(
+                local.clone(),
+                apps.clone(),
+                policy,
+                PlanVneConfig::new(1e4),
+            )),
+        }
+    }
+}
+
+/// Injects a churn window into the stream: a link Down/Up pair (which
+/// lands on a *cut* link whenever the seed picks one) bracketing a node
+/// drain, so resume points can fall before, inside, and after folded
+/// churn.
+fn churned_events(
+    requests: &[Request],
+    horizon: Slot,
+    s: &SubstrateNetwork,
+    seed: u64,
+) -> Vec<SlotEvents> {
+    let mut events = events_of(requests, horizon);
+    let link = LinkId((seed % s.link_count() as u64) as u32);
+    let node = NodeId(((seed >> 8) % s.node_count() as u64) as u32);
+    events[horizon as usize / 3]
+        .churn
+        .push(ChurnEvent::LinkDown(link));
+    events[horizon as usize / 2]
+        .churn
+        .push(ChurnEvent::NodeDrain { node, factor: 0.5 });
+    events[horizon as usize * 2 / 3]
+        .churn
+        .push(ChurnEvent::LinkUp(link));
+    events
 }
 
 /// Counts decided arrivals by status.
@@ -147,6 +213,67 @@ proptest! {
         let span = coordinator.spanning_stats();
         prop_assert_eq!(span.granted + span.denied, span.candidates);
         prop_assert!(span.attempts >= span.candidates.min(1));
+    }
+
+    /// Kill a sharded run at a random slot, resume from the
+    /// checkpoint, finish: the summary fingerprint (churn counters
+    /// included) and the spanning counters are byte-identical to the
+    /// uninterrupted run — for `k ∈ {1, 4}` and all four builtins,
+    /// with churn (sometimes on cut links) landing inside the run.
+    #[test]
+    fn checkpoint_resume_is_byte_identical(
+        (s, _, seed, mut requests) in arb_case(),
+        k in any::<bool>().prop_map(|wide| if wide { 4usize } else { 1 }),
+        alg in 0usize..4,
+        cut in 0u32..12,
+    ) {
+        requests.sort_by_key(|r| (r.arrival, r.id));
+        let assignment = if k == 1 {
+            PartitionAssignment::single(s.node_count()).unwrap()
+        } else {
+            GreedyEdgeCut { seed }.partition(&s, k).unwrap()
+        };
+        let sharded = ShardedSubstrate::new(&s, &assignment).unwrap();
+        let events = churned_events(&requests, 12, &s, seed);
+
+        // Uninterrupted reference.
+        let mut coordinator = ShardCoordinator::new(sharded.clone(), builtin_builder(alg));
+        let mut window = WindowSummary::new((0, 12), penalty(&s));
+        let stats = coordinator.run(events.iter().cloned(), &mut window);
+        let reference = window.finish(&stats).fingerprint();
+        let reference_span = coordinator.spanning_stats();
+
+        // Kill at slot `cut`, keeping the checkpoint taken there.
+        let mut cp = Checkpointer::every(cut + 1, WindowSummary::new((0, 12), penalty(&s)));
+        let mut coordinator = ShardCoordinator::new(sharded.clone(), builtin_builder(alg));
+        coordinator.run(events.iter().take(cut as usize + 1).cloned(), &mut cp);
+        prop_assert_eq!(cp.checkpoints_taken(), 1, "checkpoint error: {:?}", cp.last_error());
+        let checkpoint = cp.into_latest().unwrap();
+        prop_assert_eq!(checkpoint.slot, cut);
+
+        // Resume into fresh instances and finish the stream.
+        let mut window = WindowSummary::new((0, 12), penalty(&s));
+        let mut resumed = ShardCoordinator::resume_from(
+            sharded.clone(),
+            builtin_builder(alg),
+            &checkpoint,
+            &mut window,
+        )
+        .unwrap();
+        prop_assert_eq!(resumed.next_slot(), u64::from(cut) + 1);
+        let stats = resumed.run(
+            events
+                .iter()
+                .filter(|ev| u64::from(ev.slot) > u64::from(cut))
+                .cloned(),
+            &mut window,
+        );
+        prop_assert_eq!(
+            window.finish(&stats).fingerprint(),
+            reference,
+            "resumed fingerprint diverged from the uninterrupted run"
+        );
+        prop_assert_eq!(resumed.spanning_stats(), reference_span);
     }
 }
 

@@ -31,7 +31,9 @@ use std::time::Instant;
 use vne_model::churn::{ChurnState, EffectiveCapacities};
 use vne_model::ids::{ClassId, LinkId, NodeId, RequestId};
 use vne_model::request::{Request, Slot, SlotEvents};
-use vne_model::state::{Snapshot, StateBlob, StateError, StateReader, StateWriter};
+use vne_model::state::{
+    ShardCheckpoint, Snapshot, StateBlob, StateError, StateReader, StateWriter,
+};
 use vne_model::substrate::SubstrateNetwork;
 use vne_olive::algorithm::OnlineAlgorithm;
 
@@ -522,6 +524,19 @@ impl EngineState {
         (step, control)
     }
 
+    /// Re-imposes the folded churn state's effective capacities on
+    /// `algorithm` (no-op when the state carries no churn). Effective
+    /// capacities are absolute, so this is idempotent — the
+    /// post-restore fixup shared by [`restore_engine`] and external
+    /// multi-engine drivers (the shard coordinator) restoring per-shard
+    /// states, whose algorithm blobs snapshot loads but not churned
+    /// capacities.
+    pub fn reapply_churn(&self, algorithm: &mut dyn OnlineAlgorithm, substrate: &SubstrateNetwork) {
+        if let Some(churn) = &self.churn {
+            algorithm.apply_churn(&churn.effective(substrate));
+        }
+    }
+
     /// A live, checkpointable [`EngineView`] of the engine after the
     /// most recently stepped slot — what external drivers hand to
     /// [`SimObserver::on_slot_committed`] (and through it to a
@@ -601,22 +616,30 @@ impl Snapshot for EngineState {
     }
 }
 
-/// The engine+algorithm state captured by the pipelined algorithm stage
-/// for slots where the observer stage may checkpoint (see
-/// [`PipelineConfig::capture_every`]).
+/// The engine+algorithm state captured at one slot boundary — what an
+/// [`EngineView`] wraps when it cannot borrow a live engine.
+///
+/// Two producers exist: the pipelined algorithm stage captures one per
+/// [`PipelineConfig::capture_every`] cadence slot, and external
+/// multi-engine drivers (the shard coordinator) assemble one on demand
+/// inside [`EngineView::deferred`] — there the blobs are a composite
+/// over every shard's state rather than a single engine snapshot.
 #[derive(Debug, Clone)]
-struct SlotCapture {
-    engine: StateBlob,
+pub struct EngineCapture {
+    /// The engine-state snapshot (or a driver-defined composite of
+    /// several).
+    pub engine: StateBlob,
     /// `None` when the algorithm does not support snapshots — the
     /// observer-stage [`EngineView::checkpoint`] then reports the same
     /// [`StateError::Unsupported`] the serial path would.
-    algorithm_state: Option<StateBlob>,
+    pub algorithm_state: Option<StateBlob>,
 }
 
 /// Where an [`EngineView`] gets its state from: a live borrow of the
-/// serial engine loop, or an owned capture shipped across the pipeline's
+/// serial engine loop, an owned capture shipped across the pipeline's
 /// record channel (the observer stage runs while the algorithm stage is
-/// already slots ahead, so it cannot borrow the live state).
+/// already slots ahead, so it cannot borrow the live state), or a
+/// deferred capture produced only if a checkpoint is actually taken.
 enum ViewSource<'a> {
     Live {
         state: &'a EngineState,
@@ -624,7 +647,11 @@ enum ViewSource<'a> {
     },
     Captured {
         algorithm_name: &'a str,
-        capture: Option<&'a SlotCapture>,
+        capture: Option<&'a EngineCapture>,
+    },
+    Deferred {
+        algorithm_name: &'a str,
+        produce: &'a dyn Fn() -> Result<EngineCapture, StateError>,
     },
 }
 
@@ -653,6 +680,33 @@ impl fmt::Debug for EngineView<'_> {
 }
 
 impl<'a> EngineView<'a> {
+    /// A view whose state capture is produced lazily, the seam for
+    /// external multi-engine drivers (the shard coordinator): `produce`
+    /// is invoked only if [`EngineView::checkpoint`] is actually called
+    /// on this view, so emitting the commit hook every slot costs
+    /// nothing on slots nobody checkpoints.
+    ///
+    /// `stats` and `active` are the driver's *merged* counters as of
+    /// this slot; `produce` returns the (possibly composite) capture or
+    /// the error to surface from `checkpoint`.
+    pub fn deferred(
+        slot: Slot,
+        stats: StreamStats,
+        active: usize,
+        algorithm_name: &'a str,
+        produce: &'a dyn Fn() -> Result<EngineCapture, StateError>,
+    ) -> Self {
+        Self {
+            slot,
+            stats,
+            active,
+            source: ViewSource::Deferred {
+                algorithm_name,
+                produce,
+            },
+        }
+    }
+
     /// The slot that just committed.
     pub fn slot(&self) -> Slot {
         self.slot
@@ -672,7 +726,8 @@ impl<'a> EngineView<'a> {
     pub fn algorithm_name(&self) -> &'a str {
         match self.source {
             ViewSource::Live { algorithm, .. } => algorithm.name(),
-            ViewSource::Captured { algorithm_name, .. } => algorithm_name,
+            ViewSource::Captured { algorithm_name, .. }
+            | ViewSource::Deferred { algorithm_name, .. } => algorithm_name,
         }
     }
 
@@ -681,7 +736,7 @@ impl<'a> EngineView<'a> {
     pub fn live_state(&self) -> Option<&'a EngineState> {
         match self.source {
             ViewSource::Live { state, .. } => Some(state),
-            ViewSource::Captured { .. } => None,
+            ViewSource::Captured { .. } | ViewSource::Deferred { .. } => None,
         }
     }
 
@@ -690,7 +745,7 @@ impl<'a> EngineView<'a> {
     pub fn live_algorithm(&self) -> Option<&'a dyn OnlineAlgorithm> {
         match self.source {
             ViewSource::Live { algorithm, .. } => Some(algorithm),
-            ViewSource::Captured { .. } => None,
+            ViewSource::Captured { .. } | ViewSource::Deferred { .. } => None,
         }
     }
 
@@ -738,6 +793,22 @@ impl<'a> EngineView<'a> {
                     slot: self.slot,
                     algorithm: algorithm_name.to_string(),
                     engine: capture.engine.clone(),
+                    algorithm_state,
+                    observer_state,
+                })
+            }
+            ViewSource::Deferred {
+                algorithm_name,
+                produce,
+            } => {
+                let capture = produce()?;
+                let algorithm_state = capture.algorithm_state.ok_or_else(|| {
+                    StateError::Unsupported(format!("algorithm {algorithm_name}"))
+                })?;
+                Ok(EngineCheckpoint {
+                    slot: self.slot,
+                    algorithm: algorithm_name.to_string(),
+                    engine: capture.engine,
                     algorithm_state,
                     observer_state,
                 })
@@ -971,16 +1042,19 @@ where
             found: format!("algorithm {}", algorithm.name()),
         });
     }
+    if ShardCheckpoint::is_packed(&checkpoint.engine) {
+        return Err(StateError::Mismatch {
+            expected: "a monolithic engine checkpoint".into(),
+            found: "a packed multi-shard checkpoint (resume it with a shard coordinator)".into(),
+        });
+    }
     algorithm.restore_state(&checkpoint.algorithm_state)?;
     observer.restore(&checkpoint.observer_state)?;
     let mut state = EngineState::fresh();
     state.restore(&checkpoint.engine)?;
     // The algorithm blob does not carry churned capacities (ledgers
     // snapshot loads only); re-derive them from the folded churn state.
-    // Effective capacities are absolute, so this is idempotent.
-    if let Some(churn) = &state.churn {
-        algorithm.apply_churn(&churn.effective(substrate));
-    }
+    state.reapply_churn(algorithm, substrate);
     // The resumed segment gets its own early-stop verdict.
     state.stats.stopped_early = false;
     Ok(state)
@@ -1375,7 +1449,7 @@ struct SlotRecord {
     /// at the end).
     stats_after: StreamStats,
     active: usize,
-    capture: Option<SlotCapture>,
+    capture: Option<EngineCapture>,
 }
 
 /// The stand-in algorithm handed to [`SimObserver::on_slot_end`] on the
@@ -1612,7 +1686,7 @@ where
                     state.stats.online_secs = stage_base + stage_started.elapsed().as_secs_f64();
                     let capture = match capture_every {
                         Some(every) if (u64::from(slot) + 1) % u64::from(every) == 0 => {
-                            Some(SlotCapture {
+                            Some(EngineCapture {
                                 engine: state.snapshot(),
                                 algorithm_state: algorithm.snapshot_state(),
                             })
