@@ -1,0 +1,5 @@
+//! Bad fixture: trips D4 (serve-panic) in the connection-handler path.
+
+pub fn handle(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,7 @@
+//! Bad fixture: trips A1 (allow-syntax) twice — an unknown rule and a
+//! missing reason — and A2 (unused-allow) once.
+
+// audit:allow(D9, "no such rule")
+// audit:allow(D2)
+// audit:allow(D6, "nothing on the next line spawns a thread")
+pub fn quiet() {}

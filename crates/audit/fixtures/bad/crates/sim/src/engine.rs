@@ -1,0 +1,17 @@
+//! Bad fixture: trips D2 (wall-clock), D5 (snapshot-pairing — no test
+//! names `Ghost` in a round-trip) and D6 (thread-spawn).
+
+use std::time::Instant;
+
+pub struct Ghost;
+
+impl StateEncode for Ghost {
+    fn encode(&self, _w: &mut StateWriter) {}
+}
+
+pub fn race() {
+    let started = Instant::now();
+    std::thread::spawn(move || {
+        let _ = started.elapsed();
+    });
+}

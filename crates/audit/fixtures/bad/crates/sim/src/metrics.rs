@@ -1,0 +1,18 @@
+//! Bad fixture: trips D1 (hash-iter) and D3 (raw-f64-accum).
+//! Never compiled — input for the vne-audit self-tests and the CI
+//! must-fail assertion.
+
+use std::collections::HashMap;
+
+pub struct Meter {
+    counts: HashMap<u32, f64>,
+    total: f64,
+}
+
+impl Meter {
+    pub fn fold(&mut self) {
+        for (_k, v) in self.counts.iter() {
+            self.total += 0.5 * v;
+        }
+    }
+}

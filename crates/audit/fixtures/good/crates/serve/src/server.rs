@@ -1,0 +1,9 @@
+//! Good fixture: the connection handler sheds the error instead of
+//! panicking.
+
+pub fn handle(input: Option<u32>) -> u32 {
+    match input {
+        Some(v) => v,
+        None => 0,
+    }
+}

@@ -1,0 +1,25 @@
+//! Good fixture: the clean twins of the bad-fixture snippets — sorted
+//! iteration, compensated accumulation, and a reasoned suppression.
+//! Never compiled — input for the vne-audit self-tests.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub struct Meter {
+    counts: BTreeMap<u32, f64>,
+    total: NeumaierSum,
+}
+
+impl Meter {
+    pub fn fold(&mut self) {
+        for (_k, v) in self.counts.iter() {
+            self.total.add(0.5 * v);
+        }
+    }
+
+    pub fn probe(&self) -> f64 {
+        // audit:allow(D2, "fixture timing seam: demonstrates a reasoned suppression")
+        let started = Instant::now();
+        started.elapsed().as_secs_f64()
+    }
+}

@@ -1,0 +1,7 @@
+//! Good fixture test corpus: names `Ghost` in a round-trip test, which
+//! is exactly what the D5 (snapshot-pairing) rule looks for.
+
+#[test]
+fn ghost_roundtrip() {
+    roundtrip(&Ghost);
+}

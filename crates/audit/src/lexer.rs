@@ -1,0 +1,437 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the audit rules.
+//!
+//! The lexer is *comment-, string- and char-literal-aware*: `HashMap`
+//! inside a doc comment, a raw string (any number of `#` guards), a
+//! nested block comment or a `'c'` literal never reaches the token
+//! stream, so the rules in [`crate::rules`] match real code only.
+//! Lifetimes (`'a`) are distinguished from char literals by the
+//! standard one-character lookahead. Everything is line-accurate so
+//! findings and `audit:allow` suppressions anchor to source lines.
+//!
+//! This is deliberately *not* a full Rust lexer: floats, suffixes and
+//! exotic literals are classified just precisely enough for the rules
+//! that consume them (rule D3 needs "is this a float literal", nothing
+//! more).
+
+/// What a token is, with exactly the payload the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `let`, `for`, ...).
+    Ident(String),
+    /// A single punctuation byte (`.`, `:`, `=`, `+`, `{`, ...).
+    /// Multi-byte operators appear as adjacent tokens (`::` is two
+    /// `:`), which the rules match positionally.
+    Punct(u8),
+    /// A string literal (regular, raw, byte or byte-raw). The content
+    /// is intentionally dropped: strings must never trip code rules.
+    Str,
+    /// A char or byte-char literal (content dropped, like [`TokKind::Str`]).
+    Char,
+    /// A numeric literal; `text` keeps the exact lexeme so rules can
+    /// recognize counter idioms like `+= 1.0`.
+    Num {
+        /// Whether the literal is a float (`1.0`, `2e3`, `1f64`).
+        float: bool,
+        /// The raw lexeme, including any suffix.
+        text: String,
+    },
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line number.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Whether this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: u8) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, kept out of the token stream but retained for
+/// `audit:allow` directive parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The raw comment text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognized
+/// bytes are skipped (the auditor must not die on creative source).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i.min(b.len())].to_string(),
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_plain_string(b, i + 1, &mut line);
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                });
+            }
+            b'r' | b'b' if is_string_start(b, i) => {
+                let tok_line = line;
+                i = skip_string_start(b, i, &mut line);
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\...'` and `'X'` are
+                // chars; `'ident` with no closing quote is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char: skip to the closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                } else {
+                    // One (possibly multi-byte) char then a quote ⇒
+                    // char literal; anything else ⇒ lifetime marker.
+                    let w = utf8_width(*b.get(i + 1).unwrap_or(&b' '));
+                    if b.get(i + 1 + w) == Some(&b'\'') {
+                        i += 2 + w;
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Char,
+                        });
+                    } else {
+                        // Lifetime: drop the quote, lex the name as an
+                        // identifier on the next loop iteration.
+                        i += 1;
+                    }
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut float = false;
+                if c == b'0'
+                    && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+                {
+                    i += 2;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        float = true;
+                        i += 1;
+                        while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                            i += 1;
+                        }
+                    }
+                    if matches!(b.get(i), Some(b'e' | b'E'))
+                        && matches!(b.get(i + 1), Some(c) if c.is_ascii_digit() || *c == b'+' || *c == b'-')
+                    {
+                        float = true;
+                        i += 2;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    // Suffix (`f64`, `u32`, ...).
+                    let suffix_start = i;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    if src[suffix_start..i].starts_with('f') {
+                        float = true;
+                    }
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Num {
+                        float,
+                        text: src[start..i].to_string(),
+                    },
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a string literal rather
+/// than an identifier: `r"`, `r#`, `b"`, `b'`, `br"`, `br#`.
+fn is_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') || b.get(j) == Some(&b'"') {
+            return true;
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&b'"');
+    }
+    false
+}
+
+/// Skips a string literal starting at `i` (at the `r`/`b` prefix or the
+/// opening quote) and returns the index just past its end.
+fn skip_string_start(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        // Byte char `b'x'` / `b'\n'`.
+        j += 1;
+        if b.get(j) == Some(&b'\\') {
+            j += 1;
+        }
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return j + 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        loop {
+            if j >= b.len() {
+                return j;
+            }
+            if b[j] == b'\n' {
+                *line += 1;
+            }
+            if b[j] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Plain (or byte) double-quoted string.
+    skip_plain_string(b, j + 1, line)
+}
+
+/// Skips a plain `"..."` body starting *inside* the quotes at `i`.
+fn skip_plain_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Width in bytes of the UTF-8 character starting with byte `c`.
+fn utf8_width(c: u8) -> usize {
+    match c {
+        c if c < 0x80 => 1,
+        c if c >= 0xF0 => 4,
+        c if c >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_tokenize() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block comment */
+            let s = "HashMap::new().iter()";
+            let r = r#"HashMap "quoted" raw"#;
+            let c = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        assert!(!lex(src).toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn char_literals_including_escapes_and_unicode() {
+        let src = "let a = 'x'; let b = '\\n'; let c = '→';";
+        let chars = lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn floats_and_ints_classified() {
+        let l = lex("let x = 1.0; let y = 10; let z = 2e3; let w = 1f64; let h = 0x1E; a[0..1]");
+        let nums: Vec<(bool, String)> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num { float, text } => Some((*float, text.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                (true, "1.0".into()),
+                (false, "10".into()),
+                (true, "2e3".into()),
+                (true, "1f64".into()),
+                (false, "0x1E".into()),
+                (false, "0".into()),
+                (false, "1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 1;";
+        let l = lex(src);
+        let b_tok = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 5);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_strings() {
+        let src = r###"let a = r##"has "# inside"##; let b = b"bytes"; let c = br#"raw bytes"#;"###;
+        let l = lex(src);
+        let strs = l.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 3);
+        assert!(l.toks.iter().any(|t| t.is_ident("c")));
+    }
+}

@@ -1,0 +1,297 @@
+//! `vne-audit`: a dependency-free determinism/robustness lint pass for
+//! the workspace, plus the machinery behind the `vne-audit` CI gate.
+//!
+//! The auditor walks `crates/*/src` and `src/`, lexes every Rust file
+//! with a small comment/string/char-literal-aware lexer
+//! ([`lexer`]) and applies the rule table in [`rules`]:
+//!
+//! | code | name             | what it guards                                   |
+//! |------|------------------|--------------------------------------------------|
+//! | D1   | hash-iter        | no hash-order iteration in fingerprint crates    |
+//! | D2   | wall-clock       | no `Instant::now`/`SystemTime` off-seam          |
+//! | D3   | raw-f64-accum    | metric sums go through `NeumaierSum`             |
+//! | D4   | serve-panic      | no panics in daemon connection/actor paths       |
+//! | D5   | snapshot-pairing | every `StateEncode` impl has a round-trip test   |
+//! | D6   | thread-spawn     | threads only via scope or the serve actor seam   |
+//!
+//! Findings are suppressed with a plain line comment on the offending
+//! line or the line above:
+//!
+//! ```text
+//! // audit:allow(D1, "order cannot escape: building a membership set")
+//! ```
+//!
+//! Doc comments (`///`, `//!`) are *not* scanned for directives, so
+//! documentation like this file can mention the syntax freely. Every
+//! allow must name a known rule and carry a reason (rule `A1`), and
+//! allows that no longer suppress anything are reported stale (`A2`).
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, Severity};
+use std::path::{Path, PathBuf};
+
+/// One parsed `audit:allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// The rule key as written (code or name).
+    pub rule: String,
+    /// The quoted justification, if present.
+    pub reason: Option<String>,
+}
+
+/// A lexed source file plus its parsed suppressions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the audited root, with `/` separators.
+    pub rel: String,
+    /// Directory name under `crates/` (or `"root"` for `src/`).
+    pub crate_name: String,
+    /// Token/comment streams.
+    pub lexed: lexer::Lexed,
+    /// Parsed `audit:allow` directives.
+    pub allows: Vec<Allow>,
+}
+
+/// The outcome of auditing a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Un-suppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many findings were silenced by an `audit:allow`.
+    pub suppressed: usize,
+    /// How many files were audited.
+    pub files: usize,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the gate passes: zero findings of any severity.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Parses `audit:allow(rule)` / `audit:allow(rule, "reason")`
+/// directives out of one comment. Doc comments are skipped so rule
+/// documentation can show the syntax. Returns directives plus syntax
+/// errors as `(line, message)`.
+fn parse_allows(comment: &lexer::Comment) -> (Vec<Allow>, Vec<(u32, String)>) {
+    let text = &comment.text;
+    if text.starts_with("///") || text.starts_with("//!") || text.starts_with("/**") {
+        return (Vec::new(), Vec::new());
+    }
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    let mut search = 0usize;
+    while let Some(found) = text[search..].find("audit:allow(") {
+        let at = search + found;
+        let line = comment.line + text[..at].bytes().filter(|&b| b == b'\n').count() as u32;
+        let body_start = at + "audit:allow(".len();
+        let Some(close) = text[body_start..].find(')') else {
+            errors.push((line, "unterminated audit:allow directive".to_string()));
+            break;
+        };
+        let body = &text[body_start..body_start + close];
+        search = body_start + close + 1;
+        let (rule, reason) = match body.split_once(',') {
+            Some((r, rest)) => {
+                let rest = rest.trim();
+                let reason = rest.strip_prefix('"').and_then(|s| s.strip_suffix('"'));
+                (r.trim(), reason.map(str::to_string))
+            }
+            None => (body.trim(), None),
+        };
+        match (&reason, rules::rule_by_key(rule)) {
+            (_, None) => errors.push((line, format!("audit:allow names unknown rule `{rule}`"))),
+            (None, _) => errors.push((
+                line,
+                format!("audit:allow({rule}) is missing a quoted reason"),
+            )),
+            (Some(r), _) if r.trim().is_empty() => {
+                errors.push((line, format!("audit:allow({rule}) has an empty reason")));
+            }
+            _ => allows.push(Allow {
+                line,
+                rule: rule.to_string(),
+                reason,
+            }),
+        }
+    }
+    (allows, errors)
+}
+
+/// Loads and lexes one file into a [`SourceFile`].
+fn load_file(root: &Path, rel: PathBuf) -> std::io::Result<SourceFile> {
+    let src = std::fs::read_to_string(root.join(&rel))?;
+    let rel_str = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let crate_name = rel_str
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_string();
+    let lexed = lexer::lex(&src);
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        let (mut a, _) = parse_allows(c);
+        allows.append(&mut a);
+    }
+    Ok(SourceFile {
+        rel: rel_str,
+        crate_name,
+        lexed,
+        allows,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports. Paths returned are relative to `root`.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(&abs)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        let rel = dir.join(p.file_name().unwrap_or_default());
+        if p.is_dir() {
+            collect_rs(root, &rel, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lists the source set (`crates/*/src/**.rs` + `src/**.rs`) and the
+/// test corpus (`crates/*/tests/**.rs` + `tests/**.rs`) under `root`.
+fn discover(root: &Path) -> std::io::Result<(Vec<PathBuf>, Vec<PathBuf>)> {
+    let mut code = Vec::new();
+    let mut tests = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let Some(name) = m.file_name() else { continue };
+            let base = Path::new("crates").join(name);
+            collect_rs(root, &base.join("src"), &mut code)?;
+            collect_rs(root, &base.join("tests"), &mut tests)?;
+        }
+    }
+    collect_rs(root, Path::new("src"), &mut code)?;
+    collect_rs(root, Path::new("tests"), &mut tests)?;
+    Ok((code, tests))
+}
+
+/// Audits the workspace rooted at `root`: walks the source set, runs
+/// every rule, applies suppressions and returns the report.
+pub fn audit_tree(root: &Path) -> std::io::Result<Report> {
+    let (code_paths, test_paths) = discover(root)?;
+    let mut code = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+    for p in code_paths {
+        let file = load_file(root, p)?;
+        // Re-run directive parsing for syntax errors (A1); the
+        // successful parses are already attached to the file.
+        for c in &file.lexed.comments {
+            let (_, errs) = parse_allows(c);
+            for (line, message) in errs {
+                raw.push(Finding {
+                    rule: "A1",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+        raw.extend(rules::check_file(&file));
+        code.push(file);
+    }
+    let mut tests = Vec::new();
+    for p in test_paths {
+        tests.push(load_file(root, p)?);
+    }
+    raw.extend(rules::check_pairing(&code, &tests));
+
+    // Apply suppressions: an allow matches a finding in the same file,
+    // for the same rule (by code or name), on the same line or the
+    // line directly below the comment. A1 findings are never
+    // suppressible — the directive itself is malformed.
+    let mut suppressed = 0usize;
+    let mut used: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
+    let mut findings = Vec::new();
+    for f in raw {
+        let allow = code
+            .iter()
+            .find(|c| c.rel == f.file)
+            .and_then(|c| {
+                c.allows.iter().find(|a| {
+                    (f.line == a.line || f.line == a.line + 1)
+                        && rules::rule_by_key(&a.rule).is_some_and(|r| r.code == f.rule)
+                })
+            })
+            .filter(|_| f.rule != "A1");
+        match allow {
+            Some(a) => {
+                suppressed += 1;
+                used.insert((f.file.clone(), a.line));
+            }
+            None => findings.push(f),
+        }
+    }
+    // Stale allows (A2).
+    for c in &code {
+        for a in &c.allows {
+            if !used.contains(&(c.rel.clone(), a.line)) {
+                findings.push(Finding {
+                    rule: "A2",
+                    severity: Severity::Warn,
+                    file: c.rel.clone(),
+                    line: a.line,
+                    message: format!("audit:allow({}) suppresses nothing; remove it", a.rule),
+                });
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        findings,
+        suppressed,
+        files: code.len() + tests.len(),
+    })
+}

@@ -1,0 +1,103 @@
+//! CLI for the workspace determinism/robustness auditor.
+//!
+//! ```text
+//! vne-audit check [--root PATH]   run every rule; exit 1 on findings
+//! vne-audit explain <rule>        print a rule's rationale (code or name)
+//! vne-audit rules                 list the rule table
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("explain") => explain(&args[1..]),
+        Some("rules") => {
+            rules_table();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: vne-audit <check [--root PATH] | explain <rule> | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match vne_audit::audit_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vne-audit: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!(
+            "{}[{}] {}:{}: {}",
+            f.severity, f.rule, f.file, f.line, f.message
+        );
+    }
+    println!(
+        "vne-audit: {} file(s), {} finding(s) ({} error(s), {} warning(s)), {} suppressed",
+        report.files,
+        report.findings.len(),
+        report.errors(),
+        report.warnings(),
+        report.suppressed
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn explain(args: &[String]) -> ExitCode {
+    let Some(key) = args.first() else {
+        eprintln!("usage: vne-audit explain <rule>");
+        return ExitCode::from(2);
+    };
+    match vne_audit::rules::rule_by_key(key) {
+        Some(r) => {
+            println!("{} ({}) — {} [{}]", r.code, r.name, r.summary, r.severity);
+            println!();
+            println!("{}", r.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{key}`; try `vne-audit rules`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn rules_table() {
+    for r in vne_audit::rules::RULES {
+        println!(
+            "{:3} {:18} {:7} {}",
+            r.code,
+            r.name,
+            r.severity.to_string(),
+            r.summary
+        );
+    }
+}

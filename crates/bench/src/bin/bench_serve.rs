@@ -123,7 +123,7 @@ fn run_cell(scenario: &Scenario, alg: Algorithm, clients: usize, per_client: u64
         shed_seen += shed;
     }
     handle.shutdown().expect("graceful shutdown");
-    let report = runtime.join();
+    let report = runtime.join().expect("engine actor");
 
     latencies.sort_by(|a, b| a.total_cmp(b));
     let decided = latencies.len() as u64;

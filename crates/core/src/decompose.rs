@@ -8,7 +8,7 @@
 //! across the flow paths of the next virtual link. This module performs
 //! that decomposition so either solver can feed OLIVE.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vne_model::app::AppSet;
 use vne_model::embedding::Embedding;
@@ -173,14 +173,21 @@ pub fn decompose_class(
         }
     }
 
-    // Merge identical embeddings.
-    let mut merged: HashMap<Embedding, f64> = HashMap::new();
+    // Merge identical embeddings. The map is ordered and the final
+    // sort breaks weight ties by embedding, so the column order is a
+    // pure function of the solution (a HashMap here would leak its
+    // random iteration order into the plan whenever weights tie).
+    let mut merged: BTreeMap<Embedding, f64> = BTreeMap::new();
     for p in partials {
         let emb = Embedding::new(p.node_map, p.link_paths);
         *merged.entry(emb).or_insert(0.0) += p.weight;
     }
     let mut out: Vec<(Embedding, f64)> = merged.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
     out
 }
 

@@ -15,7 +15,7 @@
 //! 2. on verification failure, the paper's node-link ILP over the
 //!    residual capacities, solved by branch-and-bound.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vne_lp::branch_bound::{solve_mip, BranchBoundOptions};
 use vne_lp::problem::{Problem, Relation, VarId};
@@ -53,7 +53,7 @@ pub struct FullG {
     apps: AppSet,
     policy: PlacementPolicy,
     loads: LoadLedger,
-    active: HashMap<RequestId, (f64, Footprint)>,
+    active: BTreeMap<RequestId, (f64, Footprint)>,
     bb_options: BranchBoundOptions,
     stats: FullGStats,
 }
@@ -67,7 +67,7 @@ impl FullG {
             apps,
             policy,
             loads,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             bb_options: BranchBoundOptions {
                 // Bounded effort: the fallback fires only on rare joint
                 // self-interference after the DP repair stage; a tight
@@ -384,11 +384,9 @@ impl Snapshot for FullG {
     fn snapshot(&self) -> StateBlob {
         let mut w = StateWriter::new();
         w.write_blob(&self.loads.snapshot());
-        // HashMap: canonicalize by request id.
-        let mut active: Vec<(&RequestId, &(f64, Footprint))> = self.active.iter().collect();
-        active.sort_by_key(|(id, _)| **id);
-        w.write_usize(active.len());
-        for (id, (demand, footprint)) in active {
+        // Ordered by request id (BTreeMap iteration order).
+        w.write_usize(self.active.len());
+        for (id, (demand, footprint)) in &self.active {
             w.write(id);
             w.write_f64(*demand);
             w.write(footprint);
@@ -408,7 +406,7 @@ impl Snapshot for FullG {
         let mut r = StateReader::new(blob);
         let loads_blob = r.read_blob()?;
         let count = r.read_usize()?;
-        let mut active = HashMap::with_capacity(count);
+        let mut active = BTreeMap::new();
         for _ in 0..count {
             let id: RequestId = r.read()?;
             let demand = r.read_f64()?;

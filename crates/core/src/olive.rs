@@ -19,7 +19,7 @@
 //! With an empty plan and no preemption this machinery *is* the QUICKG
 //! baseline (constructed by [`Olive::quickg`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vne_model::app::AppSet;
 use vne_model::embedding::Footprint;
@@ -78,7 +78,7 @@ pub struct Olive {
     plan: Plan,
     plan_ledger: PlanLedger,
     loads: LoadLedger,
-    active: HashMap<RequestId, ActiveAlloc>,
+    active: BTreeMap<RequestId, ActiveAlloc>,
     config: OliveConfig,
     stats: OliveStats,
 }
@@ -117,7 +117,7 @@ impl Olive {
             plan,
             plan_ledger,
             loads,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             config,
             stats: OliveStats::default(),
         }
@@ -425,11 +425,9 @@ impl Snapshot for Olive {
         w.write_str(&self.name);
         w.write_blob(&self.loads.snapshot());
         w.write_blob(&self.plan_ledger.snapshot());
-        // HashMap: canonicalize by request id.
-        let mut active: Vec<(&RequestId, &ActiveAlloc)> = self.active.iter().collect();
-        active.sort_by_key(|(id, _)| **id);
-        w.write_usize(active.len());
-        for (_, alloc) in active {
+        // Ordered by request id (BTreeMap iteration order).
+        w.write_usize(self.active.len());
+        for alloc in self.active.values() {
             w.write(&alloc.request);
             w.write(&alloc.footprint);
             w.write_bool(alloc.planned);
@@ -459,7 +457,7 @@ impl Snapshot for Olive {
         let loads_blob = r.read_blob()?;
         let ledger_blob = r.read_blob()?;
         let count = r.read_usize()?;
-        let mut active = HashMap::with_capacity(count);
+        let mut active = BTreeMap::new();
         for _ in 0..count {
             let request: Request = r.read()?;
             let footprint = r.read()?;

@@ -20,7 +20,7 @@
 //! a previously accepted request can fail to re-place and is counted as
 //! preempted.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use vne_model::app::AppSet;
 use vne_model::embedding::Embedding;
@@ -44,7 +44,7 @@ pub struct SlotOff {
     config: PlanVneConfig,
     loads: LoadLedger,
     /// Accepted, still-active requests.
-    active: HashMap<RequestId, Request>,
+    active: BTreeMap<RequestId, Request>,
     /// Column pool reused across slots (warm start).
     pool: Vec<(ClassId, Embedding)>,
     /// Cumulative LP statistics.
@@ -67,7 +67,7 @@ impl SlotOff {
             policy,
             config,
             loads,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             pool: Vec::new(),
             total_rounds: 0,
         }
@@ -88,10 +88,8 @@ impl Snapshot for SlotOff {
     fn snapshot(&self) -> StateBlob {
         let mut w = StateWriter::new();
         w.write_blob(&self.loads.snapshot());
-        // HashMap: canonicalize by request id.
-        let mut active: Vec<&Request> = self.active.values().collect();
-        active.sort_by_key(|r| r.id);
-        w.write_seq(active.into_iter());
+        // Ordered by request id (BTreeMap iteration order).
+        w.write_seq(self.active.values());
         w.write_usize(self.pool.len());
         for (class, embedding) in &self.pool {
             w.write(class);
@@ -197,7 +195,7 @@ impl OnlineAlgorithm for SlotOff {
 
         // Rounding: re-place everything from scratch.
         let mut ledger = LoadLedger::new(&self.substrate);
-        let mut budgets: HashMap<ClassId, Vec<f64>> = plan
+        let mut budgets: BTreeMap<ClassId, Vec<f64>> = plan
             .iter()
             .map(|cp| (cp.class, cp.columns.iter().map(|c| c.budget).collect()))
             .collect();

@@ -20,7 +20,7 @@ use crate::vnet::VirtualNetwork;
 /// `link_paths[e]` is the substrate path (list of link ids, ordered from
 /// the parent's node to the child's node) carrying virtual link `e`. A
 /// path is empty when both endpoints are hosted on the same node.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Embedding {
     node_map: Vec<NodeId>,
     link_paths: Vec<Vec<LinkId>>,

@@ -1,0 +1,247 @@
+//! Deep-state runtime invariants — the model-level half of the
+//! `strict-invariants` auditor.
+//!
+//! The lexical pass in `vne-audit` keeps nondeterminism *sources* out of
+//! the tree; this module checks the *state* those guarantees protect.
+//! [`audit_ledger`] verifies a [`LoadLedger`] holds no negative or
+//! oversubscribed load, and [`audit_sharded`] verifies a
+//! [`ShardedSubstrate`]'s global↔local maps round-trip and every link is
+//! internal to exactly one shard or a cut link — never both, never
+//! neither. The engine- and coordinator-level checks (ledger vs. alive
+//! embeddings, departure calendars, cut churn factors) build on these
+//! primitives in `vne-sim` and `vne-shard`, where the private state
+//! lives.
+//!
+//! The functions here are always compiled (tests corrupt state on
+//! purpose and expect them to notice); only the per-slot *hooks* in the
+//! engine and the coordinator sit behind the `strict-invariants`
+//! feature.
+
+use crate::ids::{LinkId, NodeId};
+use crate::load::{LoadLedger, CAPACITY_EPS};
+use crate::shard::{LinkHome, ShardedSubstrate};
+
+/// One violated runtime invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke (a short stable name, e.g.
+    /// `ledger-oversubscribed`).
+    pub invariant: &'static str,
+    /// Human-readable specifics: element ids and the observed values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Panics with a readable report when `violations` is non-empty —
+/// the shared failure path of every `strict-invariants` hook.
+///
+/// # Panics
+///
+/// When `violations` is non-empty (that is the point).
+pub fn enforce(context: &str, violations: &[InvariantViolation]) {
+    assert!(
+        violations.is_empty(),
+        "strict-invariants: {} violation(s) in {context}:\n  {}",
+        violations.len(),
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+/// Checks a load ledger for negative load and capacity
+/// oversubscription (within [`CAPACITY_EPS`] tolerance).
+pub fn audit_ledger(ledger: &LoadLedger) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for i in 0..ledger.node_count() {
+        let n = NodeId::from_index(i);
+        let (cap, load) = (ledger.node_capacity_of(n), ledger.node_load(n));
+        let tol = CAPACITY_EPS * cap.max(1.0);
+        if load < -tol {
+            out.push(InvariantViolation {
+                invariant: "ledger-negative-load",
+                detail: format!("node {n}: load {load} < 0"),
+            });
+        }
+        if load > cap + tol {
+            out.push(InvariantViolation {
+                invariant: "ledger-oversubscribed",
+                detail: format!("node {n}: load {load} > capacity {cap}"),
+            });
+        }
+    }
+    for i in 0..ledger.link_count() {
+        let l = LinkId::from_index(i);
+        let (cap, load) = (ledger.link_capacity_of(l), ledger.link_load(l));
+        let tol = CAPACITY_EPS * cap.max(1.0);
+        if load < -tol {
+            out.push(InvariantViolation {
+                invariant: "ledger-negative-load",
+                detail: format!("link {l}: load {load} < 0"),
+            });
+        }
+        if load > cap + tol {
+            out.push(InvariantViolation {
+                invariant: "ledger-oversubscribed",
+                detail: format!("link {l}: load {load} > capacity {cap}"),
+            });
+        }
+    }
+    out
+}
+
+/// Checks a sharded substrate's derived maps against its source graph:
+/// node global↔local ids round-trip, and every source link is internal
+/// to exactly one shard XOR one of the cut links.
+pub fn audit_sharded(sharded: &ShardedSubstrate) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let source = sharded.source();
+
+    // Node map round-trip: global → (shard, local) → global.
+    for (global, _) in source.nodes() {
+        let home = sharded.home_of(global);
+        if home.shard.index() >= sharded.shard_count() {
+            out.push(InvariantViolation {
+                invariant: "shard-node-home",
+                detail: format!("node {global}: home shard {} out of range", home.shard),
+            });
+            continue;
+        }
+        let back = sharded.global_node(home.shard, home.local);
+        if back != global {
+            out.push(InvariantViolation {
+                invariant: "shard-node-roundtrip",
+                detail: format!("node {global} → ({}, {}) → {back}", home.shard, home.local),
+            });
+        }
+    }
+
+    // Link homes: internal XOR cut, each side consistent.
+    let mut cut_seen = vec![0usize; sharded.cut_count()];
+    for (global, link) in source.links() {
+        match sharded.link_home(global) {
+            LinkHome::Internal { shard, local } => {
+                let back = sharded.global_link(shard, local);
+                if back != global {
+                    out.push(InvariantViolation {
+                        invariant: "shard-link-roundtrip",
+                        detail: format!("link {global} → ({shard}, {local}) → {back}"),
+                    });
+                }
+                let (a, b) = (sharded.home_of(link.a), sharded.home_of(link.b));
+                if a.shard != shard || b.shard != shard {
+                    out.push(InvariantViolation {
+                        invariant: "shard-link-internal",
+                        detail: format!(
+                            "link {global} claimed internal to {shard} but endpoints live in \
+{} and {}",
+                            a.shard, b.shard
+                        ),
+                    });
+                }
+            }
+            LinkHome::Cut { index } => {
+                let Some(cut) = sharded.cut_links().get(index) else {
+                    out.push(InvariantViolation {
+                        invariant: "shard-cut-index",
+                        detail: format!("link {global}: cut index {index} out of range"),
+                    });
+                    continue;
+                };
+                cut_seen[index] += 1;
+                if cut.global != global {
+                    out.push(InvariantViolation {
+                        invariant: "shard-cut-roundtrip",
+                        detail: format!("link {global}: cut {index} names link {}", cut.global),
+                    });
+                }
+                if cut.a.shard == cut.b.shard {
+                    out.push(InvariantViolation {
+                        invariant: "shard-cut-internal",
+                        detail: format!(
+                            "link {global}: cut {index} endpoints share shard {}",
+                            cut.a.shard
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // XOR, other direction: every cut entry is the home of exactly one
+    // source link.
+    for (index, count) in cut_seen.into_iter().enumerate() {
+        if count != 1 {
+            out.push(InvariantViolation {
+                invariant: "shard-cut-orphan",
+                detail: format!("cut {index} is the home of {count} links (expected 1)"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::Footprint;
+    use crate::state::Snapshot;
+    use crate::substrate::{SubstrateNetwork, Tier};
+
+    fn pair() -> SubstrateNetwork {
+        let mut s = SubstrateNetwork::new("pair");
+        let a = s.add_node("a", Tier::Edge, 100.0, 1.0).unwrap();
+        let b = s.add_node("b", Tier::Core, 200.0, 1.0).unwrap();
+        s.add_link(a, b, 50.0, 1.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn clean_ledger_passes() {
+        let s = pair();
+        let mut ledger = LoadLedger::new(&s);
+        ledger.apply(
+            &Footprint::from_parts(
+                vec![(NodeId::from_index(0), 10.0)],
+                vec![(LinkId::from_index(0), 5.0)],
+            ),
+            2.0,
+        );
+        assert!(audit_ledger(&ledger).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_ledger_is_caught() {
+        let s = pair();
+        let mut ledger = LoadLedger::new(&s);
+        // Corrupt through the public codec: a blob whose loads exceed
+        // the capacities restores fine (restore validates dimensions
+        // only) but must fail the audit.
+        let mut w = crate::state::StateWriter::new();
+        w.write(&vec![150.0f64, 0.0]);
+        w.write(&vec![75.0f64]);
+        ledger.restore(&w.finish()).unwrap();
+        let violations = audit_ledger(&ledger);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.invariant == "ledger-oversubscribed"));
+    }
+
+    #[test]
+    fn enforce_panics_with_report() {
+        let v = vec![InvariantViolation {
+            invariant: "test",
+            detail: "boom".into(),
+        }];
+        let err = std::panic::catch_unwind(|| enforce("unit test", &v)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("strict-invariants") && msg.contains("boom"));
+    }
+}

@@ -59,6 +59,7 @@ pub mod decision;
 pub mod embedding;
 pub mod error;
 pub mod ids;
+pub mod invariant;
 pub mod load;
 pub mod policy;
 pub mod request;

@@ -61,6 +61,26 @@ impl LoadLedger {
         }
     }
 
+    /// Number of substrate nodes this ledger tracks.
+    pub fn node_count(&self) -> usize {
+        self.node_capacity.len()
+    }
+
+    /// Number of substrate links this ledger tracks.
+    pub fn link_count(&self) -> usize {
+        self.link_capacity.len()
+    }
+
+    /// Effective capacity of node `n` (after any churn updates).
+    pub fn node_capacity_of(&self, n: NodeId) -> f64 {
+        self.node_capacity[n.index()]
+    }
+
+    /// Effective capacity of link `l` (after any churn updates).
+    pub fn link_capacity_of(&self, l: LinkId) -> f64 {
+        self.link_capacity[l.index()]
+    }
+
     /// Residual capacity of node `n` (clamped at 0).
     pub fn node_residual(&self, n: NodeId) -> f64 {
         (self.node_capacity[n.index()] - self.node_load[n.index()]).max(0.0)

@@ -367,6 +367,22 @@ impl ShardedSubstrate {
         self.cut_links.len()
     }
 
+    /// Mutable access to the cut-link table. Test seam for the
+    /// `strict-invariants` auditor (breaks the derived maps on purpose
+    /// so [`crate::invariant::audit_sharded`] can be shown to catch
+    /// it); never called by production code.
+    #[doc(hidden)]
+    pub fn debug_cut_links_mut(&mut self) -> &mut Vec<CutLink> {
+        &mut self.cut_links
+    }
+
+    /// Mutable access to the node-home table. Test seam for the
+    /// `strict-invariants` auditor; never called by production code.
+    #[doc(hidden)]
+    pub fn debug_node_home_mut(&mut self) -> &mut Vec<ShardNodeRef> {
+        &mut self.node_home
+    }
+
     /// The shards reachable from `shard` over at least one cut link,
     /// in ascending shard-id order (the coordinator's deterministic
     /// re-route order).

@@ -180,7 +180,7 @@ fn run() -> Result<(), String> {
     let _ = std::io::stdout().flush();
     server.serve().map_err(|e| e.to_string())?;
 
-    let report = runtime.join();
+    let report = runtime.join().map_err(|e| e.to_string())?;
     println!(
         "vne-serve drained: slots={} submitted={} accepted={} rejected={} shed={} \
          checkpoints={} fingerprint={:016x}",

@@ -83,12 +83,15 @@ impl Server {
             handlers.retain(|h| !h.is_finished());
             let handle = self.handle.clone();
             let shutdown = Arc::clone(&self.shutdown);
-            handlers.push(
-                std::thread::Builder::new()
-                    .name("vne-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &handle, &shutdown, local))
-                    .expect("spawn connection handler"),
-            );
+            // Thread exhaustion sheds this one connection; the daemon
+            // keeps accepting.
+            match std::thread::Builder::new()
+                .name("vne-serve-conn".into())
+                .spawn(move || handle_connection(stream, &handle, &shutdown, local))
+            {
+                Ok(h) => handlers.push(h),
+                Err(e) => eprintln!("vne-serve: dropping connection, cannot spawn handler: {e}"),
+            }
         }
         for h in handlers {
             let _ = h.join();

@@ -253,7 +253,7 @@ fn eight_concurrent_tcp_clients_match_run_stream_replay() {
     let mut closer = Client::connect(&addr);
     assert_eq!(closer.send(&Command::Shutdown), Reply::Bye);
     server_thread.join().unwrap();
-    let report = runtime.join();
+    let report = runtime.join().expect("engine actor");
     assert_eq!(report.stats.fingerprint, served_fingerprint);
 
     // Replay: rebuild the dense slot sequence the daemon committed from
@@ -371,7 +371,7 @@ fn submissions_beyond_the_watermark_are_shed_and_counted() {
     assert_eq!(handle.stats().unwrap().submitted, 2);
 
     handle.shutdown().unwrap();
-    let report = runtime.join();
+    let report = runtime.join().expect("engine actor");
     assert_eq!(report.stats.shed, 1);
 }
 
@@ -438,7 +438,7 @@ fn depart_probe_tracks_resource_lifetime() {
     assert!(matches!(bad, SubmitReply::Invalid(_)));
 
     handle.shutdown().unwrap();
-    runtime.join();
+    runtime.join().expect("engine actor");
 }
 
 #[test]
@@ -523,7 +523,7 @@ fn depart_releases_capacity_for_readmission() {
     );
 
     handle.shutdown().unwrap();
-    runtime.join();
+    runtime.join().expect("engine actor");
 }
 
 // ---------------------------------------------------------------------
@@ -850,7 +850,7 @@ fn interval_tick_decides_without_manual_advance() {
         std::thread::sleep(Duration::from_millis(5));
     }
     handle.shutdown().unwrap();
-    let report = runtime.join();
+    let report = runtime.join().expect("engine actor");
     assert!(report.stats.slots_run >= 3);
     assert_eq!(report.stats.accepted + report.stats.rejected, 1);
 }

@@ -79,12 +79,13 @@
 //! [`EngineCheckpoint`]: vne_sim::engine::EngineCheckpoint
 //! [`ReembedPolicy`]: vne_sim::engine::ReembedPolicy
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use vne_model::churn::ChurnEvent;
 use vne_model::ids::{ClassId, NodeId, RequestId};
+use vne_model::invariant::InvariantViolation;
 use vne_model::load::LoadLedger;
 use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::shard::{LinkHome, ShardId, ShardNodeRef, ShardedSubstrate};
@@ -135,7 +136,7 @@ pub struct ShardCoordinator {
     /// Original global ingress of requests adopted by a foreign shard,
     /// for mapping their outcome classes back to global ids (bounded by
     /// the number of spanning grants).
-    rerouted: HashMap<RequestId, NodeId>,
+    rerouted: BTreeMap<RequestId, NodeId>,
     /// The policy deciding the fate of churn-stranded requests, in
     /// every shard engine and every trial.
     reembed: ReembedKind,
@@ -146,10 +147,10 @@ pub struct ShardCoordinator {
     /// tracked so node and cut constraints compose by minimum. Nodes
     /// not incident to a cut are never tracked (their events pass
     /// through untranslated).
-    node_factor: HashMap<NodeId, f64>,
+    node_factor: BTreeMap<NodeId, f64>,
     /// Global endpoint node → indices of its incident cut links.
     /// Derived from `sharded` at construction, not checkpointed.
-    incident_cuts: HashMap<NodeId, Vec<usize>>,
+    incident_cuts: BTreeMap<NodeId, Vec<usize>>,
     /// Name + an all-zero ledger handed to `on_slot_end` for `k > 1`
     /// (per-shard ledgers cannot be merged through the trait).
     stub: StubAlgorithm,
@@ -191,7 +192,7 @@ impl ShardCoordinator {
             name,
             loads: LoadLedger::new(sharded.source()),
         };
-        let mut incident_cuts: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut incident_cuts: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
         for (i, cut) in sharded.cut_links().iter().enumerate() {
             for end in [cut.a, cut.b] {
                 let global = sharded.global_node(end.shard, end.local);
@@ -204,10 +205,10 @@ impl ShardCoordinator {
             engines,
             stats: StreamStats::default(),
             spanning: SpanningStats::default(),
-            rerouted: HashMap::new(),
+            rerouted: BTreeMap::new(),
             reembed: ReembedKind::default(),
             cut_factor,
-            node_factor: HashMap::new(),
+            node_factor: BTreeMap::new(),
             incident_cuts,
             stub,
             step_secs: 0.0,
@@ -281,6 +282,7 @@ impl ShardCoordinator {
     where
         O: SimObserver + ?Sized,
     {
+        // audit:allow(D2, "set_online_secs feeder: measures the run to stamp stats.online_secs")
         let start = Instant::now();
         for event in events {
             let control = self.step(event, observer);
@@ -304,6 +306,7 @@ impl ShardCoordinator {
     where
         O: SimObserver + ?Sized,
     {
+        // audit:allow(D2, "per-slot cost probe sizing the pipeline; never feeds results")
         let started = Instant::now();
         let control = if self.engines.len() == 1 {
             self.step_single(event, observer)
@@ -312,7 +315,113 @@ impl ShardCoordinator {
         };
         self.step_secs += started.elapsed().as_secs_f64();
         self.steps += 1;
+
+        #[cfg(feature = "strict-invariants")]
+        vne_model::invariant::enforce("shard coordinator step", &self.audit());
+
         control
+    }
+
+    /// Audits the coordinator's derived and churn-folded state:
+    ///
+    /// 1. the sharded substrate's global↔local maps round-trip and
+    ///    every link is internal XOR cut
+    ///    ([`vne_model::invariant::audit_sharded`]);
+    /// 2. the cut-link churn-factor table covers exactly the cut links,
+    ///    with every factor in `[0, 1]` (factors are absolute, so
+    ///    re-folding the same event is idempotent — a factor outside
+    ///    the unit interval means an event was compounded instead);
+    /// 3. tracked node factors are in `[0, 1]` and belong to
+    ///    cut-endpoint nodes (others must pass through untranslated);
+    /// 4. the incident-cuts index is exactly the inverse of the
+    ///    cut-link endpoint table;
+    /// 5. re-route cursors reference valid global nodes.
+    ///
+    /// Returns the violations instead of panicking so tests can inspect
+    /// them; the `strict-invariants` per-step hook feeds the result
+    /// through [`vne_model::invariant::enforce`].
+    pub fn audit(&self) -> Vec<InvariantViolation> {
+        let mut out = vne_model::invariant::audit_sharded(&self.sharded);
+
+        if self.cut_factor.len() != self.sharded.cut_count() {
+            out.push(InvariantViolation {
+                invariant: "coordinator-cut-factor-shape",
+                detail: format!(
+                    "{} cut factors over {} cut links",
+                    self.cut_factor.len(),
+                    self.sharded.cut_count()
+                ),
+            });
+        }
+        for (i, &f) in self.cut_factor.iter().enumerate() {
+            if !(0.0..=1.0).contains(&f) {
+                out.push(InvariantViolation {
+                    invariant: "coordinator-cut-factor-range",
+                    detail: format!("cut {i}: factor {f} outside [0, 1]"),
+                });
+            }
+        }
+        for (&node, &f) in &self.node_factor {
+            if !(0.0..=1.0).contains(&f) {
+                out.push(InvariantViolation {
+                    invariant: "coordinator-node-factor-range",
+                    detail: format!("node {node}: factor {f} outside [0, 1]"),
+                });
+            }
+            if !self.incident_cuts.contains_key(&node) {
+                out.push(InvariantViolation {
+                    invariant: "coordinator-node-factor-orphan",
+                    detail: format!("node {node} tracked but incident to no cut link"),
+                });
+            }
+        }
+
+        // The incident-cuts index must be exactly the inverse of the
+        // cut-link endpoint table.
+        let mut expected: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, cut) in self.sharded.cut_links().iter().enumerate() {
+            for end in [cut.a, cut.b] {
+                let global = self.sharded.global_node(end.shard, end.local);
+                expected.entry(global).or_default().push(i);
+            }
+        }
+        if expected != self.incident_cuts {
+            out.push(InvariantViolation {
+                invariant: "coordinator-incident-cuts",
+                detail: format!(
+                    "incident-cuts index over {} nodes does not match the {} cut links",
+                    self.incident_cuts.len(),
+                    self.sharded.cut_count()
+                ),
+            });
+        }
+
+        let nodes = self.sharded.source().node_count();
+        for (&id, &ingress) in &self.rerouted {
+            if ingress.index() >= nodes {
+                out.push(InvariantViolation {
+                    invariant: "coordinator-reroute-cursor",
+                    detail: format!("rerouted request {id}: global ingress {ingress} out of range"),
+                });
+            }
+        }
+        out
+    }
+
+    /// Mutable access to the cut-link churn factors. Test seam for the
+    /// `strict-invariants` auditor (corrupts state on purpose so the
+    /// audit can be shown to catch it); never called by the
+    /// coordinator.
+    #[doc(hidden)]
+    pub fn debug_cut_factor_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.cut_factor
+    }
+
+    /// Mutable access to the sharded substrate. Test seam for the
+    /// `strict-invariants` auditor; never called by the coordinator.
+    #[doc(hidden)]
+    pub fn debug_sharded_mut(&mut self) -> &mut ShardedSubstrate {
+        &mut self.sharded
     }
 
     /// Resumes a checkpointed sharded run: rebuilds the coordinator
@@ -454,12 +563,12 @@ impl ShardCoordinator {
         let partition: Vec<u32> = (0..nodes)
             .map(|i| self.sharded.home_of(NodeId::from_index(i)).shard.0)
             .collect();
-        let mut rerouted: Vec<(RequestId, NodeId)> =
+        // Both maps are BTreeMaps, so the drains below are already in
+        // ascending key order — the checkpoint layout is unchanged.
+        let rerouted: Vec<(RequestId, NodeId)> =
             self.rerouted.iter().map(|(&k, &v)| (k, v)).collect();
-        rerouted.sort_unstable_by_key(|&(id, _)| id);
-        let mut node_factor: Vec<(NodeId, f64)> =
+        let node_factor: Vec<(NodeId, f64)> =
             self.node_factor.iter().map(|(&k, &v)| (k, v)).collect();
-        node_factor.sort_unstable_by_key(|&(n, _)| n);
         let cursors = CoordinatorCursors {
             stats: self.stats,
             spanning: self.spanning,
@@ -518,7 +627,7 @@ impl ShardCoordinator {
         let k = self.engines.len();
         // Original stream position of each arrival: outcomes are
         // reported back in this order.
-        let position: HashMap<RequestId, usize> = event
+        let position: BTreeMap<RequestId, usize> = event
             .arrivals
             .iter()
             .enumerate()

@@ -1,0 +1,170 @@
+//! The runtime invariant auditor over the coordinator: a clean sharded
+//! run audits clean, and a hand-broken cut map or churn-factor table is
+//! caught by [`ShardCoordinator::audit`]. Under
+//! `--features strict-invariants` the per-step hook enforces the same
+//! audit, so a corrupted step panics instead of silently continuing.
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::invariant::audit_sharded;
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::shard::{PartitionAssignment, ShardId, ShardedSubstrate};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::fullg::FullG;
+use vne_shard::ShardCoordinator;
+use vne_sim::NullObserver;
+
+fn apps() -> AppSet {
+    let mut a = AppSet::new();
+    a.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    a
+}
+
+/// Two 2-node shards joined by one cut link.
+fn span_world() -> (SubstrateNetwork, ShardedSubstrate, [NodeId; 4]) {
+    let mut s = SubstrateNetwork::new("span");
+    let a0 = s.add_node("a0", Tier::Edge, 30.0, 1.0).unwrap();
+    let a1 = s.add_node("a1", Tier::Edge, 30.0, 1.0).unwrap();
+    let b0 = s.add_node("b0", Tier::Edge, 1000.0, 1.0).unwrap();
+    let b1 = s.add_node("b1", Tier::Edge, 1000.0, 1.0).unwrap();
+    s.add_link(a0, a1, 500.0, 1.0).unwrap();
+    s.add_link(a1, b0, 500.0, 1.0).unwrap();
+    s.add_link(b0, b1, 500.0, 1.0).unwrap();
+    let assignment = PartitionAssignment::new(vec![0, 0, 1, 1]).unwrap();
+    let sharded = ShardedSubstrate::new(&s, &assignment).unwrap();
+    (s, sharded, [a0, a1, b0, b1])
+}
+
+fn coordinator(sharded: &ShardedSubstrate) -> ShardCoordinator {
+    let apps = apps();
+    ShardCoordinator::new(sharded.clone(), move |_, local| {
+        Box::new(FullG::new(
+            local.clone(),
+            apps.clone(),
+            PlacementPolicy::default(),
+        ))
+    })
+}
+
+fn request(id: u64, arrival: Slot, ingress: NodeId) -> Request {
+    Request {
+        id: RequestId(id),
+        arrival,
+        duration: 3,
+        ingress,
+        app: AppId(0),
+        demand: 1.0,
+    }
+}
+
+fn run_slots(coordinator: &mut ShardCoordinator, ingress: NodeId, slots: Slot) {
+    for t in 0..slots {
+        let event = SlotEvents {
+            slot: t,
+            arrivals: vec![request(t.into(), t, ingress)],
+            churn: vec![],
+        };
+        coordinator.step(event, &mut NullObserver);
+    }
+}
+
+#[test]
+fn clean_sharded_run_audits_clean() {
+    let (_s, sharded, [a0, ..]) = span_world();
+    let mut coordinator = coordinator(&sharded);
+    run_slots(&mut coordinator, a0, 5);
+    let violations = coordinator.audit();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn fresh_sharded_substrate_audits_clean() {
+    let (_s, sharded, _) = span_world();
+    assert!(audit_sharded(&sharded).is_empty());
+}
+
+#[test]
+fn broken_cut_endpoint_is_caught() {
+    let (_s, sharded, _) = span_world();
+    let mut broken = sharded.clone();
+    // Claim both cut endpoints live in shard 0: the link is no longer
+    // a cut between two shards.
+    broken.debug_cut_links_mut()[0].b.shard = ShardId(0);
+    let violations = audit_sharded(&broken);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "shard-cut-internal"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn broken_node_home_is_caught() {
+    let (_s, sharded, _) = span_world();
+    let mut broken = sharded.clone();
+    // Send global node 0 to the wrong shard: the global → local →
+    // global round-trip no longer returns it.
+    let other = broken.debug_node_home_mut()[2];
+    broken.debug_node_home_mut()[0] = other;
+    let violations = audit_sharded(&broken);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "shard-node-roundtrip"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn out_of_range_cut_factor_is_caught() {
+    let (_s, sharded, [a0, ..]) = span_world();
+    let mut coordinator = coordinator(&sharded);
+    run_slots(&mut coordinator, a0, 2);
+    coordinator.debug_cut_factor_mut()[0] = -3.0;
+    let violations = coordinator.audit();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "coordinator-cut-factor-range"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn cut_factor_shape_mismatch_is_caught() {
+    let (_s, sharded, _) = span_world();
+    let mut coordinator = coordinator(&sharded);
+    coordinator.debug_cut_factor_mut().push(1.0);
+    let violations = coordinator.audit();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "coordinator-cut-factor-shape"),
+        "{violations:?}"
+    );
+}
+
+/// With the feature on, the per-step hook turns the same corruption
+/// into a panic at the next step.
+#[cfg(feature = "strict-invariants")]
+#[test]
+#[should_panic(expected = "strict-invariants")]
+fn hook_panics_on_corrupted_cut_factor() {
+    let (_s, sharded, [a0, ..]) = span_world();
+    let mut coordinator = coordinator(&sharded);
+    run_slots(&mut coordinator, a0, 2);
+    coordinator.debug_cut_factor_mut()[0] = 7.5;
+    let event = SlotEvents {
+        slot: 2,
+        arrivals: vec![],
+        churn: vec![],
+    };
+    coordinator.step(event, &mut NullObserver);
+}

@@ -24,12 +24,14 @@
 //!
 //! [`Recorder`]: crate::observe::Recorder
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
 use vne_model::churn::{ChurnState, EffectiveCapacities};
+use vne_model::embedding::Footprint;
 use vne_model::ids::{ClassId, LinkId, NodeId, RequestId};
+use vne_model::invariant::InvariantViolation;
 use vne_model::request::{Request, Slot, SlotEvents};
 use vne_model::state::{
     ShardCheckpoint, Snapshot, StateBlob, StateError, StateReader, StateWriter,
@@ -396,7 +398,7 @@ impl<O: PipelineSafe + ?Sized> PipelineSafe for &mut O {}
 #[derive(Debug, Clone, Default)]
 pub struct EngineState {
     /// Active accepted requests (the O(active) working set).
-    alive: HashMap<RequestId, Request>,
+    alive: BTreeMap<RequestId, Request>,
     /// Departure calendar: slot -> accepted request ids departing then
     /// (in acceptance order — the order departures are released in).
     departures_at: BTreeMap<Slot, Vec<RequestId>>,
@@ -452,6 +454,22 @@ impl EngineState {
     /// ignores this field, so it never perturbs determinism checks.
     pub fn set_online_secs(&mut self, secs: f64) {
         self.stats.online_secs = secs;
+    }
+
+    /// Overwrites the allocated-demand counter. Test seam for the
+    /// `strict-invariants` auditor (corrupts state on purpose so the
+    /// audit can be shown to catch it); never called by the engine.
+    #[doc(hidden)]
+    pub fn debug_set_allocated_active(&mut self, value: f64) {
+        self.allocated_active = value;
+    }
+
+    /// Drops the departure calendar, leaving alive requests with no
+    /// scheduled departure. Test seam for the `strict-invariants`
+    /// auditor; never called by the engine.
+    #[doc(hidden)]
+    pub fn debug_clear_departures(&mut self) {
+        self.departures_at.clear();
     }
 
     /// Schedules an active request to depart at the next stepped slot,
@@ -564,15 +582,14 @@ impl EngineState {
 }
 
 /// Checkpointing: everything [`run_stream`] keeps between slots. The
-/// `alive` hash map is canonicalized by request id; the departure
-/// calendar's per-slot vectors keep their order (it is the release
-/// order, and release order feeds the algorithm's departure slice).
+/// `alive` map is ordered by request id (its natural `BTreeMap`
+/// order); the departure calendar's per-slot vectors keep their order
+/// (it is the release order, and release order feeds the algorithm's
+/// departure slice).
 impl Snapshot for EngineState {
     fn snapshot(&self) -> StateBlob {
         let mut w = StateWriter::new();
-        let mut alive: Vec<&Request> = self.alive.values().collect();
-        alive.sort_by_key(|r| r.id);
-        w.write_seq(alive.into_iter());
+        w.write_seq(self.alive.values());
         w.write(&self.departures_at);
         w.write(&self.requested_drop);
         w.write_f64(self.requested_active);
@@ -1210,7 +1227,7 @@ fn advance_slot(
     // requests predate every new arrival.
     let mut churn_stats = ChurnStats::default();
     let mut preemptions: Vec<RequestOutcome> = Vec::new();
-    let mut reoffer_originals: HashMap<RequestId, Request> = HashMap::new();
+    let mut reoffer_originals: BTreeMap<RequestId, Request> = BTreeMap::new();
     let mut offered: Vec<Request> = Vec::new();
     if !event.churn.is_empty() {
         churn_stats.events = event.churn.len();
@@ -1316,12 +1333,123 @@ fn advance_slot(
         resource_cost: algorithm.loads().cost_per_slot(substrate),
     };
     state.stats.slots_run = t + 1;
+
+    #[cfg(feature = "strict-invariants")]
+    vne_model::invariant::enforce(&format!("engine slot {t}"), &audit_engine(state, algorithm));
+
     SlotStep {
         arrivals: arrival_outcomes,
         preemptions,
         metrics,
         churn: churn_stats,
     }
+}
+
+/// Audits the cross-structure invariants tying the engine's demand
+/// bookkeeping to the algorithm's load ledger:
+///
+/// 1. the allocated-demand counter equals the sum of alive demands;
+/// 2. every alive request is on the departure calendar (stale calendar
+///    entries for already-departed ids are fine — release checks
+///    `alive` first — but an alive request *missing* from the calendar
+///    would hold resources forever);
+/// 3. the ledger holds no negative or oversubscribed load
+///    ([`vne_model::invariant::audit_ledger`]) — skipped once churn has
+///    folded in, because [`LoadLedger::set_capacities`] documents that
+///    loads may transiently exceed shrunk capacities;
+/// 4. when the algorithm reports a footprint for *every* alive request,
+///    the ledger's per-element loads equal the sum of those alive
+///    footprints (algorithms without [`OnlineAlgorithm::footprint_of`]
+///    skip this check).
+///
+/// Returns the violations instead of panicking so tests can inspect
+/// them; the `strict-invariants` per-slot hook feeds the result through
+/// [`vne_model::invariant::enforce`].
+///
+/// [`LoadLedger::set_capacities`]: vne_model::load::LoadLedger::set_capacities
+pub fn audit_engine(
+    state: &EngineState,
+    algorithm: &dyn OnlineAlgorithm,
+) -> Vec<InvariantViolation> {
+    use std::collections::BTreeSet;
+
+    let mut out = Vec::new();
+
+    let alive_demand: f64 = state.alive.values().map(|r| r.demand).sum();
+    let tol = 1e-6 * alive_demand.abs().max(1.0);
+    if (state.allocated_active - alive_demand).abs() > tol {
+        out.push(InvariantViolation {
+            invariant: "engine-allocated-counter",
+            detail: format!(
+                "allocated_active {} != sum of {} alive demands {}",
+                state.allocated_active,
+                state.alive.len(),
+                alive_demand
+            ),
+        });
+    }
+
+    let scheduled: BTreeSet<RequestId> = state
+        .departures_at
+        .values()
+        .flat_map(|ids| ids.iter().copied())
+        .collect();
+    for id in state.alive.keys() {
+        if !scheduled.contains(id) {
+            out.push(InvariantViolation {
+                invariant: "engine-departure-calendar",
+                detail: format!("alive request {id} has no departure scheduled"),
+            });
+        }
+    }
+
+    let ledger = algorithm.loads();
+    if state.churn.is_none() {
+        out.extend(vne_model::invariant::audit_ledger(ledger));
+    }
+
+    let footprints: Option<Vec<(&Request, &Footprint)>> = state
+        .alive
+        .values()
+        .map(|r| algorithm.footprint_of(r.id).map(|f| (r, f)))
+        .collect();
+    if let Some(pairs) = footprints {
+        let mut node_acc = vec![0.0f64; ledger.node_count()];
+        let mut link_acc = vec![0.0f64; ledger.link_count()];
+        for (r, fp) in pairs {
+            for &(n, x) in fp.nodes() {
+                node_acc[n.index()] += x * r.demand;
+            }
+            for &(l, x) in fp.links() {
+                link_acc[l.index()] += x * r.demand;
+            }
+        }
+        for (i, &expected) in node_acc.iter().enumerate() {
+            let n = NodeId::from_index(i);
+            let got = ledger.node_load(n);
+            if (got - expected).abs() > 1e-6 * expected.abs().max(1.0) {
+                out.push(InvariantViolation {
+                    invariant: "engine-ledger-footprints",
+                    detail: format!(
+                        "node {n}: ledger load {got} != sum of alive footprints {expected}"
+                    ),
+                });
+            }
+        }
+        for (i, &expected) in link_acc.iter().enumerate() {
+            let l = LinkId::from_index(i);
+            let got = ledger.link_load(l);
+            if (got - expected).abs() > 1e-6 * expected.abs().max(1.0) {
+                out.push(InvariantViolation {
+                    invariant: "engine-ledger-footprints",
+                    detail: format!(
+                        "link {l}: ledger load {got} != sum of alive footprints {expected}"
+                    ),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// The shared serial engine loop behind [`run_stream`] and
@@ -1340,6 +1468,7 @@ where
 {
     // Online seconds accumulate across resumed segments.
     let base_secs = state.stats.online_secs;
+    // audit:allow(D2, "set_online_secs feeder: run_stream stamps stats.online_secs")
     let started = Instant::now();
     for event in events {
         let (_step, control) = state.step(algorithm, substrate, event, observer, policy);
@@ -1635,6 +1764,7 @@ where
     use std::sync::mpsc::sync_channel;
 
     let base_secs = state.stats.online_secs;
+    // audit:allow(D2, "set_online_secs feeder: pipelined run stamps stats.online_secs")
     let started = Instant::now();
     let buffer = config.buffer.max(1);
     let batch = config.batch.max(1);
@@ -1677,6 +1807,7 @@ where
         let policy = &mut *policy;
         let stepper = scope.spawn(move || {
             let stage_base = base_secs;
+            // audit:allow(D2, "set_online_secs feeder: stage-local online-seconds stamp")
             let stage_started = Instant::now();
             'stepping: for chunk in event_rx {
                 let mut records = Vec::with_capacity(chunk.len());

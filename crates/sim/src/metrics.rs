@@ -43,8 +43,10 @@ impl NeumaierSum {
     pub fn add(&mut self, x: f64) {
         let t = self.sum + x;
         if self.sum.abs() >= x.abs() {
+            // audit:allow(D3, "the compensated accumulator itself: this IS NeumaierSum")
             self.compensation += (self.sum - t) + x;
         } else {
+            // audit:allow(D3, "the compensated accumulator itself: this IS NeumaierSum")
             self.compensation += (x - t) + self.sum;
         }
         self.sum = t;
@@ -249,7 +251,9 @@ pub fn balance_from_counts(
             continue; // no rejections at v: Jain undefined, excluded
         }
         let jain = sum * sum / (a_count * sum_sq);
+        // audit:allow(D3, "node-ordered short fold over <=|V| terms; compensating would re-pin goldens")
         weighted += n * jain;
+        // audit:allow(D3, "node-ordered short fold over <=|V| terms; compensating would re-pin goldens")
         total_weight += n;
     }
     if total_weight == 0.0 {

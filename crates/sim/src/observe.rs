@@ -303,6 +303,7 @@ impl SimObserver for WindowSummary {
             self.pending_preemptions.clear();
         }
         if self.in_window(t) {
+            // audit:allow(D3, "pinned parity with the batch Summary fold; NeumaierSum would re-pin goldens")
             self.resource_cost += metrics.resource_cost;
         }
         SimControl::Continue

@@ -594,6 +594,7 @@ impl Scenario {
     }
 
     fn build_plan_uncached(&self) -> (Plan, f64) {
+        // audit:allow(D2, "plan-build cost probe reported in Outcome; never feeds embeddings")
         let started = std::time::Instant::now();
         let mut estimator = self
             .config

@@ -1,0 +1,120 @@
+//! The runtime invariant auditor over the engine: a clean run audits
+//! clean after every slot, and hand-corrupted engine state is caught
+//! by [`audit_engine`]. Under `--features strict-invariants` the
+//! per-slot hook inside the engine enforces the same audit, so the
+//! corrupted step panics instead of silently continuing.
+
+use vne_model::app::{shapes, AppSet, AppShape};
+use vne_model::ids::{AppId, NodeId, RequestId};
+use vne_model::policy::PlacementPolicy;
+use vne_model::request::{Request, Slot, SlotEvents};
+use vne_model::substrate::{SubstrateNetwork, Tier};
+use vne_olive::fullg::FullG;
+use vne_sim::engine::{audit_engine, EngineState, ReembedAll};
+use vne_sim::NullObserver;
+
+fn world() -> (SubstrateNetwork, AppSet) {
+    let mut s = SubstrateNetwork::new("audit");
+    let e0 = s.add_node("e0", Tier::Edge, 300.0, 50.0).unwrap();
+    let e1 = s.add_node("e1", Tier::Edge, 300.0, 50.0).unwrap();
+    let t = s.add_node("t", Tier::Transport, 900.0, 10.0).unwrap();
+    s.add_link(e0, t, 1500.0, 1.0).unwrap();
+    s.add_link(e1, t, 1500.0, 1.0).unwrap();
+    let mut apps = AppSet::new();
+    apps.push(
+        "chain",
+        AppShape::Chain,
+        shapes::uniform_chain(2, 10.0, 3.0).unwrap(),
+    )
+    .unwrap();
+    (s, apps)
+}
+
+fn request(id: u64, arrival: Slot, duration: Slot, demand: f64) -> Request {
+    Request {
+        id: RequestId(id),
+        arrival,
+        duration,
+        ingress: NodeId::from_index(0),
+        app: AppId(0),
+        demand,
+    }
+}
+
+/// Steps `state` through `slots` slots with one small arrival each,
+/// returning the algorithm for auditing.
+fn run_slots(state: &mut EngineState, slots: Slot) -> (FullG, SubstrateNetwork) {
+    let (s, apps) = world();
+    let mut alg = FullG::new(s.clone(), apps, PlacementPolicy::default());
+    for t in 0..slots {
+        let event = SlotEvents {
+            slot: t,
+            arrivals: vec![request(t.into(), t, 3, 1.0)],
+            churn: vec![],
+        };
+        state.step(&mut alg, &s, event, &mut NullObserver, &mut ReembedAll);
+    }
+    (alg, s)
+}
+
+#[test]
+fn clean_run_audits_clean() {
+    let mut state = EngineState::fresh();
+    let (alg, _s) = run_slots(&mut state, 6);
+    assert!(state.active_count() > 0, "some requests should be alive");
+    let violations = audit_engine(&state, &alg);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn corrupted_allocated_counter_is_caught() {
+    let mut state = EngineState::fresh();
+    let (alg, _s) = run_slots(&mut state, 4);
+    state.debug_set_allocated_active(12345.0);
+    let violations = audit_engine(&state, &alg);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "engine-allocated-counter"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn missing_departure_schedule_is_caught() {
+    let mut state = EngineState::fresh();
+    let (alg, _s) = run_slots(&mut state, 4);
+    assert!(state.active_count() > 0);
+    state.debug_clear_departures();
+    let violations = audit_engine(&state, &alg);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "engine-departure-calendar"),
+        "{violations:?}"
+    );
+}
+
+/// With the feature on, the per-slot hook turns the same corruption
+/// into a panic at the next step.
+#[cfg(feature = "strict-invariants")]
+#[test]
+#[should_panic(expected = "strict-invariants")]
+fn hook_panics_on_corrupted_counter() {
+    let (s, apps) = world();
+    let mut alg = FullG::new(s.clone(), apps, PlacementPolicy::default());
+    let mut state = EngineState::fresh();
+    let event = SlotEvents {
+        slot: 0,
+        arrivals: vec![request(0, 0, 5, 1.0)],
+        churn: vec![],
+    };
+    state.step(&mut alg, &s, event, &mut NullObserver, &mut ReembedAll);
+    state.debug_set_allocated_active(9999.0);
+    let event = SlotEvents {
+        slot: 1,
+        arrivals: vec![],
+        churn: vec![],
+    };
+    state.step(&mut alg, &s, event, &mut NullObserver, &mut ReembedAll);
+}

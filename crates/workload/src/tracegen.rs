@@ -412,7 +412,7 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let apps = paper_mix(&AppGenConfig::default(), &mut rng);
         let trace = generate(&s, &apps, &small_config(), &mut rng);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for r in &trace {
             *counts.entry(r.ingress).or_insert(0usize) += 1;
         }

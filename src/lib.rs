@@ -16,7 +16,9 @@
 //! * [`serve`] — the embedding-as-a-service daemon: engine actor, line
 //!   protocol, TCP server, durable serving state;
 //! * [`shard`] — partitioned substrates: per-shard planning and
-//!   admission behind a cross-shard coordinator.
+//!   admission behind a cross-shard coordinator;
+//! * [`audit`] — the workspace determinism/robustness lint pass behind
+//!   the `vne-audit` CI gate.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 //! # }
 //! ```
 
+pub use vne_audit as audit;
 pub use vne_lp as lp;
 pub use vne_model as model;
 pub use vne_olive as olive;
